@@ -1,0 +1,15 @@
+//! Master library.
+//!
+//! | Master | Behaviour | Role in the evaluation |
+//! |---|---|---|
+//! | [`TrafficGenMaster`] | scripted list of [`BusOp`](crate::engine::BusOp)s with idle gaps | deterministic stimulus for equivalence tests |
+//! | [`DmaMaster`] | descriptor-driven block copies using tiled INCR bursts | the burst-heavy workload the paper's intro motivates |
+//! | [`CpuMaster`] | seeded pseudo-random loads/stores/fetches with think time | irregular traffic that stresses the predictors |
+
+mod cpu;
+mod dma;
+mod traffic_gen;
+
+pub use cpu::{CpuMaster, CpuProfile};
+pub use dma::{DmaDescriptor, DmaMaster};
+pub use traffic_gen::TrafficGenMaster;

@@ -1,0 +1,21 @@
+//! Slave library.
+//!
+//! | Slave | Behaviour | Response pattern (predictability, paper §3) |
+//! |---|---|---|
+//! | [`MemorySlave`] | word RAM with byte lanes | fixed first/sequential wait states — fully predictable |
+//! | [`PeripheralSlave`] | register file + timer + IRQ | fixed wait states, IRQ line — predictable responses, last-value IRQ |
+//! | [`SplitSlave`] | slow device using SPLIT | splits, processes, un-splits — exercises arbiter masking |
+//! | [`FifoSlave`] | producer–consumer stream FIFO | waits follow fill state — the paper's producer–consumer archetype |
+//! | [`DefaultSlave`] | always ERROR | two-cycle ERROR |
+
+mod default_slave;
+mod fifo;
+mod memory;
+mod peripheral;
+mod split;
+
+pub use default_slave::DefaultSlave;
+pub use fifo::FifoSlave;
+pub use memory::MemorySlave;
+pub use peripheral::{PeripheralSlave, REG_CTRL, REG_DATA, REG_STATUS, REG_TIMER_COUNT, REG_TIMER_PERIOD};
+pub use split::SplitSlave;

@@ -1,0 +1,153 @@
+//! Property-based tests on the AHB substrate's core data structures.
+
+use proptest::prelude::*;
+use predpkt_ahb::burst::{beat_addr, fits_in_boundary, next_addr, BurstTracker, BURST_BOUNDARY};
+use predpkt_ahb::signals::{Hburst, Hsize, Htrans, MasterSignals, SlaveSignals};
+
+fn hsize() -> impl Strategy<Value = Hsize> {
+    prop_oneof![Just(Hsize::Byte), Just(Hsize::Half), Just(Hsize::Word)]
+}
+
+fn hburst() -> impl Strategy<Value = Hburst> {
+    proptest::sample::select(Hburst::ALL.to_vec())
+}
+
+fn htrans() -> impl Strategy<Value = Htrans> {
+    prop_oneof![
+        Just(Htrans::Idle),
+        Just(Htrans::Busy),
+        Just(Htrans::Nonseq),
+        Just(Htrans::Seq)
+    ]
+}
+
+fn master_signals() -> impl Strategy<Value = MasterSignals> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        htrans(),
+        any::<u32>(),
+        any::<bool>(),
+        hsize(),
+        hburst(),
+        0u8..16,
+        any::<u32>(),
+    )
+        .prop_map(
+            |(busreq, lock, trans, addr, write, size, burst, prot, wdata)| MasterSignals {
+                busreq,
+                lock,
+                trans,
+                addr,
+                write,
+                size,
+                burst,
+                prot,
+                wdata,
+            },
+        )
+}
+
+fn slave_signals() -> impl Strategy<Value = SlaveSignals> {
+    (
+        any::<bool>(),
+        0u32..4,
+        any::<u32>(),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(|(ready, resp, rdata, split_unmask, irq)| SlaveSignals {
+            ready,
+            resp: predpkt_ahb::signals::Hresp::decode(resp).unwrap(),
+            rdata,
+            split_unmask,
+            irq,
+        })
+}
+
+proptest! {
+    #[test]
+    fn master_signals_pack_roundtrips(sig in master_signals()) {
+        prop_assert_eq!(MasterSignals::unpack(&sig.pack()), Some(sig));
+    }
+
+    #[test]
+    fn slave_signals_pack_roundtrips(sig in slave_signals()) {
+        prop_assert_eq!(SlaveSignals::unpack(&sig.pack()), Some(sig));
+    }
+
+    #[test]
+    fn wrapping_bursts_stay_in_container(start in any::<u32>(), size in hsize(), burst in hburst()) {
+        prop_assume!(burst.is_wrapping());
+        let beats = burst.beats().unwrap();
+        let start = start & !(size.bytes() - 1); // align
+        let container = size.bytes() * beats;
+        let base = start & !(container - 1);
+        let mut a = start;
+        for _ in 0..beats * 2 {
+            a = next_addr(a, size, burst);
+            prop_assert!(a >= base && a < base + container,
+                "addr {a:#x} escaped container [{base:#x}, {:#x})", base + container);
+        }
+    }
+
+    #[test]
+    fn wrapping_bursts_visit_each_beat_once(start in any::<u32>(), size in hsize(), burst in hburst()) {
+        prop_assume!(burst.is_wrapping());
+        let beats = burst.beats().unwrap();
+        let start = start & !(size.bytes() - 1);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..beats {
+            prop_assert!(seen.insert(beat_addr(start, size, burst, b)));
+        }
+        // And the sequence is periodic with period `beats`.
+        prop_assert_eq!(beat_addr(start, size, burst, beats), start);
+    }
+
+    #[test]
+    fn incrementing_bursts_step_uniformly(start in 0u32..0x8000_0000, size in hsize(), beat in 0u32..16) {
+        let start = start & !(size.bytes() - 1);
+        prop_assert_eq!(
+            beat_addr(start, size, Hburst::Incr, beat),
+            start + size.bytes() * beat
+        );
+    }
+
+    #[test]
+    fn boundary_rule_consistent_with_addresses(start in any::<u32>(), size in hsize(), burst in hburst()) {
+        prop_assume!(burst.beats().is_some() && !burst.is_wrapping());
+        let start = (start & !(size.bytes() - 1)).min(u32::MAX - 0x1000);
+        let beats = burst.beats().unwrap();
+        let fits = fits_in_boundary(start, size, burst);
+        // Verify against the address sequence itself.
+        let crosses = (0..beats).any(|b| {
+            beat_addr(start, size, burst, b) / BURST_BOUNDARY != start / BURST_BOUNDARY
+        });
+        prop_assert_eq!(fits, !crosses);
+    }
+
+    #[test]
+    fn tracker_matches_addr_sequence(start in any::<u32>(), size in hsize(), burst in hburst()) {
+        prop_assume!(burst.beats().map_or(true, |b| b > 1));
+        let start = start & !(size.bytes() - 1);
+        let mut t = BurstTracker::start(start, size, burst);
+        for b in 1..burst.beats().unwrap_or(8) {
+            prop_assert_eq!(t.next_addr(), beat_addr(start, size, burst, b));
+            t.advance();
+        }
+        if let Some(beats) = burst.beats() {
+            prop_assert!(t.complete());
+            prop_assert_eq!(t.issued(), beats);
+        }
+    }
+
+    #[test]
+    fn tracker_pack_roundtrips(start in any::<u32>(), size in hsize(), burst in hburst(), advances in 0u32..16) {
+        let start = start & !(size.bytes() - 1);
+        let mut t = BurstTracker::start(start, size, burst);
+        for _ in 0..advances {
+            t.advance();
+        }
+        prop_assert_eq!(BurstTracker::unpack(&t.pack()), Some(t));
+    }
+}

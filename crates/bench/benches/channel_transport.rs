@@ -1,0 +1,51 @@
+//! Host-side throughput of the channel transports (queue vs crossbeam).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use predpkt_channel::{
+    ChannelCostModel, CostedChannel, Packet, PacketTag, Side, ThreadedTransport,
+};
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_transport");
+    group.throughput(Throughput::Elements(1_000));
+
+    group.bench_function("queue_1k_roundtrips", |b| {
+        b.iter(|| {
+            let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
+            for i in 0..1_000u32 {
+                ch.send(Side::Simulator, Packet::new(PacketTag::CycleOutputs, vec![i; 4]));
+                let got = ch.recv(Side::Accelerator).expect("delivered");
+                ch.send(Side::Accelerator, got);
+                std::hint::black_box(ch.recv(Side::Simulator).expect("delivered"));
+            }
+            std::hint::black_box(ch.stats().total_accesses())
+        })
+    });
+
+    group.bench_function("threaded_1k_roundtrips", |b| {
+        b.iter(|| {
+            let (sim, acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
+            let worker = std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    let p = acc.recv_blocking().expect("peer alive");
+                    acc.send(p).expect("peer alive");
+                }
+            });
+            for i in 0..1_000u32 {
+                sim.send(Packet::new(PacketTag::CycleOutputs, vec![i; 4]))
+                    .expect("peer alive");
+                std::hint::black_box(sim.recv_blocking().expect("peer alive"));
+            }
+            worker.join().expect("worker exits");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transports
+}
+criterion_main!(benches);

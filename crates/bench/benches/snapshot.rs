@@ -1,0 +1,44 @@
+//! Save/restore throughput of the rollback snapshot machinery — the host-side
+//! cost behind the paper's `Tstore`/`Trestore` virtual-time rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use predpkt_core::DomainModel;
+use predpkt_sim::{restore_from_vec, save_to_vec};
+use predpkt_workloads::figure2_soc;
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    let blueprint = figure2_soc(42);
+    let (mut sim, mut acc) = blueprint.build_pair().expect("valid blueprint");
+    // Age the domains so the snapshots carry realistic state.
+    use predpkt_core::TickKind;
+    for _ in 0..500 {
+        let s = sim.local_outputs();
+        let a = acc.local_outputs();
+        sim.tick(&a, TickKind::Actual);
+        acc.tick(&s, TickKind::Actual);
+    }
+    let state = save_to_vec(&sim);
+    println!("simulator-domain snapshot: {} words", state.len());
+
+    group.bench_function("save_sim_domain", |b| {
+        b.iter(|| std::hint::black_box(save_to_vec(&sim)))
+    });
+    group.bench_function("restore_sim_domain", |b| {
+        b.iter(|| {
+            restore_from_vec(&mut sim, &state).expect("restore succeeds");
+            std::hint::black_box(sim.cycle())
+        })
+    });
+    group.bench_function("save_acc_domain", |b| {
+        b.iter(|| std::hint::black_box(save_to_vec(&acc)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_snapshot
+}
+criterion_main!(benches);

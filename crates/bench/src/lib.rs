@@ -1,0 +1,105 @@
+//! # predpkt-bench — evaluation harness
+//!
+//! Shared plumbing for the table/figure regeneration binaries (see
+//! `src/bin/`) and the criterion benches (see `benches/`). The experiment
+//! index lives in `DESIGN.md`; measured-vs-paper results in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use predpkt_core::{CoEmuConfig, CoEmulator, ModePolicy, PerfReport};
+use predpkt_workloads::SyntheticSoc;
+
+/// Runs the synthetic harness at accuracy `p` under `config` for `cycles`
+/// committed cycles and returns the report.
+pub fn run_synthetic(p: f64, config: CoEmuConfig, cycles: u64) -> PerfReport {
+    let soc = match config.policy {
+        ModePolicy::ForcedSla => SyntheticSoc::sla(p, 0x5eed),
+        _ => SyntheticSoc::als(p, 0x5eed),
+    };
+    let (sim, acc) = soc.build();
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    coemu
+        .run_until_committed(cycles)
+        .expect("synthetic run cannot deadlock");
+    coemu.report()
+}
+
+/// Formats a cycles/second figure the way the paper does (e.g. `652k`).
+pub fn fmt_kcps(cps: f64) -> String {
+    if cps >= 1e6 {
+        format!("{:.2}M", cps / 1e6)
+    } else {
+        format!("{:.1}k", cps / 1e3)
+    }
+}
+
+/// Formats seconds-per-cycle in the paper's scientific notation (e.g. `1.0e-6`).
+pub fn fmt_sci(secs: f64) -> String {
+    if secs == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{secs:.1e}")
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!("{c:>11}");
+    }
+    println!();
+}
+
+/// Renders a crude ASCII chart of (x, y) series on a log-y scale — enough to
+/// eyeball the Figure 4 shape in a terminal.
+pub fn ascii_chart(title: &str, xs: &[f64], series: &[(&str, Vec<f64>)], height: usize) {
+    println!("\n{title}");
+    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let (lo, hi) = all
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let marks = ['A', 'B', 'C', 'D', 'E', 'F'];
+    for row in (0..height).rev() {
+        let y = (llo + (lhi - llo) * (row as f64 + 0.5) / height as f64).exp();
+        let mut line = vec![' '; xs.len() * 5];
+        for (si, (_, ys)) in series.iter().enumerate() {
+            for (xi, &v) in ys.iter().enumerate() {
+                let level = ((v.ln() - llo) / (lhi - llo) * height as f64) as usize;
+                if level == row {
+                    line[xi * 5 + 2] = marks[si % marks.len()];
+                }
+            }
+        }
+        println!("{:>9} |{}", fmt_kcps(y), line.iter().collect::<String>());
+    }
+    print!("{:>9}  ", "p =");
+    for &x in xs {
+        print!("{x:>5.2}");
+    }
+    println!();
+    for (si, (name, _)) in series.iter().enumerate() {
+        println!("          {} = {}", marks[si % marks.len()], name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_kcps(38_900.0), "38.9k");
+        assert_eq!(fmt_kcps(1_500_000.0), "1.50M");
+        assert_eq!(fmt_sci(0.0), "0");
+        assert_eq!(fmt_sci(1.0e-6), "1.0e-6");
+    }
+
+    #[test]
+    fn synthetic_runner_works() {
+        let report = run_synthetic(1.0, CoEmuConfig::paper_defaults(), 2_000);
+        assert!(report.performance_cps() > 500_000.0);
+    }
+}

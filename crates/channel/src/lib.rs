@@ -1,0 +1,45 @@
+//! # predpkt-channel — the simulator–accelerator channel substrate
+//!
+//! The paper's whole premise is a channel whose **static startup overhead
+//! (12.2 µs per access)** dwarfs its **per-word payload cost (49.95 ns/word
+//! simulator→accelerator, 75.73 ns/word accelerator→simulator)**, measured on a
+//! PCI-based iPROVE accelerator (§1.2). This crate models that channel:
+//!
+//! * [`ChannelCostModel`] — startup + per-word virtual-time costs, composable from
+//!   the paper's three layers (API / device driver / physical medium) via
+//!   [`LayeredStartup`]. The preset [`ChannelCostModel::iprove_pci`] carries the
+//!   paper's exact constants.
+//! * [`Packet`] — a word-addressed payload with a message tag.
+//! * [`Transport`] / [`QueueTransport`] — in-process, deterministic message
+//!   passing between the two domains; [`ThreadedTransport`] provides a
+//!   crossbeam-based variant for real-thread experiments.
+//! * [`CostedChannel`] — a transport combined with the cost model and
+//!   [`ChannelStats`], returning the virtual-time cost of every access so the
+//!   caller can charge its ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use predpkt_channel::{ChannelCostModel, Direction};
+//!
+//! let pci = ChannelCostModel::iprove_pci();
+//! // One conventional-mode cycle: two accesses, a few words each.
+//! let fwd = pci.access_cost(Direction::SimToAcc, 2);
+//! let rev = pci.access_cost(Direction::AccToSim, 1);
+//! assert_eq!((fwd + rev).as_picos(), 12_200_000 * 2 + 2 * 49_950 + 75_730);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod message;
+mod stats;
+mod threaded;
+mod transport;
+
+pub use cost::{ChannelCostModel, Direction, LayeredStartup, Side};
+pub use message::{Packet, PacketTag};
+pub use stats::ChannelStats;
+pub use threaded::{ThreadedEndpoint, ThreadedTransport};
+pub use transport::{CostedChannel, QueueTransport, Transport};

@@ -1,0 +1,183 @@
+//! Wire packets: tagged word payloads.
+//!
+//! The channel moves 32-bit words (the paper's PCI target is a 32-bit bus). A
+//! [`Packet`] is a tag plus a word payload; the tag travels in the first word on
+//! the wire, so [`Packet::wire_words`] — the figure the cost model charges — is
+//! `1 + payload length`.
+
+use std::fmt;
+
+/// Message kind, encoded into the first wire word.
+///
+/// The protocol of `predpkt-core` uses these tags to drive the channel-wrapper
+/// state machine: a lagger blocked in *Read input data* distinguishes a
+/// conventional per-cycle exchange from a LOB burst by tag alone (this is how a
+/// conservative CW learns that its peer has started leading).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketTag {
+    /// One cycle's signal values, conservative mode.
+    CycleOutputs,
+    /// A packetized LOB flush: head cycle + predicted entries.
+    Burst,
+    /// Lagger report: every prediction checked out.
+    ReportSuccess,
+    /// Lagger report: prediction failure, actual values attached.
+    ReportFailure,
+    /// Initial handshake / configuration exchange.
+    Handshake,
+}
+
+impl PacketTag {
+    /// Encodes the tag as a wire word.
+    pub fn encode(self) -> u32 {
+        match self {
+            PacketTag::CycleOutputs => 0x4359_434c, // "CYCL"
+            PacketTag::Burst => 0x4255_5253,        // "BURS"
+            PacketTag::ReportSuccess => 0x524f_4b21, // "ROK!"
+            PacketTag::ReportFailure => 0x5246_4149, // "RFAI"
+            PacketTag::Handshake => 0x4853_4b21,    // "HSK!"
+        }
+    }
+
+    /// Decodes a wire word back into a tag.
+    pub fn decode(word: u32) -> Option<PacketTag> {
+        match word {
+            0x4359_434c => Some(PacketTag::CycleOutputs),
+            0x4255_5253 => Some(PacketTag::Burst),
+            0x524f_4b21 => Some(PacketTag::ReportSuccess),
+            0x5246_4149 => Some(PacketTag::ReportFailure),
+            0x4853_4b21 => Some(PacketTag::Handshake),
+            _ => None,
+        }
+    }
+
+    /// All tags (for exhaustive tests).
+    pub const ALL: [PacketTag; 5] = [
+        PacketTag::CycleOutputs,
+        PacketTag::Burst,
+        PacketTag::ReportSuccess,
+        PacketTag::ReportFailure,
+        PacketTag::Handshake,
+    ];
+}
+
+impl fmt::Display for PacketTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A tagged word payload moving across the channel.
+///
+/// # Example
+///
+/// ```
+/// use predpkt_channel::{Packet, PacketTag};
+/// let p = Packet::new(PacketTag::Burst, vec![1, 2, 3]);
+/// assert_eq!(p.wire_words(), 4); // tag word + 3 payload words
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    tag: PacketTag,
+    payload: Vec<u32>,
+}
+
+impl Packet {
+    /// Creates a packet from a tag and payload words.
+    pub fn new(tag: PacketTag, payload: Vec<u32>) -> Self {
+        Packet { tag, payload }
+    }
+
+    /// The message tag.
+    pub fn tag(&self) -> PacketTag {
+        self.tag
+    }
+
+    /// Borrows the payload words (tag not included).
+    pub fn payload(&self) -> &[u32] {
+        &self.payload
+    }
+
+    /// Consumes the packet, returning the payload.
+    pub fn into_payload(self) -> Vec<u32> {
+        self.payload
+    }
+
+    /// Number of words this packet occupies on the wire (tag + payload).
+    pub fn wire_words(&self) -> u64 {
+        1 + self.payload.len() as u64
+    }
+
+    /// Serializes to raw wire words (tag first).
+    pub fn to_wire(&self) -> Vec<u32> {
+        let mut w = Vec::with_capacity(self.payload.len() + 1);
+        w.push(self.tag.encode());
+        w.extend_from_slice(&self.payload);
+        w
+    }
+
+    /// Parses raw wire words back into a packet.
+    ///
+    /// Returns `None` on an empty slice or unknown tag.
+    pub fn from_wire(words: &[u32]) -> Option<Packet> {
+        let (&tag_word, payload) = words.split_first()?;
+        Some(Packet::new(PacketTag::decode(tag_word)?, payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_all() {
+        for tag in PacketTag::ALL {
+            assert_eq!(PacketTag::decode(tag.encode()), Some(tag));
+        }
+    }
+
+    #[test]
+    fn tag_encodings_distinct() {
+        let mut codes: Vec<u32> = PacketTag::ALL.iter().map(|t| t.encode()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), PacketTag::ALL.len());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(PacketTag::decode(0xdead_beef), None);
+    }
+
+    #[test]
+    fn packet_wire_roundtrip() {
+        let p = Packet::new(PacketTag::ReportFailure, vec![7, 8, 9]);
+        let wire = p.to_wire();
+        assert_eq!(wire.len() as u64, p.wire_words());
+        assert_eq!(Packet::from_wire(&wire), Some(p));
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let p = Packet::new(PacketTag::Handshake, vec![]);
+        assert_eq!(p.wire_words(), 1);
+        assert_eq!(Packet::from_wire(&p.to_wire()), Some(p));
+    }
+
+    #[test]
+    fn from_wire_rejects_empty_and_garbage() {
+        assert_eq!(Packet::from_wire(&[]), None);
+        assert_eq!(Packet::from_wire(&[0x1234_5678, 1, 2]), None);
+    }
+
+    #[test]
+    fn into_payload_moves() {
+        let p = Packet::new(PacketTag::CycleOutputs, vec![42]);
+        assert_eq!(p.into_payload(), vec![42]);
+    }
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(PacketTag::Burst.to_string(), "Burst");
+    }
+}

@@ -1,0 +1,153 @@
+//! Crossbeam-based transport for real-thread experiments.
+//!
+//! The deterministic [`QueueTransport`](crate::QueueTransport) is what the
+//! evaluation uses; this module provides an equivalent transport whose two ends
+//! live on different OS threads, so the conservative protocol can be exercised
+//! with genuine concurrency (useful for stress-testing the protocol's freedom
+//! from cross-domain ordering assumptions). Statistics are shared behind a
+//! `parking_lot::Mutex`.
+
+use crate::cost::{ChannelCostModel, Side};
+use crate::message::Packet;
+use crate::stats::ChannelStats;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use predpkt_sim::VirtualTime;
+use std::sync::Arc;
+
+/// A threaded channel: construct with [`ThreadedTransport::pair`], move each
+/// [`ThreadedEndpoint`] to its own thread.
+#[derive(Debug)]
+pub struct ThreadedTransport;
+
+impl ThreadedTransport {
+    /// Creates the two endpoints of a threaded channel sharing one cost model
+    /// and one statistics block.
+    pub fn pair(cost_model: ChannelCostModel) -> (ThreadedEndpoint, ThreadedEndpoint) {
+        let (sim_tx, sim_rx) = unbounded::<Packet>(); // toward accelerator
+        let (acc_tx, acc_rx) = unbounded::<Packet>(); // toward simulator
+        let stats = Arc::new(Mutex::new(ChannelStats::new()));
+        let sim_end = ThreadedEndpoint {
+            side: Side::Simulator,
+            tx: sim_tx,
+            rx: acc_rx,
+            cost_model,
+            stats: Arc::clone(&stats),
+        };
+        let acc_end = ThreadedEndpoint {
+            side: Side::Accelerator,
+            tx: acc_tx,
+            rx: sim_rx,
+            cost_model,
+            stats,
+        };
+        (sim_end, acc_end)
+    }
+}
+
+/// One end of a [`ThreadedTransport`]; `Send` so it can move to a worker thread.
+#[derive(Debug)]
+pub struct ThreadedEndpoint {
+    side: Side,
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
+    cost_model: ChannelCostModel,
+    stats: Arc<Mutex<ChannelStats>>,
+}
+
+impl ThreadedEndpoint {
+    /// Which side this endpoint belongs to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Sends a packet toward the peer, returning the access cost.
+    ///
+    /// Returns `None` if the peer endpoint has been dropped.
+    pub fn send(&self, packet: Packet) -> Option<VirtualTime> {
+        let direction = self.side.outbound();
+        let words = packet.wire_words();
+        let cost = self.cost_model.access_cost(direction, words);
+        self.tx.send(packet).ok()?;
+        self.stats.lock().record(direction, words, cost);
+        Some(cost)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet> {
+        match self.rx.try_recv() {
+            Ok(p) => Some(p),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive; `None` once the peer has been dropped and the queue is
+    /// drained.
+    pub fn recv_blocking(&self) -> Option<Packet> {
+        self.rx.recv().ok()
+    }
+
+    /// A snapshot of the shared statistics.
+    pub fn stats_snapshot(&self) -> ChannelStats {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Direction;
+    use crate::message::PacketTag;
+    use std::thread;
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let (sim, acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
+        let worker = thread::spawn(move || {
+            // Accelerator thread: echo payloads back incremented.
+            for _ in 0..100 {
+                let p = acc.recv_blocking().unwrap();
+                let bumped: Vec<u32> = p.payload().iter().map(|w| w + 1).collect();
+                acc.send(Packet::new(PacketTag::CycleOutputs, bumped)).unwrap();
+            }
+            acc.stats_snapshot()
+        });
+        for i in 0..100u32 {
+            sim.send(Packet::new(PacketTag::CycleOutputs, vec![i])).unwrap();
+            let reply = sim.recv_blocking().unwrap();
+            assert_eq!(reply.payload(), &[i + 1]);
+        }
+        let stats = worker.join().unwrap();
+        assert_eq!(stats.accesses(Direction::SimToAcc), 100);
+        assert_eq!(stats.accesses(Direction::AccToSim), 100);
+        // 2 wire words per packet (tag + 1 payload word), both directions.
+        assert_eq!(stats.total_words(), 400);
+    }
+
+    #[test]
+    fn try_recv_empty_returns_none() {
+        let (sim, _acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
+        assert!(sim.try_recv().is_none());
+    }
+
+    #[test]
+    fn send_to_dropped_peer_fails() {
+        let (sim, acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
+        drop(acc);
+        assert!(sim.send(Packet::new(PacketTag::Handshake, vec![])).is_none());
+        assert!(sim.recv_blocking().is_none());
+    }
+
+    #[test]
+    fn cost_matches_queue_transport_model() {
+        let (sim, acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
+        let cost = sim.send(Packet::new(PacketTag::Burst, vec![0; 9])).unwrap();
+        assert_eq!(
+            cost,
+            ChannelCostModel::iprove_pci().access_cost(Direction::SimToAcc, 10)
+        );
+        assert_eq!(acc.try_recv().unwrap().payload().len(), 9);
+        assert_eq!(sim.side(), Side::Simulator);
+        assert_eq!(acc.side(), Side::Accelerator);
+    }
+}

@@ -1,0 +1,624 @@
+//! The AHB half-bus domain model (HBMS / HBMA with channel-wrapper mimicry).
+//!
+//! An [`AhbDomainModel`] holds the components placed in its domain, a full
+//! replica of the bus fabric (arbiter + decoder — the paper removes their
+//! outputs from the exchanged signal set because both replicas deduce them from
+//! the same inputs), and *proxy slots* for the remote components carrying the
+//! most recent exchanged or predicted signal values.
+//!
+//! ## The MSABS active projection
+//!
+//! Prediction checking compares signal vectors only in positions that can
+//! influence the leader domain's state (the paper's *minimal set of active bus
+//! signals*, §3): arbitration requests always; address/control only for the
+//! granted master; write data only when it crosses into the leader domain; read
+//! data only when a leader-side master consumes it; the data-phase slave's
+//! ready/response; HSPLIT and IRQ always. Inactive positions are free — a
+//! mispredicted idle address bus costs nothing.
+
+use crate::blueprint::Placement;
+use crate::model::{DomainModel, TickKind};
+use predpkt_ahb::fabric::{CycleView, Fabric};
+use predpkt_ahb::signals::{
+    Hresp, MasterId, MasterSignals, SlaveId, SlaveSignals,
+};
+use predpkt_ahb::{AhbMaster, AhbSlave};
+use predpkt_channel::Side;
+use predpkt_predict::{BurstFollower, LastValuePredictor, WaitPredictor};
+use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark};
+
+/// Predictors for one remote master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MasterPredictors {
+    follower: BurstFollower,
+    busreq: LastValuePredictor,
+    lock: LastValuePredictor,
+    wdata: LastValuePredictor,
+    prot: LastValuePredictor,
+}
+
+impl MasterPredictors {
+    fn new() -> Self {
+        MasterPredictors {
+            follower: BurstFollower::new(),
+            busreq: LastValuePredictor::new(0),
+            lock: LastValuePredictor::new(0),
+            wdata: LastValuePredictor::new(0),
+            prot: LastValuePredictor::new(0),
+        }
+    }
+
+    fn observe(&mut self, actual: &MasterSignals, accepted: bool) {
+        self.follower.observe(actual, accepted);
+        self.busreq.observe(actual.busreq as u32);
+        self.lock.observe(actual.lock as u32);
+        self.wdata.observe(actual.wdata);
+        self.prot.observe(actual.prot as u32);
+    }
+
+    fn predict(&mut self) -> MasterSignals {
+        let mut sig = self.follower.predict_and_advance();
+        sig.busreq = self.busreq.predict() != 0;
+        sig.lock = self.lock.predict() != 0;
+        sig.wdata = self.wdata.predict();
+        sig.prot = self.prot.predict() as u8;
+        sig
+    }
+}
+
+impl Snapshot for MasterPredictors {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        self.follower.save(w);
+        self.busreq.save(w);
+        self.lock.save(w);
+        self.wdata.save(w);
+        self.prot.save(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.follower.restore(r)?;
+        self.busreq.restore(r)?;
+        self.lock.restore(r)?;
+        self.wdata.restore(r)?;
+        self.prot.restore(r)
+    }
+}
+
+/// Predictors for one remote slave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SlavePredictors {
+    wait: WaitPredictor,
+    irq: LastValuePredictor,
+    rdata: LastValuePredictor,
+}
+
+impl SlavePredictors {
+    fn new() -> Self {
+        SlavePredictors {
+            wait: WaitPredictor::new(),
+            irq: LastValuePredictor::new(0),
+            rdata: LastValuePredictor::new(0),
+        }
+    }
+}
+
+impl Snapshot for SlavePredictors {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        self.wait.save(w);
+        self.irq.save(w);
+        self.rdata.save(w);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.wait.restore(r)?;
+        self.irq.restore(r)?;
+        self.rdata.restore(r)
+    }
+}
+
+/// One verification domain of a split AHB SoC. See the module docs.
+pub struct AhbDomainModel {
+    side: Side,
+    placement: Placement,
+    masters: Vec<Option<Box<dyn AhbMaster>>>,
+    slaves: Vec<Option<Box<dyn AhbSlave>>>,
+    fabric: Fabric,
+    /// Proxy values for remote masters (last exchanged or predicted).
+    remote_m: Vec<MasterSignals>,
+    /// Proxy values for remote slaves.
+    remote_s: Vec<SlaveSignals>,
+    m_pred: Vec<Option<MasterPredictors>>,
+    s_pred: Vec<Option<SlavePredictors>>,
+    trace: Trace,
+    cycle: u64,
+}
+
+impl AhbDomainModel {
+    /// Assembles a domain. Component slots must be `Some` exactly where
+    /// `placement` assigns this `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot contradicts the placement.
+    pub(crate) fn new(
+        side: Side,
+        placement: Placement,
+        masters: Vec<Option<Box<dyn AhbMaster>>>,
+        slaves: Vec<Option<Box<dyn AhbSlave>>>,
+        fabric: Fabric,
+    ) -> Self {
+        assert_eq!(masters.len(), placement.masters.len());
+        assert_eq!(slaves.len(), placement.slaves.len());
+        for (i, m) in masters.iter().enumerate() {
+            assert_eq!(
+                m.is_some(),
+                placement.masters[i] == side,
+                "master {i} placement mismatch"
+            );
+        }
+        for (j, s) in slaves.iter().enumerate() {
+            assert_eq!(
+                s.is_some(),
+                placement.slaves[j] == side,
+                "slave {j} placement mismatch"
+            );
+        }
+        let m_pred = placement
+            .masters
+            .iter()
+            .map(|&d| (d != side).then(MasterPredictors::new))
+            .collect();
+        let s_pred = placement
+            .slaves
+            .iter()
+            .map(|&d| (d != side).then(SlavePredictors::new))
+            .collect();
+        AhbDomainModel {
+            side,
+            remote_m: vec![MasterSignals::idle(); masters.len()],
+            remote_s: vec![SlaveSignals::idle(); slaves.len()],
+            masters,
+            slaves,
+            placement,
+            fabric,
+            m_pred,
+            s_pred,
+            trace: Trace::new(),
+            cycle: 0,
+        }
+    }
+
+    fn is_local_master(&self, i: usize) -> bool {
+        self.placement.masters[i] == self.side
+    }
+
+    fn is_local_slave(&self, j: usize) -> bool {
+        self.placement.slaves[j] == self.side
+    }
+
+    /// Full per-cycle signal vectors: local Moore outputs + remote proxies.
+    fn full_vectors(&self) -> (Vec<MasterSignals>, Vec<SlaveSignals>) {
+        let m = self
+            .masters
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(c) => c.outputs(),
+                None => self.remote_m[i],
+            })
+            .collect();
+        let s = self
+            .slaves
+            .iter()
+            .enumerate()
+            .map(|(j, slot)| match slot {
+                Some(c) => c.outputs(),
+                None => self.remote_s[j],
+            })
+            .collect();
+        (m, s)
+    }
+
+    /// Unpacks the peer's packed outputs into the remote proxy slots.
+    fn load_remote(&mut self, words: &[u32]) {
+        let mut at = 0;
+        for i in 0..self.masters.len() {
+            if !self.is_local_master(i) {
+                let chunk = [words[at], words[at + 1], words[at + 2]];
+                self.remote_m[i] = MasterSignals::unpack(&chunk)
+                    .expect("peer sent malformed master signals");
+                at += 3;
+            }
+        }
+        for j in 0..self.slaves.len() {
+            if !self.is_local_slave(j) {
+                let chunk = [words[at], words[at + 1]];
+                self.remote_s[j] =
+                    SlaveSignals::unpack(&chunk).expect("peer sent malformed slave signals");
+                at += 2;
+            }
+        }
+        debug_assert_eq!(at, words.len(), "remote width mismatch");
+    }
+
+    /// Packs this domain's local component outputs (canonical order: masters
+    /// ascending, then slaves ascending).
+    fn pack_local(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.local_width());
+        for m in self.masters.iter().flatten() {
+            out.extend_from_slice(&m.outputs().pack());
+        }
+        for s in self.slaves.iter().flatten() {
+            out.extend_from_slice(&s.outputs().pack());
+        }
+        out
+    }
+
+    /// The MSABS active projection of this domain's local outputs under `view`
+    /// (see the module docs). `local` must be this domain's packed outputs or a
+    /// prediction of them.
+    fn project_local(&self, local: &[u32], view: &CycleView, leader: Side) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        for i in 0..self.masters.len() {
+            if !self.is_local_master(i) {
+                continue;
+            }
+            let chunk = [local[at], local[at + 1], local[at + 2]];
+            at += 3;
+            let sig = MasterSignals::unpack(&chunk)?;
+            // Arbitration requests: always active.
+            out.push(sig.busreq as u32 | (sig.lock as u32) << 1);
+            // Address/control: only for the granted master.
+            if view.grant == MasterId(i) {
+                out.push(sig.trans.encode());
+                out.push(sig.addr);
+                out.push(sig.write as u32);
+                out.push(sig.size.encode());
+                out.push(sig.burst.encode());
+                out.push(sig.prot as u32);
+            }
+            // Write data: only when this master's write data phase must be
+            // visible to the leader domain (slave local to the leader).
+            if let Some(dp) = &view.dp {
+                if dp.write && dp.master == MasterId(i) {
+                    let slave_visible = match dp.slave {
+                        Some(s) => self.placement.slaves[s.0] == leader,
+                        None => false,
+                    };
+                    if slave_visible {
+                        out.push(sig.wdata);
+                    }
+                }
+            }
+        }
+        for j in 0..self.slaves.len() {
+            if !self.is_local_slave(j) {
+                continue;
+            }
+            let chunk = [local[at], local[at + 1]];
+            at += 2;
+            let sig = SlaveSignals::unpack(&chunk)?;
+            // HSPLIT and IRQ: always active.
+            out.push(sig.split_unmask as u32);
+            out.push(sig.irq as u32);
+            // Ready/response: only for the data-phase slave.
+            if let Some(dp) = &view.dp {
+                if dp.slave == Some(SlaveId(j)) {
+                    out.push(sig.ready as u32);
+                    out.push(sig.resp.encode());
+                    // Read data: only when a leader-side master consumes it.
+                    if !dp.write && self.placement.masters[dp.master.0] == leader {
+                        out.push(sig.rdata);
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Tick the fabric and local components one cycle given assembled vectors.
+    fn advance(&mut self, full_m: &[MasterSignals], full_s: &[SlaveSignals], view: &CycleView) {
+        // Record the committed local outputs before state changes.
+        self.trace.record(self.pack_local().iter().map(|&w| w as u64).collect());
+
+        for (i, slot) in self.masters.iter_mut().enumerate() {
+            if let Some(c) = slot {
+                c.tick(&self.fabric.master_view(view, MasterId(i)));
+            }
+        }
+        for (j, slot) in self.slaves.iter_mut().enumerate() {
+            if let Some(c) = slot {
+                c.tick(&self.fabric.slave_view(view, SlaveId(j)));
+            }
+        }
+        self.fabric.tick(view, full_m, full_s);
+
+        // Prime wait predictors: an accepted address phase at a remote slave
+        // opens a data phase there next cycle.
+        if view.hready && view.addr_phase.trans.is_active() {
+            if let Some(s) = view.addr_phase.slave {
+                if let Some(p) = &mut self.s_pred[s.0] {
+                    p.wait
+                        .begin_phase(view.addr_phase.trans == predpkt_ahb::signals::Htrans::Nonseq);
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Downcast access to a local master.
+    pub fn master_as<T: AhbMaster>(&self, id: MasterId) -> Option<&T> {
+        self.masters.get(id.0)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Downcast access to a local slave.
+    pub fn slave_as<T: AhbSlave>(&self, id: SlaveId) -> Option<&T> {
+        self.slaves.get(id.0)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// The fabric replica (tests assert replica agreement).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+impl DomainModel for AhbDomainModel {
+    fn side(&self) -> Side {
+        self.side
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn local_width(&self) -> usize {
+        self.placement.local_width(self.side)
+    }
+
+    fn remote_width(&self) -> usize {
+        self.placement.local_width(self.side.peer())
+    }
+
+    fn local_outputs(&self) -> Vec<u32> {
+        self.pack_local()
+    }
+
+    fn needs_sync(&self) -> bool {
+        // §3 data rule: the upcoming cycle needs inbound lagger→leader data.
+        match self.fabric.data_phase() {
+            Some(dp) if dp.write => {
+                let master_remote = self.placement.masters[dp.master.0] != self.side;
+                let slave_local =
+                    matches!(dp.slave, Some(s) if self.placement.slaves[s.0] == self.side);
+                master_remote && slave_local
+            }
+            Some(dp) => {
+                let slave_remote =
+                    matches!(dp.slave, Some(s) if self.placement.slaves[s.0] != self.side);
+                let master_local = self.placement.masters[dp.master.0] == self.side;
+                slave_remote && master_local
+            }
+            None => false,
+        }
+    }
+
+    fn elect_leader(&self) -> Side {
+        // The data-flow source leads (§3): the writing master's domain, or the
+        // read slave's domain; quiet buses default to the accelerator (ALS).
+        match self.fabric.data_phase() {
+            Some(dp) if dp.write => self.placement.masters[dp.master.0],
+            Some(dp) => match dp.slave {
+                Some(s) => self.placement.slaves[s.0],
+                None => Side::Accelerator,
+            },
+            None => Side::Accelerator,
+        }
+    }
+
+    fn predict_remote(&mut self) -> Vec<u32> {
+        // Predict each remote component's signals, updating proxy slots so the
+        // subsequent tick sees them.
+        let dp = self.fabric.data_phase().copied();
+        for i in 0..self.masters.len() {
+            if let Some(p) = &mut self.m_pred[i] {
+                self.remote_m[i] = p.predict();
+            }
+        }
+        for j in 0..self.slaves.len() {
+            if let Some(p) = &mut self.s_pred[j] {
+                let dp_here = matches!(&dp, Some(d) if d.slave == Some(SlaveId(j)));
+                let ready = if dp_here { p.wait.predict_and_advance() } else { true };
+                self.remote_s[j] = SlaveSignals {
+                    ready,
+                    resp: Hresp::Okay,
+                    rdata: p.rdata.predict(),
+                    split_unmask: 0,
+                    irq: p.irq.predict() != 0,
+                };
+            }
+        }
+        let mut out = Vec::with_capacity(self.remote_width());
+        for i in 0..self.masters.len() {
+            if !self.is_local_master(i) {
+                out.extend_from_slice(&self.remote_m[i].pack());
+            }
+        }
+        for j in 0..self.slaves.len() {
+            if !self.is_local_slave(j) {
+                out.extend_from_slice(&self.remote_s[j].pack());
+            }
+        }
+        out
+    }
+
+    fn tick(&mut self, remote: &[u32], kind: TickKind) {
+        self.load_remote(remote);
+        let (full_m, full_s) = self.full_vectors();
+        let view = self.fabric.view(&full_m, &full_s);
+
+        if kind == TickKind::Actual {
+            // Train predictors on the observed remote values.
+            for i in 0..self.masters.len() {
+                if let Some(p) = &mut self.m_pred[i] {
+                    let accepted = view.grant == MasterId(i) && view.hready;
+                    p.observe(&full_m[i], accepted);
+                }
+            }
+            for j in 0..self.slaves.len() {
+                if let Some(p) = &mut self.s_pred[j] {
+                    p.irq.observe(full_s[j].irq as u32);
+                    p.rdata.observe(full_s[j].rdata);
+                    if let Some(dp) = &view.dp {
+                        if dp.slave == Some(SlaveId(j)) {
+                            p.wait.observe(
+                                dp.trans == predpkt_ahb::signals::Htrans::Nonseq,
+                                full_s[j].ready,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.advance(&full_m, &full_s, &view);
+    }
+
+    fn verify_prediction(&self, leader_outputs: &[u32], predicted_me: &[u32]) -> bool {
+        // Build the cycle view from actual values (leader outputs + our own).
+        let mut remote_m = self.remote_m.clone();
+        let mut remote_s = self.remote_s.clone();
+        self.unpack_remote_into(leader_outputs, &mut remote_m, &mut remote_s);
+        let full_m: Vec<MasterSignals> = self
+            .masters
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(c) => c.outputs(),
+                None => remote_m[i],
+            })
+            .collect();
+        let full_s: Vec<SlaveSignals> = self
+            .slaves
+            .iter()
+            .enumerate()
+            .map(|(j, slot)| match slot {
+                Some(c) => c.outputs(),
+                None => remote_s[j],
+            })
+            .collect();
+        let view = self.fabric.view(&full_m, &full_s);
+
+        let leader = self.side.peer();
+        let actual_local = self.pack_local();
+        match (
+            self.project_local(&actual_local, &view, leader),
+            self.project_local(predicted_me, &view, leader),
+        ) {
+            (Some(a), Some(p)) => a == p,
+            // A malformed prediction never verifies.
+            _ => false,
+        }
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn trace_mark(&self) -> TraceMark {
+        self.trace.mark()
+    }
+
+    fn trace_truncate(&mut self, mark: TraceMark) {
+        self.trace.truncate(mark);
+    }
+}
+
+impl AhbDomainModel {
+    /// Helper used by `verify_prediction` (non-destructive remote unpack).
+    fn unpack_remote_into(
+        &self,
+        words: &[u32],
+        remote_m: &mut [MasterSignals],
+        remote_s: &mut [SlaveSignals],
+    ) {
+        let mut at = 0;
+        for i in 0..self.masters.len() {
+            if !self.is_local_master(i) {
+                let chunk = [words[at], words[at + 1], words[at + 2]];
+                if let Some(sig) = MasterSignals::unpack(&chunk) {
+                    remote_m[i] = sig;
+                }
+                at += 3;
+            }
+        }
+        for j in 0..self.slaves.len() {
+            if !self.is_local_slave(j) {
+                let chunk = [words[at], words[at + 1]];
+                if let Some(sig) = SlaveSignals::unpack(&chunk) {
+                    remote_s[j] = sig;
+                }
+                at += 2;
+            }
+        }
+    }
+}
+
+impl Snapshot for AhbDomainModel {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        self.fabric.save(w);
+        w.word(self.cycle);
+        for m in self.masters.iter().flatten() {
+            m.save(w);
+        }
+        for s in self.slaves.iter().flatten() {
+            s.save(w);
+        }
+        for sig in &self.remote_m {
+            sig.save(w);
+        }
+        for sig in &self.remote_s {
+            sig.save(w);
+        }
+        for p in self.m_pred.iter().flatten() {
+            p.save(w);
+        }
+        for p in self.s_pred.iter().flatten() {
+            p.save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.fabric.restore(r)?;
+        self.cycle = r.word()?;
+        for m in self.masters.iter_mut().flatten() {
+            m.restore(r)?;
+        }
+        for s in self.slaves.iter_mut().flatten() {
+            s.restore(r)?;
+        }
+        for sig in &mut self.remote_m {
+            sig.restore(r)?;
+        }
+        for sig in &mut self.remote_s {
+            sig.restore(r)?;
+        }
+        for p in self.m_pred.iter_mut().flatten() {
+            p.restore(r)?;
+        }
+        for p in self.s_pred.iter_mut().flatten() {
+            p.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for AhbDomainModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AhbDomainModel")
+            .field("side", &self.side)
+            .field("cycle", &self.cycle)
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .finish()
+    }
+}

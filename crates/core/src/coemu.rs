@@ -1,0 +1,296 @@
+//! The co-emulation orchestrator.
+
+use crate::blueprint::SocBlueprint;
+use crate::model::DomainModel;
+use crate::report::PerfReport;
+use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress};
+use crate::AhbDomainModel;
+use predpkt_ahb::bus::BusConfigError;
+use predpkt_channel::{ChannelCostModel, ChannelStats, CostedChannel, Side};
+use predpkt_sim::{CostCategory, Frequency, SimError, TimeLedger, Trace, VirtualTime};
+
+/// Configuration of a co-emulation run: domain speeds, LOB depth, operating
+/// mode, channel and rollback cost models.
+#[derive(Debug, Clone, Copy)]
+pub struct CoEmuConfig {
+    /// Simulator speed (the paper evaluates 100 k and 1,000 kcycles/s).
+    pub sim_speed: Frequency,
+    /// Accelerator speed (the paper fixes 10 Mcycles/s).
+    pub acc_speed: Frequency,
+    /// LOB depth (the paper evaluates 8 and 64).
+    pub lob_depth: usize,
+    /// Operating-mode policy.
+    pub policy: ModePolicy,
+    /// Channel cost model.
+    pub channel: ChannelCostModel,
+    /// Simulator-side snapshot cost per rollback variable (memcpy-style).
+    pub sim_store_per_var: VirtualTime,
+    /// Accelerator-side snapshot cost per rollback variable (hardware shadow
+    /// copy; calibrated to the paper's Tstore row).
+    pub acc_store_per_var: VirtualTime,
+    /// When set, store/restore costs bill as if the leader state had this many
+    /// variables (the paper's parametric "1,000 rollback variables").
+    pub rollback_vars_override: Option<usize>,
+    /// Whether reports and bursts carry the sender's next-cycle outputs so the
+    /// next transition's head cycle runs on actual values (a protocol
+    /// refinement over the paper; disable for paper-faithful accounting).
+    pub carry_actuals: bool,
+    /// Adaptive run-ahead depth: ramp toward the LOB cap on clean transitions,
+    /// shrink to the observed run length on failures. Matches the paper's
+    /// low-accuracy behaviour far better than a fixed full-depth run-ahead.
+    pub adaptive_depth: bool,
+}
+
+impl CoEmuConfig {
+    /// The paper's Table 2 configuration: simulator 1,000 kcycles/s,
+    /// accelerator 10 Mcycles/s, LOB depth 64, iPROVE PCI channel, 1,000
+    /// rollback variables, forced ALS.
+    pub fn paper_defaults() -> Self {
+        CoEmuConfig {
+            sim_speed: Frequency::from_kcycles_per_sec(1_000),
+            acc_speed: Frequency::from_mcycles_per_sec(10),
+            lob_depth: 64,
+            policy: ModePolicy::ForcedAls,
+            channel: ChannelCostModel::iprove_pci(),
+            sim_store_per_var: VirtualTime::from_picos(10_000), // 10 ns
+            acc_store_per_var: VirtualTime::from_picos(30),     // 0.03 ns
+            rollback_vars_override: Some(1_000),
+            carry_actuals: false,
+            adaptive_depth: false,
+        }
+    }
+
+    /// Overrides the simulator speed.
+    pub fn sim_speed(mut self, f: Frequency) -> Self {
+        self.sim_speed = f;
+        self
+    }
+
+    /// Overrides the accelerator speed.
+    pub fn acc_speed(mut self, f: Frequency) -> Self {
+        self.acc_speed = f;
+        self
+    }
+
+    /// Overrides the LOB depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn lob_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "LOB depth must be non-zero");
+        self.lob_depth = depth;
+        self
+    }
+
+    /// Overrides the operating-mode policy.
+    pub fn policy(mut self, policy: ModePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the channel cost model.
+    pub fn channel(mut self, channel: ChannelCostModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Overrides the rollback-variable count used for store/restore costing
+    /// (`None` bills actual snapshot size).
+    pub fn rollback_vars(mut self, vars: Option<usize>) -> Self {
+        self.rollback_vars_override = vars;
+        self
+    }
+
+    /// Enables or disables the head-actuals carry refinement (see
+    /// [`CoEmuConfig::carry_actuals`]).
+    pub fn carry(mut self, enabled: bool) -> Self {
+        self.carry_actuals = enabled;
+        self
+    }
+
+    /// Enables or disables adaptive run-ahead depth (see
+    /// [`CoEmuConfig::adaptive_depth`]).
+    pub fn adaptive(mut self, enabled: bool) -> Self {
+        self.adaptive_depth = enabled;
+        self
+    }
+
+    pub(crate) fn costs_for(&self, side: Side) -> DomainCosts {
+        match side {
+            Side::Simulator => DomainCosts {
+                cycle: self.sim_speed.cycle_time(),
+                category: CostCategory::Simulator,
+                store_per_var: self.sim_store_per_var,
+                restore_per_var: self.sim_store_per_var,
+                rollback_vars_override: self.rollback_vars_override,
+            },
+            Side::Accelerator => DomainCosts {
+                cycle: self.acc_speed.cycle_time(),
+                category: CostCategory::Accelerator,
+                store_per_var: self.acc_store_per_var,
+                restore_per_var: self.acc_store_per_var,
+                rollback_vars_override: self.rollback_vars_override,
+            },
+        }
+    }
+}
+
+/// The co-emulator: two channel wrappers, one costed channel, one ledger.
+///
+/// Domains are scheduled co-operatively: each scheduling round steps both
+/// wrappers; a wrapper blocked on a read yields. Virtual time follows the
+/// paper's serialized model (the Table 2 `Perform.` arithmetic), so the ledger
+/// total *is* the emulation wall time.
+pub struct CoEmulator<M: DomainModel> {
+    sim: ChannelWrapper<M>,
+    acc: ChannelWrapper<M>,
+    channel: CostedChannel,
+    ledger: TimeLedger,
+    config: CoEmuConfig,
+}
+
+impl CoEmulator<AhbDomainModel> {
+    /// Builds a co-emulator for a split AHB SoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusConfigError`] for broken blueprints.
+    pub fn from_blueprint(
+        blueprint: &SocBlueprint,
+        config: CoEmuConfig,
+    ) -> Result<Self, BusConfigError> {
+        let (sim, acc) = blueprint.build_pair()?;
+        Ok(Self::new(sim, acc, config))
+    }
+}
+
+impl<M: DomainModel> CoEmulator<M> {
+    /// Builds a co-emulator from two domain models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models' sides or widths disagree.
+    pub fn new(sim_model: M, acc_model: M, config: CoEmuConfig) -> Self {
+        assert_eq!(sim_model.side(), Side::Simulator);
+        assert_eq!(acc_model.side(), Side::Accelerator);
+        assert_eq!(sim_model.local_width(), acc_model.remote_width());
+        assert_eq!(acc_model.local_width(), sim_model.remote_width());
+        CoEmulator {
+            sim: ChannelWrapper::new(sim_model, config.lob_depth, config.policy)
+                .with_carry_actuals(config.carry_actuals)
+                .with_adaptive_depth(config.adaptive_depth),
+            acc: ChannelWrapper::new(acc_model, config.lob_depth, config.policy)
+                .with_carry_actuals(config.carry_actuals)
+                .with_adaptive_depth(config.adaptive_depth),
+            channel: CostedChannel::new(config.channel),
+            ledger: TimeLedger::new(),
+            config,
+        }
+    }
+
+    /// Cycles both domains have committed (the lagger's progress during
+    /// speculation).
+    pub fn committed_cycles(&self) -> u64 {
+        self.sim.cycle().min(self.acc.cycle())
+    }
+
+    /// Runs until at least `cycles` cycles are committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if both domains block with no message in
+    /// flight, or any protocol/snapshot error.
+    pub fn run_until_committed(&mut self, cycles: u64) -> Result<(), SimError> {
+        let sim_costs = self.config.costs_for(Side::Simulator);
+        let acc_costs = self.config.costs_for(Side::Accelerator);
+        while self.committed_cycles() < cycles {
+            let a = self.sim.step(&mut self.channel, &mut self.ledger, &sim_costs)?;
+            let b = self.acc.step(&mut self.channel, &mut self.ledger, &acc_costs)?;
+            if a == Progress::Blocked && b == Progress::Blocked {
+                let pending = self.channel.pending(Side::Simulator)
+                    + self.channel.pending(Side::Accelerator);
+                if pending == 0 {
+                    return Err(SimError::Deadlock { cycle: self.committed_cycles() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The virtual-time ledger.
+    pub fn ledger(&self) -> &TimeLedger {
+        &self.ledger
+    }
+
+    /// Channel statistics.
+    pub fn channel_stats(&self) -> &ChannelStats {
+        self.channel.stats()
+    }
+
+    /// Simulator-side wrapper statistics.
+    pub fn sim_stats(&self) -> &CwStats {
+        self.sim.stats()
+    }
+
+    /// Accelerator-side wrapper statistics.
+    pub fn acc_stats(&self) -> &CwStats {
+        self.acc.stats()
+    }
+
+    /// The simulator-side model.
+    pub fn sim_model(&self) -> &M {
+        self.sim.model()
+    }
+
+    /// The accelerator-side model.
+    pub fn acc_model(&self) -> &M {
+        self.acc.model()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CoEmuConfig {
+        &self.config
+    }
+
+    /// Builds the performance report over the committed cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle has committed yet.
+    pub fn report(&self) -> PerfReport {
+        PerfReport::new(
+            self.ledger.clone(),
+            self.committed_cycles(),
+            self.channel.stats().clone(),
+            self.sim.stats().clone(),
+            self.acc.stats().clone(),
+        )
+    }
+
+    /// Merges the two domains' committed local-output traces into full-bus
+    /// records comparable with a golden [`AhbBus`](predpkt_ahb::bus::AhbBus)
+    /// trace.
+    ///
+    /// `merge` receives (sim record, acc record) per cycle and must interleave
+    /// them into the golden record layout.
+    pub fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
+        let n = self.committed_cycles() as usize;
+        let mut out = Trace::new();
+        for i in 0..n {
+            let s = self.sim.model().trace().get(i).expect("sim trace holds committed cycles");
+            let a = self.acc.model().trace().get(i).expect("acc trace holds committed cycles");
+            out.record(merge(s, a));
+        }
+        out
+    }
+}
+
+impl<M: DomainModel + std::fmt::Debug> std::fmt::Debug for CoEmulator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoEmulator")
+            .field("committed", &self.committed_cycles())
+            .field("total_time", &self.ledger.total())
+            .finish()
+    }
+}

@@ -1,0 +1,73 @@
+//! # predpkt-core — the prediction-packetizing co-emulation engine
+//!
+//! This crate is the paper's contribution: optimistic simulator–accelerator
+//! synchronization built on **prediction and rollback**, applied to an
+//! AHB-based SoC split across two verification domains.
+//!
+//! ## Architecture (paper §4–§5)
+//!
+//! * A [`SocBlueprint`] places every master and slave in one of the two
+//!   domains. [`AhbDomainModel`] is a **half-bus model**: the local components,
+//!   a replicated arbiter + decoder ([`predpkt_ahb::fabric::Fabric`]), and
+//!   proxy slots holding the most recent remote signal values — HBMS/HBMA with
+//!   their channel-wrapper mimicry.
+//! * [`ChannelWrapper`] runs the per-domain protocol state machine (the paper's
+//!   Fig. 3 paths — P, S, L, R, C, F — surfaced as [`PaperPath`] statistics):
+//!   a leader runs ahead on predictions, packetizes its outputs plus the
+//!   predictions into the LOB, flushes them as one burst, and rolls back /
+//!   rolls forth when the lagger reports a misprediction.
+//! * [`CoEmulator`] owns both wrappers, the costed channel and the virtual-time
+//!   ledger; it schedules the two domains co-operatively (blocking reads yield
+//!   to the peer) and produces [`PerfReport`]s with the paper's Table 2 rows.
+//! * [`DomainModel`] abstracts the domain content so the same protocol engine
+//!   drives both the real AHB SoC and the controlled-accuracy synthetic
+//!   workloads used to regenerate the paper's parametric evaluation.
+//!
+//! ## Correctness invariant
+//!
+//! Lagger domains only ever tick on verified values, and leaders replay
+//! mispredicted segments from a snapshot — so the merged committed trace is
+//! bit-identical to a monolithic golden simulation for every mode, policy and
+//! prediction accuracy. The integration suite asserts exactly that.
+//!
+//! ## Example
+//!
+//! ```
+//! use predpkt_channel::{ChannelCostModel, Side};
+//! use predpkt_core::{CoEmuConfig, CoEmulator, ModePolicy, SocBlueprint};
+//! use predpkt_ahb::engine::BusOp;
+//! use predpkt_ahb::masters::TrafficGenMaster;
+//! use predpkt_ahb::slaves::MemorySlave;
+//!
+//! let blueprint = SocBlueprint::new()
+//!     .master(Side::Accelerator, || {
+//!         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
+//!     })
+//!     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+//! let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto);
+//! let mut coemu = CoEmulator::from_blueprint(&blueprint, config).unwrap();
+//! coemu.run_until_committed(200).unwrap();
+//! assert!(coemu.committed_cycles() >= 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ahb_model;
+mod blueprint;
+mod coemu;
+mod model;
+mod protocol;
+mod report;
+mod wrapper;
+
+pub use ahb_model::AhbDomainModel;
+pub use blueprint::{Placement, SocBlueprint};
+pub use coemu::{CoEmuConfig, CoEmulator};
+pub use model::{DomainModel, TickKind};
+pub use protocol::{Message, ProtocolError};
+pub use report::PerfReport;
+pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
+
+// Re-export the pieces users need to drive the engine.
+pub use predpkt_channel::Side;

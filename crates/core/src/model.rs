@@ -1,0 +1,83 @@
+//! The domain-model abstraction the protocol engine drives.
+
+use predpkt_channel::Side;
+use predpkt_sim::{Snapshot, Trace, TraceMark};
+
+/// How a cycle's remote values were obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickKind {
+    /// Remote values are actual (exchanged or verified): predictors train on
+    /// them.
+    Actual,
+    /// Remote values were produced by [`DomainModel::predict_remote`], which
+    /// already advanced the predictors.
+    Predicted,
+}
+
+/// One verification domain as the channel wrapper sees it.
+///
+/// Implementations: [`AhbDomainModel`](crate::AhbDomainModel) (the real
+/// half-bus SoC) and the controlled-accuracy synthetic model in
+/// `predpkt-workloads`. The protocol engine is generic over this trait, so the
+/// paper's parametric evaluation exercises exactly the code that runs the real
+/// system.
+///
+/// # Contract
+///
+/// * The model is a Moore machine: [`local_outputs`](DomainModel::local_outputs)
+///   is a pure function of state, [`tick`](DomainModel::tick) advances one
+///   cycle given the remote domain's outputs for that cycle.
+/// * Output widths are constant for the lifetime of the model and mirror the
+///   peer's (`self.local_width() == peer.remote_width()`).
+/// * `tick` must append the cycle's local outputs to [`trace`](DomainModel::trace)
+///   so committed traces can be merged and compared against a golden run.
+/// * [`Snapshot`] must capture everything `tick` depends on — components,
+///   fabric replica, predictors, proxy values — but **not** the trace (the
+///   wrapper truncates it with marks on rollback).
+pub trait DomainModel: Snapshot {
+    /// Which side of the channel this domain is.
+    fn side(&self) -> Side;
+
+    /// Completed ticks; also the index of the next cycle to execute.
+    fn cycle(&self) -> u64;
+
+    /// Width (words) of this domain's packed local outputs.
+    fn local_width(&self) -> usize;
+
+    /// Width (words) of the peer's packed outputs.
+    fn remote_width(&self) -> usize;
+
+    /// This domain's packed Moore outputs for the upcoming cycle.
+    fn local_outputs(&self) -> Vec<u32>;
+
+    /// `true` if the upcoming cycle needs unpredictable inbound data
+    /// (lagger→leader read data or write data, §3's data rule) and therefore
+    /// forces synchronization.
+    fn needs_sync(&self) -> bool;
+
+    /// Which side should lead the next transition (the data-flow-source rule);
+    /// must be a pure function of synchronized state so both replicas agree.
+    fn elect_leader(&self) -> Side;
+
+    /// Predicts the peer's packed outputs for the upcoming cycle, advancing
+    /// predictor state along the speculative timeline.
+    fn predict_remote(&mut self) -> Vec<u32>;
+
+    /// Advances one cycle given the peer's outputs for that cycle.
+    fn tick(&mut self, remote: &[u32], kind: TickKind);
+
+    /// Lagger-side check: would the leader's prediction `predicted_me` of this
+    /// domain's outputs have been adequate for the upcoming cycle — equal in
+    /// every *active* signal position (the MSABS projection, §3) — given the
+    /// leader's actual outputs `leader_outputs`?
+    fn verify_prediction(&self, leader_outputs: &[u32], predicted_me: &[u32]) -> bool;
+
+    /// The committed local-outputs trace.
+    fn trace(&self) -> &Trace;
+
+    /// Marks the trace for possible rollback.
+    fn trace_mark(&self) -> TraceMark;
+
+    /// Discards speculative trace records past `mark`.
+    fn trace_truncate(&mut self, mark: TraceMark);
+}

@@ -1,0 +1,222 @@
+//! Protocol-level robustness: deadlock detection, election disagreement,
+//! sync-forced conservative fallback, width handshakes — exercised through a
+//! minimal hand-rolled [`DomainModel`].
+
+use predpkt_channel::Side;
+use predpkt_core::{CoEmuConfig, CoEmulator, DomainModel, ModePolicy, TickKind};
+use predpkt_sim::{SimError, Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark};
+
+/// A one-word-per-cycle model with scriptable election and sync behaviour.
+#[derive(Debug, Clone)]
+struct MiniModel {
+    side: Side,
+    /// Who this replica claims should lead.
+    elect: Side,
+    /// Force a conservative exchange every `sync_every`-th cycle (0 = never).
+    sync_every: u64,
+    value: u32,
+    cycle: u64,
+    trace: Trace,
+}
+
+impl MiniModel {
+    fn new(side: Side, elect: Side, sync_every: u64) -> Self {
+        MiniModel { side, elect, sync_every, value: 0, cycle: 0, trace: Trace::new() }
+    }
+}
+
+impl DomainModel for MiniModel {
+    fn side(&self) -> Side {
+        self.side
+    }
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+    fn local_width(&self) -> usize {
+        1
+    }
+    fn remote_width(&self) -> usize {
+        1
+    }
+    fn local_outputs(&self) -> Vec<u32> {
+        vec![self.value]
+    }
+    fn needs_sync(&self) -> bool {
+        self.sync_every != 0 && self.cycle % self.sync_every == self.sync_every - 1
+    }
+    fn elect_leader(&self) -> Side {
+        self.elect
+    }
+    fn predict_remote(&mut self) -> Vec<u32> {
+        vec![0] // constant prediction; the peer's value is always 0 here
+    }
+    fn tick(&mut self, remote: &[u32], _kind: TickKind) {
+        self.trace.record(vec![self.value as u64]);
+        self.value = self.value.wrapping_add(remote[0]);
+        self.cycle += 1;
+    }
+    fn verify_prediction(&self, _leader: &[u32], predicted_me: &[u32]) -> bool {
+        predicted_me == self.local_outputs()
+    }
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+    fn trace_mark(&self) -> TraceMark {
+        self.trace.mark()
+    }
+    fn trace_truncate(&mut self, mark: TraceMark) {
+        self.trace.truncate(mark);
+    }
+}
+
+impl Snapshot for MiniModel {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u32(self.value).word(self.cycle);
+    }
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.value = r.u32()?;
+        self.cycle = r.word()?;
+        Ok(())
+    }
+}
+
+#[test]
+fn election_disagreement_is_detected_as_deadlock() {
+    // Each replica claims the *other* side leads: both go to FollowAwait and
+    // block; the orchestrator must detect the deadlock rather than spin.
+    let sim = MiniModel::new(Side::Simulator, Side::Accelerator, 0);
+    let acc = MiniModel::new(Side::Accelerator, Side::Simulator, 0);
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto);
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    match coemu.run_until_committed(100) {
+        Err(SimError::Deadlock { .. }) => {}
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn forced_mode_ignores_bad_elections() {
+    // The same disagreeing replicas run fine under a forced mode.
+    let sim = MiniModel::new(Side::Simulator, Side::Accelerator, 0);
+    let acc = MiniModel::new(Side::Accelerator, Side::Simulator, 0);
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    coemu.run_until_committed(500).unwrap();
+    assert!(coemu.committed_cycles() >= 500);
+}
+
+#[test]
+fn needs_sync_forces_conservative_cycles_mid_stream() {
+    // Every 8th cycle demands synchronization: the leader must fall back to
+    // C-path exchanges there, then resume optimism.
+    let sim = MiniModel::new(Side::Simulator, Side::Accelerator, 0);
+    let acc = MiniModel::new(Side::Accelerator, Side::Accelerator, 8);
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    coemu.run_until_committed(400).unwrap();
+    let acc_stats = coemu.acc_stats();
+    assert!(
+        acc_stats.conservative_cycles > 20,
+        "~1 in 8 cycles must be conservative, got {}",
+        acc_stats.conservative_cycles
+    );
+    assert!(acc_stats.predicted_cycles > 200, "optimism resumes between syncs");
+    // Both domains stay in lockstep through the mixed regime.
+    assert_eq!(coemu.sim_model().cycle(), coemu.acc_model().cycle());
+}
+
+#[test]
+fn width_mismatch_fails_the_handshake() {
+    #[derive(Debug)]
+    struct WideModel(MiniModel);
+    impl DomainModel for WideModel {
+        fn side(&self) -> Side {
+            self.0.side()
+        }
+        fn cycle(&self) -> u64 {
+            self.0.cycle()
+        }
+        fn local_width(&self) -> usize {
+            2 // lies about its width relative to the peer's expectation
+        }
+        fn remote_width(&self) -> usize {
+            1
+        }
+        fn local_outputs(&self) -> Vec<u32> {
+            vec![0, 0]
+        }
+        fn needs_sync(&self) -> bool {
+            false
+        }
+        fn elect_leader(&self) -> Side {
+            Side::Accelerator
+        }
+        fn predict_remote(&mut self) -> Vec<u32> {
+            vec![0]
+        }
+        fn tick(&mut self, remote: &[u32], kind: TickKind) {
+            self.0.tick(&remote[..1], kind)
+        }
+        fn verify_prediction(&self, _l: &[u32], p: &[u32]) -> bool {
+            p == self.local_outputs()
+        }
+        fn trace(&self) -> &Trace {
+            self.0.trace()
+        }
+        fn trace_mark(&self) -> TraceMark {
+            self.0.trace_mark()
+        }
+        fn trace_truncate(&mut self, mark: TraceMark) {
+            self.0.trace_truncate(mark)
+        }
+    }
+    impl Snapshot for WideModel {
+        fn save(&self, w: &mut StateWriter<'_>) {
+            self.0.save(w)
+        }
+        fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+            self.0.restore(r)
+        }
+    }
+
+    // CoEmulator::new asserts width agreement up front; build with matching
+    // constructor-level widths but a lying handshake is impossible through the
+    // public API — so assert the constructor check itself.
+    let sim = WideModel(MiniModel::new(Side::Simulator, Side::Accelerator, 0));
+    let acc = WideModel(MiniModel::new(Side::Accelerator, Side::Accelerator, 0));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        CoEmulator::new(sim, acc, CoEmuConfig::paper_defaults())
+    }));
+    assert!(result.is_err(), "mismatched widths must be rejected");
+}
+
+#[test]
+fn perfect_constant_stream_never_rolls_back() {
+    // MiniModel peers emit constant zeros; the constant prediction is always
+    // right, so ALS must run rollback-free at the full LOB cadence.
+    let sim = MiniModel::new(Side::Simulator, Side::Accelerator, 0);
+    let acc = MiniModel::new(Side::Accelerator, Side::Accelerator, 0);
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    coemu.run_until_committed(2_000).unwrap();
+    let report = coemu.report();
+    assert_eq!(report.acc_stats().rollbacks, 0);
+    assert_eq!(report.observed_accuracy(), Some(1.0));
+    assert!(report.accesses_per_cycle() < 0.04);
+}
+
+#[test]
+fn adaptive_depth_ramps_and_shrinks() {
+    // With needs_sync forcing flushes every 16 cycles and perfect predictions,
+    // adaptive depth still commits everything correctly.
+    let sim = MiniModel::new(Side::Simulator, Side::Accelerator, 0);
+    let acc = MiniModel::new(Side::Accelerator, Side::Accelerator, 16);
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::ForcedAls)
+        .adaptive(true)
+        .carry(true);
+    let mut coemu = CoEmulator::new(sim, acc, config);
+    coemu.run_until_committed(1_000).unwrap();
+    assert_eq!(coemu.sim_model().cycle(), coemu.acc_model().cycle());
+    assert!(coemu.report().observed_accuracy() == Some(1.0));
+}

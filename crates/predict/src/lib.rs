@@ -1,0 +1,43 @@
+//! # predpkt-predict — prediction machinery
+//!
+//! The building blocks of the paper's "prediction packetizing" scheme:
+//!
+//! * [`Lob`] — the **Leader Output Buffer**: per-cycle records of the leader's
+//!   own outputs plus the prediction it used, buffered during run-ahead and
+//!   flushed as one burst. Its depth bounds the number of predictions per
+//!   transition (the paper evaluates depths 8 and 64).
+//! * [`DeltaEncoder`] / [`DeltaDecoder`] — the packetizer: consecutive cycles
+//!   differ in few signals, so entries are encoded as change-mask + changed
+//!   words, shrinking flush payloads (the paper's dynamic packetizing
+//!   decision #3).
+//! * Predictors for each signal class of the paper's §3 analysis:
+//!   [`BurstFollower`] (address/control: linear within a burst),
+//!   [`WaitPredictor`] (slave responses: producer–consumer wait patterns),
+//!   [`LastValuePredictor`] (arbitration requests, interrupts: change rarely).
+//!
+//! All predictors implement [`Snapshot`](predpkt_sim::Snapshot): predictor
+//! state is part of the leader's rollback state, so a rolled-back leader also
+//! rolls back what it has learned during the failed speculation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod lob;
+mod predictors;
+
+pub use delta::{decode_block, encode_block, DeltaDecodeError};
+pub use lob::{Lob, LobEntry, LobFullError};
+pub use predictors::{BurstFollower, LastValuePredictor, WaitPredictor};
+
+// Re-exported so downstream code can name the paper concepts from one place.
+pub use predpkt_ahb::signals::{MasterSignals, SlaveSignals};
+
+/// Alias documenting intent: `DeltaEncoder` is the packetizing half.
+pub use delta::encode_block as delta_encode;
+/// Alias documenting intent: `DeltaDecoder` is the depacketizing half.
+pub use delta::decode_block as delta_decode;
+
+/// Convenience alias used throughout the protocol: one cycle's packed signal
+/// words.
+pub type SignalWords = Vec<u32>;

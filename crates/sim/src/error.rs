@@ -1,0 +1,71 @@
+//! Kernel-level error type.
+
+use crate::snapshot::SnapshotError;
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A snapshot restore failed.
+    Snapshot(SnapshotError),
+    /// Both co-emulation domains blocked with no message in flight.
+    Deadlock {
+        /// Global cycle at which progress stopped.
+        cycle: u64,
+    },
+    /// A configuration value was rejected.
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
+            SimError::Deadlock { cycle } => write!(f, "co-emulation deadlock at cycle {cycle}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for SimError {
+    fn from(e: SnapshotError) -> Self {
+        SimError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SimError::Deadlock { cycle: 7 }.to_string(),
+            "co-emulation deadlock at cycle 7"
+        );
+        assert_eq!(
+            SimError::Config("bad depth".into()).to_string(),
+            "invalid configuration: bad depth"
+        );
+        let wrapped = SimError::from(SnapshotError::Exhausted { at: 1 });
+        assert!(wrapped.to_string().contains("snapshot failure"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let wrapped = SimError::from(SnapshotError::Corrupt { at: 0 });
+        assert!(wrapped.source().is_some());
+        assert!(SimError::Deadlock { cycle: 0 }.source().is_none());
+    }
+}

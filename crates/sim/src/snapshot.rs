@@ -1,0 +1,375 @@
+//! State snapshot / restore — the rollback substrate.
+//!
+//! Before each optimistic run-ahead the leader domain stores its complete state
+//! ("rollback variables" in the paper); on a prediction failure it restores that
+//! state and replays. Every component that lives in a leader-capable domain
+//! implements [`Snapshot`]: it serializes its state into a flat [`StateVec`] of
+//! `u64` words through a [`StateWriter`] and restores bit-exactly through a
+//! [`StateReader`].
+//!
+//! The word count of a snapshot is the *number of rollback variables*, which
+//! drives the store/restore cost model (the paper assumes 1,000 of them).
+
+use std::error::Error;
+use std::fmt;
+
+/// A serialized component state: a flat vector of 64-bit words.
+///
+/// Produced by [`Snapshot::save`] via [`StateWriter`]; consumed by
+/// [`Snapshot::restore`] via [`StateReader`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateVec {
+    words: Vec<u64>,
+}
+
+impl StateVec {
+    /// Creates an empty state vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of stored words (= rollback variables).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if no words are stored.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Borrows the raw words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl From<Vec<u64>> for StateVec {
+    fn from(words: Vec<u64>) -> Self {
+        StateVec { words }
+    }
+}
+
+/// Push-side cursor for building a [`StateVec`].
+#[derive(Debug)]
+pub struct StateWriter<'a> {
+    out: &'a mut StateVec,
+}
+
+impl<'a> StateWriter<'a> {
+    /// Creates a writer appending to `out`.
+    pub fn new(out: &'a mut StateVec) -> Self {
+        StateWriter { out }
+    }
+
+    /// Appends one raw word.
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        self.out.words.push(w);
+        self
+    }
+
+    /// Appends a `u32` (zero-extended).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.word(v as u64)
+    }
+
+    /// Appends a `usize` (zero-extended).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.word(v as u64)
+    }
+
+    /// Appends a `bool` as 0/1.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.word(v as u64)
+    }
+
+    /// Appends a length-prefixed slice of words.
+    pub fn slice(&mut self, v: &[u64]) -> &mut Self {
+        self.usize(v.len());
+        for &w in v {
+            self.word(w);
+        }
+        self
+    }
+
+    /// Appends a length-prefixed slice of `u32` words.
+    pub fn slice_u32(&mut self, v: &[u32]) -> &mut Self {
+        self.usize(v.len());
+        for &w in v {
+            self.u32(w);
+        }
+        self
+    }
+}
+
+/// Pop-side cursor for consuming a [`StateVec`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Creates a reader over `state`.
+    pub fn new(state: &'a StateVec) -> Self {
+        StateReader { words: &state.words, pos: 0 }
+    }
+
+    /// Reads one raw word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Exhausted`] if the vector is consumed.
+    pub fn word(&mut self) -> Result<u64, SnapshotError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(SnapshotError::Exhausted { at: self.pos })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Exhausted`] on underrun or
+    /// [`SnapshotError::Corrupt`] if the word does not fit.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let w = self.word()?;
+        u32::try_from(w).map_err(|_| SnapshotError::Corrupt { at: self.pos - 1 })
+    }
+
+    /// Reads a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateReader::u32`].
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let w = self.word()?;
+        usize::try_from(w).map_err(|_| SnapshotError::Corrupt { at: self.pos - 1 })
+    }
+
+    /// Reads a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Corrupt`] unless the word is 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.word()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt { at: self.pos - 1 }),
+        }
+    }
+
+    /// Reads a length-prefixed slice of words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Exhausted`] on underrun.
+    pub fn slice(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.usize()?;
+        (0..n).map(|_| self.word()).collect()
+    }
+
+    /// Reads a length-prefixed slice of `u32` words.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateReader::u32`].
+    pub fn slice_u32(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.usize()?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Asserts the snapshot was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::TrailingWords`] if words remain.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingWords { remaining: self.words.len() - self.pos })
+        }
+    }
+}
+
+/// Failure while restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The reader ran past the end of the state vector.
+    Exhausted {
+        /// Word index at which the read was attempted.
+        at: usize,
+    },
+    /// A word failed validation (wrong range for the target type).
+    Corrupt {
+        /// Word index of the offending word.
+        at: usize,
+    },
+    /// `finish` found unconsumed words.
+    TrailingWords {
+        /// Number of words left unread.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Exhausted { at } => write!(f, "snapshot exhausted at word {at}"),
+            SnapshotError::Corrupt { at } => write!(f, "snapshot corrupt at word {at}"),
+            SnapshotError::TrailingWords { remaining } => {
+                write!(f, "snapshot has {remaining} trailing words")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// A component whose state can be checkpointed and restored bit-exactly.
+///
+/// The round-trip law `restore(save(x)); save(x) == save(x)` is enforced by
+/// property tests across every component in the workspace.
+pub trait Snapshot {
+    /// Serializes the complete dynamic state into `w`.
+    fn save(&self, w: &mut StateWriter<'_>);
+
+    /// Restores the state previously produced by [`save`](Snapshot::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if the reader underruns or a word fails
+    /// validation; the component may be left partially restored and must not be
+    /// used afterwards.
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError>;
+}
+
+/// Convenience: saves any [`Snapshot`] component into a fresh [`StateVec`].
+pub fn save_to_vec<S: Snapshot + ?Sized>(component: &S) -> StateVec {
+    let mut state = StateVec::new();
+    let mut writer = StateWriter::new(&mut state);
+    component.save(&mut writer);
+    state
+}
+
+/// Convenience: restores any [`Snapshot`] component from a [`StateVec`],
+/// asserting full consumption.
+///
+/// # Errors
+///
+/// Propagates any [`SnapshotError`] from the component or from trailing words.
+pub fn restore_from_vec<S: Snapshot + ?Sized>(
+    component: &mut S,
+    state: &StateVec,
+) -> Result<(), SnapshotError> {
+    let mut reader = StateReader::new(state);
+    component.restore(&mut reader)?;
+    reader.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Widget {
+        counter: u32,
+        armed: bool,
+        fifo: Vec<u32>,
+    }
+
+    impl Snapshot for Widget {
+        fn save(&self, w: &mut StateWriter<'_>) {
+            w.u32(self.counter).bool(self.armed).slice_u32(&self.fifo);
+        }
+        fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+            self.counter = r.u32()?;
+            self.armed = r.bool()?;
+            self.fifo = r.slice_u32()?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_exactly() {
+        let original = Widget { counter: 42, armed: true, fifo: vec![1, 2, 3] };
+        let state = save_to_vec(&original);
+        let mut copy = Widget { counter: 0, armed: false, fifo: vec![] };
+        restore_from_vec(&mut copy, &state).unwrap();
+        assert_eq!(copy, original);
+    }
+
+    #[test]
+    fn word_count_tracks_rollback_variables() {
+        let w = Widget { counter: 1, armed: false, fifo: vec![9; 5] };
+        // counter + armed + length prefix + 5 entries = 8 words.
+        assert_eq!(save_to_vec(&w).len(), 8);
+    }
+
+    #[test]
+    fn exhausted_read_errors() {
+        let state = StateVec::from(vec![7]);
+        let mut r = StateReader::new(&state);
+        assert_eq!(r.word().unwrap(), 7);
+        assert_eq!(r.word(), Err(SnapshotError::Exhausted { at: 1 }));
+    }
+
+    #[test]
+    fn bool_validation() {
+        let state = StateVec::from(vec![2]);
+        let mut r = StateReader::new(&state);
+        assert_eq!(r.bool(), Err(SnapshotError::Corrupt { at: 0 }));
+    }
+
+    #[test]
+    fn u32_range_validation() {
+        let state = StateVec::from(vec![u64::MAX]);
+        let mut r = StateReader::new(&state);
+        assert_eq!(r.u32(), Err(SnapshotError::Corrupt { at: 0 }));
+    }
+
+    #[test]
+    fn trailing_words_detected() {
+        let w = Widget { counter: 1, armed: false, fifo: vec![] };
+        let mut state = save_to_vec(&w);
+        state.words.push(99);
+        let mut copy = w.clone();
+        assert_eq!(
+            restore_from_vec(&mut copy, &state),
+            Err(SnapshotError::TrailingWords { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            SnapshotError::Exhausted { at: 3 }.to_string(),
+            "snapshot exhausted at word 3"
+        );
+        assert_eq!(SnapshotError::Corrupt { at: 0 }.to_string(), "snapshot corrupt at word 0");
+        assert_eq!(
+            SnapshotError::TrailingWords { remaining: 2 }.to_string(),
+            "snapshot has 2 trailing words"
+        );
+    }
+
+    #[test]
+    fn empty_component_roundtrip() {
+        struct Empty;
+        impl Snapshot for Empty {
+            fn save(&self, _w: &mut StateWriter<'_>) {}
+            fn restore(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+                Ok(())
+            }
+        }
+        let state = save_to_vec(&Empty);
+        assert!(state.is_empty());
+        restore_from_vec(&mut Empty, &state).unwrap();
+    }
+}

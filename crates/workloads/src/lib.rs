@@ -1,0 +1,26 @@
+//! # predpkt-workloads — SoC scenarios and the parametric evaluation harness
+//!
+//! Two kinds of workloads drive the evaluation:
+//!
+//! * **Real SoCs** ([`soc`]): blueprints in the shape of the paper's Fig. 2
+//!   (three masters, three slaves, mixed placement) and variants stressing
+//!   specific mechanisms (DMA bursts, interrupts, SPLIT slaves, FIFO streams).
+//!   These demonstrate functional equivalence and *emergent* prediction
+//!   accuracy with the real predictors.
+//! * **The synthetic controlled-accuracy harness** ([`synthetic`]): the paper's
+//!   Table 2 and Figure 4 are parametric in prediction accuracy `p` ("We
+//!   assumed simulator speed of 1,000 kcycles/sec, … LOB depth of 64 and 1,000
+//!   rollback variables"). [`SyntheticModel`] reproduces that setup exactly: a
+//!   lagger-side value stream changes with probability `1−p` per cycle, so the
+//!   leader's last-value prediction is correct with probability exactly `p` —
+//!   while exercising the *identical* protocol engine, LOB, packetizer,
+//!   rollback, and channel accounting as the real system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod soc;
+pub mod synthetic;
+
+pub use soc::{dma_offload_soc, figure2_soc, irq_driven_soc, split_heavy_soc, stream_soc};
+pub use synthetic::{SyntheticModel, SyntheticSoc};

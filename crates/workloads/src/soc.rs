@@ -1,0 +1,187 @@
+//! Real-SoC blueprints used by examples, tests, and benches.
+
+use predpkt_ahb::engine::BusOp;
+use predpkt_ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
+use predpkt_ahb::signals::{Hburst, Hsize};
+use predpkt_ahb::slaves::{FifoSlave, MemorySlave, PeripheralSlave, SplitSlave};
+use predpkt_core::{Side, SocBlueprint};
+
+/// The paper's Fig. 2 arrangement: three masters and three slaves split across
+/// the domains (TL components on the simulator, RTL on the accelerator).
+///
+/// * M0 — CPU (simulator, TL)
+/// * M1 — DMA engine (accelerator, RTL)
+/// * M2 — wrap-burst traffic generator (accelerator, RTL)
+/// * S0 — main memory (simulator, TL)
+/// * S1 — slow memory, 2/1 wait states (simulator, TL)
+/// * S2 — timer peripheral with IRQ (accelerator, RTL)
+pub fn figure2_soc(seed: u64) -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Simulator, move || {
+            Box::new(CpuMaster::new(seed | 1, CpuProfile::default()))
+        })
+        .master(Side::Accelerator, || {
+            Box::new(DmaMaster::new(vec![
+                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
+                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
+            ]))
+        })
+        .master(Side::Accelerator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::read_burst(0x0000_0040, Hsize::Word, Hburst::Wrap8),
+                    BusOp::write_single(0x0000_2004, 0xabcd),
+                ])
+                .looping()
+                .with_idle_gap(11),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Simulator, 0x0000_1000, 0x1000, || {
+            Box::new(MemorySlave::with_waits(0x1000, 2, 1))
+        })
+        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
+            Box::new(PeripheralSlave::new(1))
+        })
+}
+
+/// A DMA-offload workload: the accelerator-side DMA streams blocks between two
+/// accelerator-side memories while the simulator-side CPU polls sparsely —
+/// the best case for the optimistic scheme (long, predictable bursts, data
+/// flow confined to the leader).
+pub fn dma_offload_soc(words: u32) -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Accelerator, move || {
+            Box::new(DmaMaster::new(vec![DmaDescriptor::new(0x1000, 0x2000, words)]))
+        })
+        .master(Side::Simulator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![BusOp::read_single(0x0000_0010)])
+                    .looping()
+                    .with_idle_gap(31),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_1000, 0x1000, || {
+            let mut m = MemorySlave::new(0x1000, 0);
+            for i in 0..256 {
+                m.poke_word(4 * i, 0x5000_0000 + i);
+            }
+            Box::new(m)
+        })
+        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 1))
+        })
+}
+
+/// An interrupt-driven workload: an accelerator-side timer peripheral
+/// interrupts a simulator-side CPU that services it over the bus.
+pub fn irq_driven_soc(period: u32) -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Simulator, move || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::write_single(0x1008, period), // timer period
+                    BusOp::write_single(0x1000, 0b11),   // enable timer + IRQ
+                    BusOp::read_single(0x1004),          // poll status
+                    BusOp::write_single(0x1004, 1),      // acknowledge
+                ])
+                .looping()
+                .with_idle_gap(7),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_1000, 0x1000, || {
+            Box::new(PeripheralSlave::new(0))
+        })
+}
+
+/// A SPLIT-heavy workload: accesses to a slow split-capable device keep
+/// masking/unmasking masters across the domain boundary.
+pub fn split_heavy_soc(latency: u32, seed: u64) -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Accelerator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::write_single(0x1004, 0x11),
+                    BusOp::read_single(0x1004),
+                ])
+                .looping()
+                .with_idle_gap(3),
+            )
+        })
+        .master(Side::Simulator, move || {
+            Box::new(CpuMaster::new(seed | 1, CpuProfile::default()))
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_1000, 0x1000, move || {
+            Box::new(SplitSlave::new(0x100, latency))
+        })
+}
+
+/// A streaming workload: the simulator-side consumer drains an
+/// accelerator-side producer FIFO — the paper's producer–consumer response
+/// archetype, exercising the wait-state predictor.
+pub fn stream_soc(produce_period: u32) -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Simulator, move || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![BusOp::read_incr(0x1000, Hsize::Word, 4)])
+                    .looping()
+                    .with_idle_gap(2),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_1000, 0x1000, move || {
+            Box::new(FifoSlave::new(8, produce_period, 0))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blueprints_build_golden_and_pairs() {
+        for (name, bp) in [
+            ("figure2", figure2_soc(42)),
+            ("dma", dma_offload_soc(64)),
+            ("irq", irq_driven_soc(16)),
+            ("split", split_heavy_soc(5, 9)),
+            ("stream", stream_soc(3)),
+        ] {
+            let golden = bp.build_golden().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(golden.num_masters() >= 1, "{name}");
+            let (sim, acc) = bp.build_pair().unwrap();
+            assert!(bp.placement().is_split(), "{name} must span both domains");
+            drop((sim, acc));
+        }
+    }
+
+    #[test]
+    fn figure2_is_three_by_three() {
+        let bp = figure2_soc(1);
+        assert_eq!(bp.num_masters(), 3);
+        assert_eq!(bp.num_slaves(), 3);
+    }
+
+    #[test]
+    fn blueprints_are_deterministic_factories() {
+        let bp = figure2_soc(7);
+        let mut a = bp.build_golden().unwrap();
+        let mut b = bp.build_golden().unwrap();
+        a.run(300);
+        b.run(300);
+        assert_eq!(a.trace().hash(), b.trace().hash());
+    }
+}

@@ -1,0 +1,329 @@
+//! The controlled-accuracy synthetic harness.
+//!
+//! [`SyntheticSoc`] builds a pair of [`SyntheticModel`]s: the lagger side hosts
+//! a pseudo-random **value stream** whose word changes with probability `1−p`
+//! at each cycle (a fresh SplitMix64 draw keyed by the cycle index, so the
+//! process is independent of rollback replays); the leader side hosts a
+//! deterministic counter. The leader predicts the stream by last value, making
+//! each per-cycle prediction correct with probability exactly `p` — the
+//! definition of the paper's *prediction accuracy* axis in Table 2 / Figure 4.
+//!
+//! Payload widths default to the paper's conventional-method assumption
+//! (≈2 words simulator→accelerator, 1 word back per cycle).
+
+use predpkt_channel::Side;
+use predpkt_core::{DomainModel, TickKind};
+use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark};
+
+/// SplitMix64: tiny, snapshot-friendly, keyed by (seed, cycle).
+fn splitmix64(seed: u64, cycle: u64) -> u64 {
+    let mut z = seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One synthetic domain. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticModel {
+    side: Side,
+    leader_side: Side,
+    /// Probability a cycle keeps the stream value (prediction accuracy).
+    p: f64,
+    seed: u64,
+    local_width: usize,
+    remote_width: usize,
+    /// Current stream value (lagger) or counter base (leader).
+    value: u32,
+    /// Last observed remote words (the last-value predictor).
+    last_remote: Vec<u32>,
+    cycle: u64,
+    trace: Trace,
+}
+
+impl SyntheticModel {
+    fn new(
+        side: Side,
+        leader_side: Side,
+        p: f64,
+        seed: u64,
+        local_width: usize,
+        remote_width: usize,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p), "accuracy must be a probability");
+        assert!(local_width > 0 && remote_width > 0, "widths must be non-zero");
+        SyntheticModel {
+            side,
+            leader_side,
+            p,
+            seed,
+            local_width,
+            remote_width,
+            value: 0,
+            last_remote: vec![0; remote_width],
+            cycle: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    fn is_stream_host(&self) -> bool {
+        self.side != self.leader_side
+    }
+
+    /// The stream value for a given cycle is a pure function of (seed, cycle):
+    /// each cycle keeps the previous value with probability `p`, else draws a
+    /// fresh non-equal value.
+    fn stream_step(&self, value: u32, cycle: u64) -> u32 {
+        let r = splitmix64(self.seed, cycle);
+        // Map the high 53 bits to [0,1).
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.p {
+            value
+        } else {
+            // A fresh value guaranteed different from the current one.
+            let delta = ((r & 0x7fff_ffff) as u32) | 1;
+            value.wrapping_add(delta)
+        }
+    }
+}
+
+impl DomainModel for SyntheticModel {
+    fn side(&self) -> Side {
+        self.side
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn local_width(&self) -> usize {
+        self.local_width
+    }
+
+    fn remote_width(&self) -> usize {
+        self.remote_width
+    }
+
+    fn local_outputs(&self) -> Vec<u32> {
+        // Both sides expose their current value in word 0 and stable zeros
+        // elsewhere: consecutive cycles differ only when the value changes, so
+        // the delta packetizer compresses flushes to ≈1 word per cycle — the
+        // payload regime the paper's Tch row assumes (mostly-stable MSABS
+        // signals within a burst).
+        let mut out = vec![0u32; self.local_width];
+        out[0] = self.value;
+        out
+    }
+
+    fn needs_sync(&self) -> bool {
+        false
+    }
+
+    fn elect_leader(&self) -> Side {
+        self.leader_side
+    }
+
+    fn predict_remote(&mut self) -> Vec<u32> {
+        // Last-value prediction of the peer's outputs — correct with
+        // probability exactly `p` against the stream host.
+        self.last_remote.clone()
+    }
+
+    fn tick(&mut self, remote: &[u32], kind: TickKind) {
+        debug_assert_eq!(remote.len(), self.remote_width);
+        self.trace
+            .record(self.local_outputs().iter().map(|&w| w as u64).collect());
+        if kind == TickKind::Actual {
+            self.last_remote = remote.to_vec();
+        } else {
+            // Speculative timeline: the last-value predictor assumes stability,
+            // so the reference stays as-is.
+        }
+        if self.is_stream_host() {
+            self.value = self.stream_step(self.value, self.cycle);
+        } else {
+            // The leader's payload changes only when the observed stream does,
+            // mirroring "data activity correlates with unpredictability".
+            if remote[0] != self.value {
+                self.value = remote[0];
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn verify_prediction(&self, _leader_outputs: &[u32], predicted_me: &[u32]) -> bool {
+        predicted_me == self.local_outputs()
+    }
+
+    fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn trace_mark(&self) -> TraceMark {
+        self.trace.mark()
+    }
+
+    fn trace_truncate(&mut self, mark: TraceMark) {
+        self.trace.truncate(mark);
+    }
+}
+
+impl Snapshot for SyntheticModel {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u32(self.value);
+        w.slice_u32(&self.last_remote);
+        w.word(self.cycle);
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.value = r.u32()?;
+        self.last_remote = r.slice_u32()?;
+        self.cycle = r.word()?;
+        Ok(())
+    }
+}
+
+/// Factory for synthetic model pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSoc {
+    /// Prediction accuracy `p`.
+    pub accuracy: f64,
+    /// Which side leads (ALS = accelerator, SLA = simulator).
+    pub leader: Side,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Simulator-side payload width in words (paper conventional ≈ 2).
+    pub sim_width: usize,
+    /// Accelerator-side payload width in words (paper conventional ≈ 1).
+    pub acc_width: usize,
+}
+
+impl SyntheticSoc {
+    /// The ALS arrangement (accelerator leads, stream on the simulator side)
+    /// with the paper's payload assumptions.
+    pub fn als(accuracy: f64, seed: u64) -> Self {
+        SyntheticSoc {
+            accuracy,
+            leader: Side::Accelerator,
+            seed,
+            sim_width: 2,
+            acc_width: 1,
+        }
+    }
+
+    /// The SLA arrangement (simulator leads, stream on the accelerator side).
+    pub fn sla(accuracy: f64, seed: u64) -> Self {
+        SyntheticSoc {
+            accuracy,
+            leader: Side::Simulator,
+            seed,
+            sim_width: 2,
+            acc_width: 1,
+        }
+    }
+
+    /// Builds the two domain models.
+    pub fn build(self) -> (SyntheticModel, SyntheticModel) {
+        let sim = SyntheticModel::new(
+            Side::Simulator,
+            self.leader,
+            self.accuracy,
+            self.seed,
+            self.sim_width,
+            self.acc_width,
+        );
+        let acc = SyntheticModel::new(
+            Side::Accelerator,
+            self.leader,
+            self.accuracy,
+            self.seed,
+            self.acc_width,
+            self.sim_width,
+        );
+        (sim, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_change_rate_matches_one_minus_p() {
+        for &p in &[0.9, 0.5, 0.1] {
+            let model = SyntheticModel::new(Side::Simulator, Side::Accelerator, p, 42, 2, 1);
+            let mut value = 0u32;
+            let mut changes = 0;
+            let n = 50_000u64;
+            for c in 0..n {
+                let next = model.stream_step(value, c);
+                if next != value {
+                    changes += 1;
+                }
+                value = next;
+            }
+            let observed = changes as f64 / n as f64;
+            assert!(
+                (observed - (1.0 - p)).abs() < 0.01,
+                "p={p}: observed change rate {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_is_a_function_of_cycle_not_call_count() {
+        let m = SyntheticModel::new(Side::Simulator, Side::Accelerator, 0.5, 7, 2, 1);
+        let a = m.stream_step(123, 10);
+        let b = m.stream_step(123, 10);
+        assert_eq!(a, b, "same cycle, same outcome (replay-safe)");
+    }
+
+    #[test]
+    fn changed_values_differ() {
+        let m = SyntheticModel::new(Side::Simulator, Side::Accelerator, 0.0, 9, 2, 1);
+        let mut v = 55u32;
+        for c in 0..1000 {
+            let next = m.stream_step(v, c);
+            assert_ne!(next, v, "p=0 must change every cycle");
+            v = next;
+        }
+    }
+
+    #[test]
+    fn widths_mirror() {
+        let (sim, acc) = SyntheticSoc::als(0.9, 1).build();
+        assert_eq!(sim.local_width(), acc.remote_width());
+        assert_eq!(acc.local_width(), sim.remote_width());
+        assert_eq!(sim.elect_leader(), Side::Accelerator);
+        assert!(!sim.needs_sync());
+    }
+
+    #[test]
+    fn verify_prediction_is_exact_equality() {
+        let (sim, _) = SyntheticSoc::als(1.0, 1).build();
+        let me = sim.local_outputs();
+        assert!(sim.verify_prediction(&[0], &me));
+        let mut wrong = me.clone();
+        wrong[0] ^= 1;
+        assert!(!sim.verify_prediction(&[0], &wrong));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let (mut sim, _) = SyntheticSoc::als(0.7, 3).build();
+        sim.tick(&[5], TickKind::Actual);
+        sim.tick(&[6], TickKind::Actual);
+        let state = predpkt_sim::save_to_vec(&sim);
+        let mut copy = SyntheticSoc::als(0.7, 3).build().0;
+        predpkt_sim::restore_from_vec(&mut copy, &state).unwrap();
+        assert_eq!(copy.cycle(), 2);
+        assert_eq!(copy.local_outputs(), sim.local_outputs());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_accuracy_rejected() {
+        let _ = SyntheticModel::new(Side::Simulator, Side::Accelerator, 1.5, 1, 1, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure-4-style sweep from the library API: performance vs prediction
+//! accuracy for the synthetic controlled-accuracy harness, with the analytic
+//! model overlaid.
+//!
+//! Run: `cargo run --release --example accuracy_sweep [cycles-per-point]`
+
+use predpkt::perfmodel::PAPER_ACCURACY_GRID;
+use predpkt::prelude::*;
+use predpkt::workloads::SyntheticSoc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cycles: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
+    let params = ModelParams::from_config(&config, Side::Accelerator);
+    let baseline = params.conventional_perf();
+
+    println!("ALS, sim=1000 kcycles/s, LOB 64 — {cycles} committed cycles per point\n");
+    println!(
+        "{:>9} {:>14} {:>14} {:>8} {:>12}",
+        "accuracy", "measured", "analytic", "ratio", "rollbacks"
+    );
+    for &p in PAPER_ACCURACY_GRID.iter() {
+        let (sim, acc) = SyntheticSoc::als(p, 0xc0de).build();
+        let mut coemu = CoEmulator::new(sim, acc, config);
+        coemu.run_until_committed(cycles)?;
+        let report = coemu.report();
+        let row = AnalyticRow::at(&params, p);
+        println!(
+            "{:>9.3} {:>12.1}k {:>12.1}k {:>8.2} {:>12}",
+            p,
+            report.performance_cps() / 1e3,
+            row.performance / 1e3,
+            report.performance_cps() / baseline,
+            report.sim_stats().rollbacks + report.acc_stats().rollbacks,
+        );
+    }
+    println!("\nconventional baseline: {:.1}k cycles/s", baseline / 1e3);
+    Ok(())
+}

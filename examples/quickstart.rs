@@ -1,0 +1,53 @@
+//! Quickstart: split a small SoC across the simulator and accelerator domains,
+//! co-emulate it optimistically, and compare against cycle-by-cycle lockstep.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use predpkt::prelude::*;
+use predpkt::ahb::engine::BusOp;
+use predpkt::ahb::masters::TrafficGenMaster;
+use predpkt::ahb::slaves::MemorySlave;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An SoC with a DMA-ish master on the accelerator writing into a
+    // simulator-side memory, looping forever.
+    let blueprint = SocBlueprint::new()
+        .master(Side::Accelerator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::write_incr(0x100, predpkt::ahb::Hsize::Word, (0..16).collect()),
+                    BusOp::read_single(0x100),
+                ])
+                .looping()
+                .with_idle_gap(4),
+            )
+        })
+        .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+
+    println!("co-emulating 5,000 cycles in each operating mode...\n");
+    let mut baseline = None;
+    for (name, policy) in [
+        ("conservative (lockstep)", ModePolicy::Conservative),
+        ("optimistic (auto leader)", ModePolicy::Auto),
+    ] {
+        let config = CoEmuConfig::paper_defaults()
+            .policy(policy)
+            .rollback_vars(None)
+            .carry(true)
+            .adaptive(true);
+        let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
+        coemu.run_until_committed(5_000)?;
+        let report = coemu.report();
+
+        println!("== {name} ==");
+        println!("{report}");
+        match baseline {
+            None => baseline = Some(report.performance_cps()),
+            Some(base) => {
+                println!("speedup over lockstep: {:.2}x", report.performance_cps() / base)
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # predpkt — prediction-packetizing hardware/software co-emulation
+//!
+//! A Rust reproduction of *"A Prediction Packetizing Scheme for Reducing
+//! Channel Traffic in Transaction-Level Hardware/Software Co-Emulation"*
+//! (Lee, Chung, Ahn, Lee, Kyung — DATE 2005): optimistic simulator–accelerator
+//! synchronization built on **prediction and rollback**, applied to an AMBA AHB
+//! SoC split between a transaction-level simulator domain and an RTL
+//! accelerator domain.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | virtual time, cost ledger, snapshot/rollback, traces |
+//! | [`ahb`] | cycle-accurate AHB bus substrate (masters, slaves, arbiter, checker) |
+//! | [`channel`] | the simulator–accelerator channel model (iPROVE PCI constants) |
+//! | [`predict`] | LOB, delta packetizer, burst/response/last-value predictors |
+//! | [`core`] | half-bus models, channel wrappers, transitions, the co-emulator |
+//! | [`perfmodel`] | closed-form Table 2 / Figure 4 expectations |
+//! | [`workloads`] | Fig. 2 SoCs, scenario blueprints, the controlled-accuracy harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use predpkt::prelude::*;
+//!
+//! // Split the paper's Fig. 2 SoC across the two domains and co-emulate it
+//! // with dynamic leader election.
+//! let blueprint = predpkt::workloads::figure2_soc(42);
+//! let config = CoEmuConfig::paper_defaults()
+//!     .policy(ModePolicy::Auto)
+//!     .rollback_vars(None);
+//! let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
+//! coemu.run_until_committed(2_000)?;
+//!
+//! let report = coemu.report();
+//! assert!(report.accesses_per_cycle() < 2.0, "fewer channel accesses than lockstep");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use predpkt_ahb as ahb;
+pub use predpkt_channel as channel;
+pub use predpkt_core as core;
+pub use predpkt_perfmodel as perfmodel;
+pub use predpkt_predict as predict;
+pub use predpkt_sim as sim;
+pub use predpkt_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use predpkt_ahb::{AhbBus, AhbMaster, AhbSlave, MasterId, SlaveId};
+    pub use predpkt_channel::{ChannelCostModel, Side};
+    pub use predpkt_core::{
+        CoEmuConfig, CoEmulator, DomainModel, ModePolicy, PerfReport, SocBlueprint,
+    };
+    pub use predpkt_perfmodel::{AnalyticRow, ModelParams};
+    pub use predpkt_sim::{CostCategory, Frequency, VirtualTime};
+}

@@ -1,0 +1,134 @@
+//! Property-based equivalence: random SoC configurations, random placements,
+//! random traffic — the split co-emulation must always commit the golden
+//! trace, under every operating mode.
+//!
+//! This is the paper's correctness claim fuzzed: "they are synchronized only
+//! when it is inevitable for cycle accurate behavior" — i.e. never at the cost
+//! of cycle accuracy.
+
+use proptest::prelude::*;
+use predpkt::ahb::engine::BusOp;
+use predpkt::ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
+use predpkt::ahb::signals::{Hburst, Hsize};
+use predpkt::ahb::slaves::{FifoSlave, MemorySlave, PeripheralSlave};
+use predpkt::prelude::*;
+
+/// A generatable SoC description (kept `Arbitrary`-friendly).
+#[derive(Debug, Clone)]
+struct SocSpec {
+    masters: Vec<(MasterKind, bool)>, // (component, on_accelerator)
+    slaves: Vec<(SlaveKind, bool)>,
+    cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MasterKind {
+    Cpu { seed: u64 },
+    Dma { words: u32 },
+    Gen { burst: u8, gap: u8 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlaveKind {
+    Mem { wait: u8 },
+    Periph,
+    Fifo { period: u8 },
+}
+
+fn master_kind() -> impl Strategy<Value = MasterKind> {
+    prop_oneof![
+        (1u64..u64::MAX).prop_map(|seed| MasterKind::Cpu { seed }),
+        (1u32..40).prop_map(|words| MasterKind::Dma { words }),
+        (0u8..3, 0u8..9).prop_map(|(burst, gap)| MasterKind::Gen { burst, gap }),
+    ]
+}
+
+fn slave_kind() -> impl Strategy<Value = SlaveKind> {
+    prop_oneof![
+        (0u8..4).prop_map(|wait| SlaveKind::Mem { wait }),
+        Just(SlaveKind::Periph),
+        (1u8..5).prop_map(|period| SlaveKind::Fifo { period }),
+    ]
+}
+
+fn soc_spec() -> impl Strategy<Value = SocSpec> {
+    (
+        proptest::collection::vec((master_kind(), any::<bool>()), 1..4),
+        proptest::collection::vec((slave_kind(), any::<bool>()), 1..4),
+        100u64..400,
+    )
+        .prop_map(|(masters, slaves, cycles)| SocSpec { masters, slaves, cycles })
+}
+
+fn build_blueprint(spec: &SocSpec) -> SocBlueprint {
+    let mut bp = SocBlueprint::new();
+    for &(kind, on_acc) in &spec.masters {
+        let side = if on_acc { Side::Accelerator } else { Side::Simulator };
+        bp = match kind {
+            MasterKind::Cpu { seed } => bp.master(side, move || {
+                Box::new(CpuMaster::new(seed, CpuProfile::default()))
+            }),
+            MasterKind::Dma { words } => bp.master(side, move || {
+                Box::new(DmaMaster::new(vec![DmaDescriptor::new(0x0, 0x1000, words)]))
+            }),
+            MasterKind::Gen { burst, gap } => bp.master(side, move || {
+                let op = match burst {
+                    0 => BusOp::write_single(0x40, 0xaa),
+                    1 => BusOp::read_burst(0x80, Hsize::Word, Hburst::Incr4),
+                    _ => BusOp::read_burst(0x38, Hsize::Word, Hburst::Wrap4),
+                };
+                Box::new(TrafficGenMaster::from_ops(vec![op]).looping().with_idle_gap(gap as u32))
+            }),
+        };
+    }
+    for (j, &(kind, on_acc)) in spec.slaves.iter().enumerate() {
+        let side = if on_acc { Side::Accelerator } else { Side::Simulator };
+        let base = 0x1000 * j as u32;
+        bp = match kind {
+            SlaveKind::Mem { wait } => bp.slave(side, base, 0x1000, move || {
+                Box::new(MemorySlave::with_waits(0x1000, wait as u32, 0))
+            }),
+            SlaveKind::Periph => {
+                bp.slave(side, base, 0x1000, || Box::new(PeripheralSlave::new(1)))
+            }
+            SlaveKind::Fifo { period } => bp.slave(side, base, 0x1000, move || {
+                Box::new(FifoSlave::new(8, period as u32, 2))
+            }),
+        };
+    }
+    bp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_socs_commit_golden_traces(spec in soc_spec()) {
+        let blueprint = build_blueprint(&spec);
+
+        // Golden reference (checker on).
+        let mut golden = blueprint.build_golden().expect("golden builds");
+        golden.run(spec.cycles);
+        prop_assert!(golden.violations().is_empty(), "{:?}", golden.violations());
+
+        for policy in [ModePolicy::Conservative, ModePolicy::Auto, ModePolicy::ForcedAls] {
+            let config = CoEmuConfig::paper_defaults()
+                .policy(policy)
+                .rollback_vars(None)
+                .carry(true)
+                .adaptive(true);
+            let mut coemu = CoEmulator::from_blueprint(&blueprint, config).expect("pair builds");
+            coemu.run_until_committed(spec.cycles).expect("no deadlock");
+            let placement = blueprint.placement();
+            let mut merged = coemu.merged_trace(|s, a| placement.merge_records(s, a));
+            merged.truncate_to_len(spec.cycles as usize);
+            if merged.hash() != golden.trace().hash() {
+                let at = golden.trace().first_divergence(&merged);
+                prop_assert!(
+                    false,
+                    "divergence under {policy:?} at cycle {at:?} (spec {spec:?})"
+                );
+            }
+        }
+    }
+}
