@@ -83,11 +83,7 @@ pub fn fits_in_boundary(start: u32, size: Hsize, burst: Hburst) -> bool {
 ///
 /// Used by the DMA master to tile long transfers into legal bursts.
 pub fn plan_incr_burst(addr: u32, size: Hsize, remaining_beats: u32) -> (Hburst, u32) {
-    for (burst, beats) in [
-        (Hburst::Incr16, 16),
-        (Hburst::Incr8, 8),
-        (Hburst::Incr4, 4),
-    ] {
+    for (burst, beats) in [(Hburst::Incr16, 16), (Hburst::Incr8, 8), (Hburst::Incr4, 4)] {
         if remaining_beats >= beats && fits_in_boundary(addr, size, burst) {
             return (burst, beats);
         }

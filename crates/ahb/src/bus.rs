@@ -7,7 +7,7 @@
 //! comparison.
 
 use crate::checker::{ProtocolChecker, Violation};
-use crate::fabric::{Arbiter, CycleView, Decoder, DecodeMapError, Fabric, Region};
+use crate::fabric::{Arbiter, CycleView, DecodeMapError, Decoder, Fabric, Region};
 use crate::signals::{MasterId, MasterSignals, SlaveId, SlaveSignals};
 use crate::{AhbMaster, AhbSlave};
 use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter, Trace};
@@ -102,7 +102,11 @@ impl AhbBusBuilder {
     pub fn slave_boxed(mut self, s: Box<dyn AhbSlave>, base: u32, size: u32) -> Self {
         let id = SlaveId(self.slaves.len());
         self.slaves.push(s);
-        self.regions.push(Region { base, size, slave: id });
+        self.regions.push(Region {
+            base,
+            size,
+            slave: id,
+        });
         self
     }
 
@@ -135,13 +139,19 @@ impl AhbBusBuilder {
             return Err(BusConfigError::NoMasters);
         }
         if self.masters.len() > 16 {
-            return Err(BusConfigError::TooManyComponents { count: self.masters.len() });
+            return Err(BusConfigError::TooManyComponents {
+                count: self.masters.len(),
+            });
         }
         if self.slaves.len() > 16 {
-            return Err(BusConfigError::TooManyComponents { count: self.slaves.len() });
+            return Err(BusConfigError::TooManyComponents {
+                count: self.slaves.len(),
+            });
         }
         if self.default_master >= self.masters.len() {
-            return Err(BusConfigError::BadDefaultMaster { index: self.default_master });
+            return Err(BusConfigError::BadDefaultMaster {
+                index: self.default_master,
+            });
         }
         let decoder = Decoder::new(self.regions)?;
         let arbiter = Arbiter::new(self.masters.len(), MasterId(self.default_master));
@@ -332,8 +342,8 @@ mod tests {
     use super::*;
     use crate::engine::BusOp;
     use crate::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
-    use crate::slaves::{FifoSlave, MemorySlave, PeripheralSlave, SplitSlave};
     use crate::signals::{Hburst, Hsize};
+    use crate::slaves::{FifoSlave, MemorySlave, PeripheralSlave, SplitSlave};
 
     fn two_slave_bus(master: impl AhbMaster + 'static) -> AhbBus {
         AhbBus::builder()
@@ -355,7 +365,10 @@ mod tests {
             .master(TrafficGenMaster::from_ops(vec![]))
             .default_master(5)
             .build();
-        assert!(matches!(err, Err(BusConfigError::BadDefaultMaster { index: 5 })));
+        assert!(matches!(
+            err,
+            Err(BusConfigError::BadDefaultMaster { index: 5 })
+        ));
         let err = AhbBus::builder()
             .master(TrafficGenMaster::from_ops(vec![]))
             .slave(MemorySlave::new(0x100, 0), 0x0, 0x100)
@@ -398,11 +411,8 @@ mod tests {
 
     #[test]
     fn wrap_burst_reads_container() {
-        let gen = TrafficGenMaster::from_ops(vec![BusOp::read_burst(
-            0x38,
-            Hsize::Word,
-            Hburst::Wrap4,
-        )]);
+        let gen =
+            TrafficGenMaster::from_ops(vec![BusOp::read_burst(0x38, Hsize::Word, Hburst::Wrap4)]);
         let mut bus = AhbBus::builder()
             .master(gen)
             .slave(
@@ -451,12 +461,18 @@ mod tests {
 
     #[test]
     fn two_masters_arbitrate_by_priority() {
-        let fast = TrafficGenMaster::from_ops(vec![
-            BusOp::write_burst(0x0, Hsize::Word, Hburst::Incr4, vec![1, 2, 3, 4]),
-        ]);
-        let slow = TrafficGenMaster::from_ops(vec![
-            BusOp::write_burst(0x100, Hsize::Word, Hburst::Incr4, vec![5, 6, 7, 8]),
-        ]);
+        let fast = TrafficGenMaster::from_ops(vec![BusOp::write_burst(
+            0x0,
+            Hsize::Word,
+            Hburst::Incr4,
+            vec![1, 2, 3, 4],
+        )]);
+        let slow = TrafficGenMaster::from_ops(vec![BusOp::write_burst(
+            0x100,
+            Hsize::Word,
+            Hburst::Incr4,
+            vec![5, 6, 7, 8],
+        )]);
         let mut bus = AhbBus::builder()
             .master(fast)
             .master(slow)
@@ -509,9 +525,7 @@ mod tests {
         let mut bus = AhbBus::builder()
             .master(gen)
             // A second master keeps the bus busy while master 0 is split.
-            .master(
-                TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0, 9)]).looping(),
-            )
+            .master(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0, 9)]).looping())
             .slave(MemorySlave::new(0x1000, 0), 0x0, 0x1000)
             .slave(SplitSlave::new(0x100, 6), 0x2000, 0x100)
             .check_protocol()
@@ -519,7 +533,11 @@ mod tests {
             .unwrap();
         bus.run(400);
         let gen: &TrafficGenMaster = bus.master_as(MasterId(0)).unwrap();
-        assert_eq!(gen.results().len(), 2, "split transfers eventually complete");
+        assert_eq!(
+            gen.results().len(),
+            2,
+            "split transfers eventually complete"
+        );
         assert!(!gen.results()[0].error);
         assert_eq!(gen.results()[1].rdata, vec![0x77]);
         let split: &SplitSlave = bus.slave_as(SlaveId(1)).unwrap();
@@ -532,11 +550,10 @@ mod tests {
         // The paper's Figure 2 shape: 3 masters, 3 slaves.
         let cpu = CpuMaster::new(42, CpuProfile::default());
         let dma = DmaMaster::new(vec![DmaDescriptor::new(0x0, 0x1100, 40)]);
-        let gen = TrafficGenMaster::from_ops(vec![
-            BusOp::read_burst(0x2000, Hsize::Word, Hburst::Wrap8),
-        ])
-        .looping()
-        .with_idle_gap(7);
+        let gen =
+            TrafficGenMaster::from_ops(vec![BusOp::read_burst(0x2000, Hsize::Word, Hburst::Wrap8)])
+                .looping()
+                .with_idle_gap(7);
         let mut bus = AhbBus::builder()
             .master(cpu)
             .master(dma)
@@ -554,7 +571,7 @@ mod tests {
     #[test]
     fn peripheral_irq_visible_on_bus() {
         let gen = TrafficGenMaster::from_ops(vec![
-            BusOp::write_single(0x1008, 16), // period
+            BusOp::write_single(0x1008, 16),   // period
             BusOp::write_single(0x1000, 0b11), // enable
         ]);
         let mut bus = AhbBus::builder()

@@ -84,7 +84,11 @@ impl ProtocolChecker {
     }
 
     fn report(&mut self, cycle: u64, rule: Rule, detail: String) {
-        self.violations.push(Violation { cycle, rule, detail });
+        self.violations.push(Violation {
+            cycle,
+            rule,
+            detail,
+        });
     }
 
     /// Checks one cycle.
@@ -102,7 +106,11 @@ impl ProtocolChecker {
             self.report(
                 cycle,
                 Rule::Alignment,
-                format!("addr {:#x} not aligned to {} bytes", ap.addr, ap.size.bytes()),
+                format!(
+                    "addr {:#x} not aligned to {} bytes",
+                    ap.addr,
+                    ap.size.bytes()
+                ),
             );
         }
 
@@ -110,9 +118,7 @@ impl ProtocolChecker {
         if ap.trans == Htrans::Nonseq && !ap.burst.is_wrapping() {
             if let Some(beats) = ap.burst.beats() {
                 let span = ap.size.bytes() * beats;
-                if span > 0
-                    && ap.addr / BURST_BOUNDARY != (ap.addr + span - 1) / BURST_BOUNDARY
-                {
+                if span > 0 && ap.addr / BURST_BOUNDARY != (ap.addr + span - 1) / BURST_BOUNDARY {
                     self.report(
                         cycle,
                         Rule::BurstBoundary,
@@ -125,8 +131,7 @@ impl ProtocolChecker {
         let prev_taken = self.prev.take();
         if let Some(prev) = &prev_taken {
             let pap = &prev.view.addr_phase;
-            let prev_error_first =
-                !prev.view.hready && prev.view.resp.is_error_class();
+            let prev_error_first = !prev.view.hready && prev.view.resp.is_error_class();
 
             // SEQ continuity and BUSY placement.
             match ap.trans {
@@ -170,10 +175,7 @@ impl ProtocolChecker {
                             self.report(
                                 cycle,
                                 Rule::SeqContinuity,
-                                format!(
-                                    "SEQ addr {:#x}, expected one of {:x?}",
-                                    ap.addr, expected
-                                ),
+                                format!("SEQ addr {:#x}, expected one of {:x?}", ap.addr, expected),
                             );
                         }
                     }
@@ -255,7 +257,10 @@ impl ProtocolChecker {
                 self.report(
                     cycle,
                     Rule::GrantStability,
-                    format!("grant moved {} -> {} on a wait state", prev.view.grant, view.grant),
+                    format!(
+                        "grant moved {} -> {} on a wait state",
+                        prev.view.grant, view.grant
+                    ),
                 );
             }
         } else if matches!(ap.trans, Htrans::Seq | Htrans::Busy) {
@@ -282,7 +287,12 @@ mod tests {
     fn fabric() -> Fabric {
         Fabric::new(
             Arbiter::new(1, MasterId(0)),
-            Decoder::new(vec![Region { base: 0, size: 0x1000, slave: SlaveId(0) }]).unwrap(),
+            Decoder::new(vec![Region {
+                base: 0,
+                size: 0x1000,
+                slave: SlaveId(0),
+            }])
+            .unwrap(),
         )
     }
 
@@ -308,7 +318,13 @@ mod tests {
         m.trans = Htrans::Nonseq;
         m.addr = 0x10;
         run_cycle(&mut checker, &mut f, 0, m, SlaveSignals::idle());
-        run_cycle(&mut checker, &mut f, 1, MasterSignals::idle(), SlaveSignals::idle());
+        run_cycle(
+            &mut checker,
+            &mut f,
+            1,
+            MasterSignals::idle(),
+            SlaveSignals::idle(),
+        );
         assert!(checker.violations().is_empty());
     }
 
@@ -320,7 +336,10 @@ mod tests {
         m.trans = Htrans::Nonseq;
         m.addr = 0x2; // word transfer at halfword address
         run_cycle(&mut checker, &mut f, 0, m, SlaveSignals::idle());
-        assert!(checker.violations().iter().any(|v| v.rule == Rule::Alignment));
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::Alignment));
     }
 
     #[test]

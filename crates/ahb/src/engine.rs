@@ -22,7 +22,9 @@
 //! cycle, a transfer completed this cycle) for the slave to act on.
 
 use crate::burst::{beat_addr, fits_in_boundary};
-use crate::signals::{AddrPhase, Hburst, Hresp, Hsize, Htrans, MasterSignals, MasterView, SlaveSignals, SlaveView};
+use crate::signals::{
+    AddrPhase, Hburst, Hresp, Hsize, Htrans, MasterSignals, MasterView, SlaveSignals, SlaveView,
+};
 use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter};
 
 // ---------------------------------------------------------------------------
@@ -71,7 +73,11 @@ impl BusOp {
     /// Panics on misalignment.
     pub fn read_incr(addr: u32, size: Hsize, beats: u32) -> Self {
         assert!(beats >= 1, "at least one beat");
-        let burst = if beats == 1 { Hburst::Single } else { Hburst::Incr };
+        let burst = if beats == 1 {
+            Hburst::Single
+        } else {
+            Hburst::Incr
+        };
         Self::build(false, addr, size, burst, beats, vec![])
     }
 
@@ -84,7 +90,11 @@ impl BusOp {
     /// `data.len()` does not match the burst length.
     pub fn write_burst(addr: u32, size: Hsize, burst: Hburst, data: Vec<u32>) -> Self {
         let beats = burst.beats().expect("use write_incr for INCR bursts");
-        assert_eq!(data.len() as u32, beats, "data length must match burst length");
+        assert_eq!(
+            data.len() as u32,
+            beats,
+            "data length must match burst length"
+        );
         Self::build(true, addr, size, burst, beats, data)
     }
 
@@ -95,18 +105,35 @@ impl BusOp {
     /// Panics on misalignment or empty data.
     pub fn write_incr(addr: u32, size: Hsize, data: Vec<u32>) -> Self {
         assert!(!data.is_empty(), "at least one beat");
-        let burst = if data.len() == 1 { Hburst::Single } else { Hburst::Incr };
+        let burst = if data.len() == 1 {
+            Hburst::Single
+        } else {
+            Hburst::Incr
+        };
         let beats = data.len() as u32;
         Self::build(true, addr, size, burst, beats, data)
     }
 
-    fn build(write: bool, addr: u32, size: Hsize, burst: Hburst, beats: u32, wdata: Vec<u32>) -> Self {
-        assert_eq!(addr % size.bytes(), 0, "address must be aligned to transfer size");
+    fn build(
+        write: bool,
+        addr: u32,
+        size: Hsize,
+        burst: Hburst,
+        beats: u32,
+        wdata: Vec<u32>,
+    ) -> Self {
+        assert_eq!(
+            addr % size.bytes(),
+            0,
+            "address must be aligned to transfer size"
+        );
         assert!(
             burst == Hburst::Incr || fits_in_boundary(addr, size, burst),
             "defined-length burst crosses the 1kB boundary"
         );
-        let addrs = (0..beats).map(|b| beat_addr(addr, size, burst, b)).collect();
+        let addrs = (0..beats)
+            .map(|b| beat_addr(addr, size, burst, b))
+            .collect();
         BusOp {
             write,
             size,
@@ -371,25 +398,23 @@ impl MasterEngine {
                     self.state = MState::ErrAbort;
                 }
             } else if view.hready {
-                match view.resp {
-                    Hresp::Okay => {
-                        if let Some(_beat) = self.dp_beat.take() {
-                            let op = self.op.as_ref().expect("op in flight");
-                            if !op.write {
-                                self.rdata.push(view.rdata);
-                            }
-                            self.done_beats += 1;
-                            if self.done_beats == self.op.as_ref().unwrap().beats()
-                                && !matches!(self.state, MState::ErrAbort)
-                            {
-                                self.finish_op();
-                                return;
-                            }
+                // A non-OKAY response here is the second cycle of an
+                // error-class response: the data phase retires and recovery
+                // continues below via ErrAbort.
+                if view.resp == Hresp::Okay {
+                    if let Some(_beat) = self.dp_beat.take() {
+                        let op = self.op.as_ref().expect("op in flight");
+                        if !op.write {
+                            self.rdata.push(view.rdata);
+                        }
+                        self.done_beats += 1;
+                        if self.done_beats == self.op.as_ref().unwrap().beats()
+                            && !matches!(self.state, MState::ErrAbort)
+                        {
+                            self.finish_op();
+                            return;
                         }
                     }
-                    // Second cycle of an error-class response: the data phase
-                    // retires; recovery continues below via ErrAbort.
-                    _ => {}
                 }
             }
         }
@@ -418,8 +443,14 @@ impl MasterEngine {
                     } else {
                         // Singles after a restart are each their own NONSEQ
                         // burst; BUSY is only legal inside a multi-beat burst.
-                        self.state = MState::Drive { first: self.restart_singles };
-                        self.busy_left = if self.restart_singles { 0 } else { self.busy_beats };
+                        self.state = MState::Drive {
+                            first: self.restart_singles,
+                        };
+                        self.busy_left = if self.restart_singles {
+                            0
+                        } else {
+                            self.busy_beats
+                        };
                     }
                 }
             }
@@ -517,7 +548,15 @@ impl Snapshot for MasterEngine {
             let wdata = r.slice_u32()?;
             let lock = r.bool()?;
             let prot = r.u32()? as u8;
-            Some(BusOp { write, size, burst, addrs, wdata, lock, prot })
+            Some(BusOp {
+                write,
+                size,
+                burst,
+                addrs,
+                wdata,
+                lock,
+                prot,
+            })
         } else {
             None
         };
@@ -533,7 +572,12 @@ impl Snapshot for MasterEngine {
             let addr = r.u32()?;
             let rdata = r.slice_u32()?;
             let error = r.bool()?;
-            Some(OpResult { write, addr, rdata, error })
+            Some(OpResult {
+                write,
+                addr,
+                rdata,
+                error,
+            })
         } else {
             None
         };
@@ -562,7 +606,11 @@ pub struct PlannedResponse {
 impl PlannedResponse {
     /// An OKAY response after `wait_states` wait states delivering `rdata`.
     pub fn okay(wait_states: u32, rdata: u32) -> Self {
-        PlannedResponse { wait_states, resp: Hresp::Okay, rdata }
+        PlannedResponse {
+            wait_states,
+            resp: Hresp::Okay,
+            rdata,
+        }
     }
 
     /// An error-class response after `wait_states` wait states.
@@ -572,14 +620,22 @@ impl PlannedResponse {
     /// Panics if `resp` is [`Hresp::Okay`].
     pub fn error_class(wait_states: u32, resp: Hresp) -> Self {
         assert!(resp.is_error_class(), "use PlannedResponse::okay for OKAY");
-        PlannedResponse { wait_states, resp, rdata: 0 }
+        PlannedResponse {
+            wait_states,
+            resp,
+            rdata: 0,
+        }
     }
 
     /// An open-ended stall: the engine inserts wait states until the slave calls
     /// [`SlaveEngine::complete_stall`]. Used by producer–consumer slaves whose
     /// readiness depends on dynamic fill state.
     pub fn stall() -> Self {
-        PlannedResponse { wait_states: STALL_SENTINEL, resp: Hresp::Okay, rdata: 0 }
+        PlannedResponse {
+            wait_states: STALL_SENTINEL,
+            resp: Hresp::Okay,
+            rdata: 0,
+        }
     }
 }
 
@@ -614,7 +670,9 @@ enum SState {
     /// Accepted but not yet planned (must be resolved before `outputs`).
     Pending,
     /// Inserting wait states.
-    Wait { left: u32 },
+    Wait {
+        left: u32,
+    },
     /// Open-ended stall awaiting [`SlaveEngine::complete_stall`].
     Stalled,
     /// Ready cycle of an OKAY response.
@@ -752,7 +810,9 @@ impl SlaveEngine {
         self.state = if plan.wait_states == STALL_SENTINEL {
             SState::Stalled
         } else if plan.wait_states > 0 {
-            SState::Wait { left: plan.wait_states }
+            SState::Wait {
+                left: plan.wait_states,
+            }
         } else if plan.resp == Hresp::Okay {
             SState::RespondOkay
         } else {
@@ -844,7 +904,15 @@ impl Snapshot for SlaveEngine {
             let write = r.bool()?;
             let size = Hsize::decode(r.u32()?).ok_or(SnapshotError::Corrupt { at: 0 })?;
             let burst = Hburst::decode(r.u32()?).ok_or(SnapshotError::Corrupt { at: 0 })?;
-            Some(AddrPhase { master, slave, trans, addr, write, size, burst })
+            Some(AddrPhase {
+                master,
+                slave,
+                trans,
+                addr,
+                write,
+                size,
+                burst,
+            })
         } else {
             None
         };
@@ -930,7 +998,10 @@ mod tests {
     }
 
     fn granted_ready() -> MasterView {
-        MasterView { granted: true, ..MasterView::quiet() }
+        MasterView {
+            granted: true,
+            ..MasterView::quiet()
+        }
     }
 
     #[test]
@@ -943,7 +1014,11 @@ mod tests {
         let views = [
             granted_ready(),
             granted_ready(),
-            MasterView { granted: true, dp_mine: true, ..MasterView::quiet() },
+            MasterView {
+                granted: true,
+                dp_mine: true,
+                ..MasterView::quiet()
+            },
         ];
         let outs = run(&mut e, &views);
         assert_eq!(outs[0].trans, Htrans::Idle);
@@ -965,10 +1040,20 @@ mod tests {
         let mut views = vec![granted_ready(), granted_ready()];
         // Beats 1..3 address phases overlap data phases of beats 0..2.
         for _ in 0..3 {
-            views.push(MasterView { granted: true, dp_mine: true, rdata: 7, ..MasterView::quiet() });
+            views.push(MasterView {
+                granted: true,
+                dp_mine: true,
+                rdata: 7,
+                ..MasterView::quiet()
+            });
         }
         // Final data phase.
-        views.push(MasterView { granted: true, dp_mine: true, rdata: 9, ..MasterView::quiet() });
+        views.push(MasterView {
+            granted: true,
+            dp_mine: true,
+            rdata: 9,
+            ..MasterView::quiet()
+        });
         let outs = run(&mut e, &views);
         assert_eq!(outs[1].trans, Htrans::Nonseq);
         assert_eq!(outs[2].trans, Htrans::Seq);
@@ -982,14 +1067,27 @@ mod tests {
     fn wait_states_hold_address_and_wdata() {
         let mut e = MasterEngine::new();
         e.submit(BusOp::write_incr(0x0, Hsize::Word, vec![0x11, 0x22]));
-        let stall = MasterView { granted: true, hready: false, dp_mine: true, ..MasterView::quiet() };
+        let stall = MasterView {
+            granted: true,
+            hready: false,
+            dp_mine: true,
+            ..MasterView::quiet()
+        };
         let views = [
             granted_ready(), // req
             granted_ready(), // NONSEQ beat0 accepted
             stall,           // beat0 dp stalled; SEQ beat1 held
             stall,           // still stalled
-            MasterView { granted: true, dp_mine: true, ..MasterView::quiet() }, // beat0 completes, beat1 accepted
-            MasterView { granted: true, dp_mine: true, ..MasterView::quiet() }, // beat1 completes
+            MasterView {
+                granted: true,
+                dp_mine: true,
+                ..MasterView::quiet()
+            }, // beat0 completes, beat1 accepted
+            MasterView {
+                granted: true,
+                dp_mine: true,
+                ..MasterView::quiet()
+            }, // beat1 completes
         ];
         let outs = run(&mut e, &views);
         // During the stall the SEQ address phase is held stable.
@@ -1012,9 +1110,19 @@ mod tests {
             granted_ready(),
             granted_ready(), // NONSEQ accepted
             // First ERROR cycle (not ready).
-            MasterView { granted: true, hready: false, resp: Hresp::Error, dp_mine: true, ..MasterView::quiet() },
+            MasterView {
+                granted: true,
+                hready: false,
+                resp: Hresp::Error,
+                dp_mine: true,
+                ..MasterView::quiet()
+            },
             // Second ERROR cycle (ready): master drives IDLE.
-            MasterView { granted: true, resp: Hresp::Error, ..MasterView::quiet() },
+            MasterView {
+                granted: true,
+                resp: Hresp::Error,
+                ..MasterView::quiet()
+            },
         ];
         let outs = run(&mut e, &views);
         assert_eq!(outs[3].trans, Htrans::Idle, "IDLE during error recovery");
@@ -1031,9 +1139,19 @@ mod tests {
             granted_ready(),
             granted_ready(), // NONSEQ beat0 accepted
             // beat0 data phase gets RETRY (first cycle).
-            MasterView { granted: true, hready: false, resp: Hresp::Retry, dp_mine: true, ..MasterView::quiet() },
+            MasterView {
+                granted: true,
+                hready: false,
+                resp: Hresp::Retry,
+                dp_mine: true,
+                ..MasterView::quiet()
+            },
             // second RETRY cycle.
-            MasterView { granted: true, resp: Hresp::Retry, ..MasterView::quiet() },
+            MasterView {
+                granted: true,
+                resp: Hresp::Retry,
+                ..MasterView::quiet()
+            },
             granted_ready(), // re-request granted
         ];
         let outs = run(&mut e, &views);
@@ -1054,7 +1172,12 @@ mod tests {
             granted_ready(),
             granted_ready(), // NONSEQ beat0 accepted
             // Grant revoked while beat1's SEQ phase was driven: beat1 not accepted.
-            MasterView { granted: false, dp_mine: true, rdata: 1, ..MasterView::quiet() },
+            MasterView {
+                granted: false,
+                dp_mine: true,
+                rdata: 1,
+                ..MasterView::quiet()
+            },
             // Re-granted.
             granted_ready(),
         ];
@@ -1072,7 +1195,11 @@ mod tests {
         let views = [
             granted_ready(),
             granted_ready(), // NONSEQ beat0
-            MasterView { granted: true, dp_mine: true, ..MasterView::quiet() }, // BUSY cycle (beat0 dp completes)
+            MasterView {
+                granted: true,
+                dp_mine: true,
+                ..MasterView::quiet()
+            }, // BUSY cycle (beat0 dp completes)
             granted_ready(), // SEQ beat1
         ];
         let outs = run(&mut e, &views);
@@ -1120,7 +1247,11 @@ mod tests {
         let out = e.outputs();
         assert!(out.ready);
         assert_eq!(out.rdata, 0x55);
-        let ev = e.tick(&SlaveView { dp_active: true, dp: Some(phase(false, 0x8)), ..SlaveView::quiet() });
+        let ev = e.tick(&SlaveView {
+            dp_active: true,
+            dp: Some(phase(false, 0x8)),
+            ..SlaveView::quiet()
+        });
         let done = ev.completed.expect("completed");
         assert_eq!(done.resp, Hresp::Okay);
         assert_eq!(done.wdata, None);
@@ -1129,7 +1260,10 @@ mod tests {
     #[test]
     fn slave_wait_states_then_write_commit() {
         let mut e = SlaveEngine::new();
-        let ev = e.tick(&SlaveView { addr_phase: Some(phase(true, 0x4)), ..SlaveView::quiet() });
+        let ev = e.tick(&SlaveView {
+            addr_phase: Some(phase(true, 0x4)),
+            ..SlaveView::quiet()
+        });
         assert!(ev.accepted.is_some());
         e.plan(PlannedResponse::okay(2, 0));
         // Two wait cycles.
@@ -1159,25 +1293,38 @@ mod tests {
     #[test]
     fn slave_two_cycle_error_response() {
         let mut e = SlaveEngine::new();
-        e.tick(&SlaveView { addr_phase: Some(phase(false, 0x0)), ..SlaveView::quiet() });
+        e.tick(&SlaveView {
+            addr_phase: Some(phase(false, 0x0)),
+            ..SlaveView::quiet()
+        });
         e.plan(PlannedResponse::error_class(0, Hresp::Retry));
         // First cycle: not ready + RETRY.
         let out = e.outputs();
         assert!(!out.ready);
         assert_eq!(out.resp, Hresp::Retry);
-        e.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
+        e.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
         // Second cycle: ready + RETRY.
         let out = e.outputs();
         assert!(out.ready);
         assert_eq!(out.resp, Hresp::Retry);
-        let ev = e.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        let ev = e.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         assert_eq!(ev.completed.unwrap().resp, Hresp::Retry);
     }
 
     #[test]
     fn slave_pipelined_accept_while_completing() {
         let mut e = SlaveEngine::new();
-        e.tick(&SlaveView { addr_phase: Some(phase(false, 0x0)), ..SlaveView::quiet() });
+        e.tick(&SlaveView {
+            addr_phase: Some(phase(false, 0x0)),
+            ..SlaveView::quiet()
+        });
         e.plan(PlannedResponse::okay(0, 1));
         // Completing cycle also carries the next address phase.
         let ev = e.tick(&SlaveView {
@@ -1196,7 +1343,10 @@ mod tests {
     #[should_panic(expected = "did not plan")]
     fn slave_unplanned_response_panics() {
         let mut e = SlaveEngine::new();
-        e.tick(&SlaveView { addr_phase: Some(phase(false, 0x0)), ..SlaveView::quiet() });
+        e.tick(&SlaveView {
+            addr_phase: Some(phase(false, 0x0)),
+            ..SlaveView::quiet()
+        });
         let _ = e.outputs();
     }
 
@@ -1228,7 +1378,10 @@ mod tests {
     #[test]
     fn slave_engine_snapshot_roundtrip() {
         let mut e = SlaveEngine::new();
-        e.tick(&SlaveView { addr_phase: Some(phase(true, 0xc)), ..SlaveView::quiet() });
+        e.tick(&SlaveView {
+            addr_phase: Some(phase(true, 0xc)),
+            ..SlaveView::quiet()
+        });
         e.plan(PlannedResponse::okay(3, 0x77));
         let state = save_to_vec(&e);
         let mut copy = SlaveEngine::new();

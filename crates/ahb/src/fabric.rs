@@ -78,7 +78,10 @@ impl Decoder {
 
     /// Decodes an address to its slave; `None` selects the default slave.
     pub fn decode(&self, addr: u32) -> Option<SlaveId> {
-        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.slave)
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.slave)
     }
 
     /// The configured regions.
@@ -112,10 +115,9 @@ pub enum DecodeMapError {
 impl std::fmt::Display for DecodeMapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeMapError::Overlap { first, second } => write!(
-                f,
-                "address map regions overlap: {first:?} and {second:?}"
-            ),
+            DecodeMapError::Overlap { first, second } => {
+                write!(f, "address map regions overlap: {first:?} and {second:?}")
+            }
             DecodeMapError::EmptyRegion { region } => {
                 write!(f, "address map region is empty: {region:?}")
             }
@@ -153,8 +155,14 @@ impl Arbiter {
     /// Panics if `num_masters` is 0 or exceeds 16 (HSPLIT is a 16-bit vector),
     /// or if `default_master` is out of range.
     pub fn new(num_masters: usize, default_master: MasterId) -> Self {
-        assert!(num_masters > 0 && num_masters <= 16, "1..=16 masters supported");
-        assert!(default_master.0 < num_masters, "default master out of range");
+        assert!(
+            num_masters > 0 && num_masters <= 16,
+            "1..=16 masters supported"
+        );
+        assert!(
+            default_master.0 < num_masters,
+            "default master out of range"
+        );
         Arbiter {
             num_masters,
             default_master,
@@ -410,8 +418,13 @@ impl Fabric {
         }
 
         let split_unmask = slaves.iter().fold(0u16, |acc, s| acc | s.split_unmask);
-        self.arbiter
-            .tick(masters, view.hready, view.resp, view.dp.as_ref(), split_unmask);
+        self.arbiter.tick(
+            masters,
+            view.hready,
+            view.resp,
+            view.dp.as_ref(),
+            split_unmask,
+        );
     }
 
     /// Builds the per-master view of a cycle.
@@ -428,8 +441,8 @@ impl Fabric {
 
     /// Builds the per-slave view of a cycle.
     pub fn slave_view(&self, view: &CycleView, slave: SlaveId) -> SlaveView {
-        let selects_me =
-            matches!(view.addr_phase.slave, Some(s) if s == slave) && view.addr_phase.trans.is_active();
+        let selects_me = matches!(view.addr_phase.slave, Some(s) if s == slave)
+            && view.addr_phase.trans.is_active();
         let dp_active = matches!(&view.dp, Some(d) if d.slave == Some(slave));
         SlaveView {
             addr_phase: selects_me.then_some(view.addr_phase),
@@ -470,9 +483,13 @@ impl Snapshot for Fabric {
         self.default_err2 = r.bool()?;
         self.dp = if r.bool()? {
             let master = MasterId(r.usize()?);
-            let slave = if r.bool()? { Some(SlaveId(r.usize()?)) } else { None };
-            let trans = crate::signals::Htrans::decode(r.u32()?)
-                .ok_or(SnapshotError::Corrupt { at: 0 })?;
+            let slave = if r.bool()? {
+                Some(SlaveId(r.usize()?))
+            } else {
+                None
+            };
+            let trans =
+                crate::signals::Htrans::decode(r.u32()?).ok_or(SnapshotError::Corrupt { at: 0 })?;
             let addr = r.u32()?;
             let write = r.bool()?;
             let size =
@@ -503,8 +520,16 @@ mod tests {
 
     fn decoder_two_slaves() -> Decoder {
         Decoder::new(vec![
-            Region { base: 0x0000, size: 0x1000, slave: SlaveId(0) },
-            Region { base: 0x1000, size: 0x1000, slave: SlaveId(1) },
+            Region {
+                base: 0x0000,
+                size: 0x1000,
+                slave: SlaveId(0),
+            },
+            Region {
+                base: 0x1000,
+                size: 0x1000,
+                slave: SlaveId(1),
+            },
         ])
         .unwrap()
     }
@@ -520,8 +545,16 @@ mod tests {
     #[test]
     fn decoder_rejects_overlap() {
         let err = Decoder::new(vec![
-            Region { base: 0x0, size: 0x100, slave: SlaveId(0) },
-            Region { base: 0x80, size: 0x100, slave: SlaveId(1) },
+            Region {
+                base: 0x0,
+                size: 0x100,
+                slave: SlaveId(0),
+            },
+            Region {
+                base: 0x80,
+                size: 0x100,
+                slave: SlaveId(1),
+            },
         ])
         .unwrap_err();
         assert!(matches!(err, DecodeMapError::Overlap { .. }));
@@ -530,11 +563,19 @@ mod tests {
     #[test]
     fn decoder_rejects_empty_and_wrapping() {
         assert!(matches!(
-            Decoder::new(vec![Region { base: 0, size: 0, slave: SlaveId(0) }]),
+            Decoder::new(vec![Region {
+                base: 0,
+                size: 0,
+                slave: SlaveId(0)
+            }]),
             Err(DecodeMapError::EmptyRegion { .. })
         ));
         assert!(matches!(
-            Decoder::new(vec![Region { base: u32::MAX, size: 2, slave: SlaveId(0) }]),
+            Decoder::new(vec![Region {
+                base: u32::MAX,
+                size: 2,
+                slave: SlaveId(0)
+            }]),
             Err(DecodeMapError::WrapsAddressSpace { .. })
         ));
     }
@@ -817,7 +858,11 @@ mod tests {
             let r = step.wrapping_mul(2654435761);
             masters[0].busreq = r & 1 != 0;
             masters[1].busreq = r & 2 != 0;
-            masters[0].trans = if r & 4 != 0 { Htrans::Nonseq } else { Htrans::Idle };
+            masters[0].trans = if r & 4 != 0 {
+                Htrans::Nonseq
+            } else {
+                Htrans::Idle
+            };
             masters[0].addr = (r % 0x3000) & !3;
             slaves[0].ready = r & 8 != 0;
             let va = a.view(&masters, &slaves);

@@ -69,8 +69,10 @@ use std::any::Any;
 /// A bus master: drives requests, addresses, control and write data.
 ///
 /// Implementors are Moore machines (see the crate docs) and must be
-/// [`Snapshot`]-able so they can live in a rollback-capable leader domain.
-pub trait AhbMaster: Snapshot + Any {
+/// [`Snapshot`]-able so they can live in a rollback-capable leader domain, and
+/// `Send` so a domain model can move to a worker thread when the co-emulation
+/// runs over a real-thread transport.
+pub trait AhbMaster: Snapshot + Any + Send {
     /// The signal values this master drives during the current cycle
     /// (pure function of state latched at the previous edge).
     fn outputs(&self) -> MasterSignals;
@@ -93,8 +95,9 @@ pub trait AhbMaster: Snapshot + Any {
 
 /// A bus slave: responds to selected transfers with ready/response/read data.
 ///
-/// Implementors are Moore machines and must be [`Snapshot`]-able.
-pub trait AhbSlave: Snapshot + Any {
+/// Implementors are Moore machines and must be [`Snapshot`]-able, and `Send`
+/// for the same reason as [`AhbMaster`].
+pub trait AhbSlave: Snapshot + Any + Send {
     /// The signal values this slave drives during the current cycle.
     fn outputs(&self) -> SlaveSignals;
 

@@ -67,7 +67,10 @@ impl CpuMaster {
     /// Panics if the seed is zero (xorshift degenerates) or a region is empty.
     pub fn new(seed: u64, profile: CpuProfile) -> Self {
         assert!(seed != 0, "seed must be non-zero");
-        assert!(profile.code_size >= 64 && profile.data_size >= 64, "regions too small");
+        assert!(
+            profile.code_size >= 64 && profile.data_size >= 64,
+            "regions too small"
+        );
         CpuMaster {
             profile,
             rng: seed,
@@ -125,7 +128,6 @@ impl CpuMaster {
 }
 
 impl AhbMaster for CpuMaster {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -239,9 +241,18 @@ mod tests {
     fn issues_a_mix_of_reads_writes_and_bursts() {
         let mut cpu = CpuMaster::new(3, CpuProfile::default());
         let outs = drive(&mut cpu, 3000);
-        let writes = outs.iter().filter(|o| o.trans == crate::signals::Htrans::Nonseq && o.write).count();
-        let reads = outs.iter().filter(|o| o.trans == crate::signals::Htrans::Nonseq && !o.write).count();
-        let bursts = outs.iter().filter(|o| o.trans == crate::signals::Htrans::Seq).count();
+        let writes = outs
+            .iter()
+            .filter(|o| o.trans == crate::signals::Htrans::Nonseq && o.write)
+            .count();
+        let reads = outs
+            .iter()
+            .filter(|o| o.trans == crate::signals::Htrans::Nonseq && !o.write)
+            .count();
+        let bursts = outs
+            .iter()
+            .filter(|o| o.trans == crate::signals::Htrans::Seq)
+            .count();
         assert!(writes > 0, "some writes");
         assert!(reads > 0, "some reads");
         assert!(bursts > 0, "some burst beats");
@@ -250,7 +261,11 @@ mod tests {
 
     #[test]
     fn rmw_pairs_are_locked_and_adjacent() {
-        let profile = CpuProfile { rmw_pct: 100, fetch_pct: 0, ..CpuProfile::default() };
+        let profile = CpuProfile {
+            rmw_pct: 100,
+            fetch_pct: 0,
+            ..CpuProfile::default()
+        };
         let mut cpu = CpuMaster::new(5, profile);
         let outs = drive(&mut cpu, 200);
         // Every active phase must be locked (all ops are RMW halves).

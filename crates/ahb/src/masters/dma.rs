@@ -96,27 +96,30 @@ impl DmaMaster {
     }
 
     fn launch_next(&mut self) {
-        let Some(job) = self.current_job().copied() else { return };
+        let Some(job) = self.current_job().copied() else {
+            return;
+        };
         let remaining = job.words - self.moved;
         match self.phase {
             DmaPhase::Reading => {
                 let addr = job.src + self.moved * 4;
                 let (_, beats) = plan_incr_burst(addr, Hsize::Word, remaining.min(CHUNK_WORDS));
                 self.inflight_words = beats;
-                self.engine.submit(BusOp::read_incr(addr, Hsize::Word, beats));
+                self.engine
+                    .submit(BusOp::read_incr(addr, Hsize::Word, beats));
             }
             DmaPhase::Writing => {
                 let addr = job.dst + self.moved * 4;
                 let data = std::mem::take(&mut self.chunk);
                 self.inflight_words = data.len() as u32;
-                self.engine.submit(BusOp::write_incr(addr, Hsize::Word, data));
+                self.engine
+                    .submit(BusOp::write_incr(addr, Hsize::Word, data));
             }
         }
     }
 }
 
 impl AhbMaster for DmaMaster {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -182,7 +185,11 @@ impl Snapshot for DmaMaster {
     fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
         self.job_idx = r.usize()?;
         self.moved = r.u32()?;
-        self.phase = if r.bool()? { DmaPhase::Writing } else { DmaPhase::Reading };
+        self.phase = if r.bool()? {
+            DmaPhase::Writing
+        } else {
+            DmaPhase::Reading
+        };
         self.chunk = r.slice_u32()?;
         self.inflight_words = r.u32()?;
         self.engine.restore(r)?;
@@ -285,7 +292,12 @@ mod tests {
             let dp_mine = dp.is_some();
             let rdata = dp.map_or(0, |(_, a)| a);
             dp = out.trans.is_active().then_some((out.write, out.addr));
-            dma.tick(&MasterView { granted: true, dp_mine, rdata, ..MasterView::quiet() });
+            dma.tick(&MasterView {
+                granted: true,
+                dp_mine,
+                rdata,
+                ..MasterView::quiet()
+            });
         }
         let state = save_to_vec(&dma);
         let mut copy = DmaMaster::new(vec![DmaDescriptor::new(0x0, 0x200, 12)]);

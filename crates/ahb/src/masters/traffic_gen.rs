@@ -73,7 +73,6 @@ impl TrafficGenMaster {
 }
 
 impl AhbMaster for TrafficGenMaster {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -120,7 +119,10 @@ impl Snapshot for TrafficGenMaster {
         self.engine.save(w);
         w.usize(self.results.len());
         for res in &self.results {
-            w.bool(res.write).u32(res.addr).slice_u32(&res.rdata).bool(res.error);
+            w.bool(res.write)
+                .u32(res.addr)
+                .slice_u32(&res.rdata)
+                .bool(res.error);
         }
     }
 
@@ -161,7 +163,11 @@ mod tests {
             cycles += 1;
             assert!(cycles < 100, "traffic gen stuck");
             let out = m.outputs();
-            m.tick(&MasterView { granted: true, dp_mine, ..MasterView::quiet() });
+            m.tick(&MasterView {
+                granted: true,
+                dp_mine,
+                ..MasterView::quiet()
+            });
             dp_mine = out.trans.is_active(); // the accepted phase owns the next data phase
         }
         assert_eq!(m.results().len(), 2);
@@ -190,10 +196,17 @@ mod tests {
             if saw_first && !out.busreq {
                 idle_after_first += 1;
             }
-            m.tick(&MasterView { granted: true, dp_mine, ..MasterView::quiet() });
+            m.tick(&MasterView {
+                granted: true,
+                dp_mine,
+                ..MasterView::quiet()
+            });
             dp_mine = out.trans.is_active();
         }
-        assert!(idle_after_first >= 2, "idle gap honoured ({idle_after_first})");
+        assert!(
+            idle_after_first >= 2,
+            "idle gap honoured ({idle_after_first})"
+        );
     }
 
     #[test]
@@ -203,7 +216,12 @@ mod tests {
         for _ in 0..64 {
             assert!(!m.done());
             let out = m.outputs();
-            m.tick(&MasterView { granted: true, dp_mine, rdata: 5, ..MasterView::quiet() });
+            m.tick(&MasterView {
+                granted: true,
+                dp_mine,
+                rdata: 5,
+                ..MasterView::quiet()
+            });
             dp_mine = out.trans.is_active();
         }
         // Results bounded by script length.
@@ -212,21 +230,21 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrip_mid_script() {
-        let mut m = TrafficGenMaster::from_ops(vec![
-            BusOp::write_single(0x0, 1),
-            BusOp::read_single(0x0),
-        ]);
+        let mut m =
+            TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0, 1), BusOp::read_single(0x0)]);
         let mut dp_mine = false;
         for _ in 0..3 {
             let out = m.outputs();
-            m.tick(&MasterView { granted: true, dp_mine, ..MasterView::quiet() });
+            m.tick(&MasterView {
+                granted: true,
+                dp_mine,
+                ..MasterView::quiet()
+            });
             dp_mine = out.trans.is_active();
         }
         let state = save_to_vec(&m);
-        let mut copy = TrafficGenMaster::from_ops(vec![
-            BusOp::write_single(0x0, 1),
-            BusOp::read_single(0x0),
-        ]);
+        let mut copy =
+            TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0, 1), BusOp::read_single(0x0)]);
         restore_from_vec(&mut copy, &state).unwrap();
         assert_eq!(copy, m);
     }

@@ -17,5 +17,7 @@ mod split;
 pub use default_slave::DefaultSlave;
 pub use fifo::FifoSlave;
 pub use memory::MemorySlave;
-pub use peripheral::{PeripheralSlave, REG_CTRL, REG_DATA, REG_STATUS, REG_TIMER_COUNT, REG_TIMER_PERIOD};
+pub use peripheral::{
+    PeripheralSlave, REG_CTRL, REG_DATA, REG_STATUS, REG_TIMER_COUNT, REG_TIMER_PERIOD,
+};
 pub use split::SplitSlave;

@@ -30,7 +30,6 @@ impl DefaultSlave {
 }
 
 impl AhbSlave for DefaultSlave {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -48,7 +47,8 @@ impl AhbSlave for DefaultSlave {
             self.errors += 1;
         }
         if events.accepted.is_some() {
-            self.engine.plan(PlannedResponse::error_class(0, Hresp::Error));
+            self.engine
+                .plan(PlannedResponse::error_class(0, Hresp::Error));
         }
     }
 }
@@ -83,15 +83,25 @@ mod tests {
             size: Hsize::Word,
             burst: Hburst::Single,
         };
-        s.tick(&SlaveView { addr_phase: Some(p), ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(p),
+            ..SlaveView::quiet()
+        });
         let o1 = s.outputs();
         assert!(!o1.ready);
         assert_eq!(o1.resp, Hresp::Error);
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
         let o2 = s.outputs();
         assert!(o2.ready);
         assert_eq!(o2.resp, Hresp::Error);
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         assert_eq!(s.errors(), 1);
     }
 }

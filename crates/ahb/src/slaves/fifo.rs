@@ -104,7 +104,6 @@ impl FifoSlave {
 }
 
 impl AhbSlave for FifoSlave {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -207,7 +206,10 @@ mod tests {
     /// Completes one transfer, returning (rdata, cycles taken).
     fn complete(f: &mut FifoSlave, write: bool, wdata: u32) -> (u32, u32) {
         let p = phase(write);
-        f.tick(&SlaveView { addr_phase: Some(p), ..SlaveView::quiet() });
+        f.tick(&SlaveView {
+            addr_phase: Some(p),
+            ..SlaveView::quiet()
+        });
         let mut cycles = 0;
         loop {
             cycles += 1;
@@ -230,7 +232,7 @@ mod tests {
     #[test]
     fn read_pops_produced_sequence() {
         let mut f = FifoSlave::new(8, 1, 0); // produce every cycle
-        // Let the producer run a few cycles.
+                                             // Let the producer run a few cycles.
         for _ in 0..4 {
             f.tick(&SlaveView::quiet());
         }

@@ -106,7 +106,6 @@ impl MemorySlave {
 }
 
 impl AhbSlave for MemorySlave {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -185,7 +184,10 @@ mod tests {
     /// Runs an accepted transfer through to completion, returning the delivered
     /// read data (for reads) and the cycle count it took.
     fn complete(mem: &mut MemorySlave, p: AddrPhase, wdata: u32) -> (u32, u32) {
-        mem.tick(&SlaveView { addr_phase: Some(p), ..SlaveView::quiet() });
+        mem.tick(&SlaveView {
+            addr_phase: Some(p),
+            ..SlaveView::quiet()
+        });
         let mut cycles = 0;
         loop {
             cycles += 1;
@@ -208,7 +210,11 @@ mod tests {
     #[test]
     fn word_write_then_read() {
         let mut mem = MemorySlave::new(0x100, 0);
-        complete(&mut mem, phase(true, 0x20, Hsize::Word, Htrans::Nonseq), 0x1234_5678);
+        complete(
+            &mut mem,
+            phase(true, 0x20, Hsize::Word, Htrans::Nonseq),
+            0x1234_5678,
+        );
         let (rdata, _) = complete(&mut mem, phase(false, 0x20, Hsize::Word, Htrans::Nonseq), 0);
         assert_eq!(rdata, 0x1234_5678);
         assert_eq!(mem.write_beats(), 1);
@@ -229,10 +235,18 @@ mod tests {
         let mut mem = MemorySlave::new(0x100, 0);
         mem.poke_word(0x10, 0xaabb_ccdd);
         // Byte write to lane 2 (addr & 3 == 2): data arrives on bits 23..16.
-        complete(&mut mem, phase(true, 0x12, Hsize::Byte, Htrans::Nonseq), 0x00ee_0000);
+        complete(
+            &mut mem,
+            phase(true, 0x12, Hsize::Byte, Htrans::Nonseq),
+            0x00ee_0000,
+        );
         assert_eq!(mem.peek_word(0x10), 0xaaee_ccdd);
         // Half write to the upper lane.
-        complete(&mut mem, phase(true, 0x12, Hsize::Half, Htrans::Nonseq), 0x1122_0000);
+        complete(
+            &mut mem,
+            phase(true, 0x12, Hsize::Half, Htrans::Nonseq),
+            0x1122_0000,
+        );
         assert_eq!(mem.peek_word(0x10), 0x1122_ccdd);
     }
 
@@ -251,7 +265,10 @@ mod tests {
         let wp = phase(true, 0x8, Hsize::Word, Htrans::Nonseq);
         let rp = phase(false, 0x8, Hsize::Word, Htrans::Nonseq);
         // Accept write.
-        mem.tick(&SlaveView { addr_phase: Some(wp), ..SlaveView::quiet() });
+        mem.tick(&SlaveView {
+            addr_phase: Some(wp),
+            ..SlaveView::quiet()
+        });
         // Write data phase completes; read accepted in the same cycle.
         assert!(mem.outputs().ready);
         mem.tick(&SlaveView {

@@ -99,19 +99,15 @@ impl PeripheralSlave {
     fn register_write(&mut self, offset: u32, value: u32) {
         match offset & 0x1c {
             REG_CTRL => self.ctrl = value & 0b11,
-            REG_STATUS => {
-                if value & 1 != 0 {
-                    self.irq_pending = false;
-                }
+            REG_STATUS if value & 1 != 0 => {
+                self.irq_pending = false;
             }
             REG_TIMER_PERIOD => {
                 self.period = value;
                 self.count = 0;
             }
-            REG_DATA => {
-                if self.mailbox.len() < MAILBOX_CAP {
-                    self.mailbox.push(value);
-                }
+            REG_DATA if self.mailbox.len() < MAILBOX_CAP => {
+                self.mailbox.push(value);
             }
             _ => {}
         }
@@ -119,7 +115,6 @@ impl PeripheralSlave {
 }
 
 impl AhbSlave for PeripheralSlave {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -155,7 +150,8 @@ impl AhbSlave for PeripheralSlave {
             } else {
                 self.register_read(phase.addr)
             };
-            self.engine.plan(PlannedResponse::okay(self.wait_states, rdata));
+            self.engine
+                .plan(PlannedResponse::okay(self.wait_states, rdata));
         }
     }
 }
@@ -200,7 +196,10 @@ mod tests {
 
     fn bus_write(p: &mut PeripheralSlave, addr: u32, value: u32) {
         let ph = phase(true, addr);
-        p.tick(&SlaveView { addr_phase: Some(ph), ..SlaveView::quiet() });
+        p.tick(&SlaveView {
+            addr_phase: Some(ph),
+            ..SlaveView::quiet()
+        });
         loop {
             let ready = p.outputs().ready;
             p.tick(&SlaveView {
@@ -218,7 +217,10 @@ mod tests {
 
     fn bus_read(p: &mut PeripheralSlave, addr: u32) -> u32 {
         let ph = phase(false, addr);
-        p.tick(&SlaveView { addr_phase: Some(ph), ..SlaveView::quiet() });
+        p.tick(&SlaveView {
+            addr_phase: Some(ph),
+            ..SlaveView::quiet()
+        });
         loop {
             let out = p.outputs();
             p.tick(&SlaveView {

@@ -78,7 +78,6 @@ impl SplitSlave {
 }
 
 impl AhbSlave for SplitSlave {
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -146,8 +145,10 @@ impl AhbSlave for SplitSlave {
                     cycles_left: self.latency.max(1),
                     armed: false,
                 });
-                self.engine
-                    .plan(PlannedResponse::error_class(0, crate::signals::Hresp::Split));
+                self.engine.plan(PlannedResponse::error_class(
+                    0,
+                    crate::signals::Hresp::Split,
+                ));
             }
         }
     }
@@ -209,16 +210,26 @@ mod tests {
         let mut s = SplitSlave::new(0x100, 3);
         s.poke_word(0x8, 0x7777);
         // First access: accepted, planned as SPLIT.
-        s.tick(&SlaveView { addr_phase: Some(phase(1, false, 0x8)), ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(1, false, 0x8)),
+            ..SlaveView::quiet()
+        });
         // Two-cycle SPLIT response.
         let out = s.outputs();
         assert!(!out.ready);
         assert_eq!(out.resp, Hresp::Split);
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
         let out = s.outputs();
         assert!(out.ready);
         assert_eq!(out.resp, Hresp::Split);
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         assert_eq!(s.splits_issued(), 1);
 
         // Idle until the unmask pulse appears.
@@ -233,7 +244,10 @@ mod tests {
         assert!(pulsed_at.is_some(), "HSPLIT pulse for master 1");
 
         // Retried access is served with data.
-        s.tick(&SlaveView { addr_phase: Some(phase(1, false, 0x8)), ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(1, false, 0x8)),
+            ..SlaveView::quiet()
+        });
         let out = s.outputs();
         assert!(out.ready);
         assert_eq!(out.resp, Hresp::Okay);
@@ -243,9 +257,19 @@ mod tests {
     #[test]
     fn unmask_pulse_is_one_cycle() {
         let mut s = SplitSlave::new(0x10, 1);
-        s.tick(&SlaveView { addr_phase: Some(phase(0, false, 0x0)), ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(0, false, 0x0)),
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         // Find the pulse, then confirm it clears.
         let mut seen = false;
         for _ in 0..5 {
@@ -264,18 +288,36 @@ mod tests {
     fn split_write_commits_on_retry() {
         let mut s = SplitSlave::new(0x100, 1);
         // Fresh write: split.
-        s.tick(&SlaveView { addr_phase: Some(phase(0, true, 0x4)), ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(0, true, 0x4)),
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         // Wait for unmask.
         for _ in 0..4 {
             s.tick(&SlaveView::quiet());
         }
         // Retry: write completes and commits.
         let wp = phase(0, true, 0x4);
-        s.tick(&SlaveView { addr_phase: Some(wp), ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(wp),
+            ..SlaveView::quiet()
+        });
         assert!(s.outputs().ready);
-        s.tick(&SlaveView { dp_active: true, dp: Some(wp), wdata: 0xbeef, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            dp_active: true,
+            dp: Some(wp),
+            wdata: 0xbeef,
+            ..SlaveView::quiet()
+        });
         assert_eq!(s.peek_word(0x4), 0xbeef);
     }
 
@@ -283,13 +325,33 @@ mod tests {
     fn concurrent_splits_complete_in_order() {
         let mut s = SplitSlave::new(0x100, 10);
         // Master 0 splits.
-        s.tick(&SlaveView { addr_phase: Some(phase(0, false, 0x0)), ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(0, false, 0x0)),
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         // Master 2 splits.
-        s.tick(&SlaveView { addr_phase: Some(phase(2, false, 0x0)), ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(2, false, 0x0)),
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            ..SlaveView::quiet()
+        });
         assert_eq!(s.splits_issued(), 2);
         // Collect unmask pulses in order.
         let mut pulses = Vec::new();
@@ -306,8 +368,15 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_mid_job() {
         let mut s = SplitSlave::new(0x40, 5);
-        s.tick(&SlaveView { addr_phase: Some(phase(3, false, 0xc)), ..SlaveView::quiet() });
-        s.tick(&SlaveView { dp_active: true, hready: false, ..SlaveView::quiet() });
+        s.tick(&SlaveView {
+            addr_phase: Some(phase(3, false, 0xc)),
+            ..SlaveView::quiet()
+        });
+        s.tick(&SlaveView {
+            dp_active: true,
+            hready: false,
+            ..SlaveView::quiet()
+        });
         let state = save_to_vec(&s);
         let mut copy = SplitSlave::new(0x40, 5);
         restore_from_vec(&mut copy, &state).unwrap();

@@ -7,7 +7,9 @@
 //! end-to-end data movement and by examples to print TLM-style logs.
 
 use crate::fabric::Fabric;
-use crate::signals::{Hburst, Hresp, Hsize, Htrans, MasterId, MasterSignals, SlaveId, SlaveSignals};
+use crate::signals::{
+    Hburst, Hresp, Hsize, Htrans, MasterId, MasterSignals, SlaveId, SlaveSignals,
+};
 use predpkt_sim::Trace;
 use std::fmt;
 
@@ -118,7 +120,11 @@ impl TxnExtractor {
         if let Some(dp) = &view.dp {
             if view.hready {
                 let data = if dp.write { view.wdata } else { view.rdata };
-                let beat = Beat { addr: dp.addr, data, cycle: self.cycle };
+                let beat = Beat {
+                    addr: dp.addr,
+                    data,
+                    cycle: self.cycle,
+                };
                 let waited = std::mem::take(&mut self.pending_waits);
                 match &mut self.open {
                     Some(t)
@@ -224,7 +230,10 @@ pub fn unpack_cycle_record(
     let base = num_masters * 3;
     let mut slaves = Vec::with_capacity(num_slaves);
     for j in 0..num_slaves {
-        let words = [as_u32(record[base + j * 2])?, as_u32(record[base + j * 2 + 1])?];
+        let words = [
+            as_u32(record[base + j * 2])?,
+            as_u32(record[base + j * 2 + 1])?,
+        ];
         slaves.push(SlaveSignals::unpack(&words)?);
     }
     Some((masters, slaves))
@@ -243,13 +252,7 @@ mod tests {
         // Rebuild an identical fabric replica from scratch.
         let fabric = Fabric::new(
             Arbiter::new(bus.num_masters(), MasterId(0)),
-            Decoder::new(
-                bus.fabric()
-                    .decoder()
-                    .regions()
-                    .to_vec(),
-            )
-            .unwrap(),
+            Decoder::new(bus.fabric().decoder().regions().to_vec()).unwrap(),
         );
         TxnExtractor::new(fabric, bus.num_masters(), bus.num_slaves())
     }
@@ -271,7 +274,10 @@ mod tests {
 
     fn extract(ops: Vec<BusOp>) -> Vec<Transaction> {
         let (trace, nm, ns, regions) = trace_of(ops);
-        let fabric = Fabric::new(Arbiter::new(nm, MasterId(0)), Decoder::new(regions).unwrap());
+        let fabric = Fabric::new(
+            Arbiter::new(nm, MasterId(0)),
+            Decoder::new(regions).unwrap(),
+        );
         let mut x = TxnExtractor::new(fabric, nm, ns);
         x.feed_trace(&trace);
         x.finish()
@@ -322,7 +328,9 @@ mod tests {
         // The default slave errors the transfer before any data phase completes:
         // the transaction never opens (no completed beat), which is acceptable —
         // nothing reached a slave. Subsequent ops still extract.
-        assert!(txns.iter().all(|t| t.resp == Hresp::Okay || t.beats.is_empty() || t.resp.is_error_class()));
+        assert!(txns
+            .iter()
+            .all(|t| t.resp == Hresp::Okay || t.beats.is_empty() || t.resp.is_error_class()));
     }
 
     #[test]
@@ -333,8 +341,15 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let m = vec![MasterSignals { busreq: true, addr: 0x123, ..MasterSignals::idle() }];
-        let s = vec![SlaveSignals { rdata: 7, ..SlaveSignals::idle() }];
+        let m = vec![MasterSignals {
+            busreq: true,
+            addr: 0x123,
+            ..MasterSignals::idle()
+        }];
+        let s = vec![SlaveSignals {
+            rdata: 7,
+            ..SlaveSignals::idle()
+        }];
         let rec = pack_cycle_record(&m, &s);
         let (m2, s2) = unpack_cycle_record(&rec, 1, 1).unwrap();
         assert_eq!(m, m2);

@@ -1,153 +1,211 @@
-//! Property-based tests on the AHB substrate's core data structures.
+//! Randomized tests on the AHB substrate's core data structures, driven by a
+//! seeded SplitMix64 generator so every case is reproducible without an
+//! external fuzzing framework.
 
-use proptest::prelude::*;
 use predpkt_ahb::burst::{beat_addr, fits_in_boundary, next_addr, BurstTracker, BURST_BOUNDARY};
-use predpkt_ahb::signals::{Hburst, Hsize, Htrans, MasterSignals, SlaveSignals};
+use predpkt_ahb::signals::{Hburst, Hresp, Hsize, Htrans, MasterSignals, SlaveSignals};
+use predpkt_sim::SplitMix64;
 
-fn hsize() -> impl Strategy<Value = Hsize> {
-    prop_oneof![Just(Hsize::Byte), Just(Hsize::Half), Just(Hsize::Word)]
-}
+struct Rng(SplitMix64);
 
-fn hburst() -> impl Strategy<Value = Hburst> {
-    proptest::sample::select(Hburst::ALL.to_vec())
-}
-
-fn htrans() -> impl Strategy<Value = Htrans> {
-    prop_oneof![
-        Just(Htrans::Idle),
-        Just(Htrans::Busy),
-        Just(Htrans::Nonseq),
-        Just(Htrans::Seq)
-    ]
-}
-
-fn master_signals() -> impl Strategy<Value = MasterSignals> {
-    (
-        any::<bool>(),
-        any::<bool>(),
-        htrans(),
-        any::<u32>(),
-        any::<bool>(),
-        hsize(),
-        hburst(),
-        0u8..16,
-        any::<u32>(),
-    )
-        .prop_map(
-            |(busreq, lock, trans, addr, write, size, burst, prot, wdata)| MasterSignals {
-                busreq,
-                lock,
-                trans,
-                addr,
-                write,
-                size,
-                burst,
-                prot,
-                wdata,
-            },
-        )
-}
-
-fn slave_signals() -> impl Strategy<Value = SlaveSignals> {
-    (
-        any::<bool>(),
-        0u32..4,
-        any::<u32>(),
-        any::<u16>(),
-        any::<bool>(),
-    )
-        .prop_map(|(ready, resp, rdata, split_unmask, irq)| SlaveSignals {
-            ready,
-            resp: predpkt_ahb::signals::Hresp::decode(resp).unwrap(),
-            rdata,
-            split_unmask,
-            irq,
-        })
-}
-
-proptest! {
-    #[test]
-    fn master_signals_pack_roundtrips(sig in master_signals()) {
-        prop_assert_eq!(MasterSignals::unpack(&sig.pack()), Some(sig));
+impl Rng {
+    fn seeded(seed: u64) -> Self {
+        Rng(SplitMix64::new(seed))
     }
 
-    #[test]
-    fn slave_signals_pack_roundtrips(sig in slave_signals()) {
-        prop_assert_eq!(SlaveSignals::unpack(&sig.pack()), Some(sig));
+    fn next(&mut self) -> u64 {
+        self.0.next_u64()
     }
 
-    #[test]
-    fn wrapping_bursts_stay_in_container(start in any::<u32>(), size in hsize(), burst in hburst()) {
-        prop_assume!(burst.is_wrapping());
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.below(n)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.0.flip()
+    }
+
+    fn hsize(&mut self) -> Hsize {
+        match self.below(3) {
+            0 => Hsize::Byte,
+            1 => Hsize::Half,
+            _ => Hsize::Word,
+        }
+    }
+
+    fn hburst(&mut self) -> Hburst {
+        let all = Hburst::ALL;
+        all[self.below(all.len() as u64) as usize]
+    }
+
+    fn htrans(&mut self) -> Htrans {
+        match self.below(4) {
+            0 => Htrans::Idle,
+            1 => Htrans::Busy,
+            2 => Htrans::Nonseq,
+            _ => Htrans::Seq,
+        }
+    }
+
+    fn master_signals(&mut self) -> MasterSignals {
+        MasterSignals {
+            busreq: self.flip(),
+            lock: self.flip(),
+            trans: self.htrans(),
+            addr: self.next() as u32,
+            write: self.flip(),
+            size: self.hsize(),
+            burst: self.hburst(),
+            prot: self.below(16) as u8,
+            wdata: self.next() as u32,
+        }
+    }
+
+    fn slave_signals(&mut self) -> SlaveSignals {
+        SlaveSignals {
+            ready: self.flip(),
+            resp: Hresp::decode(self.below(4) as u32).unwrap(),
+            rdata: self.next() as u32,
+            split_unmask: self.next() as u16,
+            irq: self.flip(),
+        }
+    }
+}
+
+const CASES: u64 = 400;
+
+#[test]
+fn master_signals_pack_roundtrips() {
+    let mut rng = Rng::seeded(0xa5b0_0001);
+    for case in 0..CASES {
+        let sig = rng.master_signals();
+        assert_eq!(MasterSignals::unpack(&sig.pack()), Some(sig), "case {case}");
+    }
+}
+
+#[test]
+fn slave_signals_pack_roundtrips() {
+    let mut rng = Rng::seeded(0xa5b0_0002);
+    for case in 0..CASES {
+        let sig = rng.slave_signals();
+        assert_eq!(SlaveSignals::unpack(&sig.pack()), Some(sig), "case {case}");
+    }
+}
+
+#[test]
+fn wrapping_bursts_stay_in_container() {
+    let mut rng = Rng::seeded(0xa5b0_0003);
+    let mut checked = 0;
+    while checked < CASES {
+        let (size, burst) = (rng.hsize(), rng.hburst());
+        if !burst.is_wrapping() {
+            continue;
+        }
+        checked += 1;
         let beats = burst.beats().unwrap();
-        let start = start & !(size.bytes() - 1); // align
+        let start = (rng.next() as u32) & !(size.bytes() - 1); // align
         let container = size.bytes() * beats;
         let base = start & !(container - 1);
         let mut a = start;
         for _ in 0..beats * 2 {
             a = next_addr(a, size, burst);
-            prop_assert!(a >= base && a < base + container,
-                "addr {a:#x} escaped container [{base:#x}, {:#x})", base + container);
+            assert!(
+                a >= base && a < base + container,
+                "addr {a:#x} escaped container [{base:#x}, {:#x})",
+                base + container
+            );
         }
     }
+}
 
-    #[test]
-    fn wrapping_bursts_visit_each_beat_once(start in any::<u32>(), size in hsize(), burst in hburst()) {
-        prop_assume!(burst.is_wrapping());
+#[test]
+fn wrapping_bursts_visit_each_beat_once() {
+    let mut rng = Rng::seeded(0xa5b0_0004);
+    let mut checked = 0;
+    while checked < CASES {
+        let (size, burst) = (rng.hsize(), rng.hburst());
+        if !burst.is_wrapping() {
+            continue;
+        }
+        checked += 1;
         let beats = burst.beats().unwrap();
-        let start = start & !(size.bytes() - 1);
+        let start = (rng.next() as u32) & !(size.bytes() - 1);
         let mut seen = std::collections::HashSet::new();
         for b in 0..beats {
-            prop_assert!(seen.insert(beat_addr(start, size, burst, b)));
+            assert!(seen.insert(beat_addr(start, size, burst, b)));
         }
         // And the sequence is periodic with period `beats`.
-        prop_assert_eq!(beat_addr(start, size, burst, beats), start);
+        assert_eq!(beat_addr(start, size, burst, beats), start);
     }
+}
 
-    #[test]
-    fn incrementing_bursts_step_uniformly(start in 0u32..0x8000_0000, size in hsize(), beat in 0u32..16) {
-        let start = start & !(size.bytes() - 1);
-        prop_assert_eq!(
+#[test]
+fn incrementing_bursts_step_uniformly() {
+    let mut rng = Rng::seeded(0xa5b0_0005);
+    for _ in 0..CASES {
+        let size = rng.hsize();
+        let start = (rng.below(0x8000_0000) as u32) & !(size.bytes() - 1);
+        let beat = rng.below(16) as u32;
+        assert_eq!(
             beat_addr(start, size, Hburst::Incr, beat),
             start + size.bytes() * beat
         );
     }
+}
 
-    #[test]
-    fn boundary_rule_consistent_with_addresses(start in any::<u32>(), size in hsize(), burst in hburst()) {
-        prop_assume!(burst.beats().is_some() && !burst.is_wrapping());
-        let start = (start & !(size.bytes() - 1)).min(u32::MAX - 0x1000);
+#[test]
+fn boundary_rule_consistent_with_addresses() {
+    let mut rng = Rng::seeded(0xa5b0_0006);
+    let mut checked = 0;
+    while checked < CASES {
+        let (size, burst) = (rng.hsize(), rng.hburst());
+        if burst.beats().is_none() || burst.is_wrapping() {
+            continue;
+        }
+        checked += 1;
+        let start = ((rng.next() as u32) & !(size.bytes() - 1)).min(u32::MAX - 0x1000);
         let beats = burst.beats().unwrap();
         let fits = fits_in_boundary(start, size, burst);
         // Verify against the address sequence itself.
-        let crosses = (0..beats).any(|b| {
-            beat_addr(start, size, burst, b) / BURST_BOUNDARY != start / BURST_BOUNDARY
-        });
-        prop_assert_eq!(fits, !crosses);
+        let crosses = (0..beats)
+            .any(|b| beat_addr(start, size, burst, b) / BURST_BOUNDARY != start / BURST_BOUNDARY);
+        assert_eq!(fits, !crosses);
     }
+}
 
-    #[test]
-    fn tracker_matches_addr_sequence(start in any::<u32>(), size in hsize(), burst in hburst()) {
-        prop_assume!(burst.beats().map_or(true, |b| b > 1));
-        let start = start & !(size.bytes() - 1);
+#[test]
+fn tracker_matches_addr_sequence() {
+    let mut rng = Rng::seeded(0xa5b0_0007);
+    let mut checked = 0;
+    while checked < CASES {
+        let (size, burst) = (rng.hsize(), rng.hburst());
+        if burst.beats().is_some_and(|b| b <= 1) {
+            continue;
+        }
+        checked += 1;
+        let start = (rng.next() as u32) & !(size.bytes() - 1);
         let mut t = BurstTracker::start(start, size, burst);
         for b in 1..burst.beats().unwrap_or(8) {
-            prop_assert_eq!(t.next_addr(), beat_addr(start, size, burst, b));
+            assert_eq!(t.next_addr(), beat_addr(start, size, burst, b));
             t.advance();
         }
         if let Some(beats) = burst.beats() {
-            prop_assert!(t.complete());
-            prop_assert_eq!(t.issued(), beats);
+            assert!(t.complete());
+            assert_eq!(t.issued(), beats);
         }
     }
+}
 
-    #[test]
-    fn tracker_pack_roundtrips(start in any::<u32>(), size in hsize(), burst in hburst(), advances in 0u32..16) {
-        let start = start & !(size.bytes() - 1);
+#[test]
+fn tracker_pack_roundtrips() {
+    let mut rng = Rng::seeded(0xa5b0_0008);
+    for _ in 0..CASES {
+        let (size, burst) = (rng.hsize(), rng.hburst());
+        let start = (rng.next() as u32) & !(size.bytes() - 1);
         let mut t = BurstTracker::start(start, size, burst);
-        for _ in 0..advances {
+        for _ in 0..rng.below(16) {
             t.advance();
         }
-        prop_assert_eq!(BurstTracker::unpack(&t.pack()), Some(t));
+        assert_eq!(BurstTracker::unpack(&t.pack()), Some(t));
     }
 }

@@ -1,42 +1,31 @@
 //! Host-side throughput of the golden AHB bus (cycles simulated per second of
 //! wall time) under the Fig. 2 SoC.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use predpkt_bench::micro::BenchGroup;
 use predpkt_workloads::figure2_soc;
 
-fn bench_bus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bus_throughput");
-    group.throughput(Throughput::Elements(2_000));
-    group.bench_function("figure2_golden_2k_cycles", |b| {
-        let blueprint = figure2_soc(42);
-        b.iter(|| {
-            let mut bus = blueprint.build_golden().expect("valid blueprint");
-            bus.run(2_000);
-            std::hint::black_box(bus.trace().hash())
-        });
-    });
-    group.bench_function("figure2_domains_lockstep_2k_cycles", |b| {
-        // The split domain models driven directly in conservative lockstep
-        // (no channel, no checker): the raw evaluation loop.
-        let blueprint = figure2_soc(42);
-        b.iter(|| {
-            use predpkt_core::{DomainModel, TickKind};
-            let (mut sim, mut acc) = blueprint.build_pair().expect("valid blueprint");
-            for _ in 0..2_000 {
-                let s = sim.local_outputs();
-                let a = acc.local_outputs();
-                sim.tick(&a, TickKind::Actual);
-                acc.tick(&s, TickKind::Actual);
-            }
-            std::hint::black_box(sim.cycle())
-        });
-    });
-    group.finish();
-}
+fn main() {
+    let mut group = BenchGroup::new("bus_throughput");
+    group.throughput_elements(2_000);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_bus
+    let blueprint = figure2_soc(42);
+    group.bench("figure2_golden_2k_cycles", || {
+        let mut bus = blueprint.build_golden().expect("valid blueprint");
+        bus.run(2_000);
+        bus.trace().hash()
+    });
+
+    // The split domain models driven directly in conservative lockstep
+    // (no channel, no checker): the raw evaluation loop.
+    group.bench("figure2_domains_lockstep_2k_cycles", || {
+        use predpkt_core::{DomainModel, TickKind};
+        let (mut sim, mut acc) = blueprint.build_pair().expect("valid blueprint");
+        for _ in 0..2_000 {
+            let s = sim.local_outputs();
+            let a = acc.local_outputs();
+            sim.tick(&a, TickKind::Actual);
+            acc.tick(&s, TickKind::Actual);
+        }
+        sim.cycle()
+    });
 }
-criterion_main!(benches);

@@ -1,51 +1,62 @@
-//! Host-side throughput of the channel transports (queue vs crossbeam).
+//! Host-side throughput of the channel transports (queue vs lossy vs
+//! real-thread endpoints).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use predpkt_bench::micro::BenchGroup;
 use predpkt_channel::{
-    ChannelCostModel, CostedChannel, Packet, PacketTag, Side, ThreadedTransport,
+    ChannelCostModel, CostedChannel, FaultSpec, LossyTransport, Packet, PacketTag, Side,
+    ThreadedTransport, Transport,
 };
 
-fn bench_transports(c: &mut Criterion) {
-    let mut group = c.benchmark_group("channel_transport");
-    group.throughput(Throughput::Elements(1_000));
+fn main() {
+    let mut group = BenchGroup::new("channel_transport");
+    group.throughput_elements(1_000);
 
-    group.bench_function("queue_1k_roundtrips", |b| {
-        b.iter(|| {
-            let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
-            for i in 0..1_000u32 {
-                ch.send(Side::Simulator, Packet::new(PacketTag::CycleOutputs, vec![i; 4]));
-                let got = ch.recv(Side::Accelerator).expect("delivered");
-                ch.send(Side::Accelerator, got);
-                std::hint::black_box(ch.recv(Side::Simulator).expect("delivered"));
-            }
-            std::hint::black_box(ch.stats().total_accesses())
-        })
+    group.bench("queue_1k_roundtrips", || {
+        let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
+        for i in 0..1_000u32 {
+            ch.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i; 4]),
+            );
+            let got = ch.recv(Side::Accelerator).expect("delivered");
+            ch.send(Side::Accelerator, got);
+            std::hint::black_box(ch.recv(Side::Simulator).expect("delivered"));
+        }
+        ch.stats().total_accesses()
     });
 
-    group.bench_function("threaded_1k_roundtrips", |b| {
-        b.iter(|| {
-            let (sim, acc) = ThreadedTransport::pair(ChannelCostModel::iprove_pci());
-            let worker = std::thread::spawn(move || {
-                for _ in 0..1_000 {
-                    let p = acc.recv_blocking().expect("peer alive");
-                    acc.send(p).expect("peer alive");
-                }
-            });
-            for i in 0..1_000u32 {
-                sim.send(Packet::new(PacketTag::CycleOutputs, vec![i; 4]))
-                    .expect("peer alive");
-                std::hint::black_box(sim.recv_blocking().expect("peer alive"));
-            }
-            worker.join().expect("worker exits");
-        })
+    group.bench("lossy_faultless_1k_roundtrips", || {
+        let mut ch = CostedChannel::with_transport(
+            LossyTransport::over_queue(FaultSpec::none(7)),
+            ChannelCostModel::iprove_pci(),
+        );
+        for i in 0..1_000u32 {
+            ch.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i; 4]),
+            );
+            let got = ch.recv(Side::Accelerator).expect("delivered");
+            ch.send(Side::Accelerator, got);
+            std::hint::black_box(ch.recv(Side::Simulator).expect("delivered"));
+        }
+        ch.stats().total_accesses()
     });
 
-    group.finish();
+    group.bench("threaded_1k_roundtrips", || {
+        let (mut sim, mut acc) = ThreadedTransport::pair();
+        let worker = std::thread::spawn(move || {
+            for _ in 0..1_000 {
+                let p = acc.recv_blocking().expect("peer alive");
+                acc.send(Side::Accelerator, p);
+            }
+        });
+        for i in 0..1_000u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i; 4]),
+            );
+            std::hint::black_box(sim.recv_blocking().expect("peer alive"));
+        }
+        worker.join().expect("worker exits");
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_transports
-}
-criterion_main!(benches);

@@ -1,48 +1,55 @@
-//! Host-side throughput of the full co-emulation engine by operating mode —
-//! how much the optimistic machinery itself costs per committed cycle.
+//! Host-side throughput of the full co-emulation engine by operating mode and
+//! transport backend — how much the optimistic machinery itself costs per
+//! committed cycle.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use predpkt_core::{CoEmuConfig, CoEmulator, ModePolicy};
+use predpkt_bench::micro::BenchGroup;
+use predpkt_core::{CoEmuConfig, EmuSession, ModePolicy, ThreadedOpts, TransportSelect};
 use predpkt_workloads::{figure2_soc, SyntheticSoc};
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coemu_modes");
-    group.throughput(Throughput::Elements(2_000));
+fn main() {
+    let mut group = BenchGroup::new("coemu_modes");
+    group.throughput_elements(2_000);
+
+    let blueprint = figure2_soc(42);
     for (name, policy) in [
         ("conservative", ModePolicy::Conservative),
         ("forced_als", ModePolicy::ForcedAls),
         ("auto", ModePolicy::Auto),
     ] {
-        group.bench_function(format!("figure2_{name}_2k"), |b| {
-            let blueprint = figure2_soc(42);
-            let config = CoEmuConfig::paper_defaults()
-                .policy(policy)
-                .rollback_vars(None)
-                .carry(true)
-                .adaptive(true);
-            b.iter(|| {
-                let mut coemu =
-                    CoEmulator::from_blueprint(&blueprint, config).expect("valid blueprint");
-                coemu.run_until_committed(2_000).expect("runs");
-                std::hint::black_box(coemu.committed_cycles())
-            });
+        let config = CoEmuConfig::paper_defaults()
+            .policy(policy)
+            .rollback_vars(None)
+            .carry(true)
+            .adaptive(true);
+        group.bench(&format!("figure2_{name}_2k"), || {
+            let mut session = EmuSession::from_blueprint(&blueprint)
+                .config(config)
+                .build()
+                .expect("valid blueprint");
+            session.run_until_committed(2_000).expect("runs");
+            session.committed_cycles()
         });
     }
-    group.bench_function("synthetic_als_p099_2k", |b| {
-        let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
-        b.iter(|| {
-            let (sim, acc) = SyntheticSoc::als(0.99, 7).build();
-            let mut coemu = CoEmulator::new(sim, acc, config);
-            coemu.run_until_committed(2_000).expect("runs");
-            std::hint::black_box(coemu.committed_cycles())
-        });
-    });
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_modes
+    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
+    group.bench("synthetic_als_p099_2k", || {
+        let mut session = SyntheticSoc::als(0.99, 7)
+            .session()
+            .config(config)
+            .build()
+            .expect("builds");
+        session.run_until_committed(2_000).expect("runs");
+        session.committed_cycles()
+    });
+
+    group.bench("synthetic_als_p099_2k_threaded", || {
+        let mut session = SyntheticSoc::als(0.99, 7)
+            .session()
+            .config(config)
+            .transport(TransportSelect::Threaded(ThreadedOpts::default()))
+            .build()
+            .expect("builds");
+        session.run_until_committed(2_000).expect("runs");
+        session.committed_cycles()
+    });
 }
-criterion_main!(benches);

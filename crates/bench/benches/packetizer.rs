@@ -1,6 +1,6 @@
 //! Encode/decode throughput of the delta packetizer on LOB-flush-shaped data.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use predpkt_bench::micro::BenchGroup;
 use predpkt_predict::{decode_block, encode_block};
 
 fn burst_entries(n: u32, width: usize, churn: usize) -> Vec<Vec<u32>> {
@@ -15,29 +15,19 @@ fn burst_entries(n: u32, width: usize, churn: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
-fn bench_packetizer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("packetizer");
+fn main() {
+    let mut group = BenchGroup::new("packetizer");
     for (name, entries) in [
         ("64x8_stable", burst_entries(64, 8, 1)),
         ("64x8_churny", burst_entries(64, 8, 6)),
         ("256x16_stable", burst_entries(256, 16, 2)),
     ] {
         let words: u64 = entries.iter().map(|e| e.len() as u64).sum();
-        group.throughput(Throughput::Elements(words));
-        group.bench_function(format!("encode_{name}"), |b| {
-            b.iter(|| std::hint::black_box(encode_block(&entries)))
-        });
+        group.throughput_elements(words);
+        group.bench(&format!("encode_{name}"), || encode_block(&entries));
         let wire = encode_block(&entries);
-        group.bench_function(format!("decode_{name}"), |b| {
-            b.iter(|| std::hint::black_box(decode_block(&wire).expect("valid block")))
+        group.bench(&format!("decode_{name}"), || {
+            decode_block(&wire).expect("valid block")
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_packetizer
-}
-criterion_main!(benches);

@@ -1,17 +1,16 @@
 //! Save/restore throughput of the rollback snapshot machinery — the host-side
 //! cost behind the paper's `Tstore`/`Trestore` virtual-time rows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use predpkt_core::DomainModel;
+use predpkt_bench::micro::BenchGroup;
+use predpkt_core::{DomainModel, TickKind};
 use predpkt_sim::{restore_from_vec, save_to_vec};
 use predpkt_workloads::figure2_soc;
 
-fn bench_snapshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("snapshot");
+fn main() {
+    let mut group = BenchGroup::new("snapshot");
     let blueprint = figure2_soc(42);
     let (mut sim, mut acc) = blueprint.build_pair().expect("valid blueprint");
     // Age the domains so the snapshots carry realistic state.
-    use predpkt_core::TickKind;
     for _ in 0..500 {
         let s = sim.local_outputs();
         let a = acc.local_outputs();
@@ -21,24 +20,10 @@ fn bench_snapshot(c: &mut Criterion) {
     let state = save_to_vec(&sim);
     println!("simulator-domain snapshot: {} words", state.len());
 
-    group.bench_function("save_sim_domain", |b| {
-        b.iter(|| std::hint::black_box(save_to_vec(&sim)))
+    group.bench("save_sim_domain", || save_to_vec(&sim));
+    group.bench("restore_sim_domain", || {
+        restore_from_vec(&mut sim, &state).expect("restore succeeds");
+        sim.cycle()
     });
-    group.bench_function("restore_sim_domain", |b| {
-        b.iter(|| {
-            restore_from_vec(&mut sim, &state).expect("restore succeeds");
-            std::hint::black_box(sim.cycle())
-        })
-    });
-    group.bench_function("save_acc_domain", |b| {
-        b.iter(|| std::hint::black_box(save_to_vec(&acc)))
-    });
-    group.finish();
+    group.bench("save_acc_domain", || save_to_vec(&acc));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_snapshot
-}
-criterion_main!(benches);

@@ -31,7 +31,10 @@ fn main() {
         let rev = pci.access_cost(Direction::AccToSim, words);
         let eff = pci.efficiency(Direction::SimToAcc, words);
         let mbs = pci.throughput_words_per_sec(Direction::SimToAcc, words) * 4.0 / 1e6;
-        println!("{words:>8} {fwd:>14} {rev:>14} {:>11.1}% {mbs:>12.1}", eff * 100.0);
+        println!(
+            "{words:>8} {fwd:>14} {rev:>14} {:>11.1}% {mbs:>12.1}",
+            eff * 100.0
+        );
     }
 
     println!(

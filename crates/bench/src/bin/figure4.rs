@@ -38,26 +38,35 @@ fn main() {
         let config = CoEmuConfig::paper_defaults()
             .policy(ModePolicy::ForcedAls)
             .sim_speed(Frequency::from_kcycles_per_sec(sim_k))
-            .lob_depth(lob);
+            .try_lob_depth(lob)
+            .expect("depth is non-zero");
         let ys: Vec<f64> = PAPER_ACCURACY_GRID
             .iter()
             .map(|&p| run_synthetic(p, config, cycles).performance_cps())
             .collect();
         println!(
             "{name:<20} {}",
-            ys.iter().map(|y| format!("{:>8}", fmt_kcps(*y))).collect::<String>()
+            ys.iter()
+                .map(|y| format!("{:>8}", fmt_kcps(*y)))
+                .collect::<String>()
         );
         series.push((name, ys));
     }
 
     // Conventional reference lines (paper: 28.8k and 38.9k).
-    for (label, sim_k) in [("conventional @100k", 100u64), ("conventional @1000k", 1_000)] {
+    for (label, sim_k) in [
+        ("conventional @100k", 100u64),
+        ("conventional @1000k", 1_000),
+    ] {
         let config = CoEmuConfig::paper_defaults()
             .policy(ModePolicy::Conservative)
             .sim_speed(Frequency::from_kcycles_per_sec(sim_k));
         let perf = run_synthetic(1.0, config, 3_000).performance_cps();
-        println!("{label:<20} {:>8} (paper: {})", fmt_kcps(perf),
-            if sim_k == 100 { "28.8k" } else { "38.9k" });
+        println!(
+            "{label:<20} {:>8} (paper: {})",
+            fmt_kcps(perf),
+            if sim_k == 100 { "28.8k" } else { "38.9k" }
+        );
     }
 
     ascii_chart(
@@ -72,7 +81,8 @@ fn main() {
     for (name, sim_k, lob) in configs {
         let config = CoEmuConfig::paper_defaults()
             .sim_speed(Frequency::from_kcycles_per_sec(sim_k))
-            .lob_depth(lob);
+            .try_lob_depth(lob)
+            .expect("depth is non-zero");
         let params = ModelParams::from_config(&config, Side::Accelerator);
         let ys = predpkt_perfmodel::figure4_series(&params);
         println!(

@@ -29,7 +29,8 @@ fn main() {
         for (i, &p) in accuracies.iter().enumerate() {
             let config = CoEmuConfig::paper_defaults()
                 .policy(ModePolicy::ForcedAls)
-                .lob_depth(d);
+                .try_lob_depth(d)
+                .expect("depth is non-zero");
             let perf = run_synthetic(p, config, cycles).performance_cps();
             if perf > best[i].2 {
                 best[i] = (p, d, perf);
@@ -46,7 +47,8 @@ fn main() {
     for &p in &accuracies {
         let config = CoEmuConfig::paper_defaults()
             .policy(ModePolicy::ForcedAls)
-            .lob_depth(256)
+            .try_lob_depth(256)
+            .expect("depth is non-zero")
             .adaptive(true);
         let perf = run_synthetic(p, config, cycles).performance_cps();
         println!("  p={p:<5} -> {}", fmt_kcps(perf));

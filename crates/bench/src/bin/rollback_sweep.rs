@@ -18,8 +18,14 @@ fn main() {
 
     println!("== Rollback-variable sweep (p = 0.9) ==\n");
     for (name, policy) in [
-        ("ALS (accelerator leads, 0.03 ns/var shadow copy)", ModePolicy::ForcedAls),
-        ("SLA (simulator leads, 10 ns/var memcpy)", ModePolicy::ForcedSla),
+        (
+            "ALS (accelerator leads, 0.03 ns/var shadow copy)",
+            ModePolicy::ForcedAls,
+        ),
+        (
+            "SLA (simulator leads, 10 ns/var memcpy)",
+            ModePolicy::ForcedSla,
+        ),
     ] {
         println!("{name}:");
         println!(

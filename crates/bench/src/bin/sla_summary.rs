@@ -35,8 +35,13 @@ fn main() {
         let be_str = be.map_or("none".into(), |b| format!("{b:.3}"));
         let spot = be.map(|b| run_synthetic(b, config, cycles).performance_cps() / conv);
 
-        println!("simulator = {sim_k} kcycles/s (conventional {} , paper {paper_conv})", fmt_kcps(conv));
-        println!("  max gain:   measured {des_gain:.2}x, model {model_gain:.2}x, paper {paper_gain}x");
+        println!(
+            "simulator = {sim_k} kcycles/s (conventional {} , paper {paper_conv})",
+            fmt_kcps(conv)
+        );
+        println!(
+            "  max gain:   measured {des_gain:.2}x, model {model_gain:.2}x, paper {paper_gain}x"
+        );
         println!(
             "  break-even: model p = {be_str} (paper {paper_be}); DES ratio at that p = {}",
             spot.map_or("-".into(), |r| format!("{r:.2}x"))
@@ -44,7 +49,9 @@ fn main() {
         println!();
     }
 
-    println!("SLA vs ALS sensitivity (the paper: \"SLA suffers more from low prediction accuracies\"):");
+    println!(
+        "SLA vs ALS sensitivity (the paper: \"SLA suffers more from low prediction accuracies\"):"
+    );
     for &p in &[1.0, 0.9, 0.7, 0.5] {
         let sla = run_synthetic(
             p,

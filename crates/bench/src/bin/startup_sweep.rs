@@ -24,8 +24,8 @@ fn main() {
         "startup", "conventional", "optimistic", "gain"
     );
     for startup_ns in [0u64, 100, 1_000, 5_000, 12_200, 50_000, 100_000] {
-        let channel = ChannelCostModel::iprove_pci()
-            .with_startup(VirtualTime::from_nanos(startup_ns));
+        let channel =
+            ChannelCostModel::iprove_pci().with_startup(VirtualTime::from_nanos(startup_ns));
         let conv = run_synthetic(
             0.99,
             CoEmuConfig::paper_defaults()

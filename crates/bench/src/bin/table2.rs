@@ -16,13 +16,17 @@ use predpkt_sim::CostCategory;
 const ACCURACIES: [f64; 8] = [1.0, 0.99, 0.96, 0.9, 0.8, 0.6, 0.3, 0.1];
 
 /// Paper Table 2 rows, transcribed.
-const PAPER_T_ACC: [f64; 8] = [1.0e-7, 1.6e-7, 2.9e-7, 4.9e-7, 8.1e-7, 1.5e-6, 2.4e-6, 3.0e-6];
-const PAPER_T_STORE: [f64; 8] =
-    [4.69e-10, 7.6e-10, 1.6e-9, 3.3e-9, 6.2e-9, 1.2e-8, 2.1e-8, 2.7e-8];
+const PAPER_T_ACC: [f64; 8] = [
+    1.0e-7, 1.6e-7, 2.9e-7, 4.9e-7, 8.1e-7, 1.5e-6, 2.4e-6, 3.0e-6,
+];
+const PAPER_T_STORE: [f64; 8] = [
+    4.69e-10, 7.6e-10, 1.6e-9, 3.3e-9, 6.2e-9, 1.2e-8, 2.1e-8, 2.7e-8,
+];
 const PAPER_T_REST: [f64; 8] = [0.0, 2.9e-10, 1.2e-9, 2.9e-9, 5.7e-9, 1.2e-8, 2.0e-8, 2.6e-8];
-const PAPER_T_CH: [f64; 8] = [4.3e-7, 6.8e-7, 1.5e-6, 2.9e-6, 5.4e-6, 1.1e-5, 1.8e-5, 2.3e-5];
-const PAPER_PERF: [f64; 8] =
-    [652e3, 543e3, 363e3, 226e3, 138e3, 76.7e3, 46.1e3, 36.7e3];
+const PAPER_T_CH: [f64; 8] = [
+    4.3e-7, 6.8e-7, 1.5e-6, 2.9e-6, 5.4e-6, 1.1e-5, 1.8e-5, 2.3e-5,
+];
+const PAPER_PERF: [f64; 8] = [652e3, 543e3, 363e3, 226e3, 138e3, 76.7e3, 46.1e3, 36.7e3];
 const PAPER_RATIO: [f64; 8] = [16.75, 13.97, 9.33, 5.80, 3.56, 1.91, 1.19, 0.94];
 
 fn main() {
@@ -32,22 +36,20 @@ fn main() {
         .unwrap_or(60_000);
 
     println!("== Table 2: Performance of ALS ==");
-    println!(
-        "(sim 1,000 kcycles/s, acc 10 Mcycles/s, LOB 64, 1,000 rollback vars, iPROVE PCI)\n"
-    );
+    println!("(sim 1,000 kcycles/s, acc 10 Mcycles/s, LOB 64, 1,000 rollback vars, iPROVE PCI)\n");
 
     let header: Vec<String> = ACCURACIES.iter().map(|p| format!("{p:.3}")).collect();
     print_row("Prob.", &header);
 
     // --- Paper rows ----------------------------------------------------------
     println!("\n-- paper (published) --");
-    print_row("Tsim.", &ACCURACIES.map(|_| fmt_sci(1.0e-6)).to_vec());
-    print_row("Tacc.", &PAPER_T_ACC.map(fmt_sci).to_vec());
-    print_row("Tstore", &PAPER_T_STORE.map(fmt_sci).to_vec());
-    print_row("Trest.", &PAPER_T_REST.map(fmt_sci).to_vec());
-    print_row("Tch.", &PAPER_T_CH.map(fmt_sci).to_vec());
-    print_row("Perform.", &PAPER_PERF.map(fmt_kcps).to_vec());
-    print_row("Ratio", &PAPER_RATIO.map(|r| format!("{r:.2}")).to_vec());
+    print_row("Tsim.", ACCURACIES.map(|_| fmt_sci(1.0e-6)).as_ref());
+    print_row("Tacc.", PAPER_T_ACC.map(fmt_sci).as_ref());
+    print_row("Tstore", PAPER_T_STORE.map(fmt_sci).as_ref());
+    print_row("Trest.", PAPER_T_REST.map(fmt_sci).as_ref());
+    print_row("Tch.", PAPER_T_CH.map(fmt_sci).as_ref());
+    print_row("Perform.", PAPER_PERF.map(fmt_kcps).as_ref());
+    print_row("Ratio", PAPER_RATIO.map(|r| format!("{r:.2}")).as_ref());
 
     let fixed = CoEmuConfig::paper_defaults().policy(ModePolicy::ForcedAls);
     let adaptive = fixed.adaptive(true);
@@ -55,7 +57,10 @@ fn main() {
     let baseline = params.conventional_perf();
 
     // --- Closed-form model ----------------------------------------------------
-    for (name, is_adaptive) in [("analytic, fixed depth", false), ("analytic, adaptive", true)] {
+    for (name, is_adaptive) in [
+        ("analytic, fixed depth", false),
+        ("analytic, adaptive", true),
+    ] {
         println!("\n-- {name} --");
         let rows: Vec<AnalyticRow> = ACCURACIES
             .iter()
@@ -67,15 +72,45 @@ fn main() {
                 }
             })
             .collect();
-        print_row("Tsim.", &rows.iter().map(|r| fmt_sci(r.t_sim)).collect::<Vec<_>>());
-        print_row("Tacc.", &rows.iter().map(|r| fmt_sci(r.t_acc)).collect::<Vec<_>>());
-        print_row("Tstore", &rows.iter().map(|r| fmt_sci(r.t_store)).collect::<Vec<_>>());
-        print_row("Trest.", &rows.iter().map(|r| fmt_sci(r.t_restore)).collect::<Vec<_>>());
-        print_row("Tch.", &rows.iter().map(|r| fmt_sci(r.t_channel)).collect::<Vec<_>>());
-        print_row("Perform.", &rows.iter().map(|r| fmt_kcps(r.performance)).collect::<Vec<_>>());
+        print_row(
+            "Tsim.",
+            &rows.iter().map(|r| fmt_sci(r.t_sim)).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Tacc.",
+            &rows.iter().map(|r| fmt_sci(r.t_acc)).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Tstore",
+            &rows.iter().map(|r| fmt_sci(r.t_store)).collect::<Vec<_>>(),
+        );
+        print_row(
+            "Trest.",
+            &rows
+                .iter()
+                .map(|r| fmt_sci(r.t_restore))
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "Tch.",
+            &rows
+                .iter()
+                .map(|r| fmt_sci(r.t_channel))
+                .collect::<Vec<_>>(),
+        );
+        print_row(
+            "Perform.",
+            &rows
+                .iter()
+                .map(|r| fmt_kcps(r.performance))
+                .collect::<Vec<_>>(),
+        );
         print_row(
             "Ratio",
-            &rows.iter().map(|r| format!("{:.2}", r.ratio)).collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .map(|r| format!("{:.2}", r.ratio))
+                .collect::<Vec<_>>(),
         );
     }
 

@@ -1,14 +1,16 @@
 //! # predpkt-bench — evaluation harness
 //!
 //! Shared plumbing for the table/figure regeneration binaries (see
-//! `src/bin/`) and the criterion benches (see `benches/`). The experiment
-//! index lives in `DESIGN.md`; measured-vs-paper results in `EXPERIMENTS.md`.
+//! `src/bin/`) and the host-side micro-benchmarks (see `benches/`, built on
+//! the self-contained [`micro`] harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use predpkt_core::{CoEmuConfig, CoEmulator, ModePolicy, PerfReport};
+use predpkt_core::{CoEmuConfig, ModePolicy, PerfReport};
 use predpkt_workloads::SyntheticSoc;
+
+pub mod micro;
 
 /// Runs the synthetic harness at accuracy `p` under `config` for `cycles`
 /// committed cycles and returns the report.
@@ -17,12 +19,15 @@ pub fn run_synthetic(p: f64, config: CoEmuConfig, cycles: u64) -> PerfReport {
         ModePolicy::ForcedSla => SyntheticSoc::sla(p, 0x5eed),
         _ => SyntheticSoc::als(p, 0x5eed),
     };
-    let (sim, acc) = soc.build();
-    let mut coemu = CoEmulator::new(sim, acc, config);
-    coemu
+    let mut session = soc
+        .session()
+        .config(config)
+        .build()
+        .expect("synthetic session always builds");
+    session
         .run_until_committed(cycles)
         .expect("synthetic run cannot deadlock");
-    coemu.report()
+    session.report()
 }
 
 /// Formats a cycles/second figure the way the paper does (e.g. `652k`).
@@ -56,10 +61,13 @@ pub fn print_row(label: &str, cells: &[String]) {
 /// eyeball the Figure 4 shape in a terminal.
 pub fn ascii_chart(title: &str, xs: &[f64], series: &[(&str, Vec<f64>)], height: usize) {
     println!("\n{title}");
-    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
-    let (lo, hi) = all
+    let all: Vec<f64> = series
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
+    let (lo, hi) = all.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
     let (llo, lhi) = (lo.ln(), hi.ln());
     let marks = ['A', 'B', 'C', 'D', 'E', 'F'];
     for row in (0..height).rev() {

@@ -1,0 +1,97 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The bench targets under `benches/` are plain `harness = false` binaries
+//! built on this module: each case is warmed up, then timed over enough
+//! iterations to fill a measurement window, and reported as ns/iter plus an
+//! optional element-throughput figure. Pass `--quick` (or set the
+//! `PREDPKT_BENCH_QUICK` environment variable) to shrink the windows for
+//! smoke runs — CI builds the benches but does not run them.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: prints a header, then a line per case.
+pub struct BenchGroup {
+    name: String,
+    warmup: Duration,
+    window: Duration,
+    /// Elements processed per iteration (for throughput lines).
+    elements: Option<u64>,
+}
+
+impl BenchGroup {
+    /// Creates a group, honouring `--quick` / `PREDPKT_BENCH_QUICK`.
+    pub fn new(name: &str) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("PREDPKT_BENCH_QUICK").is_some();
+        let (warmup, window) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(100))
+        } else {
+            (Duration::from_millis(300), Duration::from_secs(2))
+        };
+        println!("== {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            warmup,
+            window,
+            elements: None,
+        }
+    }
+
+    /// Sets the per-iteration element count used for throughput reporting.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Times `f`, printing mean ns/iter (and elements/s when configured).
+    pub fn bench<R>(&mut self, case: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        // Warm up and estimate a single-iteration time.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = self.warmup.as_nanos() as u64 / warm_iters.max(1);
+        let iters = (self.window.as_nanos() as u64 / est.max(1)).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        match self.elements {
+            Some(elements) => {
+                let eps = elements as f64 / (ns_per_iter / 1e9);
+                println!(
+                    "{:<40} {:>14.0} ns/iter  {:>12.2} Melem/s  ({iters} iters)",
+                    format!("{}::{case}", self.name),
+                    ns_per_iter,
+                    eps / 1e6,
+                );
+            }
+            None => {
+                println!(
+                    "{:<40} {:>14.0} ns/iter  ({iters} iters)",
+                    format!("{}::{case}", self.name),
+                    ns_per_iter,
+                );
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("PREDPKT_BENCH_QUICK", "1");
+        let mut g = BenchGroup::new("smoke");
+        g.throughput_elements(10).bench("noop", || 1 + 1);
+    }
+}

@@ -235,8 +235,14 @@ mod tests {
     fn iprove_constants_match_paper() {
         let m = ChannelCostModel::iprove_pci();
         assert_eq!(m.startup(), VirtualTime::from_nanos(12_200));
-        assert_eq!(m.per_word(Direction::SimToAcc), VirtualTime::from_picos(49_950));
-        assert_eq!(m.per_word(Direction::AccToSim), VirtualTime::from_picos(75_730));
+        assert_eq!(
+            m.per_word(Direction::SimToAcc),
+            VirtualTime::from_picos(49_950)
+        );
+        assert_eq!(
+            m.per_word(Direction::AccToSim),
+            VirtualTime::from_picos(75_730)
+        );
     }
 
     #[test]
@@ -282,7 +288,10 @@ mod tests {
     fn with_startup_overrides() {
         let m = ChannelCostModel::iprove_pci().with_startup(VirtualTime::from_micros(100));
         assert_eq!(m.startup(), VirtualTime::from_micros(100));
-        assert_eq!(m.per_word(Direction::SimToAcc), VirtualTime::from_picos(49_950));
+        assert_eq!(
+            m.per_word(Direction::SimToAcc),
+            VirtualTime::from_picos(49_950)
+        );
     }
 
     #[test]

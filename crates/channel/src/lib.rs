@@ -10,9 +10,11 @@
 //!   [`LayeredStartup`]. The preset [`ChannelCostModel::iprove_pci`] carries the
 //!   paper's exact constants.
 //! * [`Packet`] — a word-addressed payload with a message tag.
-//! * [`Transport`] / [`QueueTransport`] — in-process, deterministic message
-//!   passing between the two domains; [`ThreadedTransport`] provides a
-//!   crossbeam-based variant for real-thread experiments.
+//! * [`Transport`] — the pluggable mailbox abstraction between the two
+//!   domains. Three backends ship with the crate: the deterministic in-process
+//!   [`QueueTransport`], the real-thread [`ThreadedTransport`] (each
+//!   [`ThreadedEndpoint`] implements [`Transport`] for its own side), and the
+//!   fault-injecting [`LossyTransport`] for protocol-robustness scenarios.
 //! * [`CostedChannel`] — a transport combined with the cost model and
 //!   [`ChannelStats`], returning the virtual-time cost of every access so the
 //!   caller can charge its ledger.
@@ -33,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod lossy;
 mod message;
 mod stats;
 mod threaded;
 mod transport;
 
 pub use cost::{ChannelCostModel, Direction, LayeredStartup, Side};
+pub use lossy::{FaultSpec, FaultStats, LossyTransport};
 pub use message::{Packet, PacketTag};
 pub use stats::ChannelStats;
 pub use threaded::{ThreadedEndpoint, ThreadedTransport};

@@ -1,0 +1,282 @@
+//! Fault-injecting transport for protocol-robustness scenarios.
+//!
+//! [`LossyTransport`] wraps any inner [`Transport`] and, with seeded
+//! deterministic pseudo-randomness, drops, truncates, or duplicates packets as
+//! they are sent. The co-emulation protocol has no retransmission layer (the
+//! paper assumes a reliable PCI channel), so faults surface as *detected*
+//! failures:
+//!
+//! * a **dropped** packet starves the receiver, which the orchestrator reports
+//!   as [`Deadlock`](predpkt_sim::SimError::Deadlock);
+//! * a **truncated** packet violates the fixed message layout and is rejected
+//!   by the protocol decoder;
+//! * a **duplicated** packet usually arrives in a wrapper phase that cannot
+//!   accept it (handshakes, bursts, reports) and is rejected as a protocol
+//!   violation or starves the run into a detected deadlock. The exception is
+//!   a duplicated conservative `CycleOutputs` exchange: the wire format
+//!   carries no sequence numbers (the paper's channel model has none), so a
+//!   stale copy is indistinguishable from a fresh exchange and *can* corrupt
+//!   a conservative-mode run silently. Duplicate injection is therefore a
+//!   robustness probe, not a guaranteed-detection mode.
+//!
+//! With [`FaultSpec::none`] the transport is bit-for-bit transparent, which
+//! the transport-equivalence suite exploits.
+
+use crate::cost::Side;
+use crate::message::Packet;
+use crate::transport::{QueueTransport, Transport};
+use predpkt_sim::SplitMix64;
+
+/// Deterministic fault plan for a [`LossyTransport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// PRNG seed; identical seeds reproduce identical fault sequences.
+    pub seed: u64,
+    /// Probability a sent packet is silently discarded.
+    pub drop_rate: f64,
+    /// Probability a sent packet loses its last payload word (layout
+    /// corruption the decoder must detect).
+    pub truncate_rate: f64,
+    /// Probability a sent packet is delivered twice.
+    pub duplicate_rate: f64,
+}
+
+impl FaultSpec {
+    /// A fault-free plan: the lossy transport becomes transparent.
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_rate: 0.0,
+            truncate_rate: 0.0,
+            duplicate_rate: 0.0,
+        }
+    }
+
+    /// Drops packets at `rate`, injects nothing else.
+    pub fn drops(seed: u64, rate: f64) -> Self {
+        FaultSpec {
+            drop_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Truncates packets at `rate`, injects nothing else.
+    pub fn truncations(seed: u64, rate: f64) -> Self {
+        FaultSpec {
+            truncate_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Duplicates packets at `rate`, injects nothing else.
+    pub fn duplicates(seed: u64, rate: f64) -> Self {
+        FaultSpec {
+            duplicate_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Checks that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range rate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, r) in [
+            ("drop_rate", self.drop_rate),
+            ("truncate_rate", self.truncate_rate),
+            ("duplicate_rate", self.duplicate_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} must be a probability, got {r}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters of the faults a [`LossyTransport`] has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets discarded in flight.
+    pub dropped: u64,
+    /// Packets delivered with a truncated payload.
+    pub truncated: u64,
+    /// Packets delivered twice.
+    pub duplicated: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.truncated + self.duplicated
+    }
+}
+
+/// A transport that injects seeded faults on the send path.
+///
+/// # Example
+///
+/// ```
+/// use predpkt_channel::{FaultSpec, LossyTransport, Packet, PacketTag, Side, Transport};
+/// let mut t = LossyTransport::over_queue(FaultSpec::drops(1, 1.0));
+/// t.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+/// assert_eq!(t.pending(Side::Accelerator), 0, "every packet is dropped");
+/// assert_eq!(t.fault_stats().dropped, 1);
+/// ```
+#[derive(Debug)]
+pub struct LossyTransport<T: Transport = QueueTransport> {
+    inner: T,
+    spec: FaultSpec,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl LossyTransport<QueueTransport> {
+    /// Wraps a fresh deterministic [`QueueTransport`].
+    pub fn over_queue(spec: FaultSpec) -> Self {
+        Self::new(QueueTransport::new(), spec)
+    }
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner` with the fault plan `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `spec` is outside `[0, 1]`; validate with
+    /// [`FaultSpec::validate`] first for a `Result`-returning path.
+    pub fn new(inner: T, spec: FaultSpec) -> Self {
+        spec.validate().expect("invalid fault spec");
+        LossyTransport {
+            inner,
+            spec,
+            rng: SplitMix64::new(spec.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The fault plan in force.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Consumes the wrapper, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn send(&mut self, from: Side, mut packet: Packet) {
+        if self.spec.drop_rate > 0.0 && self.rng.unit_f64() < self.spec.drop_rate {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.spec.truncate_rate > 0.0
+            && self.rng.unit_f64() < self.spec.truncate_rate
+            && !packet.payload().is_empty()
+        {
+            let mut words = packet.payload().to_vec();
+            words.pop();
+            packet = Packet::new(packet.tag(), words);
+            self.stats.truncated += 1;
+        }
+        let duplicate =
+            self.spec.duplicate_rate > 0.0 && self.rng.unit_f64() < self.spec.duplicate_rate;
+        if duplicate {
+            self.stats.duplicated += 1;
+            self.inner.send(from, packet.clone());
+        }
+        self.inner.send(from, packet);
+    }
+
+    fn recv(&mut self, to: Side) -> Option<Packet> {
+        self.inner.recv(to)
+    }
+
+    fn pending(&self, to: Side) -> usize {
+        self.inner.pending(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::PacketTag;
+
+    fn pkt(n: usize) -> Packet {
+        Packet::new(PacketTag::CycleOutputs, vec![7; n])
+    }
+
+    #[test]
+    fn faultless_spec_is_transparent() {
+        let mut t = LossyTransport::over_queue(FaultSpec::none(42));
+        for i in 0..100 {
+            t.send(Side::Simulator, pkt(i % 5));
+        }
+        assert_eq!(t.pending(Side::Accelerator), 100);
+        for i in 0..100 {
+            assert_eq!(t.recv(Side::Accelerator).unwrap().payload().len(), i % 5);
+        }
+        assert_eq!(t.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut t = LossyTransport::over_queue(FaultSpec::drops(7, 0.3));
+        for _ in 0..10_000 {
+            t.send(Side::Simulator, pkt(1));
+        }
+        let dropped = t.fault_stats().dropped as f64 / 10_000.0;
+        assert!((dropped - 0.3).abs() < 0.03, "observed drop rate {dropped}");
+    }
+
+    #[test]
+    fn truncation_shortens_payload() {
+        let mut t = LossyTransport::over_queue(FaultSpec::truncations(9, 1.0));
+        t.send(Side::Accelerator, pkt(4));
+        let got = t.recv(Side::Simulator).unwrap();
+        assert_eq!(got.payload().len(), 3);
+        assert_eq!(t.fault_stats().truncated, 1);
+    }
+
+    #[test]
+    fn empty_payload_never_truncates() {
+        let mut t = LossyTransport::over_queue(FaultSpec::truncations(9, 1.0));
+        t.send(Side::Accelerator, pkt(0));
+        assert_eq!(t.recv(Side::Simulator).unwrap().payload().len(), 0);
+        assert_eq!(t.fault_stats().truncated, 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let mut t = LossyTransport::over_queue(FaultSpec::duplicates(3, 1.0));
+        t.send(Side::Simulator, pkt(2));
+        assert_eq!(t.pending(Side::Accelerator), 2);
+        assert_eq!(t.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let run = || {
+            let mut t = LossyTransport::over_queue(FaultSpec::drops(11, 0.5));
+            for _ in 0..64 {
+                t.send(Side::Simulator, pkt(1));
+            }
+            t.fault_stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_rate_rejected() {
+        let _ = LossyTransport::over_queue(FaultSpec::drops(0, 1.5));
+    }
+}

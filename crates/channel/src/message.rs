@@ -31,11 +31,11 @@ impl PacketTag {
     /// Encodes the tag as a wire word.
     pub fn encode(self) -> u32 {
         match self {
-            PacketTag::CycleOutputs => 0x4359_434c, // "CYCL"
-            PacketTag::Burst => 0x4255_5253,        // "BURS"
+            PacketTag::CycleOutputs => 0x4359_434c,  // "CYCL"
+            PacketTag::Burst => 0x4255_5253,         // "BURS"
             PacketTag::ReportSuccess => 0x524f_4b21, // "ROK!"
             PacketTag::ReportFailure => 0x5246_4149, // "RFAI"
-            PacketTag::Handshake => 0x4853_4b21,    // "HSK!"
+            PacketTag::Handshake => 0x4853_4b21,     // "HSK!"
         }
     }
 

@@ -153,6 +153,18 @@ impl<T: Transport> CostedChannel<T> {
         &self.cost_model
     }
 
+    /// Shared access to the inner transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Exclusive access to the inner transport (e.g. to wait on a
+    /// [`ThreadedEndpoint`](crate::ThreadedEndpoint) or inspect
+    /// [`LossyTransport`](crate::LossyTransport) fault counters).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// Consumes the channel, returning the inner transport.
     pub fn into_inner(self) -> T {
         self.transport
@@ -172,9 +184,18 @@ mod tests {
     #[test]
     fn queue_fifo_order_per_direction() {
         let mut t = QueueTransport::new();
-        t.send(Side::Simulator, Packet::new(PacketTag::CycleOutputs, vec![1]));
-        t.send(Side::Simulator, Packet::new(PacketTag::CycleOutputs, vec![2]));
-        t.send(Side::Accelerator, Packet::new(PacketTag::CycleOutputs, vec![3]));
+        t.send(
+            Side::Simulator,
+            Packet::new(PacketTag::CycleOutputs, vec![1]),
+        );
+        t.send(
+            Side::Simulator,
+            Packet::new(PacketTag::CycleOutputs, vec![2]),
+        );
+        t.send(
+            Side::Accelerator,
+            Packet::new(PacketTag::CycleOutputs, vec![3]),
+        );
         assert_eq!(t.pending(Side::Accelerator), 2);
         assert_eq!(t.pending(Side::Simulator), 1);
         assert_eq!(t.recv(Side::Accelerator).unwrap().payload(), &[1]);

@@ -19,102 +19,11 @@
 use crate::blueprint::Placement;
 use crate::model::{DomainModel, TickKind};
 use predpkt_ahb::fabric::{CycleView, Fabric};
-use predpkt_ahb::signals::{
-    Hresp, MasterId, MasterSignals, SlaveId, SlaveSignals,
-};
+use predpkt_ahb::signals::{MasterId, MasterSignals, SlaveId, SlaveSignals};
 use predpkt_ahb::{AhbMaster, AhbSlave};
 use predpkt_channel::Side;
-use predpkt_predict::{BurstFollower, LastValuePredictor, WaitPredictor};
+use predpkt_predict::{MasterPredictor, PredictorSuite, SlavePredictor};
 use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark};
-
-/// Predictors for one remote master.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct MasterPredictors {
-    follower: BurstFollower,
-    busreq: LastValuePredictor,
-    lock: LastValuePredictor,
-    wdata: LastValuePredictor,
-    prot: LastValuePredictor,
-}
-
-impl MasterPredictors {
-    fn new() -> Self {
-        MasterPredictors {
-            follower: BurstFollower::new(),
-            busreq: LastValuePredictor::new(0),
-            lock: LastValuePredictor::new(0),
-            wdata: LastValuePredictor::new(0),
-            prot: LastValuePredictor::new(0),
-        }
-    }
-
-    fn observe(&mut self, actual: &MasterSignals, accepted: bool) {
-        self.follower.observe(actual, accepted);
-        self.busreq.observe(actual.busreq as u32);
-        self.lock.observe(actual.lock as u32);
-        self.wdata.observe(actual.wdata);
-        self.prot.observe(actual.prot as u32);
-    }
-
-    fn predict(&mut self) -> MasterSignals {
-        let mut sig = self.follower.predict_and_advance();
-        sig.busreq = self.busreq.predict() != 0;
-        sig.lock = self.lock.predict() != 0;
-        sig.wdata = self.wdata.predict();
-        sig.prot = self.prot.predict() as u8;
-        sig
-    }
-}
-
-impl Snapshot for MasterPredictors {
-    fn save(&self, w: &mut StateWriter<'_>) {
-        self.follower.save(w);
-        self.busreq.save(w);
-        self.lock.save(w);
-        self.wdata.save(w);
-        self.prot.save(w);
-    }
-
-    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
-        self.follower.restore(r)?;
-        self.busreq.restore(r)?;
-        self.lock.restore(r)?;
-        self.wdata.restore(r)?;
-        self.prot.restore(r)
-    }
-}
-
-/// Predictors for one remote slave.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct SlavePredictors {
-    wait: WaitPredictor,
-    irq: LastValuePredictor,
-    rdata: LastValuePredictor,
-}
-
-impl SlavePredictors {
-    fn new() -> Self {
-        SlavePredictors {
-            wait: WaitPredictor::new(),
-            irq: LastValuePredictor::new(0),
-            rdata: LastValuePredictor::new(0),
-        }
-    }
-}
-
-impl Snapshot for SlavePredictors {
-    fn save(&self, w: &mut StateWriter<'_>) {
-        self.wait.save(w);
-        self.irq.save(w);
-        self.rdata.save(w);
-    }
-
-    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
-        self.wait.restore(r)?;
-        self.irq.restore(r)?;
-        self.rdata.restore(r)
-    }
-}
 
 /// One verification domain of a split AHB SoC. See the module docs.
 pub struct AhbDomainModel {
@@ -127,15 +36,16 @@ pub struct AhbDomainModel {
     remote_m: Vec<MasterSignals>,
     /// Proxy values for remote slaves.
     remote_s: Vec<SlaveSignals>,
-    m_pred: Vec<Option<MasterPredictors>>,
-    s_pred: Vec<Option<SlavePredictors>>,
+    m_pred: Vec<Option<Box<dyn MasterPredictor>>>,
+    s_pred: Vec<Option<Box<dyn SlavePredictor>>>,
     trace: Trace,
     cycle: u64,
 }
 
 impl AhbDomainModel {
     /// Assembles a domain. Component slots must be `Some` exactly where
-    /// `placement` assigns this `side`.
+    /// `placement` assigns this `side`; predictors for the remote slots are
+    /// requested from `suite`.
     ///
     /// # Panics
     ///
@@ -146,6 +56,7 @@ impl AhbDomainModel {
         masters: Vec<Option<Box<dyn AhbMaster>>>,
         slaves: Vec<Option<Box<dyn AhbSlave>>>,
         fabric: Fabric,
+        suite: &dyn PredictorSuite,
     ) -> Self {
         assert_eq!(masters.len(), placement.masters.len());
         assert_eq!(slaves.len(), placement.slaves.len());
@@ -166,12 +77,14 @@ impl AhbDomainModel {
         let m_pred = placement
             .masters
             .iter()
-            .map(|&d| (d != side).then(MasterPredictors::new))
+            .enumerate()
+            .map(|(i, &d)| (d != side).then(|| suite.master_predictor(i)))
             .collect();
         let s_pred = placement
             .slaves
             .iter()
-            .map(|&d| (d != side).then(SlavePredictors::new))
+            .enumerate()
+            .map(|(j, &d)| (d != side).then(|| suite.slave_predictor(j)))
             .collect();
         AhbDomainModel {
             side,
@@ -225,8 +138,8 @@ impl AhbDomainModel {
         for i in 0..self.masters.len() {
             if !self.is_local_master(i) {
                 let chunk = [words[at], words[at + 1], words[at + 2]];
-                self.remote_m[i] = MasterSignals::unpack(&chunk)
-                    .expect("peer sent malformed master signals");
+                self.remote_m[i] =
+                    MasterSignals::unpack(&chunk).expect("peer sent malformed master signals");
                 at += 3;
             }
         }
@@ -320,7 +233,8 @@ impl AhbDomainModel {
     /// Tick the fabric and local components one cycle given assembled vectors.
     fn advance(&mut self, full_m: &[MasterSignals], full_s: &[SlaveSignals], view: &CycleView) {
         // Record the committed local outputs before state changes.
-        self.trace.record(self.pack_local().iter().map(|&w| w as u64).collect());
+        self.trace
+            .record(self.pack_local().iter().map(|&w| w as u64).collect());
 
         for (i, slot) in self.masters.iter_mut().enumerate() {
             if let Some(c) = slot {
@@ -339,8 +253,7 @@ impl AhbDomainModel {
         if view.hready && view.addr_phase.trans.is_active() {
             if let Some(s) = view.addr_phase.slave {
                 if let Some(p) = &mut self.s_pred[s.0] {
-                    p.wait
-                        .begin_phase(view.addr_phase.trans == predpkt_ahb::signals::Htrans::Nonseq);
+                    p.begin_phase(view.addr_phase.trans == predpkt_ahb::signals::Htrans::Nonseq);
                 }
             }
         }
@@ -349,12 +262,20 @@ impl AhbDomainModel {
 
     /// Downcast access to a local master.
     pub fn master_as<T: AhbMaster>(&self, id: MasterId) -> Option<&T> {
-        self.masters.get(id.0)?.as_ref()?.as_any().downcast_ref::<T>()
+        self.masters
+            .get(id.0)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// Downcast access to a local slave.
     pub fn slave_as<T: AhbSlave>(&self, id: SlaveId) -> Option<&T> {
-        self.slaves.get(id.0)?.as_ref()?.as_any().downcast_ref::<T>()
+        self.slaves
+            .get(id.0)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
     }
 
     /// The fabric replica (tests assert replica agreement).
@@ -428,14 +349,7 @@ impl DomainModel for AhbDomainModel {
         for j in 0..self.slaves.len() {
             if let Some(p) = &mut self.s_pred[j] {
                 let dp_here = matches!(&dp, Some(d) if d.slave == Some(SlaveId(j)));
-                let ready = if dp_here { p.wait.predict_and_advance() } else { true };
-                self.remote_s[j] = SlaveSignals {
-                    ready,
-                    resp: Hresp::Okay,
-                    rdata: p.rdata.predict(),
-                    split_unmask: 0,
-                    irq: p.irq.predict() != 0,
-                };
+                self.remote_s[j] = p.predict(dp_here);
             }
         }
         let mut out = Vec::with_capacity(self.remote_width());
@@ -459,24 +373,19 @@ impl DomainModel for AhbDomainModel {
 
         if kind == TickKind::Actual {
             // Train predictors on the observed remote values.
-            for i in 0..self.masters.len() {
-                if let Some(p) = &mut self.m_pred[i] {
+            for (i, pred) in self.m_pred.iter_mut().enumerate() {
+                if let Some(p) = pred {
                     let accepted = view.grant == MasterId(i) && view.hready;
                     p.observe(&full_m[i], accepted);
                 }
             }
-            for j in 0..self.slaves.len() {
-                if let Some(p) = &mut self.s_pred[j] {
-                    p.irq.observe(full_s[j].irq as u32);
-                    p.rdata.observe(full_s[j].rdata);
-                    if let Some(dp) = &view.dp {
-                        if dp.slave == Some(SlaveId(j)) {
-                            p.wait.observe(
-                                dp.trans == predpkt_ahb::signals::Htrans::Nonseq,
-                                full_s[j].ready,
-                            );
-                        }
-                    }
+            for (j, pred) in self.s_pred.iter_mut().enumerate() {
+                if let Some(p) = pred {
+                    let dp_first = view.dp.as_ref().and_then(|dp| {
+                        (dp.slave == Some(SlaveId(j)))
+                            .then(|| dp.trans == predpkt_ahb::signals::Htrans::Nonseq)
+                    });
+                    p.observe(&full_s[j], dp_first);
                 }
             }
         }
@@ -542,20 +451,20 @@ impl AhbDomainModel {
         remote_s: &mut [SlaveSignals],
     ) {
         let mut at = 0;
-        for i in 0..self.masters.len() {
+        for (i, slot) in remote_m.iter_mut().enumerate() {
             if !self.is_local_master(i) {
                 let chunk = [words[at], words[at + 1], words[at + 2]];
                 if let Some(sig) = MasterSignals::unpack(&chunk) {
-                    remote_m[i] = sig;
+                    *slot = sig;
                 }
                 at += 3;
             }
         }
-        for j in 0..self.slaves.len() {
+        for (j, slot) in remote_s.iter_mut().enumerate() {
             if !self.is_local_slave(j) {
                 let chunk = [words[at], words[at + 1]];
                 if let Some(sig) = SlaveSignals::unpack(&chunk) {
-                    remote_s[j] = sig;
+                    *slot = sig;
                 }
                 at += 2;
             }

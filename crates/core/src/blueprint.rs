@@ -12,6 +12,7 @@ use predpkt_ahb::fabric::{Arbiter, Decoder, Fabric, Region};
 use predpkt_ahb::signals::{MasterId, SlaveId};
 use predpkt_ahb::{AhbMaster, AhbSlave};
 use predpkt_channel::Side;
+use predpkt_predict::{PaperSuite, PredictorSuite};
 
 /// Factory producing one bus master.
 pub type MasterFactory = Box<dyn Fn() -> Box<dyn AhbMaster>>;
@@ -38,9 +39,7 @@ impl Placement {
 
     /// `true` if at least one component lives on each side.
     pub fn is_split(&self) -> bool {
-        let any = |side: Side| {
-            self.masters.iter().any(|&d| d == side) || self.slaves.iter().any(|&d| d == side)
-        };
+        let any = |side: Side| self.masters.contains(&side) || self.slaves.contains(&side);
         any(Side::Simulator) && any(Side::Accelerator)
     }
 
@@ -142,7 +141,11 @@ impl SocBlueprint {
         self.slaves
             .iter()
             .enumerate()
-            .map(|(j, (_, base, size, _))| Region { base: *base, size: *size, slave: SlaveId(j) })
+            .map(|(j, (_, base, size, _))| Region {
+                base: *base,
+                size: *size,
+                slave: SlaveId(j),
+            })
             .collect()
     }
 
@@ -158,7 +161,9 @@ impl SocBlueprint {
     ///
     /// Propagates [`BusConfigError`] from the bus builder.
     pub fn build_golden(&self) -> Result<AhbBus, BusConfigError> {
-        let mut b = AhbBus::builder().default_master(self.default_master).check_protocol();
+        let mut b = AhbBus::builder()
+            .default_master(self.default_master)
+            .check_protocol();
         for (f, _) in &self.masters {
             b = b.master_boxed(f());
         }
@@ -168,12 +173,26 @@ impl SocBlueprint {
         b.build()
     }
 
-    /// Builds one verification domain.
+    /// Builds one verification domain with the paper's predictor wiring.
     ///
     /// # Errors
     ///
     /// Propagates [`BusConfigError`] for broken address maps.
     pub fn build_domain(&self, side: Side) -> Result<AhbDomainModel, BusConfigError> {
+        self.build_domain_with(side, &PaperSuite)
+    }
+
+    /// Builds one verification domain, taking remote-component predictors from
+    /// `suite`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusConfigError`] for broken address maps.
+    pub fn build_domain_with(
+        &self,
+        side: Side,
+        suite: &dyn PredictorSuite,
+    ) -> Result<AhbDomainModel, BusConfigError> {
         let placement = self.placement();
         let masters = self
             .masters
@@ -191,18 +210,31 @@ impl SocBlueprint {
             masters,
             slaves,
             self.fresh_fabric()?,
+            suite,
         ))
     }
 
-    /// Builds both domains.
+    /// Builds both domains with the paper's predictor wiring.
     ///
     /// # Errors
     ///
     /// Propagates [`BusConfigError`].
     pub fn build_pair(&self) -> Result<(AhbDomainModel, AhbDomainModel), BusConfigError> {
+        self.build_pair_with(&PaperSuite)
+    }
+
+    /// Builds both domains, taking predictors from `suite`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BusConfigError`].
+    pub fn build_pair_with(
+        &self,
+        suite: &dyn PredictorSuite,
+    ) -> Result<(AhbDomainModel, AhbDomainModel), BusConfigError> {
         Ok((
-            self.build_domain(Side::Simulator)?,
-            self.build_domain(Side::Accelerator)?,
+            self.build_domain_with(Side::Simulator, suite)?,
+            self.build_domain_with(Side::Accelerator, suite)?,
         ))
     }
 }
@@ -218,12 +250,16 @@ mod tests {
     fn blueprint() -> SocBlueprint {
         SocBlueprint::new()
             .master(Side::Accelerator, || {
-                Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0, 1)]))
+                Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(
+                    0x0, 1,
+                )]))
             })
             .master(Side::Simulator, || {
                 Box::new(TrafficGenMaster::from_ops(vec![BusOp::read_single(0x4)]))
             })
-            .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)))
+            .slave(Side::Simulator, 0x0, 0x1000, || {
+                Box::new(MemorySlave::new(0x1000, 0))
+            })
             .slave(Side::Accelerator, 0x1000, 0x1000, || {
                 Box::new(MemorySlave::new(0x1000, 1))
             })

@@ -2,12 +2,74 @@
 
 use crate::blueprint::SocBlueprint;
 use crate::model::DomainModel;
+use crate::observer::{EmuObserver, NoopObserver};
 use crate::report::PerfReport;
 use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress};
 use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
-use predpkt_channel::{ChannelCostModel, ChannelStats, CostedChannel, Side};
+use predpkt_channel::{
+    ChannelCostModel, ChannelStats, CostedChannel, QueueTransport, Side, Transport,
+};
 use predpkt_sim::{CostCategory, Frequency, SimError, TimeLedger, Trace, VirtualTime};
+use std::error::Error;
+use std::fmt;
+
+/// A rejected co-emulation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The LOB depth was zero (the leader could never run ahead).
+    ZeroLobDepth,
+    /// A domain speed was zero cycles per second.
+    ZeroSpeed {
+        /// The offending domain.
+        side: Side,
+    },
+    /// A fault-injection rate was not a probability.
+    InvalidFaultSpec {
+        /// Which rate was rejected and why.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroLobDepth => write!(f, "LOB depth must be non-zero"),
+            ConfigError::ZeroSpeed { side } => {
+                write!(f, "{side:?} speed must be non-zero")
+            }
+            ConfigError::InvalidFaultSpec { detail } => {
+                write!(f, "invalid fault spec: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Builds the two channel wrappers from a model pair and a configuration —
+/// the single place wrapper knobs are wired, shared by the co-operative
+/// engine and the threaded session runner so the backends can never drift.
+///
+/// # Panics
+///
+/// Panics if the models' sides or widths disagree.
+pub(crate) fn build_wrapper_pair<M: DomainModel>(
+    sim_model: M,
+    acc_model: M,
+    config: &CoEmuConfig,
+) -> (ChannelWrapper<M>, ChannelWrapper<M>) {
+    assert_eq!(sim_model.side(), Side::Simulator);
+    assert_eq!(acc_model.side(), Side::Accelerator);
+    assert_eq!(sim_model.local_width(), acc_model.remote_width());
+    assert_eq!(acc_model.local_width(), sim_model.remote_width());
+    let build = |model: M| {
+        ChannelWrapper::new(model, config.lob_depth, config.policy)
+            .with_carry_actuals(config.carry_actuals)
+            .with_adaptive_depth(config.adaptive_depth)
+    };
+    (build(sim_model), build(acc_model))
+}
 
 /// Configuration of a co-emulation run: domain speeds, LOB depth, operating
 /// mode, channel and rollback cost models.
@@ -72,15 +134,55 @@ impl CoEmuConfig {
         self
     }
 
+    /// Overrides the LOB depth, rejecting invalid depths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroLobDepth`] if `depth` is zero.
+    pub fn try_lob_depth(mut self, depth: usize) -> Result<Self, ConfigError> {
+        if depth == 0 {
+            return Err(ConfigError::ZeroLobDepth);
+        }
+        self.lob_depth = depth;
+        Ok(self)
+    }
+
     /// Overrides the LOB depth.
     ///
     /// # Panics
     ///
     /// Panics if `depth` is zero.
-    pub fn lob_depth(mut self, depth: usize) -> Self {
-        assert!(depth > 0, "LOB depth must be non-zero");
-        self.lob_depth = depth;
-        self
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_lob_depth`, which reports invalid depths"
+    )]
+    pub fn lob_depth(self, depth: usize) -> Self {
+        self.try_lob_depth(depth)
+            .expect("LOB depth must be non-zero")
+    }
+
+    /// Checks the configuration for internal consistency. The
+    /// [`EmuSession`](crate::EmuSession) builder calls this before
+    /// constructing anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lob_depth == 0 {
+            return Err(ConfigError::ZeroLobDepth);
+        }
+        if self.sim_speed.cycles_per_sec() == 0 {
+            return Err(ConfigError::ZeroSpeed {
+                side: Side::Simulator,
+            });
+        }
+        if self.acc_speed.cycles_per_sec() == 0 {
+            return Err(ConfigError::ZeroSpeed {
+                side: Side::Accelerator,
+            });
+        }
+        Ok(())
     }
 
     /// Overrides the operating-mode policy.
@@ -142,16 +244,25 @@ impl CoEmuConfig {
 /// wrappers; a wrapper blocked on a read yields. Virtual time follows the
 /// paper's serialized model (the Table 2 `Perform.` arithmetic), so the ledger
 /// total *is* the emulation wall time.
-pub struct CoEmulator<M: DomainModel> {
+///
+/// The channel is generic over any [`Transport`] backend (deterministic
+/// [`QueueTransport`] by default; see
+/// [`LossyTransport`](predpkt_channel::LossyTransport) for fault injection).
+/// For real-thread execution use [`EmuSession`](crate::EmuSession), which
+/// runs one wrapper per OS thread instead of this co-operative loop.
+pub struct CoEmulator<M: DomainModel, T: Transport = QueueTransport> {
     sim: ChannelWrapper<M>,
     acc: ChannelWrapper<M>,
-    channel: CostedChannel,
+    channel: CostedChannel<T>,
     ledger: TimeLedger,
     config: CoEmuConfig,
+    observer: Box<dyn EmuObserver>,
 }
 
 impl CoEmulator<AhbDomainModel> {
-    /// Builds a co-emulator for a split AHB SoC.
+    /// Builds a co-emulator for a split AHB SoC over the deterministic queue
+    /// transport — the compatibility entry point; new code composes the same
+    /// pieces through [`EmuSession`](crate::EmuSession).
     ///
     /// # Errors
     ///
@@ -166,27 +277,46 @@ impl CoEmulator<AhbDomainModel> {
 }
 
 impl<M: DomainModel> CoEmulator<M> {
-    /// Builds a co-emulator from two domain models.
+    /// Builds a co-emulator from two domain models over the deterministic
+    /// queue transport.
     ///
     /// # Panics
     ///
     /// Panics if the models' sides or widths disagree.
     pub fn new(sim_model: M, acc_model: M, config: CoEmuConfig) -> Self {
-        assert_eq!(sim_model.side(), Side::Simulator);
-        assert_eq!(acc_model.side(), Side::Accelerator);
-        assert_eq!(sim_model.local_width(), acc_model.remote_width());
-        assert_eq!(acc_model.local_width(), sim_model.remote_width());
+        Self::with_transport(sim_model, acc_model, config, QueueTransport::new())
+    }
+}
+
+impl<M: DomainModel, T: Transport> CoEmulator<M, T> {
+    /// Builds a co-emulator from two domain models over an arbitrary
+    /// transport backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models' sides or widths disagree.
+    pub fn with_transport(sim_model: M, acc_model: M, config: CoEmuConfig, transport: T) -> Self {
+        let (sim, acc) = build_wrapper_pair(sim_model, acc_model, &config);
         CoEmulator {
-            sim: ChannelWrapper::new(sim_model, config.lob_depth, config.policy)
-                .with_carry_actuals(config.carry_actuals)
-                .with_adaptive_depth(config.adaptive_depth),
-            acc: ChannelWrapper::new(acc_model, config.lob_depth, config.policy)
-                .with_carry_actuals(config.carry_actuals)
-                .with_adaptive_depth(config.adaptive_depth),
-            channel: CostedChannel::new(config.channel),
+            sim,
+            acc,
+            channel: CostedChannel::with_transport(transport, config.channel),
             ledger: TimeLedger::new(),
             config,
+            observer: Box::new(NoopObserver),
         }
+    }
+
+    /// Installs an [`EmuObserver`] receiving every protocol event from both
+    /// wrappers (builder style).
+    pub fn with_observer(mut self, observer: Box<dyn EmuObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Replaces the observer.
+    pub fn set_observer(&mut self, observer: Box<dyn EmuObserver>) {
+        self.observer = observer;
     }
 
     /// Cycles both domains have committed (the lagger's progress during
@@ -195,7 +325,8 @@ impl<M: DomainModel> CoEmulator<M> {
         self.sim.cycle().min(self.acc.cycle())
     }
 
-    /// Runs until at least `cycles` cycles are committed.
+    /// Runs until at least `cycles` cycles are committed, stopping
+    /// immediately (possibly mid-transition).
     ///
     /// # Errors
     ///
@@ -205,17 +336,99 @@ impl<M: DomainModel> CoEmulator<M> {
         let sim_costs = self.config.costs_for(Side::Simulator);
         let acc_costs = self.config.costs_for(Side::Accelerator);
         while self.committed_cycles() < cycles {
-            let a = self.sim.step(&mut self.channel, &mut self.ledger, &sim_costs)?;
-            let b = self.acc.step(&mut self.channel, &mut self.ledger, &acc_costs)?;
+            let a = self.sim.step(
+                &mut self.channel,
+                &mut self.ledger,
+                &sim_costs,
+                self.observer.as_mut(),
+            )?;
+            let b = self.acc.step(
+                &mut self.channel,
+                &mut self.ledger,
+                &acc_costs,
+                self.observer.as_mut(),
+            )?;
             if a == Progress::Blocked && b == Progress::Blocked {
-                let pending = self.channel.pending(Side::Simulator)
-                    + self.channel.pending(Side::Accelerator);
+                let pending =
+                    self.channel.pending(Side::Simulator) + self.channel.pending(Side::Accelerator);
                 if pending == 0 {
-                    return Err(SimError::Deadlock { cycle: self.committed_cycles() });
+                    return Err(SimError::Deadlock {
+                        cycle: self.committed_cycles(),
+                    });
                 }
             }
         }
         Ok(())
+    }
+
+    /// Runs until both domains have committed at least `cycles` cycles *and*
+    /// stand at a transition boundary (synchronized, about to elect roles).
+    ///
+    /// Unlike [`run_until_committed`](Self::run_until_committed), the stop
+    /// point is a deterministic protocol event rather than a scheduling
+    /// artifact, so every transport backend — including the real-thread
+    /// runner — halts after exactly the same message sequence. This is the
+    /// semantics [`EmuSession`](crate::EmuSession) runs with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the run starves before both domains
+    /// reach the target, or any protocol/snapshot error.
+    pub fn run_until_synchronized(&mut self, cycles: u64) -> Result<(), SimError> {
+        let sim_costs = self.config.costs_for(Side::Simulator);
+        let acc_costs = self.config.costs_for(Side::Accelerator);
+        loop {
+            let sim_halted = self.sim.at_transition_boundary() && self.sim.cycle() >= cycles;
+            let acc_halted = self.acc.at_transition_boundary() && self.acc.cycle() >= cycles;
+            if sim_halted && acc_halted {
+                return Ok(());
+            }
+            let a = if sim_halted {
+                Progress::Blocked
+            } else {
+                self.sim.step(
+                    &mut self.channel,
+                    &mut self.ledger,
+                    &sim_costs,
+                    self.observer.as_mut(),
+                )?
+            };
+            let b = if acc_halted {
+                Progress::Blocked
+            } else {
+                self.acc.step(
+                    &mut self.channel,
+                    &mut self.ledger,
+                    &acc_costs,
+                    self.observer.as_mut(),
+                )?
+            };
+            if a == Progress::Blocked && b == Progress::Blocked {
+                // Packets addressed to a halted domain can never be consumed,
+                // so only messages toward a still-running side count as
+                // potential progress.
+                let toward = |halted: bool, side: Side| {
+                    if halted {
+                        0
+                    } else {
+                        self.channel.pending(side)
+                    }
+                };
+                let deliverable =
+                    toward(sim_halted, Side::Simulator) + toward(acc_halted, Side::Accelerator);
+                if deliverable == 0 {
+                    return Err(SimError::Deadlock {
+                        cycle: self.committed_cycles(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Shared access to the transport backend (e.g. to read
+    /// [`LossyTransport`](predpkt_channel::LossyTransport) fault counters).
+    pub fn transport(&self) -> &T {
+        self.channel.transport()
     }
 
     /// The virtual-time ledger.
@@ -275,19 +488,12 @@ impl<M: DomainModel> CoEmulator<M> {
     /// `merge` receives (sim record, acc record) per cycle and must interleave
     /// them into the golden record layout.
     pub fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
-        let n = self.committed_cycles() as usize;
-        let mut out = Trace::new();
-        for i in 0..n {
-            let s = self.sim.model().trace().get(i).expect("sim trace holds committed cycles");
-            let a = self.acc.model().trace().get(i).expect("acc trace holds committed cycles");
-            out.record(merge(s, a));
-        }
-        out
+        crate::wrapper::merge_committed_traces(&self.sim, &self.acc, merge)
     }
 }
 
-impl<M: DomainModel + std::fmt::Debug> std::fmt::Debug for CoEmulator<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl<M: DomainModel + fmt::Debug, T: Transport> fmt::Debug for CoEmulator<M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CoEmulator")
             .field("committed", &self.committed_cycles())
             .field("total_time", &self.ledger.total())

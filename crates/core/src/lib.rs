@@ -10,15 +10,21 @@
 //!   domains. [`AhbDomainModel`] is a **half-bus model**: the local components,
 //!   a replicated arbiter + decoder ([`predpkt_ahb::fabric::Fabric`]), and
 //!   proxy slots holding the most recent remote signal values — HBMS/HBMA with
-//!   their channel-wrapper mimicry.
+//!   their channel-wrapper mimicry. Remote-signal prediction strategies are
+//!   pluggable through [`predpkt_predict::PredictorSuite`].
 //! * [`ChannelWrapper`] runs the per-domain protocol state machine (the paper's
 //!   Fig. 3 paths — P, S, L, R, C, F — surfaced as [`PaperPath`] statistics):
 //!   a leader runs ahead on predictions, packetizes its outputs plus the
 //!   predictions into the LOB, flushes them as one burst, and rolls back /
 //!   rolls forth when the lagger reports a misprediction.
-//! * [`CoEmulator`] owns both wrappers, the costed channel and the virtual-time
-//!   ledger; it schedules the two domains co-operatively (blocking reads yield
-//!   to the peer) and produces [`PerfReport`]s with the paper's Table 2 rows.
+//! * [`EmuSession`] is the front door: a builder composing a blueprint (or an
+//!   explicit model pair), a [`CoEmuConfig`], a [`TransportSelect`] backend
+//!   (deterministic queue, fault-injecting lossy, or one-thread-per-domain),
+//!   a predictor suite, and [`EmuObserver`] hooks that stream every protocol
+//!   event (mode switches, rollbacks, LOB flushes, channel accesses).
+//! * [`CoEmulator`] is the co-operative engine under the queue-backed
+//!   sessions, now generic over any [`Transport`](predpkt_channel::Transport);
+//!   [`CoEmulator::from_blueprint`] remains as a thin compatibility shim.
 //! * [`DomainModel`] abstracts the domain content so the same protocol engine
 //!   drives both the real AHB SoC and the controlled-accuracy synthetic
 //!   workloads used to regenerate the paper's parametric evaluation.
@@ -27,14 +33,14 @@
 //!
 //! Lagger domains only ever tick on verified values, and leaders replay
 //! mispredicted segments from a snapshot — so the merged committed trace is
-//! bit-identical to a monolithic golden simulation for every mode, policy and
-//! prediction accuracy. The integration suite asserts exactly that.
+//! bit-identical to a monolithic golden simulation for every mode, policy,
+//! prediction accuracy, *and transport backend*. The integration suite
+//! asserts exactly that.
 //!
 //! ## Example
 //!
 //! ```
-//! use predpkt_channel::{ChannelCostModel, Side};
-//! use predpkt_core::{CoEmuConfig, CoEmulator, ModePolicy, SocBlueprint};
+//! use predpkt_core::{EmuSession, EventCounters, ModePolicy, Side, SocBlueprint};
 //! use predpkt_ahb::engine::BusOp;
 //! use predpkt_ahb::masters::TrafficGenMaster;
 //! use predpkt_ahb::slaves::MemorySlave;
@@ -44,10 +50,15 @@
 //!         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
 //!     })
 //!     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
-//! let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto);
-//! let mut coemu = CoEmulator::from_blueprint(&blueprint, config).unwrap();
-//! coemu.run_until_committed(200).unwrap();
-//! assert!(coemu.committed_cycles() >= 200);
+//! let counters = EventCounters::new();
+//! let mut session = EmuSession::from_blueprint(&blueprint)
+//!     .policy(ModePolicy::Auto)
+//!     .observer(Box::new(counters.clone()))
+//!     .build()?;
+//! session.run_until_committed(200)?;
+//! assert!(session.committed_cycles() >= 200);
+//! assert!(counters.snapshot().transitions > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,16 +68,23 @@ mod ahb_model;
 mod blueprint;
 mod coemu;
 mod model;
+mod observer;
 mod protocol;
 mod report;
+mod session;
 mod wrapper;
 
 pub use ahb_model::AhbDomainModel;
 pub use blueprint::{Placement, SocBlueprint};
-pub use coemu::{CoEmuConfig, CoEmulator};
+pub use coemu::{CoEmuConfig, CoEmulator, ConfigError};
 pub use model::{DomainModel, TickKind};
+pub use observer::{EmuEvent, EmuObserver, EventCounters, EventCounts, EventLog, NoopObserver};
 pub use protocol::{Message, ProtocolError};
 pub use report::PerfReport;
+pub use session::{
+    BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, SessionError, ThreadedOpts,
+    TransportSelect,
+};
 pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 
 // Re-export the pieces users need to drive the engine.

@@ -47,8 +47,14 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::Truncated { tag } => write!(f, "truncated {tag} message"),
-            ProtocolError::WidthMismatch { announced, expected } => {
-                write!(f, "width mismatch: peer announced {announced}, expected {expected}")
+            ProtocolError::WidthMismatch {
+                announced,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "width mismatch: peer announced {announced}, expected {expected}"
+                )
             }
             ProtocolError::BadBlock => write!(f, "malformed delta block"),
             ProtocolError::Unexpected { tag } => write!(f, "unexpected {tag} message"),
@@ -101,20 +107,30 @@ impl Message {
     /// Serializes into a tagged packet.
     pub fn encode(&self, _local_width: usize, remote_width: usize) -> Packet {
         match self {
-            Message::Handshake { local_width, remote_width } => Packet::new(
+            Message::Handshake {
+                local_width,
+                remote_width,
+            } => Packet::new(
                 PacketTag::Handshake,
                 vec![*local_width as u32, *remote_width as u32],
             ),
             Message::CycleOutputs { outputs } => {
                 Packet::new(PacketTag::CycleOutputs, outputs.clone())
             }
-            Message::Burst { entries, leader_next } => {
+            Message::Burst {
+                entries,
+                leader_next,
+            } => {
                 let mut payload = encode_block(&lob_entries_to_blocks(entries, remote_width));
                 payload.extend_from_slice(leader_next);
                 Packet::new(PacketTag::Burst, payload)
             }
             Message::ReportSuccess { next } => Packet::new(PacketTag::ReportSuccess, next.clone()),
-            Message::ReportFailure { failed_index, actual, next } => {
+            Message::ReportFailure {
+                failed_index,
+                actual,
+                next,
+            } => {
                 let mut payload = vec![*failed_index as u32];
                 payload.extend_from_slice(actual);
                 payload.extend_from_slice(next);
@@ -149,7 +165,9 @@ impl Message {
                 if p.len() != remote_width {
                     return Err(ProtocolError::Truncated { tag: packet.tag() });
                 }
-                Ok(Message::CycleOutputs { outputs: p.to_vec() })
+                Ok(Message::CycleOutputs {
+                    outputs: p.to_vec(),
+                })
             }
             PacketTag::Burst => {
                 // The sender's remote width is OUR local width: entries embed
@@ -171,8 +189,7 @@ impl Message {
                     }
                     let has_prediction = b[0] != 0;
                     let local = b[1..1 + remote_width].to_vec();
-                    let predicted =
-                        has_prediction.then(|| b[1 + remote_width..].to_vec());
+                    let predicted = has_prediction.then(|| b[1 + remote_width..].to_vec());
                     entries.push(LobEntry { local, predicted });
                 }
                 let block_len = encode_block(&blocks).len();
@@ -180,7 +197,10 @@ impl Message {
                 if rest.len() != remote_width {
                     return Err(ProtocolError::Truncated { tag: packet.tag() });
                 }
-                Ok(Message::Burst { entries, leader_next: rest.to_vec() })
+                Ok(Message::Burst {
+                    entries,
+                    leader_next: rest.to_vec(),
+                })
             }
             PacketTag::ReportSuccess => {
                 if p.len() != remote_width {
@@ -219,13 +239,18 @@ mod tests {
 
     #[test]
     fn handshake_roundtrip() {
-        let m = Message::Handshake { local_width: 3, remote_width: 2 };
+        let m = Message::Handshake {
+            local_width: 3,
+            remote_width: 2,
+        };
         assert_eq!(roundtrip(&m), m);
     }
 
     #[test]
     fn cycle_outputs_roundtrip() {
-        let m = Message::CycleOutputs { outputs: vec![1, 2, 3] };
+        let m = Message::CycleOutputs {
+            outputs: vec![1, 2, 3],
+        };
         assert_eq!(roundtrip(&m), m);
     }
 
@@ -233,9 +258,18 @@ mod tests {
     fn burst_roundtrip_with_head_and_predictions() {
         let m = Message::Burst {
             entries: vec![
-                LobEntry { local: vec![1, 2, 3], predicted: None },
-                LobEntry { local: vec![4, 5, 6], predicted: Some(vec![7, 8]) },
-                LobEntry { local: vec![4, 5, 9], predicted: Some(vec![7, 8]) },
+                LobEntry {
+                    local: vec![1, 2, 3],
+                    predicted: None,
+                },
+                LobEntry {
+                    local: vec![4, 5, 6],
+                    predicted: Some(vec![7, 8]),
+                },
+                LobEntry {
+                    local: vec![4, 5, 9],
+                    predicted: Some(vec![7, 8]),
+                },
             ],
             leader_next: vec![10, 11, 12],
         };
@@ -250,7 +284,10 @@ mod tests {
                 predicted: Some(vec![9, 9]),
             })
             .collect();
-        let m = Message::Burst { entries, leader_next: vec![0, 0, 0] };
+        let m = Message::Burst {
+            entries,
+            leader_next: vec![0, 0, 0],
+        };
         let pkt = m.encode(LW, RW);
         let raw_words = 64 * (1 + 3 + 2) + 3;
         assert!(
@@ -263,7 +300,9 @@ mod tests {
 
     #[test]
     fn reports_roundtrip() {
-        let ok = Message::ReportSuccess { next: vec![5, 6, 7] };
+        let ok = Message::ReportSuccess {
+            next: vec![5, 6, 7],
+        };
         assert_eq!(roundtrip(&ok), ok);
         let fail = Message::ReportFailure {
             failed_index: 4,
@@ -284,8 +323,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ProtocolError::BadBlock.to_string().contains("delta block"));
-        assert!(ProtocolError::WidthMismatch { announced: 2, expected: 3 }
-            .to_string()
-            .contains("width mismatch"));
+        assert!(ProtocolError::WidthMismatch {
+            announced: 2,
+            expected: 3
+        }
+        .to_string()
+        .contains("width mismatch"));
     }
 }

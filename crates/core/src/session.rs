@@ -1,0 +1,646 @@
+//! Transport-generic co-emulation sessions.
+//!
+//! An [`EmuSession`] composes the four ingredients of a co-emulation run —
+//! a pair of domain models (usually from a [`SocBlueprint`]), a
+//! [`CoEmuConfig`], a transport backend, and an optional [`EmuObserver`] —
+//! behind one builder, and runs the same protocol engine over any backend:
+//!
+//! * [`TransportSelect::Queue`] — the deterministic in-process
+//!   [`QueueTransport`], scheduled co-operatively (the evaluation default);
+//! * [`TransportSelect::Lossy`] — a [`LossyTransport`] injecting seeded
+//!   drops/truncations/duplicates for protocol-robustness scenarios;
+//! * [`TransportSelect::Threaded`] — one OS thread per domain over a
+//!   [`ThreadedTransport`](predpkt_channel::ThreadedTransport), exercising
+//!   the protocol under genuine concurrency.
+//!
+//! Sessions halt at **transition boundaries**: a domain stops only when it is
+//! synchronized with its peer and has committed at least the target cycle
+//! count. The stop point is therefore a protocol event, not a scheduling
+//! artifact — a queue run and a threaded run of the same blueprint commit
+//! bit-identical traces and exchange exactly the same packets, which the
+//! transport-equivalence suite asserts.
+//!
+//! ## Example
+//!
+//! ```
+//! use predpkt_core::{EmuSession, EventCounters, ModePolicy, Side, SocBlueprint};
+//! use predpkt_ahb::engine::BusOp;
+//! use predpkt_ahb::masters::TrafficGenMaster;
+//! use predpkt_ahb::slaves::MemorySlave;
+//!
+//! let blueprint = SocBlueprint::new()
+//!     .master(Side::Accelerator, || {
+//!         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
+//!     })
+//!     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+//! let counters = EventCounters::new();
+//! let mut session = EmuSession::from_blueprint(&blueprint)
+//!     .policy(ModePolicy::Auto)
+//!     .observer(Box::new(counters.clone()))
+//!     .build()?;
+//! session.run_until_committed(200)?;
+//! assert!(session.committed_cycles() >= 200);
+//! assert!(counters.snapshot().lob_flushes > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::blueprint::SocBlueprint;
+use crate::coemu::{CoEmuConfig, CoEmulator, ConfigError};
+use crate::model::DomainModel;
+use crate::observer::{EmuObserver, NoopObserver, SharedObserver};
+use crate::report::PerfReport;
+use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress};
+use crate::AhbDomainModel;
+use predpkt_ahb::bus::BusConfigError;
+use predpkt_channel::{
+    ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport, Side,
+    ThreadedEndpoint, ThreadedTransport,
+};
+use predpkt_predict::{PaperSuite, PredictorSuite};
+use predpkt_sim::{SimError, TimeLedger, Trace};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Why a session could not be built.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The blueprint could not be built into domain models.
+    Bus(BusConfigError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SessionError::Bus(e) => write!(f, "invalid blueprint: {e}"),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Config(e) => Some(e),
+            SessionError::Bus(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SessionError {
+    fn from(e: ConfigError) -> Self {
+        SessionError::Config(e)
+    }
+}
+
+impl From<BusConfigError> for SessionError {
+    fn from(e: BusConfigError) -> Self {
+        SessionError::Bus(e)
+    }
+}
+
+/// Tuning knobs for the real-thread backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedOpts {
+    /// How long a blocked domain waits on its endpoint before re-checking the
+    /// halt and deadlock conditions.
+    pub poll_interval: Duration,
+    /// How long both domains may starve (no protocol progress anywhere)
+    /// before the run is reported as deadlocked. This is wall-clock time, so
+    /// an extreme OS scheduling stall is indistinguishable from protocol
+    /// starvation — the generous default trades detection latency for
+    /// robustness on loaded (e.g. CI) machines.
+    pub deadlock_timeout: Duration,
+}
+
+impl Default for ThreadedOpts {
+    fn default() -> Self {
+        ThreadedOpts {
+            poll_interval: Duration::from_millis(2),
+            deadlock_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The transport backend a session runs over.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum TransportSelect {
+    /// Deterministic in-process FIFOs, co-operative scheduling (the default).
+    #[default]
+    Queue,
+    /// Seeded fault injection over in-process FIFOs.
+    Lossy(FaultSpec),
+    /// One OS thread per domain over `std::sync::mpsc` channels.
+    Threaded(ThreadedOpts),
+}
+
+/// Builder for an [`EmuSession`] from an explicit pair of domain models.
+///
+/// Obtained from [`EmuSession::builder`]; for AHB SoCs prefer
+/// [`EmuSession::from_blueprint`], which also composes a [`PredictorSuite`].
+pub struct EmuSessionBuilder<M: DomainModel + Send + 'static> {
+    sim: M,
+    acc: M,
+    config: CoEmuConfig,
+    transport: TransportSelect,
+    observer: Option<Box<dyn EmuObserver>>,
+}
+
+impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
+    /// Overrides the configuration (defaults to
+    /// [`CoEmuConfig::paper_defaults`]).
+    pub fn config(mut self, config: CoEmuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the operating-mode policy on the current configuration.
+    pub fn policy(mut self, policy: ModePolicy) -> Self {
+        self.config = self.config.policy(policy);
+        self
+    }
+
+    /// Overrides the LOB depth on the current configuration, deferring
+    /// validation to [`build`](Self::build).
+    pub fn lob_depth(mut self, depth: usize) -> Self {
+        // Store the raw depth; build() validates through CoEmuConfig::validate.
+        self.config.lob_depth = depth;
+        self
+    }
+
+    /// Selects the transport backend (defaults to the deterministic queue).
+    pub fn transport(mut self, transport: TransportSelect) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Installs an observer receiving every protocol event.
+    pub fn observer(mut self, observer: Box<dyn EmuObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Config`] for invalid configurations — a zero
+    /// LOB depth set through [`lob_depth`](Self::lob_depth), or an
+    /// out-of-range [`FaultSpec`] rate on the lossy backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two models' sides or widths disagree.
+    pub fn build(self) -> Result<EmuSession<M>, SessionError> {
+        self.config.validate()?;
+        if let TransportSelect::Lossy(spec) = &self.transport {
+            spec.validate()
+                .map_err(|detail| ConfigError::InvalidFaultSpec { detail })?;
+        }
+        let inner = match self.transport {
+            TransportSelect::Queue => {
+                let observer = self.observer.unwrap_or_else(|| Box::new(NoopObserver));
+                SessionInner::Queue(
+                    CoEmulator::with_transport(
+                        self.sim,
+                        self.acc,
+                        self.config,
+                        QueueTransport::new(),
+                    )
+                    .with_observer(observer),
+                )
+            }
+            TransportSelect::Lossy(spec) => {
+                let observer = self.observer.unwrap_or_else(|| Box::new(NoopObserver));
+                SessionInner::Lossy(
+                    CoEmulator::with_transport(
+                        self.sim,
+                        self.acc,
+                        self.config,
+                        LossyTransport::over_queue(spec),
+                    )
+                    .with_observer(observer),
+                )
+            }
+            TransportSelect::Threaded(opts) => SessionInner::Threaded(ThreadedSession::new(
+                self.sim,
+                self.acc,
+                self.config,
+                opts,
+                self.observer,
+            )),
+        };
+        Ok(EmuSession { inner })
+    }
+}
+
+/// Builder for an [`EmuSession`] over an AHB [`SocBlueprint`], composing the
+/// blueprint with a [`PredictorSuite`] on top of the generic session knobs.
+pub struct BlueprintSessionBuilder<'bp> {
+    blueprint: &'bp SocBlueprint,
+    suite: Box<dyn PredictorSuite>,
+    config: CoEmuConfig,
+    transport: TransportSelect,
+    observer: Option<Box<dyn EmuObserver>>,
+}
+
+impl<'bp> BlueprintSessionBuilder<'bp> {
+    /// Overrides the configuration (defaults to
+    /// [`CoEmuConfig::paper_defaults`]).
+    pub fn config(mut self, config: CoEmuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the operating-mode policy on the current configuration.
+    pub fn policy(mut self, policy: ModePolicy) -> Self {
+        self.config = self.config.policy(policy);
+        self
+    }
+
+    /// Overrides the LOB depth on the current configuration, deferring
+    /// validation to [`build`](Self::build).
+    pub fn lob_depth(mut self, depth: usize) -> Self {
+        self.config.lob_depth = depth;
+        self
+    }
+
+    /// Swaps the predictor suite (defaults to the paper's
+    /// [`PaperSuite`]).
+    pub fn predictors(mut self, suite: impl PredictorSuite + 'static) -> Self {
+        self.suite = Box::new(suite);
+        self
+    }
+
+    /// Selects the transport backend (defaults to the deterministic queue).
+    pub fn transport(mut self, transport: TransportSelect) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Installs an observer receiving every protocol event.
+    pub fn observer(mut self, observer: Box<dyn EmuObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the two half-bus domain models and the session around them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Bus`] for broken blueprints and
+    /// [`SessionError::Config`] for invalid configurations.
+    pub fn build(self) -> Result<EmuSession<AhbDomainModel>, SessionError> {
+        let (sim, acc) = self.blueprint.build_pair_with(self.suite.as_ref())?;
+        let mut builder = EmuSession::builder(sim, acc)
+            .config(self.config)
+            .transport(self.transport);
+        if let Some(obs) = self.observer {
+            builder = builder.observer(obs);
+        }
+        builder.build()
+    }
+}
+
+/// A co-emulation run composed from models, config, transport, and observer.
+///
+/// See the [module docs](self) for the backend catalogue and halt semantics.
+pub struct EmuSession<M: DomainModel + Send + 'static> {
+    inner: SessionInner<M>,
+}
+
+// Variant sizes are within ~20% of each other and sessions are built once
+// per run, so boxing the largest variant would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum SessionInner<M: DomainModel + Send + 'static> {
+    Queue(CoEmulator<M, QueueTransport>),
+    Lossy(CoEmulator<M, LossyTransport<QueueTransport>>),
+    Threaded(ThreadedSession<M>),
+}
+
+impl EmuSession<AhbDomainModel> {
+    /// Starts a builder over an AHB blueprint with the paper's predictor
+    /// wiring, paper-default configuration, and the queue transport.
+    pub fn from_blueprint(blueprint: &SocBlueprint) -> BlueprintSessionBuilder<'_> {
+        BlueprintSessionBuilder {
+            blueprint,
+            suite: Box::new(PaperSuite),
+            config: CoEmuConfig::paper_defaults(),
+            transport: TransportSelect::Queue,
+            observer: None,
+        }
+    }
+}
+
+impl<M: DomainModel + Send + 'static> EmuSession<M> {
+    /// Starts a builder from an explicit pair of domain models (simulator
+    /// side first).
+    pub fn builder(sim: M, acc: M) -> EmuSessionBuilder<M> {
+        EmuSessionBuilder {
+            sim,
+            acc,
+            config: CoEmuConfig::paper_defaults(),
+            transport: TransportSelect::Queue,
+            observer: None,
+        }
+    }
+
+    /// A stable name for the backend in force (telemetry).
+    pub fn backend(&self) -> &'static str {
+        match &self.inner {
+            SessionInner::Queue(_) => "queue",
+            SessionInner::Lossy(_) => "lossy",
+            SessionInner::Threaded(_) => "threaded",
+        }
+    }
+
+    /// Runs until both domains have committed at least `cycles` cycles and
+    /// stand synchronized at a transition boundary (a deterministic protocol
+    /// event — identical across backends; the run may overshoot `cycles` by
+    /// up to one transition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when the protocol starves (e.g. a
+    /// lossy transport dropped a packet), or any protocol/snapshot error —
+    /// including decode failures for corrupted packets.
+    pub fn run_until_committed(&mut self, cycles: u64) -> Result<(), SimError> {
+        match &mut self.inner {
+            SessionInner::Queue(c) => c.run_until_synchronized(cycles),
+            SessionInner::Lossy(c) => c.run_until_synchronized(cycles),
+            SessionInner::Threaded(t) => t.run_until_synchronized(cycles),
+        }
+    }
+
+    /// Cycles both domains have committed.
+    pub fn committed_cycles(&self) -> u64 {
+        match &self.inner {
+            SessionInner::Queue(c) => c.committed_cycles(),
+            SessionInner::Lossy(c) => c.committed_cycles(),
+            SessionInner::Threaded(t) => t.committed_cycles(),
+        }
+    }
+
+    /// The virtual-time ledger (merged across domain threads for the
+    /// threaded backend).
+    pub fn ledger(&self) -> TimeLedger {
+        match &self.inner {
+            SessionInner::Queue(c) => c.ledger().clone(),
+            SessionInner::Lossy(c) => c.ledger().clone(),
+            SessionInner::Threaded(t) => t.merged_ledger(),
+        }
+    }
+
+    /// Channel statistics (merged across the two per-side channels for the
+    /// threaded backend).
+    pub fn channel_stats(&self) -> ChannelStats {
+        match &self.inner {
+            SessionInner::Queue(c) => c.channel_stats().clone(),
+            SessionInner::Lossy(c) => c.channel_stats().clone(),
+            SessionInner::Threaded(t) => t.merged_channel_stats(),
+        }
+    }
+
+    /// Fault counters, when the session runs over the lossy backend.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.inner {
+            SessionInner::Lossy(c) => Some(c.transport().fault_stats()),
+            _ => None,
+        }
+    }
+
+    /// Simulator-side wrapper statistics.
+    pub fn sim_stats(&self) -> &CwStats {
+        match &self.inner {
+            SessionInner::Queue(c) => c.sim_stats(),
+            SessionInner::Lossy(c) => c.sim_stats(),
+            SessionInner::Threaded(t) => t.sim.stats(),
+        }
+    }
+
+    /// Accelerator-side wrapper statistics.
+    pub fn acc_stats(&self) -> &CwStats {
+        match &self.inner {
+            SessionInner::Queue(c) => c.acc_stats(),
+            SessionInner::Lossy(c) => c.acc_stats(),
+            SessionInner::Threaded(t) => t.acc.stats(),
+        }
+    }
+
+    /// The simulator-side model.
+    pub fn sim_model(&self) -> &M {
+        match &self.inner {
+            SessionInner::Queue(c) => c.sim_model(),
+            SessionInner::Lossy(c) => c.sim_model(),
+            SessionInner::Threaded(t) => t.sim.model(),
+        }
+    }
+
+    /// The accelerator-side model.
+    pub fn acc_model(&self) -> &M {
+        match &self.inner {
+            SessionInner::Queue(c) => c.acc_model(),
+            SessionInner::Lossy(c) => c.acc_model(),
+            SessionInner::Threaded(t) => t.acc.model(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CoEmuConfig {
+        match &self.inner {
+            SessionInner::Queue(c) => c.config(),
+            SessionInner::Lossy(c) => c.config(),
+            SessionInner::Threaded(t) => &t.config,
+        }
+    }
+
+    /// Builds the performance report over the committed cycles.
+    pub fn report(&self) -> PerfReport {
+        match &self.inner {
+            SessionInner::Queue(c) => c.report(),
+            SessionInner::Lossy(c) => c.report(),
+            SessionInner::Threaded(t) => PerfReport::new(
+                t.merged_ledger(),
+                t.committed_cycles(),
+                t.merged_channel_stats(),
+                t.sim.stats().clone(),
+                t.acc.stats().clone(),
+            ),
+        }
+    }
+
+    /// Merges the two domains' committed local-output traces into full-bus
+    /// records (see [`CoEmulator::merged_trace`]).
+    pub fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
+        match &self.inner {
+            SessionInner::Queue(c) => c.merged_trace(merge),
+            SessionInner::Lossy(c) => c.merged_trace(merge),
+            SessionInner::Threaded(t) => t.merged_trace(merge),
+        }
+    }
+}
+
+impl<M: DomainModel + Send + fmt::Debug + 'static> fmt::Debug for EmuSession<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EmuSession")
+            .field("backend", &self.backend())
+            .field("committed", &self.committed_cycles())
+            .finish()
+    }
+}
+
+/// The real-thread backend: one [`ChannelWrapper`] per OS thread, each with a
+/// per-side costed channel over a [`ThreadedTransport`] endpoint and its own
+/// ledger. Threads are spawned per run and joined before the call returns, so
+/// the session is externally synchronous.
+struct ThreadedSession<M: DomainModel + Send + 'static> {
+    sim: ChannelWrapper<M>,
+    acc: ChannelWrapper<M>,
+    sim_ch: CostedChannel<ThreadedEndpoint>,
+    acc_ch: CostedChannel<ThreadedEndpoint>,
+    sim_ledger: TimeLedger,
+    acc_ledger: TimeLedger,
+    config: CoEmuConfig,
+    opts: ThreadedOpts,
+    /// `None` when no observer is installed, so the worker threads skip the
+    /// serializing mutex entirely on their hot path.
+    observer: Option<Mutex<Box<dyn EmuObserver>>>,
+}
+
+impl<M: DomainModel + Send + 'static> ThreadedSession<M> {
+    fn new(
+        sim_model: M,
+        acc_model: M,
+        config: CoEmuConfig,
+        opts: ThreadedOpts,
+        observer: Option<Box<dyn EmuObserver>>,
+    ) -> Self {
+        let (sim, acc) = crate::coemu::build_wrapper_pair(sim_model, acc_model, &config);
+        let (sim_end, acc_end) = ThreadedTransport::pair();
+        ThreadedSession {
+            sim,
+            acc,
+            sim_ch: CostedChannel::with_transport(sim_end, config.channel),
+            acc_ch: CostedChannel::with_transport(acc_end, config.channel),
+            sim_ledger: TimeLedger::new(),
+            acc_ledger: TimeLedger::new(),
+            config,
+            opts,
+            observer: observer.map(Mutex::new),
+        }
+    }
+
+    fn committed_cycles(&self) -> u64 {
+        self.sim.cycle().min(self.acc.cycle())
+    }
+
+    fn merged_ledger(&self) -> TimeLedger {
+        let mut out = self.sim_ledger.clone();
+        out.merge(&self.acc_ledger);
+        out
+    }
+
+    fn merged_channel_stats(&self) -> ChannelStats {
+        let mut out = self.sim_ch.stats().clone();
+        out.merge(self.acc_ch.stats());
+        out
+    }
+
+    fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
+        crate::wrapper::merge_committed_traces(&self.sim, &self.acc, merge)
+    }
+
+    /// Spawns one thread per domain and runs both to the boundary-halt
+    /// condition; returns after joining both.
+    fn run_until_synchronized(&mut self, cycles: u64) -> Result<(), SimError> {
+        let sim_costs = self.config.costs_for(Side::Simulator);
+        let acc_costs = self.config.costs_for(Side::Accelerator);
+        let opts = self.opts;
+        let epoch = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let observer = self.observer.as_ref();
+        let (sim, acc) = (&mut self.sim, &mut self.acc);
+        let (sim_ch, acc_ch) = (&mut self.sim_ch, &mut self.acc_ch);
+        let (sim_ledger, acc_ledger) = (&mut self.sim_ledger, &mut self.acc_ledger);
+
+        let (sim_result, acc_result) = thread::scope(|s| {
+            let sim_handle = s.spawn(|| {
+                run_side(
+                    sim, sim_ch, sim_ledger, &sim_costs, cycles, &epoch, &stop, opts, observer,
+                )
+            });
+            let acc_result = run_side(
+                acc, acc_ch, acc_ledger, &acc_costs, cycles, &epoch, &stop, opts, observer,
+            );
+            (
+                sim_handle.join().expect("simulator thread panicked"),
+                acc_result,
+            )
+        });
+        sim_result.and(acc_result)
+    }
+}
+
+/// The per-domain thread body: step until halted, blocked-wait on the
+/// endpoint, detect starvation via the shared progress epoch.
+#[allow(clippy::too_many_arguments)]
+fn run_side<M: DomainModel>(
+    wrapper: &mut ChannelWrapper<M>,
+    ch: &mut CostedChannel<ThreadedEndpoint>,
+    ledger: &mut TimeLedger,
+    costs: &DomainCosts,
+    target: u64,
+    epoch: &AtomicU64,
+    stop: &AtomicBool,
+    opts: ThreadedOpts,
+    observer: Option<&Mutex<Box<dyn EmuObserver>>>,
+) -> Result<(), SimError> {
+    let mut noop = NoopObserver;
+    let mut shared;
+    let obs: &mut dyn EmuObserver = match observer {
+        Some(m) => {
+            shared = SharedObserver::new(m);
+            &mut shared
+        }
+        None => &mut noop,
+    };
+    let mut blocked_at: Option<(u64, Instant)> = None;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if wrapper.at_transition_boundary() && wrapper.cycle() >= target {
+            return Ok(());
+        }
+        match wrapper.step(ch, ledger, costs, &mut *obs) {
+            Ok(Progress::Worked) => {
+                epoch.fetch_add(1, Ordering::AcqRel);
+                blocked_at = None;
+            }
+            Ok(Progress::Blocked) => {
+                let now_epoch = epoch.load(Ordering::Acquire);
+                match blocked_at {
+                    Some((e, since)) if e == now_epoch => {
+                        if since.elapsed() >= opts.deadlock_timeout {
+                            stop.store(true, Ordering::Release);
+                            return Err(SimError::Deadlock {
+                                cycle: wrapper.cycle(),
+                            });
+                        }
+                    }
+                    _ => blocked_at = Some((now_epoch, Instant::now())),
+                }
+                ch.transport_mut().wait_for_packet(opts.poll_interval);
+            }
+            Err(e) => {
+                stop.store(true, Ordering::Release);
+                return Err(e);
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! [`Progress::Blocked`] and the orchestrator runs the peer domain.
 
 use crate::model::{DomainModel, TickKind};
+use crate::observer::{EmuEvent, EmuObserver};
 use crate::protocol::Message;
 use predpkt_channel::{CostedChannel, Side, Transport};
 use predpkt_predict::{Lob, LobEntry};
@@ -30,7 +31,10 @@ use std::fmt;
 
 /// Converts LOB entries into fixed-width blocks for the delta packetizer
 /// (`[has_prediction, local…, prediction-or-zeros…]`).
-pub(crate) fn lob_entries_to_blocks(entries: &[LobEntry], prediction_width: usize) -> Vec<Vec<u32>> {
+pub(crate) fn lob_entries_to_blocks(
+    entries: &[LobEntry],
+    prediction_width: usize,
+) -> Vec<Vec<u32>> {
     entries
         .iter()
         .map(|e| {
@@ -150,9 +154,8 @@ impl CwStats {
     /// Prediction accuracy observed by this wrapper as lagger, if any
     /// predictions were checked.
     pub fn observed_accuracy(&self) -> Option<f64> {
-        (self.checked_predictions > 0).then(|| {
-            1.0 - self.failed_predictions as f64 / self.checked_predictions as f64
-        })
+        (self.checked_predictions > 0)
+            .then(|| 1.0 - self.failed_predictions as f64 / self.checked_predictions as f64)
     }
 }
 
@@ -184,6 +187,31 @@ pub(crate) struct DomainCosts {
 /// Smallest adaptive run-ahead: even a failing transition amortizes the two
 /// channel accesses over at least this many attempted cycles.
 const ADAPTIVE_MIN_DEPTH: usize = 2;
+
+/// Merges the committed prefix of two wrappers' local-output traces into
+/// full-bus records (shared by the co-operative and threaded runners).
+pub(crate) fn merge_committed_traces<M: DomainModel>(
+    sim: &ChannelWrapper<M>,
+    acc: &ChannelWrapper<M>,
+    merge: impl Fn(&[u64], &[u64]) -> Vec<u64>,
+) -> predpkt_sim::Trace {
+    let n = sim.cycle().min(acc.cycle()) as usize;
+    let mut out = predpkt_sim::Trace::new();
+    for i in 0..n {
+        let s = sim
+            .model()
+            .trace()
+            .get(i)
+            .expect("sim trace holds committed cycles");
+        let a = acc
+            .model()
+            .trace()
+            .get(i)
+            .expect("acc trace holds committed cycles");
+        out.record(merge(s, a));
+    }
+    out
+}
 
 #[derive(Debug)]
 enum Phase {
@@ -286,15 +314,33 @@ impl<M: DomainModel> ChannelWrapper<M> {
         self.model.cycle()
     }
 
+    /// `true` while the wrapper sits at a transition boundary (synchronized
+    /// with its peer, about to elect the next transition's roles). The
+    /// session runners halt domains only here, so the stop point is a
+    /// deterministic protocol event independent of scheduling.
+    pub(crate) fn at_transition_boundary(&self) -> bool {
+        matches!(self.phase, Phase::Elect)
+    }
+
     fn send<T: Transport>(
         &self,
         channel: &mut CostedChannel<T>,
         ledger: &mut TimeLedger,
         msg: &Message,
+        obs: &mut dyn EmuObserver,
     ) {
         let pkt = msg.encode(self.model.local_width(), self.model.remote_width());
+        let words = pkt.wire_words();
         let cost = channel.send(self.side, pkt);
         ledger.charge(CostCategory::Channel, cost);
+        obs.on_event(
+            self.side,
+            &EmuEvent::ChannelSend {
+                direction: self.side.outbound(),
+                words,
+                cost,
+            },
+        );
     }
 
     fn bill_cycle(&self, ledger: &mut TimeLedger, costs: &DomainCosts) {
@@ -323,6 +369,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
         channel: &mut CostedChannel<T>,
         ledger: &mut TimeLedger,
         costs: &DomainCosts,
+        obs: &mut dyn EmuObserver,
     ) -> Result<Progress, SimError> {
         match &self.phase {
             Phase::HandshakeSend => {
@@ -330,7 +377,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
                     local_width: self.model.local_width(),
                     remote_width: self.model.remote_width(),
                 };
-                self.send(channel, ledger, &msg);
+                self.send(channel, ledger, &msg, obs);
                 self.phase = Phase::HandshakeAwait;
                 Ok(Progress::Worked)
             }
@@ -339,7 +386,11 @@ impl<M: DomainModel> ChannelWrapper<M> {
                     return Ok(Progress::Blocked);
                 };
                 let msg = self.decode(&pkt)?;
-                let Message::Handshake { local_width, remote_width } = msg else {
+                let Message::Handshake {
+                    local_width,
+                    remote_width,
+                } = msg
+                else {
                     return Err(SimError::Config("expected handshake".into()));
                 };
                 if local_width != self.model.remote_width()
@@ -352,6 +403,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
                         self.model.remote_width()
                     )));
                 }
+                obs.on_event(self.side, &EmuEvent::HandshakeComplete);
                 self.phase = Phase::Elect;
                 Ok(Progress::Worked)
             }
@@ -363,12 +415,26 @@ impl<M: DomainModel> ChannelWrapper<M> {
                 }
                 if !optimistic || self.model.needs_sync() {
                     // C-path: conservative cycle with initiative.
+                    obs.on_event(
+                        self.side,
+                        &EmuEvent::TransitionStarted {
+                            leader: self.side,
+                            optimistic: false,
+                        },
+                    );
                     self.pending_actuals = None;
                     let outputs = self.model.local_outputs();
-                    self.send(channel, ledger, &Message::CycleOutputs { outputs });
+                    self.send(channel, ledger, &Message::CycleOutputs { outputs }, obs);
                     self.phase = Phase::ConsAwaitReply;
                     return Ok(Progress::Worked);
                 }
+                obs.on_event(
+                    self.side,
+                    &EmuEvent::TransitionStarted {
+                        leader: self.side,
+                        optimistic: true,
+                    },
+                );
                 // Start a transition: optional head cycle on actuals (the
                 // conventional first P-path cycle, P-5/P-6), then snapshot.
                 self.inflight.clear();
@@ -381,7 +447,10 @@ impl<M: DomainModel> ChannelWrapper<M> {
                         self.stats.head_cycles += 1;
                         self.stats.bump(PaperPath::P);
                         self.lob
-                            .push(LobEntry { local, predicted: None })
+                            .push(LobEntry {
+                                local,
+                                predicted: None,
+                            })
                             .expect("head entry always fits");
                         self.head_actuals = Some(actuals);
                     }
@@ -396,9 +465,24 @@ impl<M: DomainModel> ChannelWrapper<M> {
                 {
                     // S-path: flush the LOB as one burst.
                     let entries = self.lob.drain();
+                    obs.on_event(
+                        self.side,
+                        &EmuEvent::LobFlush {
+                            entries: entries.len(),
+                            predictions: entries.iter().filter(|e| e.predicted.is_some()).count(),
+                        },
+                    );
                     self.inflight = entries.clone();
                     let leader_next = self.model.local_outputs();
-                    self.send(channel, ledger, &Message::Burst { entries, leader_next });
+                    self.send(
+                        channel,
+                        ledger,
+                        &Message::Burst {
+                            entries,
+                            leader_next,
+                        },
+                        obs,
+                    );
                     self.stats.flushes += 1;
                     self.stats.bump(PaperPath::S);
                     self.phase = Phase::LeadAwaitReport;
@@ -412,7 +496,10 @@ impl<M: DomainModel> ChannelWrapper<M> {
                 let local = self.model.local_outputs();
                 let predicted = self.model.predict_remote();
                 self.lob
-                    .push(LobEntry { local, predicted: Some(predicted.clone()) })
+                    .push(LobEntry {
+                        local,
+                        predicted: Some(predicted.clone()),
+                    })
                     .expect("checked is_full above");
                 self.model.tick(&predicted, TickKind::Predicted);
                 self.bill_cycle(ledger, costs);
@@ -426,6 +513,13 @@ impl<M: DomainModel> ChannelWrapper<M> {
                 };
                 match self.decode(&pkt)? {
                     Message::ReportSuccess { next } => {
+                        obs.on_event(
+                            self.side,
+                            &EmuEvent::ReportReceived {
+                                success: true,
+                                failed_index: None,
+                            },
+                        );
                         self.stats.transitions += 1;
                         self.stats.clean_transitions += 1;
                         if self.adaptive_depth {
@@ -438,17 +532,27 @@ impl<M: DomainModel> ChannelWrapper<M> {
                         self.phase = Phase::Elect;
                         Ok(Progress::Worked)
                     }
-                    Message::ReportFailure { failed_index, actual, next } => {
+                    Message::ReportFailure {
+                        failed_index,
+                        actual,
+                        next,
+                    } => {
+                        obs.on_event(
+                            self.side,
+                            &EmuEvent::ReportReceived {
+                                success: false,
+                                failed_index: Some(failed_index),
+                            },
+                        );
                         self.stats.transitions += 1;
                         self.stats.rollbacks += 1;
                         if self.adaptive_depth {
                             // Aim the next run-ahead at the run length that was
                             // actually achievable this time.
-                            self.cur_depth = failed_index
-                                .max(ADAPTIVE_MIN_DEPTH)
-                                .min(self.depth_cap);
+                            self.cur_depth =
+                                failed_index.max(ADAPTIVE_MIN_DEPTH).min(self.depth_cap);
                         }
-                        self.roll_back_and_forth(failed_index, &actual, ledger, costs)?;
+                        self.roll_back_and_forth(failed_index, &actual, ledger, costs, obs)?;
                         self.pending_actuals = Some((self.model.cycle(), next));
                         self.phase = Phase::Elect;
                         Ok(Progress::Worked)
@@ -469,6 +573,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
                 self.bill_cycle(ledger, costs);
                 self.stats.conservative_cycles += 1;
                 self.stats.bump(PaperPath::C);
+                obs.on_event(self.side, &EmuEvent::ConservativeCycle);
                 self.phase = Phase::Elect;
                 Ok(Progress::Worked)
             }
@@ -480,16 +585,25 @@ impl<M: DomainModel> ChannelWrapper<M> {
                     Message::CycleOutputs { outputs } => {
                         // C-path responder: reply with our outputs, then tick.
                         let mine = self.model.local_outputs();
-                        self.send(channel, ledger, &Message::CycleOutputs { outputs: mine });
+                        self.send(
+                            channel,
+                            ledger,
+                            &Message::CycleOutputs { outputs: mine },
+                            obs,
+                        );
                         self.model.tick(&outputs, TickKind::Actual);
                         self.bill_cycle(ledger, costs);
                         self.stats.conservative_cycles += 1;
                         self.stats.bump(PaperPath::C);
+                        obs.on_event(self.side, &EmuEvent::ConservativeCycle);
                         self.phase = Phase::Elect;
                         Ok(Progress::Worked)
                     }
-                    Message::Burst { entries, leader_next } => {
-                        self.follow_burst(entries, leader_next, channel, ledger, costs);
+                    Message::Burst {
+                        entries,
+                        leader_next,
+                    } => {
+                        self.follow_burst(entries, leader_next, channel, ledger, costs, obs);
                         self.phase = Phase::Elect;
                         Ok(Progress::Worked)
                     }
@@ -509,6 +623,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
         channel: &mut CostedChannel<T>,
         ledger: &mut TimeLedger,
         costs: &DomainCosts,
+        obs: &mut dyn EmuObserver,
     ) {
         for (idx, entry) in entries.iter().enumerate() {
             if let Some(predicted) = &entry.predicted {
@@ -527,7 +642,12 @@ impl<M: DomainModel> ChannelWrapper<M> {
                     self.send(
                         channel,
                         ledger,
-                        &Message::ReportFailure { failed_index: idx, actual, next },
+                        &Message::ReportFailure {
+                            failed_index: idx,
+                            actual,
+                            next,
+                        },
+                        obs,
                     );
                     self.pending_actuals = None;
                     return;
@@ -539,7 +659,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
         }
         // R-path: all predictions correct.
         let next = self.model.local_outputs();
-        self.send(channel, ledger, &Message::ReportSuccess { next });
+        self.send(channel, ledger, &Message::ReportSuccess { next }, obs);
         self.stats.bump(PaperPath::R);
         // The burst carried the leader's next outputs: valid head actuals if we
         // lead the next transition.
@@ -553,6 +673,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
         actual: &[u32],
         ledger: &mut TimeLedger,
         costs: &DomainCosts,
+        obs: &mut dyn EmuObserver,
     ) -> Result<(), SimError> {
         let (state, mark) = self
             .snapshot
@@ -569,13 +690,23 @@ impl<M: DomainModel> ChannelWrapper<M> {
         // actual values are *inside* the snapshot and must not be replayed.
         let inflight = std::mem::take(&mut self.inflight);
         self.head_actuals = None;
-        let head_count = inflight.iter().take_while(|e| e.predicted.is_none()).count();
+        let head_count = inflight
+            .iter()
+            .take_while(|e| e.predicted.is_none())
+            .count();
         debug_assert!(
             failed_index >= head_count,
             "lagger reported failure of an unchecked head entry"
         );
-        for entry in inflight.iter().skip(head_count).take(failed_index - head_count) {
-            let values = entry.predicted.as_deref().expect("prefix entries carry predictions");
+        for entry in inflight
+            .iter()
+            .skip(head_count)
+            .take(failed_index - head_count)
+        {
+            let values = entry
+                .predicted
+                .as_deref()
+                .expect("prefix entries carry predictions");
             self.model.tick(values, TickKind::Actual);
             self.bill_cycle(ledger, costs);
             self.stats.replayed_cycles += 1;
@@ -585,6 +716,13 @@ impl<M: DomainModel> ChannelWrapper<M> {
         self.bill_cycle(ledger, costs);
         self.stats.replayed_cycles += 1;
         self.stats.bump(PaperPath::F);
+        obs.on_event(
+            self.side,
+            &EmuEvent::Rollback {
+                failed_index,
+                replayed: (failed_index - head_count) as u64 + 1,
+            },
+        );
         Ok(())
     }
 

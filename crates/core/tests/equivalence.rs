@@ -61,7 +61,9 @@ fn coemu_trace(
     policy: ModePolicy,
     cycles: u64,
 ) -> (predpkt_sim::Trace, predpkt_core::PerfReport) {
-    let config = CoEmuConfig::paper_defaults().policy(policy).rollback_vars(None);
+    let config = CoEmuConfig::paper_defaults()
+        .policy(policy)
+        .rollback_vars(None);
     let mut coemu = CoEmulator::from_blueprint(blueprint, config).unwrap();
     coemu.run_until_committed(cycles).unwrap();
     let placement = blueprint.placement();
@@ -142,8 +144,12 @@ fn split_slave_under_optimism_matches_golden() {
         .master(Side::Simulator, || {
             Box::new(CpuMaster::new(77, CpuProfile::default()))
         })
-        .slave(Side::Simulator, 0x0000, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)))
-        .slave(Side::Accelerator, 0x1000, 0x1000, || Box::new(SplitSlave::new(0x100, 5)));
+        .slave(Side::Simulator, 0x0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x1000, 0x1000, || {
+            Box::new(SplitSlave::new(0x100, 5))
+        });
     assert_equivalent(&blueprint, ModePolicy::Auto, 500);
 }
 
@@ -157,8 +163,12 @@ fn fifo_producer_consumer_matches_golden() {
                     .with_idle_gap(2),
             )
         })
-        .slave(Side::Simulator, 0x0000, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)))
-        .slave(Side::Accelerator, 0x1000, 0x1000, || Box::new(FifoSlave::new(8, 3, 0)));
+        .slave(Side::Simulator, 0x0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x1000, 0x1000, || {
+            Box::new(FifoSlave::new(8, 3, 0))
+        });
     assert_equivalent(&blueprint, ModePolicy::Auto, 400);
 }
 
@@ -170,16 +180,20 @@ fn irq_crossing_domains_matches_golden() {
         .master(Side::Simulator, || {
             Box::new(
                 TrafficGenMaster::from_ops(vec![
-                    BusOp::write_single(0x1008, 16),  // timer period
+                    BusOp::write_single(0x1008, 16),   // timer period
                     BusOp::write_single(0x1000, 0b11), // enable timer + IRQ
-                    BusOp::read_single(0x1004),       // poll status
+                    BusOp::read_single(0x1004),        // poll status
                 ])
                 .looping()
                 .with_idle_gap(9),
             )
         })
-        .slave(Side::Simulator, 0x0000, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)))
-        .slave(Side::Accelerator, 0x1000, 0x1000, || Box::new(PeripheralSlave::new(0)));
+        .slave(Side::Simulator, 0x0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x1000, 0x1000, || {
+            Box::new(PeripheralSlave::new(0))
+        });
     assert_equivalent(&blueprint, ModePolicy::Auto, 500);
 }
 
@@ -198,9 +212,13 @@ fn dma_moves_correct_data_across_domains() {
             }
             Box::new(m)
         })
-        .slave(Side::Accelerator, 0x1000, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+        .slave(Side::Accelerator, 0x1000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        });
 
-    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto).rollback_vars(None);
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None);
     let mut coemu = CoEmulator::from_blueprint(&blueprint, config).unwrap();
     coemu.run_until_committed(600).unwrap();
     let dst: &MemorySlave = coemu

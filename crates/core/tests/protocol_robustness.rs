@@ -21,7 +21,14 @@ struct MiniModel {
 
 impl MiniModel {
     fn new(side: Side, elect: Side, sync_every: u64) -> Self {
-        MiniModel { side, elect, sync_every, value: 0, cycle: 0, trace: Trace::new() }
+        MiniModel {
+            side,
+            elect,
+            sync_every,
+            value: 0,
+            cycle: 0,
+            trace: Trace::new(),
+        }
     }
 }
 
@@ -120,7 +127,10 @@ fn needs_sync_forces_conservative_cycles_mid_stream() {
         "~1 in 8 cycles must be conservative, got {}",
         acc_stats.conservative_cycles
     );
-    assert!(acc_stats.predicted_cycles > 200, "optimism resumes between syncs");
+    assert!(
+        acc_stats.predicted_cycles > 200,
+        "optimism resumes between syncs"
+    );
     // Both domains stay in lockstep through the mixed regime.
     assert_eq!(coemu.sim_model().cycle(), coemu.acc_model().cycle());
 }

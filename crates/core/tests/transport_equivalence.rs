@@ -1,0 +1,245 @@
+//! Transport equivalence: the same blueprint and seed must produce
+//! bit-identical committed traces, identical channel statistics, and
+//! identical virtual-time ledgers over every transport backend — the
+//! deterministic queue, the fault-free lossy wrapper, and the real-thread
+//! transport. Sessions halt at transition boundaries, so the stop point is a
+//! protocol event rather than a scheduling artifact, which is what makes this
+//! a meaningful (and stable) assertion.
+
+use predpkt_ahb::engine::BusOp;
+use predpkt_ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
+use predpkt_ahb::signals::{Hburst, Hsize};
+use predpkt_ahb::slaves::{MemorySlave, PeripheralSlave};
+use predpkt_channel::{ChannelStats, FaultSpec};
+use predpkt_core::{
+    CoEmuConfig, EmuSession, EventCounters, ModePolicy, Side, SocBlueprint, ThreadedOpts,
+    TransportSelect,
+};
+use predpkt_predict::LastValueSuite;
+use predpkt_sim::VirtualTime;
+
+/// The paper's Fig. 2 shape (see `equivalence.rs`), traffic irregular enough
+/// to exercise predictions, rollbacks, and conservative fallbacks.
+fn figure2_soc() -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Simulator, || {
+            Box::new(CpuMaster::new(0xbeef, CpuProfile::default()))
+        })
+        .master(Side::Accelerator, || {
+            Box::new(DmaMaster::new(vec![
+                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
+                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
+            ]))
+        })
+        .master(Side::Accelerator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::read_burst(0x0000_0040, Hsize::Word, Hburst::Wrap8),
+                    BusOp::write_single(0x0000_2004, 0xabcd),
+                ])
+                .looping()
+                .with_idle_gap(11),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Simulator, 0x0000_1000, 0x1000, || {
+            Box::new(MemorySlave::with_waits(0x1000, 2, 1))
+        })
+        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
+            Box::new(PeripheralSlave::new(1))
+        })
+}
+
+struct RunOutcome {
+    trace_hash: u64,
+    committed: u64,
+    channel: ChannelStats,
+    ledger_total: VirtualTime,
+    sim_rollbacks: u64,
+    acc_flushes: u64,
+}
+
+fn run_backend(policy: ModePolicy, backend: TransportSelect, cycles: u64) -> RunOutcome {
+    let blueprint = figure2_soc();
+    let config = CoEmuConfig::paper_defaults()
+        .policy(policy)
+        .rollback_vars(None)
+        .carry(true)
+        .adaptive(true);
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .transport(backend)
+        .build()
+        .expect("session builds");
+    session.run_until_committed(cycles).expect("no deadlock");
+    let placement = blueprint.placement();
+    let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
+    RunOutcome {
+        trace_hash: trace.hash(),
+        committed: session.committed_cycles(),
+        channel: session.channel_stats(),
+        ledger_total: session.ledger().total(),
+        sim_rollbacks: session.sim_stats().rollbacks,
+        acc_flushes: session.acc_stats().flushes,
+    }
+}
+
+fn assert_backends_equivalent(policy: ModePolicy, cycles: u64) {
+    let queue = run_backend(policy, TransportSelect::Queue, cycles);
+    let lossy = run_backend(policy, TransportSelect::Lossy(FaultSpec::none(1)), cycles);
+    let threaded = run_backend(
+        policy,
+        TransportSelect::Threaded(ThreadedOpts::default()),
+        cycles,
+    );
+
+    for (name, other) in [("lossy", &lossy), ("threaded", &threaded)] {
+        assert_eq!(
+            queue.trace_hash, other.trace_hash,
+            "{policy:?}: {name} trace diverged from queue"
+        );
+        assert_eq!(
+            queue.committed, other.committed,
+            "{policy:?}: {name} stopped at a different boundary"
+        );
+        assert_eq!(
+            queue.channel, other.channel,
+            "{policy:?}: {name} channel statistics diverged"
+        );
+        assert_eq!(
+            queue.ledger_total, other.ledger_total,
+            "{policy:?}: {name} virtual time diverged"
+        );
+        assert_eq!(
+            queue.sim_rollbacks, other.sim_rollbacks,
+            "{policy:?}: {name}"
+        );
+        assert_eq!(queue.acc_flushes, other.acc_flushes, "{policy:?}: {name}");
+    }
+}
+
+#[test]
+fn queue_lossy_and_threaded_agree_under_auto() {
+    assert_backends_equivalent(ModePolicy::Auto, 500);
+}
+
+#[test]
+fn queue_lossy_and_threaded_agree_under_forced_als() {
+    assert_backends_equivalent(ModePolicy::ForcedAls, 500);
+}
+
+#[test]
+fn queue_lossy_and_threaded_agree_under_conservative() {
+    assert_backends_equivalent(ModePolicy::Conservative, 300);
+}
+
+#[test]
+fn threaded_runs_are_reproducible() {
+    let a = run_backend(
+        ModePolicy::Auto,
+        TransportSelect::Threaded(ThreadedOpts::default()),
+        400,
+    );
+    let b = run_backend(
+        ModePolicy::Auto,
+        TransportSelect::Threaded(ThreadedOpts::default()),
+        400,
+    );
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert_eq!(a.channel, b.channel);
+    assert_eq!(a.ledger_total, b.ledger_total);
+}
+
+#[test]
+fn custom_predictor_suite_changes_accuracy_never_correctness() {
+    let blueprint = figure2_soc();
+    let cycles = 500u64;
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::ForcedAls)
+        .rollback_vars(None);
+
+    let run = |use_naive: bool| {
+        let builder = EmuSession::from_blueprint(&blueprint).config(config);
+        let builder = if use_naive {
+            builder.predictors(LastValueSuite)
+        } else {
+            builder
+        };
+        let mut session = builder.build().expect("session builds");
+        session.run_until_committed(cycles).expect("no deadlock");
+        let placement = blueprint.placement();
+        let mut trace = session.merged_trace(|s, a| placement.merge_records(s, a));
+        trace.truncate_to_len(cycles as usize);
+        let report = session.report();
+        (
+            trace.hash(),
+            report.observed_accuracy().expect("predictions checked"),
+        )
+    };
+
+    let (paper_hash, paper_accuracy) = run(false);
+    let (naive_hash, naive_accuracy) = run(true);
+    // Rollback repairs every misprediction: traces are identical...
+    assert_eq!(
+        paper_hash, naive_hash,
+        "suite choice must never change behaviour"
+    );
+    // ...but the naive suite pays for it in accuracy (it cannot follow
+    // bursts, and the Fig. 2 SoC is burst-heavy).
+    assert!(
+        naive_accuracy < paper_accuracy,
+        "naive {naive_accuracy} should trail paper {paper_accuracy}"
+    );
+}
+
+#[test]
+fn observer_counts_match_wrapper_statistics_across_backends() {
+    for backend in [
+        TransportSelect::Queue,
+        TransportSelect::Threaded(ThreadedOpts::default()),
+    ] {
+        let blueprint = figure2_soc();
+        let config = CoEmuConfig::paper_defaults()
+            .policy(ModePolicy::Auto)
+            .rollback_vars(None);
+        let counters = EventCounters::new();
+        let mut session = EmuSession::from_blueprint(&blueprint)
+            .config(config)
+            .transport(backend)
+            .observer(Box::new(counters.clone()))
+            .build()
+            .expect("session builds");
+        session.run_until_committed(400).expect("no deadlock");
+        let events = counters.snapshot();
+        let report = session.report();
+
+        assert_eq!(events.handshakes, 2, "one handshake per side");
+        assert_eq!(
+            events.lob_flushes,
+            report.sim_stats().flushes + report.acc_stats().flushes,
+            "{}",
+            session.backend()
+        );
+        assert_eq!(
+            events.rollbacks,
+            report.sim_stats().rollbacks + report.acc_stats().rollbacks,
+            "{}",
+            session.backend()
+        );
+        assert_eq!(
+            events.channel_sends,
+            report.channel().total_accesses(),
+            "{}",
+            session.backend()
+        );
+        assert_eq!(
+            events.words_sent,
+            report.channel().total_words(),
+            "{}",
+            session.backend()
+        );
+        assert!(events.transitions > 0);
+    }
+}

@@ -314,7 +314,10 @@ mod tests {
     fn transition_stats_at_zero_accuracy() {
         let t = TransitionStats::at(0.0, 64, false);
         assert_eq!(t.success_prob, 0.0);
-        assert!((t.progress - 1.0).abs() < 1e-12, "first prediction always fails");
+        assert!(
+            (t.progress - 1.0).abs() < 1e-12,
+            "first prediction always fails"
+        );
         assert!((t.leader_cycles - 65.0).abs() < 1e-12);
         assert_eq!(t.restores, 1.0);
     }
@@ -329,24 +332,52 @@ mod tests {
     #[test]
     fn conventional_matches_paper_baselines() {
         let m = paper_als();
-        assert!((m.conventional_perf() - 38_900.0).abs() < 400.0, "{}", m.conventional_perf());
+        assert!(
+            (m.conventional_perf() - 38_900.0).abs() < 400.0,
+            "{}",
+            m.conventional_perf()
+        );
         let slow = ModelParams {
             sim_cps: 100_000.0,
             ..paper_als()
         };
-        assert!((slow.conventional_perf() - 28_800.0).abs() < 300.0, "{}", slow.conventional_perf());
+        assert!(
+            (slow.conventional_perf() - 28_800.0).abs() < 300.0,
+            "{}",
+            slow.conventional_perf()
+        );
     }
 
     #[test]
     fn perfect_accuracy_row_matches_paper() {
         let row = AnalyticRow::at(&paper_als(), 1.0);
         // Paper Table 2, p=1.0 column.
-        assert!((row.t_sim - 1.0e-6).abs() / 1.0e-6 < 0.01, "Tsim {}", row.t_sim);
-        assert!((row.t_acc - 1.0e-7).abs() / 1.0e-7 < 0.01, "Tacc {}", row.t_acc);
-        assert!((row.t_store - 4.69e-10).abs() / 4.69e-10 < 0.02, "Tstore {}", row.t_store);
+        assert!(
+            (row.t_sim - 1.0e-6).abs() / 1.0e-6 < 0.01,
+            "Tsim {}",
+            row.t_sim
+        );
+        assert!(
+            (row.t_acc - 1.0e-7).abs() / 1.0e-7 < 0.01,
+            "Tacc {}",
+            row.t_acc
+        );
+        assert!(
+            (row.t_store - 4.69e-10).abs() / 4.69e-10 < 0.02,
+            "Tstore {}",
+            row.t_store
+        );
         assert!(row.t_restore == 0.0);
-        assert!((row.t_channel - 4.3e-7).abs() / 4.3e-7 < 0.15, "Tch {}", row.t_channel);
-        assert!((row.performance - 652_000.0).abs() / 652_000.0 < 0.04, "perf {}", row.performance);
+        assert!(
+            (row.t_channel - 4.3e-7).abs() / 4.3e-7 < 0.15,
+            "Tch {}",
+            row.t_channel
+        );
+        assert!(
+            (row.performance - 652_000.0).abs() / 652_000.0 < 0.04,
+            "perf {}",
+            row.performance
+        );
         assert!((row.ratio - 16.75).abs() < 0.8, "ratio {}", row.ratio);
     }
 
@@ -393,7 +424,10 @@ mod tests {
     #[test]
     fn carry_actuals_helps_low_accuracy() {
         let faithful = paper_als();
-        let refined = ModelParams { carry_actuals: true, ..faithful };
+        let refined = ModelParams {
+            carry_actuals: true,
+            ..faithful
+        };
         let low_f = AnalyticRow::at(&faithful, 0.1).performance;
         let low_r = AnalyticRow::at(&refined, 0.1).performance;
         assert!(low_r > low_f * 1.3, "{low_r} vs {low_f}");
@@ -419,7 +453,10 @@ mod tests {
         let m = ModelParams::from_config(&CoEmuConfig::paper_defaults(), Side::Simulator);
         let r1000 = AnalyticRow::at(&m, 1.0);
         assert!((r1000.ratio - 15.34).abs() < 2.0, "ratio {}", r1000.ratio);
-        let slow = ModelParams { sim_cps: 100_000.0, ..m };
+        let slow = ModelParams {
+            sim_cps: 100_000.0,
+            ..m
+        };
         let r100 = AnalyticRow::at(&slow, 1.0);
         assert!((r100.ratio - 3.25).abs() < 0.4, "ratio {}", r100.ratio);
     }

@@ -60,7 +60,8 @@ mod tests {
     fn als(sim_kcps: u64, lob: usize) -> ModelParams {
         let config = CoEmuConfig::paper_defaults()
             .sim_speed(predpkt_sim::Frequency::from_kcycles_per_sec(sim_kcps))
-            .lob_depth(lob);
+            .try_lob_depth(lob)
+            .expect("depth is non-zero");
         ModelParams::from_config(&config, Side::Accelerator)
     }
 
@@ -148,10 +149,8 @@ mod tests {
 
     #[test]
     fn adaptive_depth_tracks_achievable_run_length() {
-        let (_, depth_low) =
-            crate::TransitionStats::at_adaptive(0.1, 64, 2, false);
-        let (_, depth_high) =
-            crate::TransitionStats::at_adaptive(0.999, 64, 2, false);
+        let (_, depth_low) = crate::TransitionStats::at_adaptive(0.1, 64, 2, false);
+        let (_, depth_high) = crate::TransitionStats::at_adaptive(0.999, 64, 2, false);
         assert!(depth_low < 4.0, "low accuracy shrinks depth: {depth_low}");
         assert!(depth_high > 50.0, "high accuracy ramps depth: {depth_high}");
     }

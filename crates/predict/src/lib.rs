@@ -14,6 +14,11 @@
 //!   [`BurstFollower`] (address/control: linear within a burst),
 //!   [`WaitPredictor`] (slave responses: producer–consumer wait patterns),
 //!   [`LastValuePredictor`] (arbitration requests, interrupts: change rarely).
+//! * [`PredictorSuite`] — the strategy layer: a suite is a factory of
+//!   per-component [`MasterPredictor`]/[`SlavePredictor`] objects, so a
+//!   session can swap the paper's wiring ([`PaperSuite`]) for alternatives
+//!   ([`LastValueSuite`], or user-defined suites) without touching the
+//!   protocol engine.
 //!
 //! All predictors implement [`Snapshot`](predpkt_sim::Snapshot): predictor
 //! state is part of the leader's rollback state, so a rolled-back leader also
@@ -25,18 +30,23 @@
 mod delta;
 mod lob;
 mod predictors;
+mod suite;
 
 pub use delta::{decode_block, encode_block, DeltaDecodeError};
 pub use lob::{Lob, LobEntry, LobFullError};
 pub use predictors::{BurstFollower, LastValuePredictor, WaitPredictor};
+pub use suite::{
+    LastValueMasterPredictor, LastValueSlavePredictor, LastValueSuite, MasterPredictor,
+    PaperMasterPredictor, PaperSlavePredictor, PaperSuite, PredictorSuite, SlavePredictor,
+};
 
 // Re-exported so downstream code can name the paper concepts from one place.
 pub use predpkt_ahb::signals::{MasterSignals, SlaveSignals};
 
-/// Alias documenting intent: `DeltaEncoder` is the packetizing half.
-pub use delta::encode_block as delta_encode;
 /// Alias documenting intent: `DeltaDecoder` is the depacketizing half.
 pub use delta::decode_block as delta_decode;
+/// Alias documenting intent: `DeltaEncoder` is the packetizing half.
+pub use delta::encode_block as delta_encode;
 
 /// Convenience alias used throughout the protocol: one cycle's packed signal
 /// words.

@@ -154,7 +154,11 @@ impl Snapshot for Lob {
         self.predictions = 0;
         for _ in 0..n {
             let local = r.slice_u32()?;
-            let predicted = if r.bool()? { Some(r.slice_u32()?) } else { None };
+            let predicted = if r.bool()? {
+                Some(r.slice_u32()?)
+            } else {
+                None
+            };
             if predicted.is_some() {
                 self.predictions += 1;
             }
@@ -170,11 +174,17 @@ mod tests {
     use predpkt_sim::{restore_from_vec, save_to_vec};
 
     fn head(v: u32) -> LobEntry {
-        LobEntry { local: vec![v], predicted: None }
+        LobEntry {
+            local: vec![v],
+            predicted: None,
+        }
     }
 
     fn pred(v: u32, p: u32) -> LobEntry {
-        LobEntry { local: vec![v], predicted: Some(vec![p]) }
+        LobEntry {
+            local: vec![v],
+            predicted: Some(vec![p]),
+        }
     }
 
     #[test]

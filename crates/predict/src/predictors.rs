@@ -228,7 +228,11 @@ impl WaitPredictor {
 
     /// Starts predicting a new data phase on the speculative timeline.
     pub fn begin_phase(&mut self, first_beat: bool) {
-        self.countdown = if first_beat { self.learned_first } else { self.learned_seq };
+        self.countdown = if first_beat {
+            self.learned_first
+        } else {
+            self.learned_seq
+        };
     }
 
     /// Predicts HREADY for the current speculative cycle and advances.
@@ -378,7 +382,10 @@ mod tests {
     fn wait_predictor_zero_wait_default() {
         let mut p = WaitPredictor::new();
         p.begin_phase(true);
-        assert!(p.predict_and_advance(), "assumes zero waits before learning");
+        assert!(
+            p.predict_and_advance(),
+            "assumes zero waits before learning"
+        );
     }
 
     #[test]

@@ -1,86 +1,121 @@
-//! Property-based tests on the packetizer and LOB invariants.
+//! Randomized tests on the packetizer and LOB invariants, driven by a seeded
+//! SplitMix64 generator so every case is reproducible without an external
+//! fuzzing framework.
 
-use proptest::prelude::*;
 use predpkt_predict::{decode_block, encode_block, Lob, LobEntry};
+use predpkt_sim::SplitMix64;
 
-fn blocks(width: usize, count: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(any::<u32>(), width..=width),
-        0..=count,
-    )
+/// Uniform random block set: `count` entries of exactly `width` words.
+fn uniform_blocks(rng: &mut SplitMix64, width: usize, count: usize) -> Vec<Vec<u32>> {
+    (0..count)
+        .map(|_| (0..width).map(|_| rng.next_u64() as u32).collect())
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn delta_roundtrips_arbitrary_blocks(
-        width in 0usize..40,
-        entries in (0usize..40).prop_flat_map(move |_| Just(())),
-        seed in any::<u64>()
-    ) {
-        let _ = entries;
-        // Derive a deterministic but irregular block set from the seed.
-        let count = (seed % 20) as usize;
-        let mut blocks: Vec<Vec<u32>> = Vec::new();
-        let mut x = seed | 1;
-        for _ in 0..count {
-            let mut e = vec![0u32; width];
-            for w in e.iter_mut() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                // Bias toward repeats so masks exercise both paths.
-                *w = if x & 0b11 == 0 { (x >> 33) as u32 } else { 7 };
-            }
-            blocks.push(e);
-        }
+/// Repeat-biased block set so change masks exercise both paths.
+fn biased_blocks(rng: &mut SplitMix64, width: usize, count: usize) -> Vec<Vec<u32>> {
+    (0..count)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    let x = rng.next_u64();
+                    if x & 0b11 == 0 {
+                        (x >> 33) as u32
+                    } else {
+                        7
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn delta_roundtrips_arbitrary_blocks() {
+    for case in 0..200u64 {
+        let mut rng = SplitMix64::new(case.wrapping_mul(0x9e37_79b9) ^ 0xdead_beef);
+        let width = rng.below(40) as usize;
+        let count = rng.below(20) as usize;
+        let blocks = biased_blocks(&mut rng, width, count);
         let wire = encode_block(&blocks);
-        prop_assert_eq!(decode_block(&wire).unwrap(), blocks);
+        assert_eq!(decode_block(&wire).unwrap(), blocks, "case {case}");
     }
+}
 
-    #[test]
-    fn delta_roundtrips_random_uniform(width in 1usize..16, b in blocks(8, 12)) {
-        let _ = width;
-        let wire = encode_block(&b);
-        prop_assert_eq!(decode_block(&wire).unwrap(), b);
+#[test]
+fn delta_roundtrips_random_uniform() {
+    for case in 0..200u64 {
+        let mut rng = SplitMix64::new(case ^ 0x5eed_0001);
+        let count = rng.below(13) as usize;
+        let blocks = uniform_blocks(&mut rng, 8, count);
+        let wire = encode_block(&blocks);
+        assert_eq!(decode_block(&wire).unwrap(), blocks, "case {case}");
     }
+}
 
-    #[test]
-    fn delta_never_exceeds_raw_plus_masks(b in blocks(6, 16)) {
+#[test]
+fn delta_never_exceeds_raw_plus_masks() {
+    for case in 0..200u64 {
+        let mut rng = SplitMix64::new(case ^ 0x5eed_0002);
+        let count = rng.below(17) as usize;
+        let blocks = biased_blocks(&mut rng, 6, count);
         // Upper bound: header + raw words + one mask word per non-first entry.
-        let wire = encode_block(&b);
-        let raw: usize = b.iter().map(Vec::len).sum();
-        let masks = b.len().saturating_sub(1);
-        prop_assert!(wire.len() <= 2 + raw + masks);
+        let wire = encode_block(&blocks);
+        let raw: usize = blocks.iter().map(Vec::len).sum();
+        let masks = blocks.len().saturating_sub(1);
+        assert!(
+            wire.len() <= 2 + raw + masks,
+            "case {case}: {} words",
+            wire.len()
+        );
     }
+}
 
-    #[test]
-    fn truncated_wire_never_panics(b in blocks(5, 8), cut in 0usize..200) {
-        let wire = encode_block(&b);
-        let cut = cut.min(wire.len());
-        // Must return an error or a (possibly different) valid decode — never panic.
-        let _ = decode_block(&wire[..cut]);
+#[test]
+fn truncated_wire_never_panics() {
+    for case in 0..100u64 {
+        let mut rng = SplitMix64::new(case ^ 0x5eed_0003);
+        let count = rng.below(9) as usize;
+        let blocks = biased_blocks(&mut rng, 5, count);
+        let wire = encode_block(&blocks);
+        for cut in 0..=wire.len() {
+            // Must return an error or a (possibly different) valid decode —
+            // never panic.
+            let _ = decode_block(&wire[..cut]);
+        }
     }
+}
 
-    #[test]
-    fn lob_budget_counts_predictions_only(
-        heads in 0usize..4,
-        preds in 0usize..20,
-        depth in 1usize..16
-    ) {
+#[test]
+fn lob_budget_counts_predictions_only() {
+    for case in 0..100u64 {
+        let mut rng = SplitMix64::new(case ^ 0x5eed_0004);
+        let heads = rng.below(4) as usize;
+        let preds = rng.below(20) as usize;
+        let depth = 1 + rng.below(15) as usize;
         let mut lob = Lob::new(depth);
         for i in 0..heads {
-            lob.push(LobEntry { local: vec![i as u32], predicted: None }).unwrap();
+            lob.push(LobEntry {
+                local: vec![i as u32],
+                predicted: None,
+            })
+            .unwrap();
         }
         let mut accepted = 0;
         for i in 0..preds {
-            let entry = LobEntry { local: vec![i as u32], predicted: Some(vec![0]) };
+            let entry = LobEntry {
+                local: vec![i as u32],
+                predicted: Some(vec![0]),
+            };
             if lob.push(entry).is_ok() {
                 accepted += 1;
             }
         }
-        prop_assert_eq!(accepted, preds.min(depth));
-        prop_assert_eq!(lob.len(), heads + accepted);
+        assert_eq!(accepted, preds.min(depth), "case {case}");
+        assert_eq!(lob.len(), heads + accepted, "case {case}");
         // Drain restores the full budget.
         let drained = lob.drain();
-        prop_assert_eq!(drained.len(), heads + accepted);
-        prop_assert!(lob.is_empty());
+        assert_eq!(drained.len(), heads + accepted, "case {case}");
+        assert!(lob.is_empty(), "case {case}");
     }
 }

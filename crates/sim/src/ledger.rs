@@ -124,7 +124,10 @@ impl TimeLedger {
     ///
     /// Panics if `committed_cycles` is zero.
     pub fn report(&self, committed_cycles: u64) -> LedgerReport {
-        assert!(committed_cycles > 0, "report requires at least one committed cycle");
+        assert!(
+            committed_cycles > 0,
+            "report requires at least one committed cycle"
+        );
         LedgerReport {
             ledger: self.clone(),
             committed_cycles,
@@ -195,8 +198,14 @@ mod tests {
         ledger.charge(CostCategory::Simulator, VirtualTime::from_nanos(10));
         ledger.charge(CostCategory::Simulator, VirtualTime::from_nanos(5));
         ledger.charge(CostCategory::Channel, VirtualTime::from_nanos(7));
-        assert_eq!(ledger.get(CostCategory::Simulator), VirtualTime::from_nanos(15));
-        assert_eq!(ledger.get(CostCategory::Channel), VirtualTime::from_nanos(7));
+        assert_eq!(
+            ledger.get(CostCategory::Simulator),
+            VirtualTime::from_nanos(15)
+        );
+        assert_eq!(
+            ledger.get(CostCategory::Channel),
+            VirtualTime::from_nanos(7)
+        );
         assert_eq!(ledger.get(CostCategory::Accelerator), VirtualTime::ZERO);
         assert_eq!(ledger.total(), VirtualTime::from_nanos(22));
     }
@@ -218,7 +227,10 @@ mod tests {
         b.charge(CostCategory::StateRestore, VirtualTime::from_nanos(4));
         a.merge(&b);
         assert_eq!(a.get(CostCategory::Simulator), VirtualTime::from_nanos(3));
-        assert_eq!(a.get(CostCategory::StateRestore), VirtualTime::from_nanos(4));
+        assert_eq!(
+            a.get(CostCategory::StateRestore),
+            VirtualTime::from_nanos(4)
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 mod error;
 mod ledger;
+mod rng;
 mod snapshot;
 mod stats;
 mod time;
@@ -39,6 +40,7 @@ mod trace;
 
 pub use error::SimError;
 pub use ledger::{CostCategory, LedgerReport, TimeLedger};
+pub use rng::{splitmix64_mix, SplitMix64};
 pub use snapshot::{
     restore_from_vec, save_to_vec, Snapshot, SnapshotError, StateReader, StateVec, StateWriter,
 };

@@ -112,7 +112,10 @@ pub struct StateReader<'a> {
 impl<'a> StateReader<'a> {
     /// Creates a reader over `state`.
     pub fn new(state: &'a StateVec) -> Self {
-        StateReader { words: &state.words, pos: 0 }
+        StateReader {
+            words: &state.words,
+            pos: 0,
+        }
     }
 
     /// Reads one raw word.
@@ -193,7 +196,9 @@ impl<'a> StateReader<'a> {
         if self.pos == self.words.len() {
             Ok(())
         } else {
-            Err(SnapshotError::TrailingWords { remaining: self.words.len() - self.pos })
+            Err(SnapshotError::TrailingWords {
+                remaining: self.words.len() - self.pos,
+            })
         }
     }
 }
@@ -298,16 +303,28 @@ mod tests {
 
     #[test]
     fn roundtrip_restores_exactly() {
-        let original = Widget { counter: 42, armed: true, fifo: vec![1, 2, 3] };
+        let original = Widget {
+            counter: 42,
+            armed: true,
+            fifo: vec![1, 2, 3],
+        };
         let state = save_to_vec(&original);
-        let mut copy = Widget { counter: 0, armed: false, fifo: vec![] };
+        let mut copy = Widget {
+            counter: 0,
+            armed: false,
+            fifo: vec![],
+        };
         restore_from_vec(&mut copy, &state).unwrap();
         assert_eq!(copy, original);
     }
 
     #[test]
     fn word_count_tracks_rollback_variables() {
-        let w = Widget { counter: 1, armed: false, fifo: vec![9; 5] };
+        let w = Widget {
+            counter: 1,
+            armed: false,
+            fifo: vec![9; 5],
+        };
         // counter + armed + length prefix + 5 entries = 8 words.
         assert_eq!(save_to_vec(&w).len(), 8);
     }
@@ -336,7 +353,11 @@ mod tests {
 
     #[test]
     fn trailing_words_detected() {
-        let w = Widget { counter: 1, armed: false, fifo: vec![] };
+        let w = Widget {
+            counter: 1,
+            armed: false,
+            fifo: vec![],
+        };
         let mut state = save_to_vec(&w);
         state.words.push(99);
         let mut copy = w.clone();
@@ -352,7 +373,10 @@ mod tests {
             SnapshotError::Exhausted { at: 3 }.to_string(),
             "snapshot exhausted at word 3"
         );
-        assert_eq!(SnapshotError::Corrupt { at: 0 }.to_string(), "snapshot corrupt at word 0");
+        assert_eq!(
+            SnapshotError::Corrupt { at: 0 }.to_string(),
+            "snapshot corrupt at word 0"
+        );
         assert_eq!(
             SnapshotError::TrailingWords { remaining: 2 }.to_string(),
             "snapshot has 2 trailing words"

@@ -57,7 +57,10 @@ impl VirtualTime {
     /// Intended for configuration input (e.g. "0.03 ns per variable"), not for
     /// accumulation.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "negative or non-finite time");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "negative or non-finite time"
+        );
         VirtualTime((secs * 1e12).round() as u64)
     }
 
@@ -314,8 +317,14 @@ mod tests {
 
     #[test]
     fn frequency_display() {
-        assert_eq!(Frequency::from_mcycles_per_sec(10).to_string(), "10Mcycles/s");
-        assert_eq!(Frequency::from_kcycles_per_sec(100).to_string(), "100kcycles/s");
+        assert_eq!(
+            Frequency::from_mcycles_per_sec(10).to_string(),
+            "10Mcycles/s"
+        );
+        assert_eq!(
+            Frequency::from_kcycles_per_sec(100).to_string(),
+            "100kcycles/s"
+        );
         assert_eq!(Frequency::from_cycles_per_sec(7).to_string(), "7cycles/s");
     }
 

@@ -85,7 +85,10 @@ impl Trace {
     /// Panics if `mark` lies beyond the current length (marks from a *different*
     /// trace or after records were already truncated).
     pub fn truncate(&mut self, mark: TraceMark) {
-        assert!(mark.0 <= self.records.len(), "trace mark beyond current length");
+        assert!(
+            mark.0 <= self.records.len(),
+            "trace mark beyond current length"
+        );
         self.records.truncate(mark.0);
     }
 

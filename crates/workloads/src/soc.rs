@@ -54,7 +54,9 @@ pub fn figure2_soc(seed: u64) -> SocBlueprint {
 pub fn dma_offload_soc(words: u32) -> SocBlueprint {
     SocBlueprint::new()
         .master(Side::Accelerator, move || {
-            Box::new(DmaMaster::new(vec![DmaDescriptor::new(0x1000, 0x2000, words)]))
+            Box::new(DmaMaster::new(vec![DmaDescriptor::new(
+                0x1000, 0x2000, words,
+            )]))
         })
         .master(Side::Simulator, || {
             Box::new(

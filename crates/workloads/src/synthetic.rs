@@ -12,17 +12,10 @@
 //! (≈2 words simulator→accelerator, 1 word back per cycle).
 
 use predpkt_channel::Side;
-use predpkt_core::{DomainModel, TickKind};
-use predpkt_sim::{Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark};
-
-/// SplitMix64: tiny, snapshot-friendly, keyed by (seed, cycle).
-fn splitmix64(seed: u64, cycle: u64) -> u64 {
-    let mut z = seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use predpkt_core::{DomainModel, EmuSession, EmuSessionBuilder, TickKind};
+use predpkt_sim::{
+    splitmix64_mix, Snapshot, SnapshotError, StateReader, StateWriter, Trace, TraceMark,
+};
 
 /// One synthetic domain. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +45,10 @@ impl SyntheticModel {
         remote_width: usize,
     ) -> Self {
         assert!((0.0..=1.0).contains(&p), "accuracy must be a probability");
-        assert!(local_width > 0 && remote_width > 0, "widths must be non-zero");
+        assert!(
+            local_width > 0 && remote_width > 0,
+            "widths must be non-zero"
+        );
         SyntheticModel {
             side,
             leader_side,
@@ -75,7 +71,7 @@ impl SyntheticModel {
     /// each cycle keeps the previous value with probability `p`, else draws a
     /// fresh non-equal value.
     fn stream_step(&self, value: u32, cycle: u64) -> u32 {
-        let r = splitmix64(self.seed, cycle);
+        let r = splitmix64_mix(self.seed, cycle);
         // Map the high 53 bits to [0,1).
         let u = (r >> 11) as f64 / (1u64 << 53) as f64;
         if u < self.p {
@@ -221,6 +217,21 @@ impl SyntheticSoc {
             sim_width: 2,
             acc_width: 1,
         }
+    }
+
+    /// Starts an [`EmuSession`] builder over this synthetic pair, so the
+    /// controlled-accuracy harness composes with any transport backend and
+    /// observer:
+    ///
+    /// ```
+    /// use predpkt_workloads::SyntheticSoc;
+    /// let mut session = SyntheticSoc::als(0.9, 7).session().build().unwrap();
+    /// session.run_until_committed(1_000).unwrap();
+    /// assert!(session.committed_cycles() >= 1_000);
+    /// ```
+    pub fn session(self) -> EmuSessionBuilder<SyntheticModel> {
+        let (sim, acc) = self.build();
+        EmuSession::builder(sim, acc)
     }
 
     /// Builds the two domain models.

@@ -40,11 +40,17 @@ fn perfect_accuracy_reproduces_paper_performance() {
     let tacc = report.per_cycle(CostCategory::Accelerator);
     assert!((tacc - 1.0e-7).abs() / 1.0e-7 < 0.03, "Tacc {tacc}");
     let tstore = report.per_cycle(CostCategory::StateStore);
-    assert!((tstore - 4.69e-10).abs() / 4.69e-10 < 0.05, "Tstore {tstore}");
+    assert!(
+        (tstore - 4.69e-10).abs() / 4.69e-10 < 0.05,
+        "Tstore {tstore}"
+    );
     let tch = report.per_cycle(CostCategory::Channel);
     assert!((tch - 4.3e-7).abs() / 4.3e-7 < 0.15, "Tch {tch}");
     // No rollbacks at perfect accuracy.
-    assert_eq!(report.sim_stats().rollbacks + report.acc_stats().rollbacks, 0);
+    assert_eq!(
+        report.sim_stats().rollbacks + report.acc_stats().rollbacks,
+        0
+    );
 }
 
 #[test]
@@ -92,7 +98,10 @@ fn rollback_costs_appear_at_low_accuracy() {
     // Full-success transitions are essentially impossible at p=0.5 with 64
     // predictions (0.5^64); the R-path is exercised in the p=1 test instead.
     let _ = r;
-    assert_eq!(c, 0, "forced ALS on an always-predictable model never goes conservative");
+    assert_eq!(
+        c, 0,
+        "forced ALS on an always-predictable model never goes conservative"
+    );
 }
 
 #[test]

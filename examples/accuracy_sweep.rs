@@ -1,6 +1,7 @@
 //! Figure-4-style sweep from the library API: performance vs prediction
 //! accuracy for the synthetic controlled-accuracy harness, with the analytic
-//! model overlaid.
+//! model overlaid. Rollback counts come straight from the observer event
+//! stream rather than scraping the report.
 //!
 //! Run: `cargo run --release --example accuracy_sweep [cycles-per-point]`
 
@@ -24,10 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "accuracy", "measured", "analytic", "ratio", "rollbacks"
     );
     for &p in PAPER_ACCURACY_GRID.iter() {
-        let (sim, acc) = SyntheticSoc::als(p, 0xc0de).build();
-        let mut coemu = CoEmulator::new(sim, acc, config);
-        coemu.run_until_committed(cycles)?;
-        let report = coemu.report();
+        let counters = EventCounters::new();
+        let mut session = SyntheticSoc::als(p, 0xc0de)
+            .session()
+            .config(config)
+            .observer(Box::new(counters.clone()))
+            .build()?;
+        session.run_until_committed(cycles)?;
+        let report = session.report();
         let row = AnalyticRow::at(&params, p);
         println!(
             "{:>9.3} {:>12.1}k {:>12.1}k {:>8.2} {:>12}",
@@ -35,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.performance_cps() / 1e3,
             row.performance / 1e3,
             report.performance_cps() / baseline,
-            report.sim_stats().rollbacks + report.acc_stats().rollbacks,
+            counters.snapshot().rollbacks,
         );
     }
     println!("\nconventional baseline: {:.1}k cycles/s", baseline / 1e3);

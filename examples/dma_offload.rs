@@ -20,12 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rollback_vars(None)
         .carry(true)
         .adaptive(true);
-    let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
-    coemu.run_until_committed(4_000)?;
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .build()?;
+    session.run_until_committed(4_000)?;
 
     // Verify the copy landed: source pattern 0x5000_0000+i must appear at the
     // destination (both memories live on the accelerator side).
-    let dst: &MemorySlave = coemu
+    let dst: &MemorySlave = session
         .acc_model()
         .slave_as(SlaveId(2))
         .expect("destination memory is accelerator-local");
@@ -34,15 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("DMA moved {WORDS} words across the split correctly\n");
 
-    let report = coemu.report();
+    let report = session.report();
     println!("{report}");
 
     // Recover the transaction-level view from the committed trace.
     let placement = blueprint.placement();
-    let merged = coemu.merged_trace(|s, a| placement.merge_records(s, a));
+    let merged = session.merged_trace(|s, a| placement.merge_records(s, a));
     let fabric = Fabric::new(
         Arbiter::new(blueprint.num_masters(), MasterId(0)),
-        Decoder::new(coemu.acc_model().fabric().decoder().regions().to_vec())?,
+        Decoder::new(session.acc_model().fabric().decoder().regions().to_vec())?,
     );
     let mut extractor = TxnExtractor::new(fabric, blueprint.num_masters(), blueprint.num_slaves());
     extractor.feed_trace(&merged);

@@ -37,15 +37,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rollback_vars(None)
         .carry(true)
         .adaptive(true);
-    let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
-    coemu.run_until_committed(CYCLES)?;
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .build()?;
+    session.run_until_committed(CYCLES)?;
     let placement = blueprint.placement();
-    let mut merged = coemu.merged_trace(|s, a| placement.merge_records(s, a));
+    let mut merged = session.merged_trace(|s, a| placement.merge_records(s, a));
     merged.truncate_to_len(CYCLES as usize);
     let coemu_edges = irq_edges(&merged);
 
     println!("timer IRQ rising edges (first 10):");
-    println!("  golden: {:?}", &golden_edges[..golden_edges.len().min(10)]);
+    println!(
+        "  golden: {:?}",
+        &golden_edges[..golden_edges.len().min(10)]
+    );
     println!("  coemu:  {:?}", &coemu_edges[..coemu_edges.len().min(10)]);
     assert_eq!(golden_edges, coemu_edges, "IRQ timing must be cycle-exact");
     println!(
@@ -53,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         golden_edges.len()
     );
 
-    let report = coemu.report();
+    let report = session.report();
     println!(
         "accuracy {:.3}, rollbacks {}, accesses/cycle {:.3} (lockstep: 2.0)",
         report.observed_accuracy().unwrap_or(1.0),

@@ -1,12 +1,14 @@
 //! Quickstart: split a small SoC across the simulator and accelerator domains,
-//! co-emulate it optimistically, and compare against cycle-by-cycle lockstep.
+//! co-emulate it optimistically through an [`EmuSession`], and compare against
+//! cycle-by-cycle lockstep — with an event observer counting what the
+//! protocol actually did.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use predpkt::prelude::*;
 use predpkt::ahb::engine::BusOp;
 use predpkt::ahb::masters::TrafficGenMaster;
 use predpkt::ahb::slaves::MemorySlave;
+use predpkt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An SoC with a DMA-ish master on the accelerator writing into a
@@ -22,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_idle_gap(4),
             )
         })
-        .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+        .slave(Side::Simulator, 0x0, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        });
 
     println!("co-emulating 5,000 cycles in each operating mode...\n");
     let mut baseline = None;
@@ -35,16 +39,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .rollback_vars(None)
             .carry(true)
             .adaptive(true);
-        let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
-        coemu.run_until_committed(5_000)?;
-        let report = coemu.report();
+        let counters = EventCounters::new();
+        let mut session = EmuSession::from_blueprint(&blueprint)
+            .config(config)
+            .observer(Box::new(counters.clone()))
+            .build()?;
+        session.run_until_committed(5_000)?;
+        let report = session.report();
 
         println!("== {name} ==");
         println!("{report}");
+        let events = counters.snapshot();
+        println!(
+            "events: {} transitions ({} optimistic), {} flushes, {} rollbacks, {} sends",
+            events.transitions,
+            events.optimistic_transitions,
+            events.lob_flushes,
+            events.rollbacks,
+            events.channel_sends,
+        );
         match baseline {
             None => baseline = Some(report.performance_cps()),
             Some(base) => {
-                println!("speedup over lockstep: {:.2}x", report.performance_cps() / base)
+                println!(
+                    "speedup over lockstep: {:.2}x",
+                    report.performance_cps() / base
+                )
             }
         }
         println!();

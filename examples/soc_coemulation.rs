@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Golden single-domain reference (with the protocol checker armed).
     let mut golden = blueprint.build_golden()?;
     golden.run(CYCLES);
-    assert!(golden.violations().is_empty(), "golden run is protocol-clean");
+    assert!(
+        golden.violations().is_empty(),
+        "golden run is protocol-clean"
+    );
     println!(
         "golden run:   {} cycles, trace hash {:016x}",
         golden.cycle(),
@@ -27,11 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rollback_vars(None)
         .carry(true)
         .adaptive(true);
-    let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
-    coemu.run_until_committed(CYCLES)?;
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .build()?;
+    session.run_until_committed(CYCLES)?;
 
     let placement = blueprint.placement();
-    let mut merged = coemu.merged_trace(|s, a| placement.merge_records(s, a));
+    let mut merged = session.merged_trace(|s, a| placement.merge_records(s, a));
     merged.truncate_to_len(CYCLES as usize);
     println!(
         "co-emulation: {} cycles, trace hash {:016x}",
@@ -45,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("traces are BIT-IDENTICAL despite speculation and rollback\n");
 
-    let report = coemu.report();
+    let report = session.report();
     println!("{report}");
     println!(
         "rollbacks: {} (sim) + {} (acc); replayed cycles: {}",

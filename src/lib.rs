@@ -13,30 +13,41 @@
 //! |---|---|
 //! | [`sim`] | virtual time, cost ledger, snapshot/rollback, traces |
 //! | [`ahb`] | cycle-accurate AHB bus substrate (masters, slaves, arbiter, checker) |
-//! | [`channel`] | the simulator–accelerator channel model (iPROVE PCI constants) |
-//! | [`predict`] | LOB, delta packetizer, burst/response/last-value predictors |
-//! | [`core`] | half-bus models, channel wrappers, transitions, the co-emulator |
+//! | [`channel`] | the channel model (iPROVE PCI constants) and the transport backends |
+//! | [`predict`] | LOB, delta packetizer, predictors, pluggable predictor suites |
+//! | [`core`] | half-bus models, channel wrappers, co-emulation sessions |
 //! | [`perfmodel`] | closed-form Table 2 / Figure 4 expectations |
 //! | [`workloads`] | Fig. 2 SoCs, scenario blueprints, the controlled-accuracy harness |
 //!
 //! ## Quickstart
 //!
+//! An [`EmuSession`](crate::core::EmuSession) composes a blueprint, a
+//! configuration, a transport backend, a predictor suite, and observers:
+//!
 //! ```
 //! use predpkt::prelude::*;
 //!
 //! // Split the paper's Fig. 2 SoC across the two domains and co-emulate it
-//! // with dynamic leader election.
+//! // with dynamic leader election, counting protocol events as we go.
 //! let blueprint = predpkt::workloads::figure2_soc(42);
-//! let config = CoEmuConfig::paper_defaults()
-//!     .policy(ModePolicy::Auto)
-//!     .rollback_vars(None);
-//! let mut coemu = CoEmulator::from_blueprint(&blueprint, config)?;
-//! coemu.run_until_committed(2_000)?;
+//! let counters = EventCounters::new();
+//! let mut session = EmuSession::from_blueprint(&blueprint)
+//!     .config(CoEmuConfig::paper_defaults().policy(ModePolicy::Auto).rollback_vars(None))
+//!     .observer(Box::new(counters.clone()))
+//!     .build()?;
+//! session.run_until_committed(2_000)?;
 //!
-//! let report = coemu.report();
+//! let report = session.report();
 //! assert!(report.accesses_per_cycle() < 2.0, "fewer channel accesses than lockstep");
+//! assert!(counters.snapshot().lob_flushes > 0, "the LOB actually flushed");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same session runs over a real-thread transport
+//! (`TransportSelect::Threaded`) or a fault-injecting one
+//! (`TransportSelect::Lossy`) by changing one builder call — committed traces
+//! are bit-identical across backends. Custom prediction strategies plug in
+//! through [`predict::PredictorSuite`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,10 +63,12 @@ pub use predpkt_workloads as workloads;
 /// The names most programs need.
 pub mod prelude {
     pub use predpkt_ahb::{AhbBus, AhbMaster, AhbSlave, MasterId, SlaveId};
-    pub use predpkt_channel::{ChannelCostModel, Side};
+    pub use predpkt_channel::{ChannelCostModel, FaultSpec, Side};
     pub use predpkt_core::{
-        CoEmuConfig, CoEmulator, DomainModel, ModePolicy, PerfReport, SocBlueprint,
+        CoEmuConfig, CoEmulator, DomainModel, EmuObserver, EmuSession, EventCounters, EventLog,
+        ModePolicy, PerfReport, SocBlueprint, ThreadedOpts, TransportSelect,
     };
     pub use predpkt_perfmodel::{AnalyticRow, ModelParams};
+    pub use predpkt_predict::{LastValueSuite, PaperSuite, PredictorSuite};
     pub use predpkt_sim::{CostCategory, Frequency, VirtualTime};
 }

@@ -1,19 +1,21 @@
-//! Property-based equivalence: random SoC configurations, random placements,
+//! Randomized equivalence: random SoC configurations, random placements,
 //! random traffic — the split co-emulation must always commit the golden
-//! trace, under every operating mode.
+//! trace, under every operating mode and every transport backend.
 //!
 //! This is the paper's correctness claim fuzzed: "they are synchronized only
 //! when it is inevitable for cycle accurate behavior" — i.e. never at the cost
-//! of cycle accuracy.
+//! of cycle accuracy. The generator is a seeded SplitMix64, so every case is
+//! reproducible from its case index alone (no external fuzzing framework).
 
-use proptest::prelude::*;
 use predpkt::ahb::engine::BusOp;
 use predpkt::ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
 use predpkt::ahb::signals::{Hburst, Hsize};
 use predpkt::ahb::slaves::{FifoSlave, MemorySlave, PeripheralSlave};
 use predpkt::prelude::*;
 
-/// A generatable SoC description (kept `Arbitrary`-friendly).
+use predpkt::sim::SplitMix64 as Rng;
+
+/// A generated SoC description.
 #[derive(Debug, Clone)]
 struct SocSpec {
     masters: Vec<(MasterKind, bool)>, // (component, on_accelerator)
@@ -35,35 +37,55 @@ enum SlaveKind {
     Fifo { period: u8 },
 }
 
-fn master_kind() -> impl Strategy<Value = MasterKind> {
-    prop_oneof![
-        (1u64..u64::MAX).prop_map(|seed| MasterKind::Cpu { seed }),
-        (1u32..40).prop_map(|words| MasterKind::Dma { words }),
-        (0u8..3, 0u8..9).prop_map(|(burst, gap)| MasterKind::Gen { burst, gap }),
-    ]
+fn master_kind(rng: &mut Rng) -> MasterKind {
+    match rng.below(3) {
+        0 => MasterKind::Cpu {
+            seed: rng.next_u64() | 1,
+        },
+        1 => MasterKind::Dma {
+            words: 1 + rng.below(39) as u32,
+        },
+        _ => MasterKind::Gen {
+            burst: rng.below(3) as u8,
+            gap: rng.below(9) as u8,
+        },
+    }
 }
 
-fn slave_kind() -> impl Strategy<Value = SlaveKind> {
-    prop_oneof![
-        (0u8..4).prop_map(|wait| SlaveKind::Mem { wait }),
-        Just(SlaveKind::Periph),
-        (1u8..5).prop_map(|period| SlaveKind::Fifo { period }),
-    ]
+fn slave_kind(rng: &mut Rng) -> SlaveKind {
+    match rng.below(3) {
+        0 => SlaveKind::Mem {
+            wait: rng.below(4) as u8,
+        },
+        1 => SlaveKind::Periph,
+        _ => SlaveKind::Fifo {
+            period: 1 + rng.below(4) as u8,
+        },
+    }
 }
 
-fn soc_spec() -> impl Strategy<Value = SocSpec> {
-    (
-        proptest::collection::vec((master_kind(), any::<bool>()), 1..4),
-        proptest::collection::vec((slave_kind(), any::<bool>()), 1..4),
-        100u64..400,
-    )
-        .prop_map(|(masters, slaves, cycles)| SocSpec { masters, slaves, cycles })
+fn soc_spec(rng: &mut Rng) -> SocSpec {
+    let masters = (0..1 + rng.below(3))
+        .map(|_| (master_kind(rng), rng.flip()))
+        .collect();
+    let slaves = (0..1 + rng.below(3))
+        .map(|_| (slave_kind(rng), rng.flip()))
+        .collect();
+    SocSpec {
+        masters,
+        slaves,
+        cycles: 100 + rng.below(300),
+    }
 }
 
 fn build_blueprint(spec: &SocSpec) -> SocBlueprint {
     let mut bp = SocBlueprint::new();
     for &(kind, on_acc) in &spec.masters {
-        let side = if on_acc { Side::Accelerator } else { Side::Simulator };
+        let side = if on_acc {
+            Side::Accelerator
+        } else {
+            Side::Simulator
+        };
         bp = match kind {
             MasterKind::Cpu { seed } => bp.master(side, move || {
                 Box::new(CpuMaster::new(seed, CpuProfile::default()))
@@ -77,20 +99,26 @@ fn build_blueprint(spec: &SocSpec) -> SocBlueprint {
                     1 => BusOp::read_burst(0x80, Hsize::Word, Hburst::Incr4),
                     _ => BusOp::read_burst(0x38, Hsize::Word, Hburst::Wrap4),
                 };
-                Box::new(TrafficGenMaster::from_ops(vec![op]).looping().with_idle_gap(gap as u32))
+                Box::new(
+                    TrafficGenMaster::from_ops(vec![op])
+                        .looping()
+                        .with_idle_gap(gap as u32),
+                )
             }),
         };
     }
     for (j, &(kind, on_acc)) in spec.slaves.iter().enumerate() {
-        let side = if on_acc { Side::Accelerator } else { Side::Simulator };
+        let side = if on_acc {
+            Side::Accelerator
+        } else {
+            Side::Simulator
+        };
         let base = 0x1000 * j as u32;
         bp = match kind {
             SlaveKind::Mem { wait } => bp.slave(side, base, 0x1000, move || {
                 Box::new(MemorySlave::with_waits(0x1000, wait as u32, 0))
             }),
-            SlaveKind::Periph => {
-                bp.slave(side, base, 0x1000, || Box::new(PeripheralSlave::new(1)))
-            }
+            SlaveKind::Periph => bp.slave(side, base, 0x1000, || Box::new(PeripheralSlave::new(1))),
             SlaveKind::Fifo { period } => bp.slave(side, base, 0x1000, move || {
                 Box::new(FifoSlave::new(8, period as u32, 2))
             }),
@@ -99,36 +127,71 @@ fn build_blueprint(spec: &SocSpec) -> SocBlueprint {
     bp
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn assert_case_commits_golden(case: u64, backends: &[TransportSelect]) {
+    let mut rng = Rng::new(0x70_57_e5_70 ^ case.wrapping_mul(0x1234_5678_9abc_def1));
+    let spec = soc_spec(&mut rng);
+    let blueprint = build_blueprint(&spec);
 
-    #[test]
-    fn random_socs_commit_golden_traces(spec in soc_spec()) {
-        let blueprint = build_blueprint(&spec);
+    // Golden reference (checker on).
+    let mut golden = blueprint.build_golden().expect("golden builds");
+    golden.run(spec.cycles);
+    assert!(
+        golden.violations().is_empty(),
+        "case {case}: {:?}",
+        golden.violations()
+    );
 
-        // Golden reference (checker on).
-        let mut golden = blueprint.build_golden().expect("golden builds");
-        golden.run(spec.cycles);
-        prop_assert!(golden.violations().is_empty(), "{:?}", golden.violations());
-
-        for policy in [ModePolicy::Conservative, ModePolicy::Auto, ModePolicy::ForcedAls] {
+    for policy in [
+        ModePolicy::Conservative,
+        ModePolicy::Auto,
+        ModePolicy::ForcedAls,
+    ] {
+        for &backend in backends {
             let config = CoEmuConfig::paper_defaults()
                 .policy(policy)
                 .rollback_vars(None)
                 .carry(true)
                 .adaptive(true);
-            let mut coemu = CoEmulator::from_blueprint(&blueprint, config).expect("pair builds");
-            coemu.run_until_committed(spec.cycles).expect("no deadlock");
+            let mut session = EmuSession::from_blueprint(&blueprint)
+                .config(config)
+                .transport(backend)
+                .build()
+                .expect("session builds");
+            session
+                .run_until_committed(spec.cycles)
+                .expect("no deadlock");
             let placement = blueprint.placement();
-            let mut merged = coemu.merged_trace(|s, a| placement.merge_records(s, a));
+            let mut merged = session.merged_trace(|s, a| placement.merge_records(s, a));
             merged.truncate_to_len(spec.cycles as usize);
             if merged.hash() != golden.trace().hash() {
                 let at = golden.trace().first_divergence(&merged);
-                prop_assert!(
-                    false,
-                    "divergence under {policy:?} at cycle {at:?} (spec {spec:?})"
+                panic!(
+                    "case {case}: divergence under {policy:?}/{} at cycle {at:?} (spec {spec:?})",
+                    session.backend(),
                 );
             }
         }
+    }
+}
+
+#[test]
+fn random_socs_commit_golden_traces() {
+    for case in 0..24 {
+        assert_case_commits_golden(case, &[TransportSelect::Queue]);
+    }
+}
+
+#[test]
+fn random_socs_commit_golden_traces_across_backends() {
+    // A smaller sample through the fault-free lossy and real-thread backends:
+    // the committed trace must not depend on the transport at all.
+    for case in 0..6 {
+        assert_case_commits_golden(
+            case,
+            &[
+                TransportSelect::Lossy(predpkt::channel::FaultSpec::none(case)),
+                TransportSelect::Threaded(ThreadedOpts::default()),
+            ],
+        );
     }
 }

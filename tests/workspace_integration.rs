@@ -2,7 +2,9 @@
 //! subsystem together — blueprints → co-emulation → reports → analytic model.
 
 use predpkt::prelude::*;
-use predpkt::workloads::{dma_offload_soc, figure2_soc, irq_driven_soc, split_heavy_soc, stream_soc};
+use predpkt::workloads::{
+    dma_offload_soc, figure2_soc, irq_driven_soc, split_heavy_soc, stream_soc,
+};
 
 fn golden_hash(blueprint: &SocBlueprint, cycles: u64) -> u64 {
     let mut bus = blueprint.build_golden().expect("golden builds");
@@ -77,7 +79,9 @@ fn optimistic_beats_conservative_on_every_scenario() {
 fn prelude_covers_the_quickstart_path() {
     // The doc example, as a compiled test.
     let blueprint = figure2_soc(42);
-    let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto).rollback_vars(None);
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None);
     let mut coemu = CoEmulator::from_blueprint(&blueprint, config).unwrap();
     coemu.run_until_committed(500).unwrap();
     let report = coemu.report();
@@ -98,7 +102,9 @@ fn virtual_time_accounting_is_exact_integers() {
     // Two identical runs produce bit-identical ledgers (no float drift).
     let blueprint = figure2_soc(99);
     let run = || {
-        let config = CoEmuConfig::paper_defaults().policy(ModePolicy::Auto).rollback_vars(None);
+        let config = CoEmuConfig::paper_defaults()
+            .policy(ModePolicy::Auto)
+            .rollback_vars(None);
         let mut coemu = CoEmulator::from_blueprint(&blueprint, config).unwrap();
         coemu.run_until_committed(600).unwrap();
         (
