@@ -279,4 +279,50 @@ mod tests {
     fn bad_rate_rejected() {
         let _ = LossyTransport::over_queue(FaultSpec::drops(0, 1.5));
     }
+
+    #[test]
+    fn validate_accepts_boundary_probabilities() {
+        // 0.0 and 1.0 are both legal rates — "never" and "always".
+        for rate in [0.0, 1.0] {
+            assert!(FaultSpec::drops(1, rate).validate().is_ok(), "rate {rate}");
+            assert!(FaultSpec::truncations(1, rate).validate().is_ok());
+            assert!(FaultSpec::duplicates(1, rate).validate().is_ok());
+        }
+        // -0.0 compares equal to 0.0 and is a probability.
+        assert!(FaultSpec::drops(1, -0.0).validate().is_ok());
+        // A transport at both extremes must construct without panicking.
+        let _ = LossyTransport::over_queue(FaultSpec::drops(1, 1.0));
+        let _ = LossyTransport::over_queue(FaultSpec::none(1));
+    }
+
+    #[test]
+    fn validate_rejects_non_probabilities() {
+        for (name, spec) in [
+            ("drop_rate", FaultSpec::drops(1, -0.25)),
+            ("drop_rate", FaultSpec::drops(1, f64::NAN)),
+            ("drop_rate", FaultSpec::drops(1, f64::INFINITY)),
+            ("truncate_rate", FaultSpec::truncations(1, 1.0001)),
+            ("truncate_rate", FaultSpec::truncations(1, f64::NAN)),
+            (
+                "duplicate_rate",
+                FaultSpec::duplicates(1, f64::NEG_INFINITY),
+            ),
+            ("duplicate_rate", FaultSpec::duplicates(1, -f64::NAN)),
+        ] {
+            let err = spec.validate().expect_err("must be rejected");
+            assert!(err.contains(name), "error '{err}' should name {name}");
+        }
+    }
+
+    #[test]
+    fn validate_reports_the_first_bad_rate() {
+        let spec = FaultSpec {
+            seed: 0,
+            drop_rate: 0.5,
+            truncate_rate: f64::NAN,
+            duplicate_rate: 2.0,
+        };
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("truncate_rate"), "{err}");
+    }
 }

@@ -25,6 +25,12 @@ pub enum PacketTag {
     ReportFailure,
     /// Initial handshake / configuration exchange.
     Handshake,
+    /// A sequence-numbered, CRC-protected data frame of the reliable layer
+    /// (wraps one of the protocol packets above; never reaches the protocol
+    /// decoder directly).
+    RelData,
+    /// A cumulative acknowledgement of the reliable layer.
+    RelAck,
 }
 
 impl PacketTag {
@@ -36,6 +42,8 @@ impl PacketTag {
             PacketTag::ReportSuccess => 0x524f_4b21, // "ROK!"
             PacketTag::ReportFailure => 0x5246_4149, // "RFAI"
             PacketTag::Handshake => 0x4853_4b21,     // "HSK!"
+            PacketTag::RelData => 0x5244_4154,       // "RDAT"
+            PacketTag::RelAck => 0x5241_434b,        // "RACK"
         }
     }
 
@@ -47,17 +55,21 @@ impl PacketTag {
             0x524f_4b21 => Some(PacketTag::ReportSuccess),
             0x5246_4149 => Some(PacketTag::ReportFailure),
             0x4853_4b21 => Some(PacketTag::Handshake),
+            0x5244_4154 => Some(PacketTag::RelData),
+            0x5241_434b => Some(PacketTag::RelAck),
             _ => None,
         }
     }
 
     /// All tags (for exhaustive tests).
-    pub const ALL: [PacketTag; 5] = [
+    pub const ALL: [PacketTag; 7] = [
         PacketTag::CycleOutputs,
         PacketTag::Burst,
         PacketTag::ReportSuccess,
         PacketTag::ReportFailure,
         PacketTag::Handshake,
+        PacketTag::RelData,
+        PacketTag::RelAck,
     ];
 }
 

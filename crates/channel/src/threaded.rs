@@ -20,7 +20,7 @@
 
 use crate::cost::Side;
 use crate::message::Packet;
-use crate::transport::Transport;
+use crate::transport::{Transport, WaitTransport};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -148,6 +148,12 @@ impl Transport for ThreadedEndpoint {
 
     fn pending(&self, to: Side) -> usize {
         self.counter(to).load(Ordering::Acquire)
+    }
+}
+
+impl WaitTransport for ThreadedEndpoint {
+    fn wait_for_packet(&mut self, timeout: Duration) -> bool {
+        ThreadedEndpoint::wait_for_packet(self, timeout)
     }
 }
 

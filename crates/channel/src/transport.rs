@@ -5,6 +5,7 @@ use crate::message::Packet;
 use crate::stats::ChannelStats;
 use predpkt_sim::VirtualTime;
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// Message-passing between the two co-emulation domains.
 ///
@@ -21,6 +22,19 @@ pub trait Transport {
 
     /// Number of packets currently queued toward `to`.
     fn pending(&self, to: Side) -> usize;
+}
+
+/// A [`Transport`] whose receiving end can block awaiting the next packet —
+/// the capability the one-thread-per-domain session runner needs so a blocked
+/// domain can sleep instead of spinning. Implemented by
+/// [`ThreadedEndpoint`](crate::ThreadedEndpoint) and forwarded by wrappers
+/// such as [`ReliableTransport`](crate::ReliableTransport), which also use the
+/// wakeup to pump their retransmission timers.
+pub trait WaitTransport: Transport {
+    /// Blocks until a packet addressed to this endpoint's side is available
+    /// or `timeout` elapses. Returns `true` if a subsequent
+    /// [`recv`](Transport::recv) may yield a packet.
+    fn wait_for_packet(&mut self, timeout: Duration) -> bool;
 }
 
 /// Deterministic in-process transport: two FIFO queues.

@@ -29,6 +29,12 @@ pub enum ConfigError {
         /// Which rate was rejected and why.
         detail: String,
     },
+    /// A reliable-transport knob was rejected (zero window, zero retry
+    /// budget, or a degenerate timeout).
+    InvalidReliableConfig {
+        /// Which knob was rejected and why.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +46,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidFaultSpec { detail } => {
                 write!(f, "invalid fault spec: {detail}")
+            }
+            ConfigError::InvalidReliableConfig { detail } => {
+                write!(f, "invalid reliable transport config: {detail}")
             }
         }
     }

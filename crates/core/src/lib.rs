@@ -82,8 +82,8 @@ pub use observer::{EmuEvent, EmuObserver, EventCounters, EventCounts, EventLog, 
 pub use protocol::{Message, ProtocolError};
 pub use report::PerfReport;
 pub use session::{
-    BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, SessionError, ThreadedOpts,
-    TransportSelect,
+    BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, ReliableInner, SessionError,
+    ThreadedOpts, TransportSelect,
 };
 pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 

@@ -218,6 +218,12 @@ impl Message {
                     next: p[1 + remote_width..].to_vec(),
                 })
             }
+            // Reliability-layer frames are consumed by `ReliableTransport`
+            // below the protocol; one reaching the decoder means the session
+            // was misconfigured (a raw transport carrying framed traffic).
+            PacketTag::RelData | PacketTag::RelAck => {
+                Err(ProtocolError::Unexpected { tag: packet.tag() })
+            }
         }
     }
 }

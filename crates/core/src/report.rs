@@ -1,18 +1,20 @@
 //! Performance reports in the paper's Table 2 format.
 
 use crate::wrapper::CwStats;
-use predpkt_channel::ChannelStats;
-use predpkt_sim::{CostCategory, LedgerReport, TimeLedger};
+use predpkt_channel::{ChannelStats, RecoveryStats};
+use predpkt_sim::{CostCategory, LedgerReport, TimeLedger, VirtualTime};
 use std::fmt;
 
 /// Everything measured about one co-emulation run, normalized per committed
-/// target cycle — the paper's Table 2 rows plus protocol statistics.
+/// target cycle — the paper's Table 2 rows plus protocol statistics, and (for
+/// reliable-backend runs) the channel-recovery bill.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     ledger: LedgerReport,
     channel: ChannelStats,
     sim: CwStats,
     acc: CwStats,
+    recovery: Option<RecoveryStats>,
 }
 
 impl PerfReport {
@@ -28,7 +30,14 @@ impl PerfReport {
             channel,
             sim,
             acc,
+            recovery: None,
         }
+    }
+
+    /// Attaches the recovery bill of a reliable-backend run.
+    pub(crate) fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     /// Seconds per committed cycle in one Table 2 bucket.
@@ -84,6 +93,25 @@ impl PerfReport {
     pub fn rollback_rate(&self) -> f64 {
         (self.sim.rollbacks + self.acc.rollbacks) as f64 / self.committed_cycles() as f64
     }
+
+    /// The channel-recovery bill, when the run used a reliable backend.
+    pub fn recovery(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Total wire words actually billed: the protocol's channel words plus
+    /// any reliability-layer overhead (headers, acks, retransmissions). On a
+    /// faulty link this strictly exceeds [`ChannelStats::total_words`] of a
+    /// clean run — the true traffic cost the paper's model cares about.
+    pub fn billed_words(&self) -> u64 {
+        self.channel.total_words() + self.recovery.map_or(0, |r| r.overhead_words)
+    }
+
+    /// Total virtual channel time billed: protocol accesses plus recovery
+    /// overhead under the same [`ChannelCostModel`](predpkt_channel::ChannelCostModel).
+    pub fn billed_channel_time(&self) -> VirtualTime {
+        self.channel.total_time() + self.recovery.map_or(VirtualTime::ZERO, |r| r.overhead_time)
+    }
 }
 
 impl fmt::Display for PerfReport {
@@ -98,6 +126,21 @@ impl fmt::Display for PerfReport {
         )?;
         if let Some(acc) = self.observed_accuracy() {
             writeln!(f, "observed prediction accuracy: {acc:.4}")?;
+        }
+        if let Some(r) = &self.recovery {
+            writeln!(
+                f,
+                "recovery: {} retransmits, {} acks, {} dups suppressed, {} crc rejects, \
+                 {} reorder drops; overhead {} words / {} (billed total {} words)",
+                r.retransmits,
+                r.acks_sent,
+                r.duplicates_suppressed,
+                r.crc_rejects,
+                r.out_of_order_drops,
+                r.overhead_words,
+                r.overhead_time,
+                self.billed_words()
+            )?;
         }
         Ok(())
     }

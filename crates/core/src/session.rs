@@ -11,7 +11,13 @@
 //!   drops/truncations/duplicates for protocol-robustness scenarios;
 //! * [`TransportSelect::Threaded`] — one OS thread per domain over a
 //!   [`ThreadedTransport`](predpkt_channel::ThreadedTransport), exercising
-//!   the protocol under genuine concurrency.
+//!   the protocol under genuine concurrency;
+//! * [`TransportSelect::Reliable`] — an ack-and-retransmit
+//!   [`ReliableTransport`] over any of the above (chosen with
+//!   [`ReliableInner`]): the session *survives* injected faults, committing
+//!   bit-identical traces and ledgers to a clean run, with the repair
+//!   traffic billed into [`RecoveryStats`]
+//!   (see [`EmuSession::recovery_stats`]).
 //!
 //! Sessions halt at **transition boundaries**: a domain stops only when it is
 //! synchronized with its peer and has committed at least the target cycle
@@ -53,8 +59,9 @@ use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress}
 use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
-    ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport, Side,
-    ThreadedEndpoint, ThreadedTransport,
+    ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
+    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, Side, ThreadedEndpoint,
+    ThreadedTransport, WaitTransport,
 };
 use predpkt_predict::{PaperSuite, PredictorSuite};
 use predpkt_sim::{SimError, TimeLedger, Trace};
@@ -137,6 +144,45 @@ pub enum TransportSelect {
     Lossy(FaultSpec),
     /// One OS thread per domain over `std::sync::mpsc` channels.
     Threaded(ThreadedOpts),
+    /// An ack-and-retransmit [`ReliableTransport`] over one of the inner
+    /// backends — the session *survives* channel faults instead of merely
+    /// detecting them, and bills the recovery traffic (see
+    /// [`EmuSession::recovery_stats`]).
+    Reliable {
+        /// The transport underneath the reliability layer.
+        inner: ReliableInner,
+        /// Sliding-window size (unacknowledged frames per direction).
+        window: usize,
+        /// Retransmissions allowed per frame before the session fails with
+        /// [`SimError::RetryBudgetExhausted`].
+        retry_budget: u32,
+    },
+}
+
+impl TransportSelect {
+    /// A reliable backend with the default window (8) and retry budget (16).
+    pub fn reliable(inner: ReliableInner) -> Self {
+        let defaults = ReliableConfig::default();
+        TransportSelect::Reliable {
+            inner,
+            window: defaults.window,
+            retry_budget: defaults.retry_budget,
+        }
+    }
+}
+
+/// The transport underneath a [`TransportSelect::Reliable`] layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum ReliableInner {
+    /// Deterministic in-process FIFOs (the default).
+    #[default]
+    Queue,
+    /// Seeded fault injection — the combination the reliability layer exists
+    /// for: the session commits bit-identical results to a clean run while
+    /// `RecoveryStats` records the repairs.
+    Lossy(FaultSpec),
+    /// One OS thread per domain.
+    Threaded(ThreadedOpts),
 }
 
 /// Builder for an [`EmuSession`] from an explicit pair of domain models.
@@ -190,50 +236,111 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
     /// # Errors
     ///
     /// Returns [`SessionError::Config`] for invalid configurations — a zero
-    /// LOB depth set through [`lob_depth`](Self::lob_depth), or an
-    /// out-of-range [`FaultSpec`] rate on the lossy backend.
+    /// LOB depth set through [`lob_depth`](Self::lob_depth), an out-of-range
+    /// [`FaultSpec`] rate on the lossy backends, or a degenerate
+    /// [`ReliableConfig`] knob on the reliable backend.
     ///
     /// # Panics
     ///
     /// Panics if the two models' sides or widths disagree.
     pub fn build(self) -> Result<EmuSession<M>, SessionError> {
         self.config.validate()?;
-        if let TransportSelect::Lossy(spec) = &self.transport {
-            spec.validate()
-                .map_err(|detail| ConfigError::InvalidFaultSpec { detail })?;
+        match &self.transport {
+            TransportSelect::Lossy(spec)
+            | TransportSelect::Reliable {
+                inner: ReliableInner::Lossy(spec),
+                ..
+            } => {
+                spec.validate()
+                    .map_err(|detail| ConfigError::InvalidFaultSpec { detail })?;
+            }
+            _ => {}
         }
+        if let TransportSelect::Reliable {
+            window,
+            retry_budget,
+            ..
+        } = &self.transport
+        {
+            reliable_config(*window, *retry_budget)
+                .validate()
+                .map_err(|detail| ConfigError::InvalidReliableConfig { detail })?;
+        }
+        let observer = |observer: Option<Box<dyn EmuObserver>>| {
+            observer.unwrap_or_else(|| Box::new(NoopObserver))
+        };
+        let channel_model = self.config.channel;
         let inner = match self.transport {
-            TransportSelect::Queue => {
-                let observer = self.observer.unwrap_or_else(|| Box::new(NoopObserver));
-                SessionInner::Queue(
-                    CoEmulator::with_transport(
-                        self.sim,
-                        self.acc,
-                        self.config,
-                        QueueTransport::new(),
-                    )
-                    .with_observer(observer),
+            TransportSelect::Queue => SessionInner::Queue(
+                CoEmulator::with_transport(self.sim, self.acc, self.config, QueueTransport::new())
+                    .with_observer(observer(self.observer)),
+            ),
+            TransportSelect::Lossy(spec) => SessionInner::Lossy(
+                CoEmulator::with_transport(
+                    self.sim,
+                    self.acc,
+                    self.config,
+                    LossyTransport::over_queue(spec),
                 )
+                .with_observer(observer(self.observer)),
+            ),
+            TransportSelect::Threaded(opts) => {
+                let (sim_end, acc_end) = ThreadedTransport::pair();
+                SessionInner::Threaded(ThreadedSession::new(
+                    self.sim,
+                    self.acc,
+                    self.config,
+                    opts,
+                    self.observer,
+                    sim_end,
+                    acc_end,
+                ))
             }
-            TransportSelect::Lossy(spec) => {
-                let observer = self.observer.unwrap_or_else(|| Box::new(NoopObserver));
-                SessionInner::Lossy(
-                    CoEmulator::with_transport(
-                        self.sim,
-                        self.acc,
-                        self.config,
-                        LossyTransport::over_queue(spec),
-                    )
-                    .with_observer(observer),
-                )
+            TransportSelect::Reliable {
+                inner,
+                window,
+                retry_budget,
+            } => {
+                let rcfg = reliable_config(window, retry_budget);
+                match inner {
+                    ReliableInner::Queue => SessionInner::ReliableQueue(
+                        CoEmulator::with_transport(
+                            self.sim,
+                            self.acc,
+                            self.config,
+                            ReliableTransport::new(QueueTransport::new(), rcfg, channel_model),
+                        )
+                        .with_observer(observer(self.observer)),
+                    ),
+                    ReliableInner::Lossy(spec) => SessionInner::ReliableLossy(
+                        CoEmulator::with_transport(
+                            self.sim,
+                            self.acc,
+                            self.config,
+                            ReliableTransport::new(
+                                LossyTransport::over_queue(spec),
+                                rcfg,
+                                channel_model,
+                            ),
+                        )
+                        .with_observer(observer(self.observer)),
+                    ),
+                    ReliableInner::Threaded(opts) => {
+                        let (sim_end, acc_end) = ThreadedTransport::pair();
+                        SessionInner::ReliableThreaded(ThreadedSession::new(
+                            self.sim,
+                            self.acc,
+                            self.config,
+                            opts,
+                            self.observer,
+                            ReliableTransport::new(sim_end, rcfg, channel_model)
+                                .for_side(Side::Simulator),
+                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                                .for_side(Side::Accelerator),
+                        ))
+                    }
+                }
             }
-            TransportSelect::Threaded(opts) => SessionInner::Threaded(ThreadedSession::new(
-                self.sim,
-                self.acc,
-                self.config,
-                opts,
-                self.observer,
-            )),
         };
         Ok(EmuSession { inner })
     }
@@ -307,6 +414,14 @@ impl<'bp> BlueprintSessionBuilder<'bp> {
     }
 }
 
+/// Builds the [`ReliableConfig`] a session uses for the given window and
+/// retry budget (defaults for the timing knobs).
+fn reliable_config(window: usize, retry_budget: u32) -> ReliableConfig {
+    ReliableConfig::default()
+        .window(window)
+        .retry_budget(retry_budget)
+}
+
 /// A co-emulation run composed from models, config, transport, and observer.
 ///
 /// See the [module docs](self) for the backend catalogue and halt semantics.
@@ -320,7 +435,26 @@ pub struct EmuSession<M: DomainModel + Send + 'static> {
 enum SessionInner<M: DomainModel + Send + 'static> {
     Queue(CoEmulator<M, QueueTransport>),
     Lossy(CoEmulator<M, LossyTransport<QueueTransport>>),
-    Threaded(ThreadedSession<M>),
+    Threaded(ThreadedSession<M, ThreadedEndpoint>),
+    ReliableQueue(CoEmulator<M, ReliableTransport<QueueTransport>>),
+    ReliableLossy(CoEmulator<M, ReliableTransport<LossyTransport<QueueTransport>>>),
+    ReliableThreaded(ThreadedSession<M, ReliableTransport<ThreadedEndpoint>>),
+}
+
+/// Dispatches over the four co-operative (CoEmulator-backed) variants and the
+/// two threaded variants with separate expression bodies, so the repetitive
+/// accessor methods stay readable.
+macro_rules! with_inner {
+    ($inner:expr, |$c:ident| $coop:expr, |$t:ident| $threaded:expr) => {
+        match $inner {
+            SessionInner::Queue($c) => $coop,
+            SessionInner::Lossy($c) => $coop,
+            SessionInner::ReliableQueue($c) => $coop,
+            SessionInner::ReliableLossy($c) => $coop,
+            SessionInner::Threaded($t) => $threaded,
+            SessionInner::ReliableThreaded($t) => $threaded,
+        }
+    };
 }
 
 impl EmuSession<AhbDomainModel> {
@@ -356,6 +490,9 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Queue(_) => "queue",
             SessionInner::Lossy(_) => "lossy",
             SessionInner::Threaded(_) => "threaded",
+            SessionInner::ReliableQueue(_) => "reliable+queue",
+            SessionInner::ReliableLossy(_) => "reliable+lossy",
+            SessionInner::ReliableThreaded(_) => "reliable+threaded",
         }
     }
 
@@ -367,121 +504,152 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] when the protocol starves (e.g. a
-    /// lossy transport dropped a packet), or any protocol/snapshot error —
-    /// including decode failures for corrupted packets.
+    /// lossy transport dropped a packet with no reliability layer installed),
+    /// [`SimError::RetryBudgetExhausted`] when a reliable backend gives up on
+    /// a frame, or any protocol/snapshot error — including decode failures
+    /// for corrupted packets.
     pub fn run_until_committed(&mut self, cycles: u64) -> Result<(), SimError> {
         match &mut self.inner {
             SessionInner::Queue(c) => c.run_until_synchronized(cycles),
             SessionInner::Lossy(c) => c.run_until_synchronized(cycles),
             SessionInner::Threaded(t) => t.run_until_synchronized(cycles),
+            SessionInner::ReliableQueue(c) => {
+                let result = c.run_until_synchronized(cycles);
+                map_reliable_outcome(result, c.transport().failure(), 0, c.committed_cycles())
+            }
+            SessionInner::ReliableLossy(c) => {
+                let seed = c.transport().inner().spec().seed;
+                let result = c.run_until_synchronized(cycles);
+                map_reliable_outcome(result, c.transport().failure(), seed, c.committed_cycles())
+            }
+            SessionInner::ReliableThreaded(t) => {
+                let result = t.run_until_synchronized(cycles);
+                let failure = t
+                    .sim_ch
+                    .transport()
+                    .failure()
+                    .or_else(|| t.acc_ch.transport().failure());
+                map_reliable_outcome(result, failure, 0, t.committed_cycles())
+            }
         }
     }
 
     /// Cycles both domains have committed.
     pub fn committed_cycles(&self) -> u64 {
-        match &self.inner {
-            SessionInner::Queue(c) => c.committed_cycles(),
-            SessionInner::Lossy(c) => c.committed_cycles(),
-            SessionInner::Threaded(t) => t.committed_cycles(),
-        }
+        with_inner!(&self.inner, |c| c.committed_cycles(), |t| t
+            .committed_cycles())
     }
 
     /// The virtual-time ledger (merged across domain threads for the
-    /// threaded backend).
+    /// threaded backends).
     pub fn ledger(&self) -> TimeLedger {
-        match &self.inner {
-            SessionInner::Queue(c) => c.ledger().clone(),
-            SessionInner::Lossy(c) => c.ledger().clone(),
-            SessionInner::Threaded(t) => t.merged_ledger(),
-        }
+        with_inner!(&self.inner, |c| c.ledger().clone(), |t| t.merged_ledger())
     }
 
     /// Channel statistics (merged across the two per-side channels for the
-    /// threaded backend).
+    /// threaded backends). Recovery overhead of a reliable backend is *not*
+    /// included — see [`recovery_stats`](Self::recovery_stats) — so these
+    /// figures stay comparable with a clean run.
     pub fn channel_stats(&self) -> ChannelStats {
-        match &self.inner {
-            SessionInner::Queue(c) => c.channel_stats().clone(),
-            SessionInner::Lossy(c) => c.channel_stats().clone(),
-            SessionInner::Threaded(t) => t.merged_channel_stats(),
-        }
+        with_inner!(&self.inner, |c| c.channel_stats().clone(), |t| t
+            .merged_channel_stats())
     }
 
-    /// Fault counters, when the session runs over the lossy backend.
+    /// Fault counters, when the session injects faults (the lossy backend,
+    /// directly or under the reliability layer).
     pub fn fault_stats(&self) -> Option<FaultStats> {
         match &self.inner {
             SessionInner::Lossy(c) => Some(c.transport().fault_stats()),
+            SessionInner::ReliableLossy(c) => Some(c.transport().inner().fault_stats()),
+            _ => None,
+        }
+    }
+
+    /// Recovery counters, when the session runs over a reliable backend
+    /// (merged across the two per-side layers for `Reliable{Threaded}`).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        match &self.inner {
+            SessionInner::ReliableQueue(c) => Some(c.transport().recovery_stats()),
+            SessionInner::ReliableLossy(c) => Some(c.transport().recovery_stats()),
+            SessionInner::ReliableThreaded(t) => {
+                let mut stats = t.sim_ch.transport().recovery_stats();
+                stats.merge(&t.acc_ch.transport().recovery_stats());
+                Some(stats)
+            }
             _ => None,
         }
     }
 
     /// Simulator-side wrapper statistics.
     pub fn sim_stats(&self) -> &CwStats {
-        match &self.inner {
-            SessionInner::Queue(c) => c.sim_stats(),
-            SessionInner::Lossy(c) => c.sim_stats(),
-            SessionInner::Threaded(t) => t.sim.stats(),
-        }
+        with_inner!(&self.inner, |c| c.sim_stats(), |t| t.sim.stats())
     }
 
     /// Accelerator-side wrapper statistics.
     pub fn acc_stats(&self) -> &CwStats {
-        match &self.inner {
-            SessionInner::Queue(c) => c.acc_stats(),
-            SessionInner::Lossy(c) => c.acc_stats(),
-            SessionInner::Threaded(t) => t.acc.stats(),
-        }
+        with_inner!(&self.inner, |c| c.acc_stats(), |t| t.acc.stats())
     }
 
     /// The simulator-side model.
     pub fn sim_model(&self) -> &M {
-        match &self.inner {
-            SessionInner::Queue(c) => c.sim_model(),
-            SessionInner::Lossy(c) => c.sim_model(),
-            SessionInner::Threaded(t) => t.sim.model(),
-        }
+        with_inner!(&self.inner, |c| c.sim_model(), |t| t.sim.model())
     }
 
     /// The accelerator-side model.
     pub fn acc_model(&self) -> &M {
-        match &self.inner {
-            SessionInner::Queue(c) => c.acc_model(),
-            SessionInner::Lossy(c) => c.acc_model(),
-            SessionInner::Threaded(t) => t.acc.model(),
-        }
+        with_inner!(&self.inner, |c| c.acc_model(), |t| t.acc.model())
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &CoEmuConfig {
-        match &self.inner {
-            SessionInner::Queue(c) => c.config(),
-            SessionInner::Lossy(c) => c.config(),
-            SessionInner::Threaded(t) => &t.config,
-        }
+        with_inner!(&self.inner, |c| c.config(), |t| &t.config)
     }
 
-    /// Builds the performance report over the committed cycles.
+    /// Builds the performance report over the committed cycles, including
+    /// the recovery bill for reliable backends.
     pub fn report(&self) -> PerfReport {
-        match &self.inner {
-            SessionInner::Queue(c) => c.report(),
-            SessionInner::Lossy(c) => c.report(),
-            SessionInner::Threaded(t) => PerfReport::new(
-                t.merged_ledger(),
-                t.committed_cycles(),
-                t.merged_channel_stats(),
-                t.sim.stats().clone(),
-                t.acc.stats().clone(),
-            ),
+        let report = with_inner!(&self.inner, |c| c.report(), |t| PerfReport::new(
+            t.merged_ledger(),
+            t.committed_cycles(),
+            t.merged_channel_stats(),
+            t.sim.stats().clone(),
+            t.acc.stats().clone(),
+        ));
+        match self.recovery_stats() {
+            Some(recovery) => report.with_recovery(recovery),
+            None => report,
         }
     }
 
     /// Merges the two domains' committed local-output traces into full-bus
     /// records (see [`CoEmulator::merged_trace`]).
     pub fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
-        match &self.inner {
-            SessionInner::Queue(c) => c.merged_trace(merge),
-            SessionInner::Lossy(c) => c.merged_trace(merge),
-            SessionInner::Threaded(t) => t.merged_trace(merge),
-        }
+        with_inner!(&self.inner, |c| c.merged_trace(merge), |t| t
+            .merged_trace(merge))
+    }
+}
+
+/// Converts an *errored* run on a reliable backend: a recorded
+/// [`RetryExhausted`] failure takes precedence over the raw engine error
+/// (typically the deadlock the abandonment surfaced as). A run that reached
+/// its target is reported as success even if a failure was recorded along
+/// the way — on the threaded backend an OS scheduling stall can burn the
+/// retry budget spuriously, and a completed run proves every abandoned frame
+/// had in fact been delivered.
+fn map_reliable_outcome(
+    result: Result<(), SimError>,
+    failure: Option<RetryExhausted>,
+    seed: u64,
+    cycle: u64,
+) -> Result<(), SimError> {
+    match (result, failure) {
+        (Err(_), Some(f)) => Err(SimError::RetryBudgetExhausted {
+            seed,
+            seq: f.seq as u64,
+            retries: f.retries,
+            cycle,
+        }),
+        (result, _) => result,
     }
 }
 
@@ -495,14 +663,15 @@ impl<M: DomainModel + Send + fmt::Debug + 'static> fmt::Debug for EmuSession<M> 
 }
 
 /// The real-thread backend: one [`ChannelWrapper`] per OS thread, each with a
-/// per-side costed channel over a [`ThreadedTransport`] endpoint and its own
-/// ledger. Threads are spawned per run and joined before the call returns, so
-/// the session is externally synchronous.
-struct ThreadedSession<M: DomainModel + Send + 'static> {
+/// per-side costed channel over a blocking-capable endpoint (a bare
+/// [`ThreadedTransport`] endpoint, or a [`ReliableTransport`] wrapping one)
+/// and its own ledger. Threads are spawned per run and joined before the call
+/// returns, so the session is externally synchronous.
+struct ThreadedSession<M: DomainModel + Send + 'static, E: WaitTransport + Send> {
     sim: ChannelWrapper<M>,
     acc: ChannelWrapper<M>,
-    sim_ch: CostedChannel<ThreadedEndpoint>,
-    acc_ch: CostedChannel<ThreadedEndpoint>,
+    sim_ch: CostedChannel<E>,
+    acc_ch: CostedChannel<E>,
     sim_ledger: TimeLedger,
     acc_ledger: TimeLedger,
     config: CoEmuConfig,
@@ -512,16 +681,18 @@ struct ThreadedSession<M: DomainModel + Send + 'static> {
     observer: Option<Mutex<Box<dyn EmuObserver>>>,
 }
 
-impl<M: DomainModel + Send + 'static> ThreadedSession<M> {
+impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M, E> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sim_model: M,
         acc_model: M,
         config: CoEmuConfig,
         opts: ThreadedOpts,
         observer: Option<Box<dyn EmuObserver>>,
+        sim_end: E,
+        acc_end: E,
     ) -> Self {
         let (sim, acc) = crate::coemu::build_wrapper_pair(sim_model, acc_model, &config);
-        let (sim_end, acc_end) = ThreadedTransport::pair();
         ThreadedSession {
             sim,
             acc,
@@ -589,9 +760,9 @@ impl<M: DomainModel + Send + 'static> ThreadedSession<M> {
 /// The per-domain thread body: step until halted, blocked-wait on the
 /// endpoint, detect starvation via the shared progress epoch.
 #[allow(clippy::too_many_arguments)]
-fn run_side<M: DomainModel>(
+fn run_side<M: DomainModel, E: WaitTransport>(
     wrapper: &mut ChannelWrapper<M>,
-    ch: &mut CostedChannel<ThreadedEndpoint>,
+    ch: &mut CostedChannel<E>,
     ledger: &mut TimeLedger,
     costs: &DomainCosts,
     target: u64,

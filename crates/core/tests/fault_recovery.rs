@@ -1,0 +1,278 @@
+//! Seeded fault-recovery sweeps: a session over `Reliable{Lossy}` — the
+//! ack-and-retransmit layer on top of a fault-injecting transport — must
+//! commit **bit-identical traces, channel statistics, virtual-time ledgers,
+//! and committed cycles** to the clean deterministic `QueueTransport`
+//! baseline, while `RecoveryStats` shows the repairs and the cost model bills
+//! strictly more wire words than the clean run. A retry budget too small for
+//! the fault rate must surface a typed `SimError::RetryBudgetExhausted`
+//! carrying the failing seed, never a hang.
+
+use predpkt_channel::{ChannelStats, FaultSpec, RecoveryStats};
+use predpkt_core::{
+    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, TransportSelect,
+};
+use predpkt_sim::{SimError, VirtualTime};
+
+mod common;
+use common::figure2_soc as soc;
+
+struct Outcome {
+    trace_hash: u64,
+    committed: u64,
+    channel: ChannelStats,
+    ledger_total: VirtualTime,
+    recovery: Option<RecoveryStats>,
+    faults_injected: u64,
+    report: PerfReport,
+}
+
+fn run(backend: TransportSelect, cycles: u64) -> Outcome {
+    let blueprint = soc();
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None)
+        .carry(true)
+        .adaptive(true);
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .transport(backend)
+        .build()
+        .expect("session builds");
+    session
+        .run_until_committed(cycles)
+        .expect("reliable session must survive the faults");
+    let placement = blueprint.placement();
+    let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
+    Outcome {
+        trace_hash: trace.hash(),
+        committed: session.committed_cycles(),
+        channel: session.channel_stats(),
+        ledger_total: session.ledger().total(),
+        recovery: session.recovery_stats(),
+        faults_injected: session.fault_stats().map_or(0, |f| f.total()),
+        report: session.report(),
+    }
+}
+
+fn reliable_lossy(spec: FaultSpec) -> TransportSelect {
+    TransportSelect::Reliable {
+        inner: ReliableInner::Lossy(spec),
+        window: 8,
+        retry_budget: 16,
+    }
+}
+
+/// Asserts the headline property: bit-identical commitment to the clean
+/// baseline, nonzero recovery work, strictly higher billed traffic.
+fn assert_recovered_bit_identical(label: &str, baseline: &Outcome, faulty: &Outcome) {
+    assert_eq!(
+        baseline.trace_hash, faulty.trace_hash,
+        "{label}: trace diverged from clean baseline"
+    );
+    assert_eq!(
+        baseline.committed, faulty.committed,
+        "{label}: stopped at a different boundary"
+    );
+    assert_eq!(
+        baseline.channel, faulty.channel,
+        "{label}: protocol channel statistics diverged"
+    );
+    assert_eq!(
+        baseline.ledger_total, faulty.ledger_total,
+        "{label}: virtual-time ledger diverged"
+    );
+    assert!(faulty.faults_injected > 0, "{label}: no faults fired");
+    let recovery = faulty.recovery.expect("reliable backend reports recovery");
+    assert!(
+        recovery.recovery_events() > 0,
+        "{label}: faults fired but no recovery recorded"
+    );
+    assert!(
+        faulty.report.billed_words() > baseline.report.billed_words(),
+        "{label}: recovery overhead must raise the billed traffic \
+         ({} vs clean {})",
+        faulty.report.billed_words(),
+        baseline.report.billed_words()
+    );
+}
+
+const SEEDS: [u64; 3] = [0xa11ce, 0xb0b5eed, 0xcafe42];
+
+#[test]
+fn seeded_drop_sweep_commits_bit_identical_results() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let faulty = run(reliable_lossy(FaultSpec::drops(seed, 0.15)), cycles);
+        assert_recovered_bit_identical(&format!("drops seed {seed:#x}"), &baseline, &faulty);
+        let recovery = faulty.recovery.unwrap();
+        assert!(
+            recovery.retransmits > 0,
+            "seed {seed:#x}: drops must cost retransmissions"
+        );
+    }
+}
+
+#[test]
+fn seeded_truncation_sweep_commits_bit_identical_results() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let faulty = run(reliable_lossy(FaultSpec::truncations(seed, 0.15)), cycles);
+        assert_recovered_bit_identical(&format!("truncations seed {seed:#x}"), &baseline, &faulty);
+        let recovery = faulty.recovery.unwrap();
+        assert!(
+            recovery.crc_rejects > 0,
+            "seed {seed:#x}: truncations must be caught by the CRC"
+        );
+    }
+}
+
+#[test]
+fn seeded_duplicate_sweep_commits_bit_identical_results() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let faulty = run(reliable_lossy(FaultSpec::duplicates(seed, 0.2)), cycles);
+        assert_recovered_bit_identical(&format!("duplicates seed {seed:#x}"), &baseline, &faulty);
+        let recovery = faulty.recovery.unwrap();
+        assert!(
+            recovery.duplicates_suppressed > 0,
+            "seed {seed:#x}: duplicated frames must be suppressed"
+        );
+    }
+}
+
+#[test]
+fn mixed_fault_storm_commits_bit_identical_results() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let spec = FaultSpec {
+            seed,
+            drop_rate: 0.1,
+            truncate_rate: 0.08,
+            duplicate_rate: 0.1,
+        };
+        let faulty = run(reliable_lossy(spec), cycles);
+        assert_recovered_bit_identical(&format!("mixed seed {seed:#x}"), &baseline, &faulty);
+    }
+}
+
+#[test]
+fn reliable_over_clean_queue_matches_baseline_with_ack_overhead_only() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    let reliable = run(TransportSelect::reliable(ReliableInner::Queue), cycles);
+    assert_eq!(baseline.trace_hash, reliable.trace_hash);
+    assert_eq!(baseline.committed, reliable.committed);
+    assert_eq!(baseline.channel, reliable.channel);
+    assert_eq!(baseline.ledger_total, reliable.ledger_total);
+    let recovery = reliable.recovery.unwrap();
+    assert_eq!(
+        recovery.retransmits, 0,
+        "clean link needs no retransmission"
+    );
+    assert_eq!(recovery.crc_rejects, 0);
+    assert!(recovery.acks_sent > 0, "every frame is still acknowledged");
+    assert!(
+        reliable.report.billed_words() > baseline.report.billed_words(),
+        "headers and acks are honest overhead even on a clean link"
+    );
+    assert!(reliable.report.billed_channel_time() > baseline.report.billed_channel_time());
+    assert!(reliable.report.recovery().is_some());
+    assert!(
+        reliable.report.to_string().contains("recovery:"),
+        "the report surfaces the recovery bill"
+    );
+}
+
+#[test]
+fn exhausted_retry_budget_surfaces_typed_error_with_seed() {
+    let seed = 0x5eed_dead;
+    let blueprint = soc();
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None);
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .transport(TransportSelect::Reliable {
+            inner: ReliableInner::Lossy(FaultSpec::drops(seed, 1.0)),
+            window: 4,
+            retry_budget: 2,
+        })
+        .build()
+        .expect("session builds");
+    match session.run_until_committed(2_000) {
+        Err(SimError::RetryBudgetExhausted {
+            seed: reported,
+            retries,
+            ..
+        }) => {
+            assert_eq!(reported, seed, "the failing seed must be reported");
+            assert_eq!(retries, 2, "the configured budget was spent");
+        }
+        other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+    }
+    // The error's rendering carries the seed for replay.
+    let err = SimError::RetryBudgetExhausted {
+        seed,
+        seq: 0,
+        retries: 2,
+        cycle: 0,
+    };
+    assert!(err.to_string().contains(&seed.to_string()), "{err}");
+}
+
+#[test]
+fn moderate_faults_with_small_budget_fail_typed_not_hang() {
+    // A budget of 1 cannot absorb a 60% drop rate for long: the session must
+    // end with the typed error (or, improbably, survive) — never hang.
+    let seed = 0x1bad_cafe;
+    let blueprint = soc();
+    let config = CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None);
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(config)
+        .transport(TransportSelect::Reliable {
+            inner: ReliableInner::Lossy(FaultSpec::drops(seed, 0.6)),
+            window: 8,
+            retry_budget: 1,
+        })
+        .build()
+        .expect("session builds");
+    match session.run_until_committed(2_000) {
+        Err(SimError::RetryBudgetExhausted { seed: s, .. }) => assert_eq!(s, seed),
+        other => panic!("expected typed exhaustion, got {other:?}"),
+    }
+}
+
+/// Wider multi-seed, multi-rate sweep — slow, so it is `#[ignore]`d from the
+/// default `cargo test` and run by the CI slow-tests job via
+/// `-- --include-ignored`.
+#[test]
+#[ignore = "multi-seed recovery sweep; run with --include-ignored"]
+fn wide_seeded_recovery_sweep() {
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in [1u64, 2, 3, 0xdead, 0xbeef, 0x1234_5678] {
+        for (label, spec) in [
+            ("drops", FaultSpec::drops(seed, 0.25)),
+            ("truncations", FaultSpec::truncations(seed, 0.25)),
+            ("duplicates", FaultSpec::duplicates(seed, 0.35)),
+            (
+                "mixed",
+                FaultSpec {
+                    seed,
+                    drop_rate: 0.15,
+                    truncate_rate: 0.12,
+                    duplicate_rate: 0.15,
+                },
+            ),
+        ] {
+            let faulty = run(reliable_lossy(spec), cycles);
+            assert_recovered_bit_identical(&format!("{label} seed {seed:#x}"), &baseline, &faulty);
+        }
+    }
+}

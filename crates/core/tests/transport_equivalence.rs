@@ -6,51 +6,16 @@
 //! protocol event rather than a scheduling artifact, which is what makes this
 //! a meaningful (and stable) assertion.
 
-use predpkt_ahb::engine::BusOp;
-use predpkt_ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
-use predpkt_ahb::signals::{Hburst, Hsize};
-use predpkt_ahb::slaves::{MemorySlave, PeripheralSlave};
 use predpkt_channel::{ChannelStats, FaultSpec};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, EventCounters, ModePolicy, Side, SocBlueprint, ThreadedOpts,
+    CoEmuConfig, EmuSession, EventCounters, ModePolicy, ReliableInner, ThreadedOpts,
     TransportSelect,
 };
 use predpkt_predict::LastValueSuite;
 use predpkt_sim::VirtualTime;
 
-/// The paper's Fig. 2 shape (see `equivalence.rs`), traffic irregular enough
-/// to exercise predictions, rollbacks, and conservative fallbacks.
-fn figure2_soc() -> SocBlueprint {
-    SocBlueprint::new()
-        .master(Side::Simulator, || {
-            Box::new(CpuMaster::new(0xbeef, CpuProfile::default()))
-        })
-        .master(Side::Accelerator, || {
-            Box::new(DmaMaster::new(vec![
-                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
-                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
-            ]))
-        })
-        .master(Side::Accelerator, || {
-            Box::new(
-                TrafficGenMaster::from_ops(vec![
-                    BusOp::read_burst(0x0000_0040, Hsize::Word, Hburst::Wrap8),
-                    BusOp::write_single(0x0000_2004, 0xabcd),
-                ])
-                .looping()
-                .with_idle_gap(11),
-            )
-        })
-        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
-            Box::new(MemorySlave::new(0x1000, 0))
-        })
-        .slave(Side::Simulator, 0x0000_1000, 0x1000, || {
-            Box::new(MemorySlave::with_waits(0x1000, 2, 1))
-        })
-        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
-            Box::new(PeripheralSlave::new(1))
-        })
-}
+mod common;
+use common::figure2_soc;
 
 struct RunOutcome {
     trace_hash: u64,
@@ -94,8 +59,34 @@ fn assert_backends_equivalent(policy: ModePolicy, cycles: u64) {
         TransportSelect::Threaded(ThreadedOpts::default()),
         cycles,
     );
+    // The ack-and-retransmit layer must be protocol-invisible: over a clean
+    // queue, over a fault-free lossy wrapper, and split per-side over real
+    // threads, the session still commits the queue baseline bit-for-bit
+    // (recovery overhead is billed separately and asserted in
+    // `fault_recovery.rs`).
+    let reliable_queue = run_backend(
+        policy,
+        TransportSelect::reliable(ReliableInner::Queue),
+        cycles,
+    );
+    let reliable_lossy = run_backend(
+        policy,
+        TransportSelect::reliable(ReliableInner::Lossy(FaultSpec::none(2))),
+        cycles,
+    );
+    let reliable_threaded = run_backend(
+        policy,
+        TransportSelect::reliable(ReliableInner::Threaded(ThreadedOpts::default())),
+        cycles,
+    );
 
-    for (name, other) in [("lossy", &lossy), ("threaded", &threaded)] {
+    for (name, other) in [
+        ("lossy", &lossy),
+        ("threaded", &threaded),
+        ("reliable+queue", &reliable_queue),
+        ("reliable+lossy", &reliable_lossy),
+        ("reliable+threaded", &reliable_threaded),
+    ] {
         assert_eq!(
             queue.trace_hash, other.trace_hash,
             "{policy:?}: {name} trace diverged from queue"

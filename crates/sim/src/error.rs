@@ -16,6 +16,20 @@ pub enum SimError {
     },
     /// A configuration value was rejected.
     Config(String),
+    /// The reliable channel layer abandoned a frame after exhausting its
+    /// retransmission budget — the fault rate exceeded what the configured
+    /// `retry_budget` can absorb.
+    RetryBudgetExhausted {
+        /// Fault-injection seed of the run (0 when no fault injector was
+        /// installed), so the failing case can be replayed exactly.
+        seed: u64,
+        /// Sequence number of the abandoned frame.
+        seq: u64,
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+        /// Committed cycle at which recovery was abandoned.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +38,16 @@ impl fmt::Display for SimError {
             SimError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
             SimError::Deadlock { cycle } => write!(f, "co-emulation deadlock at cycle {cycle}"),
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::RetryBudgetExhausted {
+                seed,
+                seq,
+                retries,
+                cycle,
+            } => write!(
+                f,
+                "reliable channel gave up at cycle {cycle}: frame seq {seq} abandoned \
+                 after {retries} retransmissions (fault seed {seed})"
+            ),
         }
     }
 }
@@ -59,6 +83,15 @@ mod tests {
         );
         let wrapped = SimError::from(SnapshotError::Exhausted { at: 1 });
         assert!(wrapped.to_string().contains("snapshot failure"));
+        let exhausted = SimError::RetryBudgetExhausted {
+            seed: 0xfeed,
+            seq: 42,
+            retries: 8,
+            cycle: 100,
+        };
+        let text = exhausted.to_string();
+        assert!(text.contains("seq 42"), "{text}");
+        assert!(text.contains("seed 65261"), "{text}");
     }
 
     #[test]
