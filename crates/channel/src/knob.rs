@@ -1,0 +1,46 @@
+//! Typed validation errors for transport tuning knobs.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected tuning knob: which field was rejected, and why.
+///
+/// Both [`FaultSpec::validate`](crate::FaultSpec::validate) and
+/// [`ReliableConfig::validate`](crate::ReliableConfig::validate) report
+/// through this one shape, so every layer above (the session builder's
+/// `ConfigError`, error messages, tests) can name the offending field
+/// uniformly instead of parsing free-form strings.
+///
+/// # Example
+///
+/// ```
+/// use predpkt_channel::FaultSpec;
+/// let err = FaultSpec::drops(0, 1.5).validate().unwrap_err();
+/// assert_eq!(err.field, "drop_rate");
+/// assert!(err.to_string().contains("drop_rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnobError {
+    /// The offending field, as named in the configuration struct.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub detail: String,
+}
+
+impl KnobError {
+    /// Creates an error for `field` with the rejection reason `detail`.
+    pub fn new(field: &'static str, detail: impl Into<String>) -> Self {
+        KnobError {
+            field,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.detail)
+    }
+}
+
+impl Error for KnobError {}

@@ -11,10 +11,13 @@
 //!   paper's exact constants.
 //! * [`Packet`] — a word-addressed payload with a message tag.
 //! * [`Transport`] — the pluggable mailbox abstraction between the two
-//!   domains. Three backends ship with the crate: the deterministic in-process
+//!   domains. Four backends ship with the crate: the deterministic in-process
 //!   [`QueueTransport`], the real-thread [`ThreadedTransport`] (each
-//!   [`ThreadedEndpoint`] implements [`Transport`] for its own side), and the
-//!   fault-injecting [`LossyTransport`] for protocol-robustness scenarios.
+//!   [`ThreadedEndpoint`] implements [`Transport`] for its own side), the
+//!   socket-backed [`TcpTransport`] (per-side [`TcpEndpoint`]s moving
+//!   length-prefixed frames over `std::net::TcpStream`, for co-emulation
+//!   split across processes or hosts), and the fault-injecting
+//!   [`LossyTransport`] for protocol-robustness scenarios.
 //! * [`CostedChannel`] — a transport combined with the cost model and
 //!   [`ChannelStats`], returning the virtual-time cost of every access so the
 //!   caller can charge its ledger.
@@ -72,24 +75,89 @@
 //! assert!(link.inner().fault_stats().total() > 0, "faults really fired");
 //! assert!(link.recovery_stats().overhead_words > 0, "…and were paid for");
 //! ```
+//!
+//! # Quickstart: remote co-emulation over TCP
+//!
+//! The [`TcpEndpoint`] carries the same packets over a real socket, so the
+//! two domains can run in **different processes or on different hosts** — a
+//! software simulator on a workstation talking to a remote accelerator farm.
+//! One process listens, the other dials; each wraps its endpoint in its own
+//! per-side [`CostedChannel`] (and, for links that must absorb real-world
+//! loss, a per-side [`ReliableTransport`] via
+//! [`for_side`](ReliableTransport::for_side), exactly like the
+//! one-thread-per-domain backend does):
+//!
+//! ```no_run
+//! use predpkt_channel::{
+//!     ChannelCostModel, CostedChannel, Packet, PacketTag, Side, TcpEndpoint, Transport,
+//!     WaitTransport,
+//! };
+//! use std::time::Duration;
+//!
+//! // ── Process A: the accelerator farm ─────────────────────────────────
+//! // $ accel-farm 0.0.0.0:7000
+//! let endpoint = TcpEndpoint::listen("0.0.0.0:7000", Side::Accelerator)?;
+//! let mut acc = CostedChannel::with_transport(endpoint, ChannelCostModel::iprove_pci());
+//! loop {
+//!     if acc.transport_mut().wait_for_packet(Duration::from_millis(2)) {
+//!         let packet = acc.recv(Side::Accelerator).expect("a frame is ready");
+//!         // ...tick the hardware model, then answer:
+//!         acc.send(Side::Accelerator, Packet::new(PacketTag::CycleOutputs, vec![0xacc]));
+//!     }
+//! }
+//! # #[allow(unreachable_code)]
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! ```no_run
+//! use predpkt_channel::{
+//!     ChannelCostModel, CostedChannel, Packet, PacketTag, Side, TcpEndpoint, Transport,
+//!     WaitTransport,
+//! };
+//! use std::time::Duration;
+//!
+//! // ── Process B: the software simulator ───────────────────────────────
+//! // $ simulator farm-host:7000
+//! let endpoint = TcpEndpoint::connect("farm-host:7000", Side::Simulator)?;
+//! let mut sim = CostedChannel::with_transport(endpoint, ChannelCostModel::iprove_pci());
+//! let cost = sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+//! // `cost` is the virtual-time bill under the paper's channel model — the
+//! // accounting is identical to every in-process backend, which is what the
+//! // cross-transport conformance suite in `predpkt-core` asserts.
+//! while !sim.transport_mut().wait_for_packet(Duration::from_millis(2)) {}
+//! let reply = sim.recv(Side::Simulator).expect("a frame is ready");
+//! # let _ = (cost, reply);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! In-process sessions and tests use [`TcpTransport::loopback_pair`], which
+//! binds an ephemeral localhost port so parallel runs never collide. The
+//! frame codec itself ([`tcp::write_frame`] / [`tcp::read_frame`] /
+//! [`tcp::FrameDecoder`]) is public too, and rejects malformed input — short
+//! reads, oversized length prefixes, unknown tags — with typed
+//! [`tcp::FrameError`]s instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cost;
+mod knob;
 mod lossy;
 mod message;
 mod reliable;
 mod stats;
+pub mod tcp;
 mod threaded;
 mod transport;
 
 pub use cost::{ChannelCostModel, Direction, LayeredStartup, Side};
+pub use knob::KnobError;
 pub use lossy::{FaultSpec, FaultStats, LossyTransport};
 pub use message::{Packet, PacketTag};
 pub use reliable::{
     RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, DATA_HEADER_WORDS,
 };
 pub use stats::ChannelStats;
+pub use tcp::{FrameError, TcpEndpoint, TcpTransport, MAX_FRAME_WORDS};
 pub use threaded::{ThreadedEndpoint, ThreadedTransport};
 pub use transport::{CostedChannel, QueueTransport, Transport, WaitTransport};

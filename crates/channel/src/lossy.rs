@@ -23,9 +23,11 @@
 //! the transport-equivalence suite exploits.
 
 use crate::cost::Side;
+use crate::knob::KnobError;
 use crate::message::Packet;
-use crate::transport::{QueueTransport, Transport};
+use crate::transport::{QueueTransport, Transport, WaitTransport};
 use predpkt_sim::SplitMix64;
+use std::time::Duration;
 
 /// Deterministic fault plan for a [`LossyTransport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,18 +82,26 @@ impl FaultSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first out-of-range rate.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`KnobError`] naming the first out-of-range rate.
+    pub fn validate(&self) -> Result<(), KnobError> {
         for (name, r) in [
             ("drop_rate", self.drop_rate),
             ("truncate_rate", self.truncate_rate),
             ("duplicate_rate", self.duplicate_rate),
         ] {
             if !(0.0..=1.0).contains(&r) {
-                return Err(format!("{name} must be a probability, got {r}"));
+                return Err(KnobError::new(
+                    name,
+                    format!("must be a probability, got {r}"),
+                ));
             }
         }
         Ok(())
+    }
+
+    /// True when any fault can ever fire (some rate is positive).
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0 || self.truncate_rate > 0.0 || self.duplicate_rate > 0.0
     }
 }
 
@@ -110,6 +120,14 @@ impl FaultStats {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
         self.dropped + self.truncated + self.duplicated
+    }
+
+    /// Merges another block into this one (per-side instances over socket
+    /// endpoints, where each domain wraps its own end).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.truncated += other.truncated;
+        self.duplicated += other.duplicated;
     }
 }
 
@@ -202,6 +220,16 @@ impl<T: Transport> Transport for LossyTransport<T> {
 
     fn pending(&self, to: Side) -> usize {
         self.inner.pending(to)
+    }
+}
+
+/// Fault injection happens on the send path, so waiting is delegated
+/// untouched — this is what lets a fault plan ride on a blocking-capable
+/// endpoint (e.g. a [`TcpEndpoint`](crate::TcpEndpoint)) under a per-side
+/// [`ReliableTransport`](crate::ReliableTransport).
+impl<T: WaitTransport> WaitTransport for LossyTransport<T> {
+    fn wait_for_packet(&mut self, timeout: Duration) -> bool {
+        self.inner.wait_for_packet(timeout)
     }
 }
 
@@ -310,7 +338,8 @@ mod tests {
             ("duplicate_rate", FaultSpec::duplicates(1, -f64::NAN)),
         ] {
             let err = spec.validate().expect_err("must be rejected");
-            assert!(err.contains(name), "error '{err}' should name {name}");
+            assert_eq!(err.field, name, "error '{err}' should name {name}");
+            assert!(err.to_string().contains(name), "display names the field");
         }
     }
 
@@ -323,6 +352,6 @@ mod tests {
             duplicate_rate: 2.0,
         };
         let err = spec.validate().unwrap_err();
-        assert!(err.contains("truncate_rate"), "{err}");
+        assert_eq!(err.field, "truncate_rate", "{err}");
     }
 }

@@ -70,6 +70,7 @@
 //! ```
 
 use crate::cost::{ChannelCostModel, Direction, Side};
+use crate::knob::KnobError;
 use crate::message::{Packet, PacketTag};
 use crate::transport::{Transport, WaitTransport};
 use predpkt_sim::VirtualTime;
@@ -142,19 +143,19 @@ impl ReliableConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first rejected knob.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`KnobError`] naming the first rejected knob.
+    pub fn validate(&self) -> Result<(), KnobError> {
         if self.window == 0 {
-            return Err("window must be at least 1".into());
+            return Err(KnobError::new("window", "must be at least 1"));
         }
         if self.retry_budget == 0 {
-            return Err("retry_budget must be at least 1".into());
+            return Err(KnobError::new("retry_budget", "must be at least 1"));
         }
         if self.rto == VirtualTime::ZERO {
-            return Err("rto must be positive".into());
+            return Err(KnobError::new("rto", "must be positive"));
         }
         if self.poll_tick == VirtualTime::ZERO {
-            return Err("poll_tick must be positive".into());
+            return Err(KnobError::new("poll_tick", "must be positive"));
         }
         Ok(())
     }
@@ -695,19 +696,18 @@ mod tests {
     #[test]
     fn config_validation_rejects_degenerate_knobs() {
         assert!(ReliableConfig::default().validate().is_ok());
-        assert!(ReliableConfig::default().window(0).validate().is_err());
-        assert!(ReliableConfig::default()
-            .retry_budget(0)
-            .validate()
-            .is_err());
-        assert!(ReliableConfig::default()
-            .rto(VirtualTime::ZERO)
-            .validate()
-            .is_err());
-        assert!(ReliableConfig::default()
-            .poll_tick(VirtualTime::ZERO)
-            .validate()
-            .is_err());
+        for (field, config) in [
+            ("window", ReliableConfig::default().window(0)),
+            ("retry_budget", ReliableConfig::default().retry_budget(0)),
+            ("rto", ReliableConfig::default().rto(VirtualTime::ZERO)),
+            (
+                "poll_tick",
+                ReliableConfig::default().poll_tick(VirtualTime::ZERO),
+            ),
+        ] {
+            let err = config.validate().expect_err("must be rejected");
+            assert_eq!(err.field, field, "error '{err}' should name {field}");
+        }
     }
 
     #[test]

@@ -1,0 +1,731 @@
+//! TCP socket transport: a per-side endpoint over `std::net::TcpStream`.
+//!
+//! The paper's channel is a *physical* link (PCI between host and iPROVE);
+//! every other backend in this crate is in-process, so the cost model has
+//! never been exercised over a real wire. [`TcpEndpoint`] closes that gap: it
+//! carries [`Packet`]s over a real TCP stream with a length-prefixed frame
+//! encoding, so a session's two domains can live in different processes or on
+//! different hosts (remote accelerator farms). TCP guarantees ordered,
+//! lossless delivery of *bytes*; the frame codec restores packet boundaries,
+//! and anything the link itself cannot guarantee (process crashes, half-open
+//! connections) surfaces as a typed [`FrameError`] or as starvation the
+//! session layer detects — compose with
+//! [`ReliableTransport`](crate::ReliableTransport) when the link must also
+//! absorb injected faults.
+//!
+//! ## Wire format
+//!
+//! Each packet becomes one frame:
+//!
+//! ```text
+//! [u32 LE: n = wire words] [n × u32 LE: tag word, payload words...]
+//! ```
+//!
+//! `n` counts the tag word plus the payload, exactly [`Packet::wire_words`] —
+//! so the bytes on the wire mirror what the [`ChannelCostModel`]
+//! (crate::ChannelCostModel) bills. A length prefix of zero, a prefix above
+//! [`MAX_FRAME_WORDS`], an unknown tag word, or a stream that ends mid-frame
+//! are all rejected as typed errors, never panics.
+//!
+//! ## Endpoints
+//!
+//! [`TcpEndpoint`] implements [`Transport`] and [`WaitTransport`] for *its own
+//! side*, exactly like [`ThreadedEndpoint`](crate::ThreadedEndpoint), so it
+//! slots into the same per-side [`CostedChannel`](crate::CostedChannel) +
+//! session runner machinery. Obtain endpoints three ways:
+//!
+//! * [`TcpTransport::loopback_pair`] — an ephemeral localhost pair for
+//!   in-process sessions and tests (no fixed port, so parallel test runs
+//!   cannot collide);
+//! * [`TcpEndpoint::listen`] — bind an address and accept one peer
+//!   (conventionally the accelerator farm side);
+//! * [`TcpEndpoint::connect`] — dial a listening peer (conventionally the
+//!   simulator side).
+//!
+//! Dropping an endpoint shuts the socket down in both directions, so a peer
+//! blocked in [`WaitTransport::wait_for_packet`] wakes up promptly instead of
+//! deadlocking on teardown.
+
+use crate::cost::Side;
+use crate::message::{Packet, PacketTag};
+use crate::transport::{Transport, WaitTransport};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Upper bound on the length prefix of one frame, in wire words (4 MiB of
+/// payload). The protocol's largest messages are LOB bursts of a few hundred
+/// words; a prefix beyond this bound is a corrupted or hostile stream, not a
+/// packet, and is rejected before any allocation is attempted.
+pub const MAX_FRAME_WORDS: u32 = 1 << 20;
+
+/// How long one frame write may block before the endpoint gives the stream
+/// up as dead. Loopback and healthy remote links drain small frames in
+/// microseconds; only a peer that holds the connection open without reading
+/// (filling the kernel send buffer) ever reaches this.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a TCP frame could not be decoded (or a stream operation failed).
+///
+/// Every malformed input — short read, oversized or zero length prefix,
+/// unknown tag word — maps to a variant here; the codec never panics on wire
+/// data.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended (or was cut) in the middle of a frame.
+    Truncated {
+        /// Bytes the frame still owed when the stream ended.
+        missing: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_WORDS`].
+    Oversized {
+        /// The rejected word count.
+        words: u32,
+    },
+    /// The length prefix was zero — a frame must at least carry its tag word.
+    Empty,
+    /// The first word decoded to no known [`PacketTag`].
+    UnknownTag {
+        /// The rejected tag word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Closed => f.write_str("peer closed the connection"),
+            FrameError::Truncated { missing } => {
+                write!(f, "stream ended mid-frame ({missing} bytes missing)")
+            }
+            FrameError::Oversized { words } => write!(
+                f,
+                "length prefix {words} exceeds the {MAX_FRAME_WORDS}-word frame bound"
+            ),
+            FrameError::Empty => f.write_str("zero-length frame (a frame must carry its tag word)"),
+            FrameError::UnknownTag { word } => {
+                write!(f, "unknown packet tag {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Serializes `packet` as one length-prefixed frame into `w`.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors; the frame is written with a single
+/// `write_all`, so short writes surface rather than corrupt the stream.
+pub fn write_frame(w: &mut impl Write, packet: &Packet) -> io::Result<()> {
+    let words = packet.to_wire();
+    let mut bytes = Vec::with_capacity(4 * (words.len() + 1));
+    bytes.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for word in &words {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+/// Reads one length-prefixed frame from `r`, blocking until it is complete.
+///
+/// This is the two-process building block ([`TcpEndpoint`] uses the
+/// incremental [`FrameDecoder`] instead so non-blocking polls never lose
+/// partial frames).
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on EOF at a frame boundary, [`FrameError::Truncated`]
+/// on EOF inside one, and the codec errors for malformed prefixes or tags.
+pub fn read_frame(r: &mut impl Read) -> Result<Packet, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    missing: prefix.len() - got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let words = u32::from_le_bytes(prefix);
+    let body_len = frame_body_len(words)?;
+    let mut body = vec![0u8; body_len];
+    let mut got = 0;
+    while got < body_len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    missing: body_len - got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    decode_body(&body)
+}
+
+/// Validates a length prefix and returns the frame body size in bytes.
+fn frame_body_len(words: u32) -> Result<usize, FrameError> {
+    if words == 0 {
+        return Err(FrameError::Empty);
+    }
+    if words > MAX_FRAME_WORDS {
+        return Err(FrameError::Oversized { words });
+    }
+    Ok(words as usize * 4)
+}
+
+/// Decodes a complete frame body (tag word + payload words, little-endian).
+fn decode_body(body: &[u8]) -> Result<Packet, FrameError> {
+    debug_assert!(body.len() >= 4 && body.len() % 4 == 0);
+    let word_at = |i: usize| u32::from_le_bytes(body[4 * i..4 * i + 4].try_into().unwrap());
+    let tag_word = word_at(0);
+    let tag = PacketTag::decode(tag_word).ok_or(FrameError::UnknownTag { word: tag_word })?;
+    let payload = (1..body.len() / 4).map(word_at).collect();
+    Ok(Packet::new(tag, payload))
+}
+
+/// Incremental frame decoder: feed it byte chunks as they arrive (in whatever
+/// sizes the socket delivers) and pull complete packets out. Partial frames
+/// stay buffered across calls, so non-blocking reads never lose data.
+///
+/// # Example
+///
+/// ```
+/// use predpkt_channel::{tcp, Packet, PacketTag};
+/// let mut bytes = Vec::new();
+/// tcp::write_frame(&mut bytes, &Packet::new(PacketTag::Burst, vec![1, 2])).unwrap();
+/// let mut dec = tcp::FrameDecoder::new();
+/// dec.push(&bytes[..3]); // arbitrary split
+/// assert!(dec.next_frame().unwrap().is_none(), "frame incomplete");
+/// dec.push(&bytes[3..]);
+/// let p = dec.next_frame().unwrap().unwrap();
+/// assert_eq!(p.tag(), PacketTag::Burst);
+/// assert_eq!(p.payload(), &[1, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// True when buffered bytes form part of an unfinished frame — an EOF in
+    /// this state is a truncation, not a clean close.
+    pub fn is_mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes still owed before the partially buffered frame completes (0 at
+    /// a frame boundary, or when the buffered prefix is itself malformed —
+    /// [`next_frame`](Self::next_frame) surfaces the typed error for that).
+    pub fn missing_bytes(&self) -> usize {
+        if self.buf.is_empty() {
+            return 0;
+        }
+        if self.buf.len() < 4 {
+            return 4 - self.buf.len();
+        }
+        let prefix: Vec<u8> = self.buf.iter().take(4).copied().collect();
+        let words = u32::from_le_bytes(prefix.try_into().unwrap());
+        match frame_body_len(words) {
+            Ok(body_len) => (4 + body_len).saturating_sub(self.buf.len()),
+            Err(_) => 0,
+        }
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// The codec's [`FrameError`]s for malformed prefixes or tag words. The
+    /// decoder does not resynchronize after an error: a corrupted
+    /// length-prefixed stream has no recoverable framing, so the connection
+    /// should be torn down.
+    pub fn next_frame(&mut self) -> Result<Option<Packet>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let prefix: Vec<u8> = self.buf.iter().take(4).copied().collect();
+        let words = u32::from_le_bytes(prefix.try_into().unwrap());
+        let body_len = frame_body_len(words)?;
+        if self.buf.len() < 4 + body_len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let body: Vec<u8> = self.buf.drain(..body_len).collect();
+        decode_body(&body).map(Some)
+    }
+}
+
+/// Constructor for TCP channel endpoints (the socket sibling of
+/// [`ThreadedTransport`](crate::ThreadedTransport)).
+#[derive(Debug)]
+pub struct TcpTransport;
+
+impl TcpTransport {
+    /// Creates a connected localhost pair over an ephemeral port: the
+    /// simulator endpoint dials, the accelerator endpoint is accepted. No
+    /// fixed port is involved, so concurrent test runs cannot collide on
+    /// address allocation.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-layer failure binding, connecting, or accepting.
+    pub fn loopback_pair() -> io::Result<(TcpEndpoint, TcpEndpoint)> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let sim_stream = TcpStream::connect(addr)?;
+        let (acc_stream, _) = listener.accept()?;
+        Ok((
+            TcpEndpoint::from_stream(sim_stream, Side::Simulator)?,
+            TcpEndpoint::from_stream(acc_stream, Side::Accelerator)?,
+        ))
+    }
+}
+
+/// One side's endpoint of a TCP channel; `Send`, so it moves to its domain's
+/// thread (or lives in its domain's process). Implements [`Transport`] and
+/// [`WaitTransport`] for the side it belongs to.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    side: Side,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Decoded packets awaiting [`Transport::recv`].
+    ready: VecDeque<Packet>,
+    /// Sticky first failure: once the stream is corrupt or gone, the endpoint
+    /// delivers nothing further (starvation, detected upstream) and reports
+    /// the cause here.
+    error: Option<FrameError>,
+    /// The peer closed its write half cleanly.
+    peer_closed: bool,
+}
+
+impl TcpEndpoint {
+    /// Dials a listening peer. `side` is the domain this endpoint serves —
+    /// conventionally the simulator dials the accelerator farm.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-layer connect failure.
+    pub fn connect(addr: impl ToSocketAddrs, side: Side) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?, side)
+    }
+
+    /// Binds `addr` and accepts exactly one peer connection.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-layer bind or accept failure.
+    pub fn listen(addr: impl ToSocketAddrs, side: Side) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let (stream, _) = listener.accept()?;
+        Self::from_stream(stream, side)
+    }
+
+    /// Wraps an already-connected stream. `TCP_NODELAY` is enabled: the
+    /// protocol exchanges small latency-sensitive frames, the workload
+    /// Nagle's algorithm punishes hardest. Writes carry a generous
+    /// [`WRITE_TIMEOUT`]: a peer that keeps the connection open but stops
+    /// reading (wedged or stopped process) would otherwise block the sender
+    /// forever inside `send` — past the timeout the endpoint records a
+    /// sticky error and the session layer detects the starvation instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn from_stream(stream: TcpStream, side: Side) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        Ok(TcpEndpoint {
+            side,
+            stream,
+            decoder: FrameDecoder::new(),
+            ready: VecDeque::new(),
+            error: None,
+            peer_closed: false,
+        })
+    }
+
+    /// Which side this endpoint belongs to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The endpoint's local socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-layer failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// The first stream failure, if the connection has broken down. A sticky
+    /// error means the endpoint will never deliver again; the session layer
+    /// sees the resulting starvation as a deadlock.
+    pub fn last_error(&self) -> Option<&FrameError> {
+        self.error.as_ref()
+    }
+
+    /// True once the peer has closed its write half (EOF observed).
+    pub fn peer_closed(&self) -> bool {
+        self.peer_closed
+    }
+
+    /// Feeds `bytes` through the decoder into the ready queue, recording the
+    /// first codec failure.
+    fn ingest(&mut self, bytes: &[u8]) {
+        self.decoder.push(bytes);
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(packet)) => self.ready.push_back(packet),
+                Ok(None) => break,
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Marks the stream dead on EOF: clean close at a boundary, truncation
+    /// mid-frame.
+    fn on_eof(&mut self) {
+        self.peer_closed = true;
+        if self.decoder.is_mid_frame() && self.error.is_none() {
+            self.error = Some(FrameError::Truncated {
+                missing: self.decoder.missing_bytes(),
+            });
+        }
+    }
+
+    /// True once no further byte will ever be decoded.
+    fn stream_dead(&self) -> bool {
+        self.error.is_some() || self.peer_closed
+    }
+
+    /// Drains whatever the socket holds right now without blocking.
+    fn poll_nonblocking(&mut self) {
+        if self.stream_dead() {
+            return;
+        }
+        if let Err(e) = self.stream.set_nonblocking(true) {
+            self.error = Some(e.into());
+            return;
+        }
+        let mut scratch = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.on_eof();
+                    break;
+                }
+                Ok(n) => {
+                    self.ingest(&scratch[..n]);
+                    if self.error.is_some() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.error = Some(e.into());
+                    break;
+                }
+            }
+        }
+        let _ = self.stream.set_nonblocking(false);
+    }
+
+    /// One blocking read with `timeout`; returns whether any bytes arrived.
+    fn poll_blocking(&mut self, timeout: Duration) -> bool {
+        if self.stream_dead() {
+            return false;
+        }
+        // A zero timeout means "block forever" to the socket layer; clamp to
+        // the smallest real timeout instead.
+        let timeout = timeout.max(Duration::from_millis(1));
+        if let Err(e) = self.stream.set_read_timeout(Some(timeout)) {
+            self.error = Some(e.into());
+            return false;
+        }
+        let mut scratch = [0u8; 8192];
+        loop {
+            return match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.on_eof();
+                    false
+                }
+                Ok(n) => {
+                    self.ingest(&scratch[..n]);
+                    true
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // The platform reports a read timeout as either kind;
+                    // both simply mean "nothing yet" (the same shape
+                    // `TryRecvError::Empty` takes on the mpsc backend).
+                    false
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.error = Some(e.into());
+                    false
+                }
+            };
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn send(&mut self, from: Side, packet: Packet) {
+        debug_assert_eq!(from, self.side, "endpoints send from their own side");
+        if self.error.is_some() {
+            // The stream is gone: like a physical channel with no receiver,
+            // the packet is lost on the floor (mirrors ThreadedEndpoint).
+            return;
+        }
+        // recv polling may have left the socket non-blocking; writes must not
+        // short-circuit mid-frame.
+        let _ = self.stream.set_nonblocking(false);
+        if let Err(e) = write_frame(&mut self.stream, &packet) {
+            self.error = Some(e.into());
+        }
+    }
+
+    fn recv(&mut self, to: Side) -> Option<Packet> {
+        debug_assert_eq!(to, self.side, "endpoints receive for their own side");
+        if self.ready.is_empty() {
+            self.poll_nonblocking();
+        }
+        self.ready.pop_front()
+    }
+
+    /// Packets decoded locally and awaiting `recv`. Unlike
+    /// [`ThreadedEndpoint`](crate::ThreadedEndpoint) there is no shared
+    /// in-flight counter — the peer may be another process or host — so
+    /// frames still in the kernel or on the wire are not counted.
+    fn pending(&self, to: Side) -> usize {
+        debug_assert_eq!(to, self.side, "endpoints count for their own side");
+        self.ready.len()
+    }
+}
+
+impl WaitTransport for TcpEndpoint {
+    fn wait_for_packet(&mut self, timeout: Duration) -> bool {
+        if !self.ready.is_empty() {
+            return true;
+        }
+        self.poll_nonblocking();
+        if !self.ready.is_empty() {
+            return true;
+        }
+        if self.stream_dead() {
+            // Nothing will ever arrive, but returning instantly would turn
+            // the caller's poll loop into a hot spin (and, under a reliable
+            // wrapper, advance the RTO clock once per iteration, burning the
+            // retry budget in wall-clock microseconds). Pace the caller
+            // exactly like a live-but-silent link would.
+            thread::sleep(timeout);
+            return false;
+        }
+        self.poll_blocking(timeout);
+        !self.ready.is_empty()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Wake a peer blocked in wait_for_packet immediately rather than
+        // relying on the kernel noticing the closed fd later.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{ChannelCostModel, Direction};
+    use crate::transport::CostedChannel;
+    use std::thread;
+
+    fn pair() -> (TcpEndpoint, TcpEndpoint) {
+        TcpTransport::loopback_pair().expect("loopback pair")
+    }
+
+    #[test]
+    fn loopback_ping_pong() {
+        let (mut sim, mut acc) = pair();
+        let worker = thread::spawn(move || {
+            for _ in 0..50 {
+                while !acc.wait_for_packet(Duration::from_secs(5)) {}
+                let p = acc.recv(Side::Accelerator).unwrap();
+                let bumped: Vec<u32> = p.payload().iter().map(|w| w + 1).collect();
+                acc.send(
+                    Side::Accelerator,
+                    Packet::new(PacketTag::CycleOutputs, bumped),
+                );
+            }
+        });
+        for i in 0..50u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i]),
+            );
+            while !sim.wait_for_packet(Duration::from_secs(5)) {}
+            let reply = sim.recv(Side::Simulator).unwrap();
+            assert_eq!(reply.payload(), &[i + 1]);
+        }
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn recv_is_nonblocking_when_empty() {
+        let (mut sim, _acc) = pair();
+        assert!(sim.recv(Side::Simulator).is_none());
+        assert_eq!(sim.pending(Side::Simulator), 0);
+    }
+
+    #[test]
+    fn wait_times_out_then_delivers() {
+        let (mut sim, mut acc) = pair();
+        assert!(!sim.wait_for_packet(Duration::from_millis(5)));
+        acc.send(Side::Accelerator, Packet::new(PacketTag::Handshake, vec![]));
+        assert!(sim.wait_for_packet(Duration::from_secs(5)));
+        assert_eq!(
+            sim.recv(Side::Simulator).unwrap().tag(),
+            PacketTag::Handshake
+        );
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_the_socket() {
+        let (mut sim, mut acc) = pair();
+        for i in 0..100u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::Burst, vec![i; (i % 7) as usize]),
+            );
+        }
+        for i in 0..100u32 {
+            while !acc.wait_for_packet(Duration::from_secs(5)) {}
+            let p = acc.recv(Side::Accelerator).unwrap();
+            assert_eq!(p.payload(), vec![i; (i % 7) as usize].as_slice());
+        }
+    }
+
+    #[test]
+    fn costed_endpoint_bills_like_any_transport() {
+        let (sim_end, mut acc_end) = pair();
+        let mut sim = CostedChannel::with_transport(sim_end, ChannelCostModel::iprove_pci());
+        let cost = sim.send(Side::Simulator, Packet::new(PacketTag::Burst, vec![0; 9]));
+        assert_eq!(
+            cost,
+            ChannelCostModel::iprove_pci().access_cost(Direction::SimToAcc, 10)
+        );
+        while !acc_end.wait_for_packet(Duration::from_secs(5)) {}
+        assert_eq!(acc_end.recv(Side::Accelerator).unwrap().payload().len(), 9);
+    }
+
+    #[test]
+    fn dropped_peer_wakes_waiter_and_drains_cleanly() {
+        let (mut sim, acc) = pair();
+        // Park a waiter on a live link *first*, then shut the peer down from
+        // another thread: the EOF must wake the blocked wait well before its
+        // generous timeout (this is the no-teardown-deadlock property).
+        let killer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(acc);
+        });
+        let t0 = std::time::Instant::now();
+        assert!(!sim.wait_for_packet(Duration::from_secs(30)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "EOF should wake the waiter, not let it run the full timeout"
+        );
+        killer.join().unwrap();
+        assert!(sim.peer_closed() || sim.last_error().is_some());
+        assert!(sim.recv(Side::Simulator).is_none());
+        // Once the stream is known dead, waits pace the caller (no hot spin)
+        // instead of returning instantly.
+        let t0 = std::time::Instant::now();
+        assert!(!sim.wait_for_packet(Duration::from_millis(30)));
+        assert!(t0.elapsed() >= Duration::from_millis(25), "paced, not spun");
+        // Sends after the peer is gone are lost on the floor, not panics.
+        sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+        sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+    }
+
+    #[test]
+    fn garbage_stream_surfaces_typed_error_not_panic() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut end = TcpEndpoint::from_stream(stream, Side::Accelerator).unwrap();
+        // A plausible length prefix followed by an unknown tag word.
+        raw.write_all(&2u32.to_le_bytes()).unwrap();
+        raw.write_all(&0xdead_beefu32.to_le_bytes()).unwrap();
+        raw.write_all(&7u32.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        while !end.stream_dead() {
+            let _ = end.wait_for_packet(Duration::from_millis(10));
+        }
+        assert!(
+            matches!(end.last_error(), Some(FrameError::UnknownTag { word }) if *word == 0xdead_beef),
+            "got {:?}",
+            end.last_error()
+        );
+        assert!(end.recv(Side::Accelerator).is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! TCP frame-codec conformance: every packet kind must survive the
+//! length-prefixed encoding bit-for-bit, and every malformed input — short
+//! read, oversized or zero length prefix, garbage tag — must surface a typed
+//! [`FrameError`], never a panic. The codec is the trust boundary between a
+//! remote peer and the protocol engine, so the rejection paths matter as much
+//! as the round-trips.
+
+use predpkt_channel::tcp::{read_frame, write_frame, FrameDecoder, FrameError};
+use predpkt_channel::{Packet, PacketTag, MAX_FRAME_WORDS};
+use std::io::Cursor;
+
+/// Encodes `packet` to bytes through the public writer.
+fn encode(packet: &Packet) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, packet).expect("Vec writes are infallible");
+    bytes
+}
+
+#[test]
+fn every_packet_tag_roundtrips() {
+    for (i, tag) in PacketTag::ALL.into_iter().enumerate() {
+        // Vary the payload per tag so a tag/payload mix-up cannot cancel out.
+        let payload: Vec<u32> = (0..i as u32 * 3).map(|w| w.wrapping_mul(0x9e37)).collect();
+        let original = Packet::new(tag, payload);
+        let bytes = encode(&original);
+        assert_eq!(
+            bytes.len() as u64,
+            4 * (1 + original.wire_words()),
+            "{tag}: prefix word + wire words"
+        );
+        let decoded = read_frame(&mut Cursor::new(&bytes)).expect("roundtrip");
+        assert_eq!(decoded, original, "{tag}");
+    }
+}
+
+#[test]
+fn empty_payload_and_max_word_values_roundtrip() {
+    for payload in [
+        vec![],
+        vec![0],
+        vec![u32::MAX; 7],
+        vec![0x0102_0304, u32::MAX, 0],
+    ] {
+        let original = Packet::new(PacketTag::Burst, payload);
+        let decoded = read_frame(&mut Cursor::new(encode(&original))).expect("roundtrip");
+        assert_eq!(decoded, original);
+    }
+}
+
+#[test]
+fn back_to_back_frames_keep_boundaries() {
+    let packets: Vec<Packet> = (0..20u32)
+        .map(|i| {
+            Packet::new(
+                PacketTag::ALL[i as usize % PacketTag::ALL.len()],
+                vec![i; (i % 5) as usize],
+            )
+        })
+        .collect();
+    let mut stream = Vec::new();
+    for p in &packets {
+        write_frame(&mut stream, p).unwrap();
+    }
+    let mut cursor = Cursor::new(&stream);
+    for expected in &packets {
+        assert_eq!(&read_frame(&mut cursor).unwrap(), expected);
+    }
+    assert!(
+        matches!(read_frame(&mut cursor), Err(FrameError::Closed)),
+        "exactly the written frames, then a clean close"
+    );
+}
+
+#[test]
+fn short_read_in_prefix_is_truncation() {
+    let bytes = encode(&Packet::new(PacketTag::Handshake, vec![]));
+    match read_frame(&mut Cursor::new(&bytes[..2])) {
+        Err(FrameError::Truncated { missing }) => assert_eq!(missing, 2),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_read_in_body_is_truncation() {
+    let bytes = encode(&Packet::new(PacketTag::Burst, vec![1, 2, 3]));
+    // Cut one byte off the final payload word.
+    match read_frame(&mut Cursor::new(&bytes[..bytes.len() - 1])) {
+        Err(FrameError::Truncated { missing }) => assert_eq!(missing, 1),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn eof_at_boundary_is_a_clean_close_not_truncation() {
+    match read_frame(&mut Cursor::new(Vec::new())) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected Closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_rejected_before_allocation() {
+    for words in [MAX_FRAME_WORDS + 1, u32::MAX] {
+        let mut bytes = words.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&PacketTag::Handshake.encode().to_le_bytes());
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Err(FrameError::Oversized { words: got }) => assert_eq!(got, words),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+    // The bound itself is legal — the prefix is validated, not the payload
+    // bytes behind it (which this stream does not carry).
+    let bytes = MAX_FRAME_WORDS.to_le_bytes().to_vec();
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&bytes)),
+        Err(FrameError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn zero_length_prefix_rejected() {
+    let bytes = 0u32.to_le_bytes().to_vec();
+    match read_frame(&mut Cursor::new(&bytes)) {
+        Err(FrameError::Empty) => {}
+        other => panic!("expected Empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_tag_rejected_with_the_offending_word() {
+    let mut bytes = 2u32.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+    bytes.extend_from_slice(&7u32.to_le_bytes());
+    match read_frame(&mut Cursor::new(&bytes)) {
+        Err(FrameError::UnknownTag { word }) => assert_eq!(word, 0xdead_beef),
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_render_their_cause() {
+    let errors = [
+        (FrameError::Closed, "closed"),
+        (FrameError::Truncated { missing: 3 }, "3 bytes missing"),
+        (FrameError::Oversized { words: u32::MAX }, "exceeds"),
+        (FrameError::Empty, "zero-length"),
+        (FrameError::UnknownTag { word: 0xdead_beef }, "0xdeadbeef"),
+    ];
+    for (err, needle) in errors {
+        let rendered = err.to_string();
+        assert!(rendered.contains(needle), "{rendered:?} lacks {needle:?}");
+    }
+}
+
+#[test]
+fn decoder_reassembles_frames_from_arbitrary_chunking() {
+    let packets: Vec<Packet> = (0..12u32)
+        .map(|i| Packet::new(PacketTag::CycleOutputs, vec![i; (i % 4) as usize]))
+        .collect();
+    let mut stream = Vec::new();
+    for p in &packets {
+        write_frame(&mut stream, p).unwrap();
+    }
+    // Feed the byte stream in every fixed chunk size from 1 to 17: frame
+    // boundaries never align with chunk boundaries, and nothing may be lost
+    // or reordered.
+    for chunk in 1..=17 {
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(p) = decoder.next_frame().expect("well-formed stream") {
+                decoded.push(p);
+            }
+        }
+        assert_eq!(decoded, packets, "chunk size {chunk}");
+        assert!(!decoder.is_mid_frame(), "chunk size {chunk}: fully drained");
+    }
+}
+
+#[test]
+fn decoder_rejects_corrupt_streams_without_panicking() {
+    // Oversized prefix.
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(FrameError::Oversized { words: u32::MAX })
+    ));
+    // Zero prefix.
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&0u32.to_le_bytes());
+    assert!(matches!(decoder.next_frame(), Err(FrameError::Empty)));
+    // Garbage tag behind a plausible prefix.
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&1u32.to_le_bytes());
+    decoder.push(&0x1234_5678u32.to_le_bytes());
+    assert!(matches!(
+        decoder.next_frame(),
+        Err(FrameError::UnknownTag { word: 0x1234_5678 })
+    ));
+}
+
+#[test]
+fn decoder_reports_mid_frame_state_for_eof_classification() {
+    let bytes = encode(&Packet::new(PacketTag::Burst, vec![1, 2]));
+    let mut decoder = FrameDecoder::new();
+    assert!(!decoder.is_mid_frame(), "fresh decoder is at a boundary");
+    decoder.push(&bytes[..5]);
+    assert!(decoder.next_frame().unwrap().is_none());
+    assert!(decoder.is_mid_frame(), "partial frame buffered");
+    decoder.push(&bytes[5..]);
+    assert!(decoder.next_frame().unwrap().is_some());
+    assert!(!decoder.is_mid_frame(), "boundary again after the frame");
+}
+
+#[test]
+fn decoder_counts_the_bytes_still_owed() {
+    // A 3-word frame (tag + 2 payload words) is 4 prefix + 12 body bytes.
+    let bytes = encode(&Packet::new(PacketTag::Burst, vec![1, 2]));
+    assert_eq!(bytes.len(), 16);
+    let mut decoder = FrameDecoder::new();
+    assert_eq!(decoder.missing_bytes(), 0, "at a boundary nothing is owed");
+    decoder.push(&bytes[..2]);
+    assert_eq!(decoder.missing_bytes(), 2, "prefix itself incomplete");
+    decoder.push(&bytes[2..9]);
+    assert_eq!(decoder.missing_bytes(), 7, "body partially arrived");
+    decoder.push(&bytes[9..]);
+    assert!(decoder.next_frame().unwrap().is_some());
+    assert_eq!(decoder.missing_bytes(), 0, "frame consumed");
+}

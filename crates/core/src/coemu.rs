@@ -26,15 +26,49 @@ pub enum ConfigError {
     },
     /// A fault-injection rate was not a probability.
     InvalidFaultSpec {
-        /// Which rate was rejected and why.
+        /// The offending `FaultSpec` field.
+        field: &'static str,
+        /// Why the value was rejected.
         detail: String,
     },
     /// A reliable-transport knob was rejected (zero window, zero retry
     /// budget, or a degenerate timeout).
     InvalidReliableConfig {
-        /// Which knob was rejected and why.
+        /// The offending `ReliableConfig` field.
+        field: &'static str,
+        /// Why the value was rejected.
         detail: String,
     },
+}
+
+impl ConfigError {
+    /// Lifts a channel-layer [`KnobError`] from `FaultSpec::validate`,
+    /// preserving the offending field name.
+    pub(crate) fn invalid_fault_spec(e: predpkt_channel::KnobError) -> Self {
+        ConfigError::InvalidFaultSpec {
+            field: e.field,
+            detail: e.detail,
+        }
+    }
+
+    /// Lifts a channel-layer [`KnobError`] from `ReliableConfig::validate`,
+    /// preserving the offending field name.
+    pub(crate) fn invalid_reliable_config(e: predpkt_channel::KnobError) -> Self {
+        ConfigError::InvalidReliableConfig {
+            field: e.field,
+            detail: e.detail,
+        }
+    }
+
+    /// The offending configuration field, when the error concerns one —
+    /// uniform across the fault-spec and reliable-transport paths.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            ConfigError::InvalidFaultSpec { field, .. }
+            | ConfigError::InvalidReliableConfig { field, .. } => Some(field),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -44,11 +78,11 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroSpeed { side } => {
                 write!(f, "{side:?} speed must be non-zero")
             }
-            ConfigError::InvalidFaultSpec { detail } => {
-                write!(f, "invalid fault spec: {detail}")
+            ConfigError::InvalidFaultSpec { field, detail } => {
+                write!(f, "invalid fault spec: {field}: {detail}")
             }
-            ConfigError::InvalidReliableConfig { detail } => {
-                write!(f, "invalid reliable transport config: {detail}")
+            ConfigError::InvalidReliableConfig { field, detail } => {
+                write!(f, "invalid reliable transport config: {field}: {detail}")
             }
         }
     }

@@ -19,8 +19,10 @@
 //!   rolls forth when the lagger reports a misprediction.
 //! * [`EmuSession`] is the front door: a builder composing a blueprint (or an
 //!   explicit model pair), a [`CoEmuConfig`], a [`TransportSelect`] backend
-//!   (deterministic queue, fault-injecting lossy, or one-thread-per-domain),
-//!   a predictor suite, and [`EmuObserver`] hooks that stream every protocol
+//!   (deterministic queue, fault-injecting lossy, one-thread-per-domain, a
+//!   real TCP socket pair, or an ack-and-retransmit reliable layer over any
+//!   of them), a predictor suite, and [`EmuObserver`] hooks that stream every
+//!   protocol
 //!   event (mode switches, rollbacks, LOB flushes, channel accesses).
 //! * [`CoEmulator`] is the co-operative engine under the queue-backed
 //!   sessions, now generic over any [`Transport`](predpkt_channel::Transport);
@@ -83,7 +85,7 @@ pub use protocol::{Message, ProtocolError};
 pub use report::PerfReport;
 pub use session::{
     BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, ReliableInner, SessionError,
-    ThreadedOpts, TransportSelect,
+    TcpOptions, ThreadedOpts, TransportSelect,
 };
 pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 

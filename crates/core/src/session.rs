@@ -12,6 +12,10 @@
 //! * [`TransportSelect::Threaded`] — one OS thread per domain over a
 //!   [`ThreadedTransport`](predpkt_channel::ThreadedTransport), exercising
 //!   the protocol under genuine concurrency;
+//! * [`TransportSelect::Tcp`] — one OS thread per domain over a real TCP
+//!   socket pair (per-side [`TcpEndpoint`]s moving length-prefixed frames),
+//!   the same machinery that carries a session whose domains live in
+//!   different processes or hosts;
 //! * [`TransportSelect::Reliable`] — an ack-and-retransmit
 //!   [`ReliableTransport`] over any of the above (chosen with
 //!   [`ReliableInner`]): the session *survives* injected faults, committing
@@ -60,8 +64,8 @@ use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
     ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
-    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, Side, ThreadedEndpoint,
-    ThreadedTransport, WaitTransport,
+    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, Side, TcpEndpoint,
+    TcpTransport, ThreadedEndpoint, ThreadedTransport, WaitTransport,
 };
 use predpkt_predict::{PaperSuite, PredictorSuite};
 use predpkt_sim::{SimError, TimeLedger, Trace};
@@ -79,6 +83,9 @@ pub enum SessionError {
     Config(ConfigError),
     /// The blueprint could not be built into domain models.
     Bus(BusConfigError),
+    /// A socket-backed transport could not be set up (bind, connect, or
+    /// accept failed).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for SessionError {
@@ -86,6 +93,7 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Config(e) => write!(f, "invalid configuration: {e}"),
             SessionError::Bus(e) => write!(f, "invalid blueprint: {e}"),
+            SessionError::Io(e) => write!(f, "transport setup failed: {e}"),
         }
     }
 }
@@ -95,6 +103,7 @@ impl Error for SessionError {
         match self {
             SessionError::Config(e) => Some(e),
             SessionError::Bus(e) => Some(e),
+            SessionError::Io(e) => Some(e),
         }
     }
 }
@@ -134,6 +143,40 @@ impl Default for ThreadedOpts {
     }
 }
 
+/// Tuning knobs for the TCP socket backend.
+///
+/// The session spawns an ephemeral localhost pair
+/// ([`TcpTransport::loopback_pair`]) and runs one domain thread per endpoint
+/// through the same runner as the mpsc backend — so the traffic crosses a
+/// real socket while the session stays externally synchronous. `fault`
+/// optionally wraps each endpoint in a per-side
+/// [`LossyTransport`](predpkt_channel::LossyTransport), injecting seeded
+/// faults *on the socket path*; compose with [`TransportSelect::Reliable`]
+/// (via [`ReliableInner::Tcp`]) when the session must survive them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpOptions {
+    /// Domain-thread scheduling knobs (poll interval doubles as the socket
+    /// read timeout while a domain is blocked).
+    pub threaded: ThreadedOpts,
+    /// Seeded per-side fault plan applied on top of the sockets; `None`
+    /// leaves the link clean (the wrapper is then bit-for-bit transparent).
+    pub fault: Option<FaultSpec>,
+}
+
+impl TcpOptions {
+    /// Overrides the domain-thread scheduling knobs.
+    pub fn threaded(mut self, opts: ThreadedOpts) -> Self {
+        self.threaded = opts;
+        self
+    }
+
+    /// Injects seeded faults on the socket path.
+    pub fn fault(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
+    }
+}
+
 /// The transport backend a session runs over.
 #[derive(Debug, Clone, Copy, Default)]
 pub enum TransportSelect {
@@ -144,6 +187,8 @@ pub enum TransportSelect {
     Lossy(FaultSpec),
     /// One OS thread per domain over `std::sync::mpsc` channels.
     Threaded(ThreadedOpts),
+    /// One OS thread per domain over a real TCP socket pair.
+    Tcp(TcpOptions),
     /// An ack-and-retransmit [`ReliableTransport`] over one of the inner
     /// backends — the session *survives* channel faults instead of merely
     /// detecting them, and bills the recovery traffic (see
@@ -183,6 +228,11 @@ pub enum ReliableInner {
     Lossy(FaultSpec),
     /// One OS thread per domain.
     Threaded(ThreadedOpts),
+    /// One OS thread per domain over a real TCP socket pair — the remote-
+    /// accelerator configuration. With [`TcpOptions::fault`] set, seeded
+    /// faults fire *on the socket path* and the per-side reliability layers
+    /// absorb them.
+    Tcp(TcpOptions),
 }
 
 /// Builder for an [`EmuSession`] from an explicit pair of domain models.
@@ -245,16 +295,21 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
     /// Panics if the two models' sides or widths disagree.
     pub fn build(self) -> Result<EmuSession<M>, SessionError> {
         self.config.validate()?;
-        match &self.transport {
-            TransportSelect::Lossy(spec)
-            | TransportSelect::Reliable {
+        let fault_spec = match &self.transport {
+            TransportSelect::Lossy(spec) => Some(spec),
+            TransportSelect::Tcp(opts) => opts.fault.as_ref(),
+            TransportSelect::Reliable {
                 inner: ReliableInner::Lossy(spec),
                 ..
-            } => {
-                spec.validate()
-                    .map_err(|detail| ConfigError::InvalidFaultSpec { detail })?;
-            }
-            _ => {}
+            } => Some(spec),
+            TransportSelect::Reliable {
+                inner: ReliableInner::Tcp(opts),
+                ..
+            } => opts.fault.as_ref(),
+            _ => None,
+        };
+        if let Some(spec) = fault_spec {
+            spec.validate().map_err(ConfigError::invalid_fault_spec)?;
         }
         if let TransportSelect::Reliable {
             window,
@@ -264,7 +319,7 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
         {
             reliable_config(*window, *retry_budget)
                 .validate()
-                .map_err(|detail| ConfigError::InvalidReliableConfig { detail })?;
+                .map_err(ConfigError::invalid_reliable_config)?;
         }
         let observer = |observer: Option<Box<dyn EmuObserver>>| {
             observer.unwrap_or_else(|| Box::new(NoopObserver))
@@ -291,6 +346,18 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                     self.acc,
                     self.config,
                     opts,
+                    self.observer,
+                    sim_end,
+                    acc_end,
+                ))
+            }
+            TransportSelect::Tcp(opts) => {
+                let (sim_end, acc_end) = tcp_endpoint_pair(&opts)?;
+                SessionInner::Tcp(ThreadedSession::new(
+                    self.sim,
+                    self.acc,
+                    self.config,
+                    opts.threaded,
                     self.observer,
                     sim_end,
                     acc_end,
@@ -339,11 +406,47 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                                 .for_side(Side::Accelerator),
                         ))
                     }
+                    ReliableInner::Tcp(opts) => {
+                        let (sim_end, acc_end) = tcp_endpoint_pair(&opts)?;
+                        SessionInner::ReliableTcp(ThreadedSession::new(
+                            self.sim,
+                            self.acc,
+                            self.config,
+                            opts.threaded,
+                            self.observer,
+                            ReliableTransport::new(sim_end, rcfg, channel_model)
+                                .for_side(Side::Simulator),
+                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                                .for_side(Side::Accelerator),
+                        ))
+                    }
                 }
             }
         };
         Ok(EmuSession { inner })
     }
+}
+
+/// Spawns the ephemeral localhost socket pair for a TCP-backed session and
+/// wraps each endpoint in its side's fault plan (a transparent
+/// [`FaultSpec::none`] wrapper when no faults are requested). The simulator
+/// side uses the configured seed as given; the accelerator side a
+/// decorrelated one, so the two directions see independent fault streams —
+/// mirroring the shared-scope lossy backends, whose single RNG serves both
+/// directions.
+fn tcp_endpoint_pair(
+    opts: &TcpOptions,
+) -> Result<(LossyTransport<TcpEndpoint>, LossyTransport<TcpEndpoint>), SessionError> {
+    let (sim_end, acc_end) = TcpTransport::loopback_pair().map_err(SessionError::Io)?;
+    let sim_spec = opts.fault.unwrap_or(FaultSpec::none(0));
+    let acc_spec = FaultSpec {
+        seed: sim_spec.seed ^ 0x9e37_79b9_7f4a_7c15,
+        ..sim_spec
+    };
+    Ok((
+        LossyTransport::new(sim_end, sim_spec),
+        LossyTransport::new(acc_end, acc_spec),
+    ))
 }
 
 /// Builder for an [`EmuSession`] over an AHB [`SocBlueprint`], composing the
@@ -436,13 +539,15 @@ enum SessionInner<M: DomainModel + Send + 'static> {
     Queue(CoEmulator<M, QueueTransport>),
     Lossy(CoEmulator<M, LossyTransport<QueueTransport>>),
     Threaded(ThreadedSession<M, ThreadedEndpoint>),
+    Tcp(ThreadedSession<M, LossyTransport<TcpEndpoint>>),
     ReliableQueue(CoEmulator<M, ReliableTransport<QueueTransport>>),
     ReliableLossy(CoEmulator<M, ReliableTransport<LossyTransport<QueueTransport>>>),
     ReliableThreaded(ThreadedSession<M, ReliableTransport<ThreadedEndpoint>>),
+    ReliableTcp(ThreadedSession<M, ReliableTransport<LossyTransport<TcpEndpoint>>>),
 }
 
 /// Dispatches over the four co-operative (CoEmulator-backed) variants and the
-/// two threaded variants with separate expression bodies, so the repetitive
+/// four threaded variants with separate expression bodies, so the repetitive
 /// accessor methods stay readable.
 macro_rules! with_inner {
     ($inner:expr, |$c:ident| $coop:expr, |$t:ident| $threaded:expr) => {
@@ -452,7 +557,9 @@ macro_rules! with_inner {
             SessionInner::ReliableQueue($c) => $coop,
             SessionInner::ReliableLossy($c) => $coop,
             SessionInner::Threaded($t) => $threaded,
+            SessionInner::Tcp($t) => $threaded,
             SessionInner::ReliableThreaded($t) => $threaded,
+            SessionInner::ReliableTcp($t) => $threaded,
         }
     };
 }
@@ -490,9 +597,11 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Queue(_) => "queue",
             SessionInner::Lossy(_) => "lossy",
             SessionInner::Threaded(_) => "threaded",
+            SessionInner::Tcp(_) => "tcp",
             SessionInner::ReliableQueue(_) => "reliable+queue",
             SessionInner::ReliableLossy(_) => "reliable+lossy",
             SessionInner::ReliableThreaded(_) => "reliable+threaded",
+            SessionInner::ReliableTcp(_) => "reliable+tcp",
         }
     }
 
@@ -513,6 +622,7 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Queue(c) => c.run_until_synchronized(cycles),
             SessionInner::Lossy(c) => c.run_until_synchronized(cycles),
             SessionInner::Threaded(t) => t.run_until_synchronized(cycles),
+            SessionInner::Tcp(t) => t.run_until_synchronized(cycles),
             SessionInner::ReliableQueue(c) => {
                 let result = c.run_until_synchronized(cycles);
                 map_reliable_outcome(result, c.transport().failure(), 0, c.committed_cycles())
@@ -522,14 +632,11 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
                 let result = c.run_until_synchronized(cycles);
                 map_reliable_outcome(result, c.transport().failure(), seed, c.committed_cycles())
             }
-            SessionInner::ReliableThreaded(t) => {
-                let result = t.run_until_synchronized(cycles);
-                let failure = t
-                    .sim_ch
-                    .transport()
-                    .failure()
-                    .or_else(|| t.acc_ch.transport().failure());
-                map_reliable_outcome(result, failure, 0, t.committed_cycles())
+            SessionInner::ReliableThreaded(t) => run_reliable_threaded(t, cycles, 0),
+            SessionInner::ReliableTcp(t) => {
+                let spec = *t.sim_ch.transport().inner().spec();
+                let seed = if spec.is_active() { spec.seed } else { 0 };
+                run_reliable_threaded(t, cycles, seed)
             }
         }
     }
@@ -556,26 +663,32 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
     }
 
     /// Fault counters, when the session injects faults (the lossy backend,
-    /// directly or under the reliability layer).
+    /// directly or under the reliability layer; the TCP backends when a
+    /// [`TcpOptions::fault`] plan is in force, merged across the two
+    /// per-side wrappers).
     pub fn fault_stats(&self) -> Option<FaultStats> {
         match &self.inner {
             SessionInner::Lossy(c) => Some(c.transport().fault_stats()),
             SessionInner::ReliableLossy(c) => Some(c.transport().inner().fault_stats()),
+            SessionInner::Tcp(t) => {
+                merged_socket_faults(t.sim_ch.transport(), t.acc_ch.transport())
+            }
+            SessionInner::ReliableTcp(t) => {
+                merged_socket_faults(t.sim_ch.transport().inner(), t.acc_ch.transport().inner())
+            }
             _ => None,
         }
     }
 
     /// Recovery counters, when the session runs over a reliable backend
-    /// (merged across the two per-side layers for `Reliable{Threaded}`).
+    /// (merged across the two per-side layers for `Reliable{Threaded}` and
+    /// `Reliable{Tcp}`).
     pub fn recovery_stats(&self) -> Option<RecoveryStats> {
         match &self.inner {
             SessionInner::ReliableQueue(c) => Some(c.transport().recovery_stats()),
             SessionInner::ReliableLossy(c) => Some(c.transport().recovery_stats()),
-            SessionInner::ReliableThreaded(t) => {
-                let mut stats = t.sim_ch.transport().recovery_stats();
-                stats.merge(&t.acc_ch.transport().recovery_stats());
-                Some(stats)
-            }
+            SessionInner::ReliableThreaded(t) => Some(merged_reliable_recovery(t)),
+            SessionInner::ReliableTcp(t) => Some(merged_reliable_recovery(t)),
             _ => None,
         }
     }
@@ -627,6 +740,55 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
         with_inner!(&self.inner, |c| c.merged_trace(merge), |t| t
             .merged_trace(merge))
     }
+}
+
+/// Runs a per-side-reliable threaded session to completion and maps the
+/// outcome through the shared [`RetryExhausted`] precedence rule — one body
+/// for both the mpsc and the socket backends, so their failure semantics can
+/// never drift.
+fn run_reliable_threaded<M, T>(
+    t: &mut ThreadedSession<M, ReliableTransport<T>>,
+    cycles: u64,
+    seed: u64,
+) -> Result<(), SimError>
+where
+    M: DomainModel + Send + 'static,
+    T: WaitTransport + Send,
+{
+    let result = t.run_until_synchronized(cycles);
+    let failure = t
+        .sim_ch
+        .transport()
+        .failure()
+        .or_else(|| t.acc_ch.transport().failure());
+    map_reliable_outcome(result, failure, seed, t.committed_cycles())
+}
+
+/// Merges the two per-side reliability layers' recovery counters.
+fn merged_reliable_recovery<M, T>(t: &ThreadedSession<M, ReliableTransport<T>>) -> RecoveryStats
+where
+    M: DomainModel + Send + 'static,
+    T: WaitTransport + Send,
+{
+    let mut stats = t.sim_ch.transport().recovery_stats();
+    stats.merge(&t.acc_ch.transport().recovery_stats());
+    stats
+}
+
+/// Merges the two per-side fault wrappers of a socket backend; `None` when
+/// neither side injects faults (the wrapper is then a transparent shim, and
+/// reporting all-zero counters would wrongly suggest fault injection was
+/// requested).
+fn merged_socket_faults(
+    sim: &LossyTransport<TcpEndpoint>,
+    acc: &LossyTransport<TcpEndpoint>,
+) -> Option<FaultStats> {
+    if !sim.spec().is_active() && !acc.spec().is_active() {
+        return None;
+    }
+    let mut stats = sim.fault_stats();
+    stats.merge(&acc.fault_stats());
+    Some(stats)
 }
 
 /// Converts an *errored* run on a reliable backend: a recorded
@@ -734,6 +896,7 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
         let opts = self.opts;
         let epoch = AtomicU64::new(0);
         let stop = AtomicBool::new(false);
+        let done = AtomicU64::new(0);
         let observer = self.observer.as_ref();
         let (sim, acc) = (&mut self.sim, &mut self.acc);
         let (sim_ch, acc_ch) = (&mut self.sim_ch, &mut self.acc_ch);
@@ -742,11 +905,12 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
         let (sim_result, acc_result) = thread::scope(|s| {
             let sim_handle = s.spawn(|| {
                 run_side(
-                    sim, sim_ch, sim_ledger, &sim_costs, cycles, &epoch, &stop, opts, observer,
+                    sim, sim_ch, sim_ledger, &sim_costs, cycles, &epoch, &stop, &done, opts,
+                    observer,
                 )
             });
             let acc_result = run_side(
-                acc, acc_ch, acc_ledger, &acc_costs, cycles, &epoch, &stop, opts, observer,
+                acc, acc_ch, acc_ledger, &acc_costs, cycles, &epoch, &stop, &done, opts, observer,
             );
             (
                 sim_handle.join().expect("simulator thread panicked"),
@@ -758,7 +922,8 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
 }
 
 /// The per-domain thread body: step until halted, blocked-wait on the
-/// endpoint, detect starvation via the shared progress epoch.
+/// endpoint, detect starvation via the shared progress epoch. A domain that
+/// reaches its halt condition *lingers* (see below) until its peer halts too.
 #[allow(clippy::too_many_arguments)]
 fn run_side<M: DomainModel, E: WaitTransport>(
     wrapper: &mut ChannelWrapper<M>,
@@ -768,6 +933,7 @@ fn run_side<M: DomainModel, E: WaitTransport>(
     target: u64,
     epoch: &AtomicU64,
     stop: &AtomicBool,
+    done: &AtomicU64,
     opts: ThreadedOpts,
     observer: Option<&Mutex<Box<dyn EmuObserver>>>,
 ) -> Result<(), SimError> {
@@ -781,12 +947,29 @@ fn run_side<M: DomainModel, E: WaitTransport>(
         None => &mut noop,
     };
     let mut blocked_at: Option<(u64, Instant)> = None;
+    let mut halted = false;
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
         if wrapper.at_transition_boundary() && wrapper.cycle() >= target {
-            return Ok(());
+            if !halted {
+                halted = true;
+                done.fetch_add(1, Ordering::AcqRel);
+            }
+            if done.load(Ordering::Acquire) >= 2 {
+                return Ok(());
+            }
+            // This domain is finished, but a per-side reliability layer may
+            // still owe the peer retransmissions and must keep consuming
+            // acknowledgements — returning now would strand the peer if the
+            // link dropped an in-flight frame. Protocol traffic stops at the
+            // boundary, so anything drained here is recovery-layer chatter
+            // (acks consumed inside the transport, duplicates it suppresses).
+            if ch.transport_mut().wait_for_packet(opts.poll_interval) {
+                let _ = ch.recv(wrapper.side());
+            }
+            continue;
         }
         match wrapper.step(ch, ledger, costs, &mut *obs) {
             Ok(Progress::Worked) => {

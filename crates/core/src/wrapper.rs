@@ -322,6 +322,11 @@ impl<M: DomainModel> ChannelWrapper<M> {
         matches!(self.phase, Phase::Elect)
     }
 
+    /// The domain this wrapper drives.
+    pub(crate) fn side(&self) -> Side {
+        self.side
+    }
+
     fn send<T: Transport>(
         &self,
         channel: &mut CostedChannel<T>,

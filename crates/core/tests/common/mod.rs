@@ -1,5 +1,7 @@
 //! Shared fixtures for the integration suites.
 
+pub mod conformance;
+
 use predpkt_ahb::engine::BusOp;
 use predpkt_ahb::masters::{CpuMaster, CpuProfile, DmaDescriptor, DmaMaster, TrafficGenMaster};
 use predpkt_ahb::signals::{Hburst, Hsize};

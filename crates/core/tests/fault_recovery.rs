@@ -9,11 +9,12 @@
 
 use predpkt_channel::{ChannelStats, FaultSpec, RecoveryStats};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, TransportSelect,
+    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, TcpOptions, TransportSelect,
 };
 use predpkt_sim::{SimError, VirtualTime};
 
 mod common;
+use common::conformance::test_opts;
 use common::figure2_soc as soc;
 
 struct Outcome {
@@ -57,6 +58,17 @@ fn run(backend: TransportSelect, cycles: u64) -> Outcome {
 fn reliable_lossy(spec: FaultSpec) -> TransportSelect {
     TransportSelect::Reliable {
         inner: ReliableInner::Lossy(spec),
+        window: 8,
+        retry_budget: 16,
+    }
+}
+
+/// The reliability layer over a *real localhost socket pair*, with `spec`
+/// injecting seeded faults on the socket path of each side (the fine-grained
+/// test poll interval keeps the wall-clock-paced retransmission clock fast).
+fn reliable_tcp_lossy(spec: FaultSpec) -> TransportSelect {
+    TransportSelect::Reliable {
+        inner: ReliableInner::Tcp(TcpOptions::default().threaded(test_opts()).fault(spec)),
         window: 8,
         retry_budget: 16,
     }
@@ -157,6 +169,54 @@ fn mixed_fault_storm_commits_bit_identical_results() {
         let faulty = run(reliable_lossy(spec), cycles);
         assert_recovered_bit_identical(&format!("mixed seed {seed:#x}"), &baseline, &faulty);
     }
+}
+
+#[test]
+fn seeded_fault_sweep_over_localhost_socket_commits_bit_identical_results() {
+    // The same recovery invariants the in-process Reliable{Lossy} sweeps
+    // prove, now with the faults firing on a *real TCP socket pair*: the
+    // session still commits the clean baseline bit-for-bit, the repairs show
+    // up in RecoveryStats, and the billed traffic is strictly higher.
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let spec = FaultSpec {
+            seed,
+            drop_rate: 0.1,
+            truncate_rate: 0.08,
+            duplicate_rate: 0.1,
+        };
+        let faulty = run(reliable_tcp_lossy(spec), cycles);
+        assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);
+    }
+}
+
+#[test]
+fn socket_recovery_billing_matches_in_process_invariants() {
+    // Reliable{Tcp over lossy} and Reliable{Lossy} are different physical
+    // links under the same reliability layer; the *invariants* of the
+    // recovery bill must agree: identical committed results, nonzero repair
+    // events of the injected kinds, strictly more billed words than clean.
+    // (The exact counters differ — the per-side socket instances draw from
+    // decorrelated fault streams — which is precisely why the assertions are
+    // on invariants, not numbers.)
+    let cycles = 400;
+    let seed = SEEDS[0];
+    let baseline = run(TransportSelect::Queue, cycles);
+    let spec = FaultSpec::drops(seed, 0.15);
+    let in_process = run(reliable_lossy(spec), cycles);
+    let socket = run(reliable_tcp_lossy(spec), cycles);
+    for (label, faulty) in [("in-process", &in_process), ("socket", &socket)] {
+        assert_recovered_bit_identical(&format!("{label} drops"), &baseline, faulty);
+        let recovery = faulty.recovery.unwrap();
+        assert!(
+            recovery.retransmits > 0,
+            "{label}: drops must cost retransmissions"
+        );
+    }
+    assert_eq!(in_process.trace_hash, socket.trace_hash);
+    assert_eq!(in_process.channel, socket.channel);
+    assert_eq!(in_process.ledger_total, socket.ledger_total);
 }
 
 #[test]
@@ -274,5 +334,13 @@ fn wide_seeded_recovery_sweep() {
             let faulty = run(reliable_lossy(spec), cycles);
             assert_recovered_bit_identical(&format!("{label} seed {seed:#x}"), &baseline, &faulty);
         }
+        let socket_spec = FaultSpec {
+            seed,
+            drop_rate: 0.1,
+            truncate_rate: 0.08,
+            duplicate_rate: 0.1,
+        };
+        let faulty = run(reliable_tcp_lossy(socket_spec), cycles);
+        assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);
     }
 }

@@ -128,10 +128,63 @@ fn builder_rejects_out_of_range_fault_rates() {
         )))
         .build();
     match result {
-        Err(SessionError::Config(ConfigError::InvalidFaultSpec { detail })) => {
-            assert!(detail.contains("drop_rate"), "unexpected detail: {detail}");
+        Err(SessionError::Config(ConfigError::InvalidFaultSpec { field, detail })) => {
+            assert_eq!(field, "drop_rate", "unexpected field: {field}: {detail}");
         }
         other => panic!("expected InvalidFaultSpec, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn builder_names_the_offending_field_uniformly_across_backends() {
+    // The same malformed FaultSpec must produce the same ConfigError whether
+    // it arrives via the plain lossy backend, under the reliability layer, or
+    // on the TCP socket path — and reliable-knob rejections use the same
+    // field-naming shape.
+    let bad_spec = FaultSpec::truncations(7, f64::NAN);
+    let field_of = |transport| match EmuSession::from_blueprint(&small_soc())
+        .transport(transport)
+        .build()
+    {
+        Err(SessionError::Config(e)) => {
+            assert_eq!(e.field(), Some("truncate_rate"), "{e}");
+            assert!(e.to_string().contains("truncate_rate"), "{e}");
+        }
+        other => panic!("expected ConfigError, got {:?}", other.map(|_| ())),
+    };
+    field_of(predpkt_core::TransportSelect::Lossy(bad_spec));
+    field_of(predpkt_core::TransportSelect::Reliable {
+        inner: predpkt_core::ReliableInner::Lossy(bad_spec),
+        window: 8,
+        retry_budget: 16,
+    });
+    field_of(predpkt_core::TransportSelect::Tcp(
+        predpkt_core::TcpOptions::default().fault(bad_spec),
+    ));
+    field_of(predpkt_core::TransportSelect::Reliable {
+        inner: predpkt_core::ReliableInner::Tcp(
+            predpkt_core::TcpOptions::default().fault(bad_spec),
+        ),
+        window: 8,
+        retry_budget: 16,
+    });
+
+    match EmuSession::from_blueprint(&small_soc())
+        .transport(predpkt_core::TransportSelect::Reliable {
+            inner: predpkt_core::ReliableInner::Queue,
+            window: 0,
+            retry_budget: 16,
+        })
+        .build()
+    {
+        Err(SessionError::Config(e @ ConfigError::InvalidReliableConfig { .. })) => {
+            assert_eq!(e.field(), Some("window"), "{e}");
+            assert!(e.to_string().contains("window"), "{e}");
+        }
+        other => panic!(
+            "expected InvalidReliableConfig, got {:?}",
+            other.map(|_| ())
+        ),
     }
 }
 

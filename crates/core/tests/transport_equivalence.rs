@@ -1,143 +1,87 @@
-//! Transport equivalence: the same blueprint and seed must produce
+//! Transport equivalence, driven by the cross-transport conformance harness
+//! (`common/conformance.rs`): the same blueprint and seed must produce
 //! bit-identical committed traces, identical channel statistics, and
-//! identical virtual-time ledgers over every transport backend — the
-//! deterministic queue, the fault-free lossy wrapper, and the real-thread
-//! transport. Sessions halt at transition boundaries, so the stop point is a
-//! protocol event rather than a scheduling artifact, which is what makes this
-//! a meaningful (and stable) assertion.
+//! identical virtual-time ledgers over **every** transport backend — the
+//! deterministic queue, the fault-free lossy wrapper, the real-thread
+//! transport, the TCP socket transport, and the ack-and-retransmit reliable
+//! layer over each of them. Sessions halt at transition boundaries, so the
+//! stop point is a protocol event rather than a scheduling artifact, which is
+//! what makes this a meaningful (and stable) assertion.
+//!
+//! Per-variant behaviours that are *not* conformance (seeded fault recovery,
+//! retry-budget exhaustion) live in `fault_recovery.rs`; this suite owns the
+//! "every backend is protocol-invisible" property plus the cross-cutting
+//! checks that ride on it (reproducibility, predictor-suite neutrality,
+//! observer consistency).
 
-use predpkt_channel::{ChannelStats, FaultSpec};
-use predpkt_core::{
-    CoEmuConfig, EmuSession, EventCounters, ModePolicy, ReliableInner, ThreadedOpts,
-    TransportSelect,
-};
+use predpkt_core::{CoEmuConfig, EmuSession, EventCounters, ModePolicy, TransportSelect};
 use predpkt_predict::LastValueSuite;
-use predpkt_sim::VirtualTime;
 
 mod common;
+use common::conformance::{
+    assert_workload_conformance, run_workload, tcp_opts, test_opts, workload_for, workload_matrix,
+    Workload,
+};
 use common::figure2_soc;
 
-struct RunOutcome {
-    trace_hash: u64,
-    committed: u64,
-    channel: ChannelStats,
-    ledger_total: VirtualTime,
-    sim_rollbacks: u64,
-    acc_flushes: u64,
+#[test]
+fn all_backends_agree_under_auto() {
+    assert_workload_conformance(&workload_for(ModePolicy::Auto));
 }
 
-fn run_backend(policy: ModePolicy, backend: TransportSelect, cycles: u64) -> RunOutcome {
-    let blueprint = figure2_soc();
-    let config = CoEmuConfig::paper_defaults()
-        .policy(policy)
-        .rollback_vars(None)
-        .carry(true)
-        .adaptive(true);
-    let mut session = EmuSession::from_blueprint(&blueprint)
-        .config(config)
-        .transport(backend)
-        .build()
-        .expect("session builds");
-    session.run_until_committed(cycles).expect("no deadlock");
-    let placement = blueprint.placement();
-    let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
-    RunOutcome {
-        trace_hash: trace.hash(),
-        committed: session.committed_cycles(),
-        channel: session.channel_stats(),
-        ledger_total: session.ledger().total(),
-        sim_rollbacks: session.sim_stats().rollbacks,
-        acc_flushes: session.acc_stats().flushes,
-    }
+#[test]
+fn all_backends_agree_under_forced_als() {
+    assert_workload_conformance(&workload_for(ModePolicy::ForcedAls));
 }
 
-fn assert_backends_equivalent(policy: ModePolicy, cycles: u64) {
-    let queue = run_backend(policy, TransportSelect::Queue, cycles);
-    let lossy = run_backend(policy, TransportSelect::Lossy(FaultSpec::none(1)), cycles);
-    let threaded = run_backend(
-        policy,
-        TransportSelect::Threaded(ThreadedOpts::default()),
-        cycles,
-    );
-    // The ack-and-retransmit layer must be protocol-invisible: over a clean
-    // queue, over a fault-free lossy wrapper, and split per-side over real
-    // threads, the session still commits the queue baseline bit-for-bit
-    // (recovery overhead is billed separately and asserted in
-    // `fault_recovery.rs`).
-    let reliable_queue = run_backend(
-        policy,
-        TransportSelect::reliable(ReliableInner::Queue),
-        cycles,
-    );
-    let reliable_lossy = run_backend(
-        policy,
-        TransportSelect::reliable(ReliableInner::Lossy(FaultSpec::none(2))),
-        cycles,
-    );
-    let reliable_threaded = run_backend(
-        policy,
-        TransportSelect::reliable(ReliableInner::Threaded(ThreadedOpts::default())),
-        cycles,
-    );
+#[test]
+fn all_backends_agree_under_conservative() {
+    assert_workload_conformance(&workload_for(ModePolicy::Conservative));
+}
 
-    for (name, other) in [
-        ("lossy", &lossy),
-        ("threaded", &threaded),
-        ("reliable+queue", &reliable_queue),
-        ("reliable+lossy", &reliable_lossy),
-        ("reliable+threaded", &reliable_threaded),
+#[test]
+fn workload_matrix_covers_every_policy() {
+    // The conformance matrix is only as strong as its workloads: every mode
+    // policy the protocol distinguishes must appear, so a new policy variant
+    // can't silently dodge the suite.
+    let matrix = workload_matrix();
+    for policy in [
+        ModePolicy::Auto,
+        ModePolicy::ForcedAls,
+        ModePolicy::Conservative,
     ] {
-        assert_eq!(
-            queue.trace_hash, other.trace_hash,
-            "{policy:?}: {name} trace diverged from queue"
+        assert!(
+            matrix.iter().any(|w| w.policy == policy),
+            "workload matrix is missing {policy:?}"
         );
-        assert_eq!(
-            queue.committed, other.committed,
-            "{policy:?}: {name} stopped at a different boundary"
-        );
-        assert_eq!(
-            queue.channel, other.channel,
-            "{policy:?}: {name} channel statistics diverged"
-        );
-        assert_eq!(
-            queue.ledger_total, other.ledger_total,
-            "{policy:?}: {name} virtual time diverged"
-        );
-        assert_eq!(
-            queue.sim_rollbacks, other.sim_rollbacks,
-            "{policy:?}: {name}"
-        );
-        assert_eq!(queue.acc_flushes, other.acc_flushes, "{policy:?}: {name}");
     }
-}
-
-#[test]
-fn queue_lossy_and_threaded_agree_under_auto() {
-    assert_backends_equivalent(ModePolicy::Auto, 500);
-}
-
-#[test]
-fn queue_lossy_and_threaded_agree_under_forced_als() {
-    assert_backends_equivalent(ModePolicy::ForcedAls, 500);
-}
-
-#[test]
-fn queue_lossy_and_threaded_agree_under_conservative() {
-    assert_backends_equivalent(ModePolicy::Conservative, 300);
 }
 
 #[test]
 fn threaded_runs_are_reproducible() {
-    let a = run_backend(
-        ModePolicy::Auto,
-        TransportSelect::Threaded(ThreadedOpts::default()),
-        400,
-    );
-    let b = run_backend(
-        ModePolicy::Auto,
-        TransportSelect::Threaded(ThreadedOpts::default()),
-        400,
-    );
+    let w = Workload {
+        name: "auto-repro",
+        policy: ModePolicy::Auto,
+        cycles: 400,
+    };
+    let a = run_workload(TransportSelect::Threaded(test_opts()), &w);
+    let b = run_workload(TransportSelect::Threaded(test_opts()), &w);
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert_eq!(a.channel, b.channel);
+    assert_eq!(a.ledger_total, b.ledger_total);
+}
+
+#[test]
+fn tcp_runs_are_reproducible() {
+    // Real sockets add kernel scheduling and arbitrary read chunking; none of
+    // it may leak into the committed results.
+    let w = Workload {
+        name: "auto-repro",
+        policy: ModePolicy::Auto,
+        cycles: 400,
+    };
+    let a = run_workload(TransportSelect::Tcp(tcp_opts()), &w);
+    let b = run_workload(TransportSelect::Tcp(tcp_opts()), &w);
     assert_eq!(a.trace_hash, b.trace_hash);
     assert_eq!(a.channel, b.channel);
     assert_eq!(a.ledger_total, b.ledger_total);
@@ -189,7 +133,8 @@ fn custom_predictor_suite_changes_accuracy_never_correctness() {
 fn observer_counts_match_wrapper_statistics_across_backends() {
     for backend in [
         TransportSelect::Queue,
-        TransportSelect::Threaded(ThreadedOpts::default()),
+        TransportSelect::Threaded(test_opts()),
+        TransportSelect::Tcp(tcp_opts()),
     ] {
         let blueprint = figure2_soc();
         let config = CoEmuConfig::paper_defaults()
