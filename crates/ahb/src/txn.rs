@@ -184,7 +184,7 @@ impl TxnExtractor {
 
     /// Feeds an entire packed trace (as recorded by
     /// [`AhbBus`](crate::bus::AhbBus) /
-    /// [`pack_cycle_record`]).
+    /// [`pack_cycle_record`](crate::bus::pack_cycle_record)).
     ///
     /// Records that fail to unpack are skipped.
     pub fn feed_trace(&mut self, trace: &Trace) {
@@ -208,7 +208,7 @@ impl TxnExtractor {
     }
 }
 
-/// Unpacks a [`pack_cycle_record`] vector back into signal arrays.
+/// Unpacks a [`pack_cycle_record`](crate::bus::pack_cycle_record) vector back into signal arrays.
 pub fn unpack_cycle_record(
     record: &[u64],
     num_masters: usize,

@@ -8,46 +8,22 @@
 //! invisible.
 //!
 //! Run: `cargo run -p predpkt-bench --release --bin recovery_sweep`
-//! Pass `--json` to also write `BENCH_recovery_sweep.json` for tracking.
+//! Pass `--json` to also write `BENCH_recovery_sweep.json` for tracking, and
+//! `--quick` for the reduced-iteration CI configuration.
 
-use predpkt_ahb::engine::BusOp;
-use predpkt_ahb::masters::{DmaDescriptor, DmaMaster, TrafficGenMaster};
-use predpkt_ahb::slaves::{MemorySlave, PeripheralSlave};
+use predpkt_bench::loopback::fig2_soc;
 use predpkt_channel::FaultSpec;
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, Side, SocBlueprint,
-    TransportSelect,
+    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, TransportSelect,
 };
 
 const SEED: u64 = 0x5eed_2025;
 const CYCLES: u64 = 400;
+const QUICK_CYCLES: u64 = 150;
 const DROP_RATES: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.3];
 
-fn soc() -> SocBlueprint {
-    SocBlueprint::new()
-        .master(Side::Accelerator, || {
-            Box::new(DmaMaster::new(vec![
-                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
-                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
-            ]))
-        })
-        .master(Side::Accelerator, || {
-            Box::new(
-                TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0000_2004, 0xabcd)])
-                    .looping()
-                    .with_idle_gap(7),
-            )
-        })
-        .slave(Side::Simulator, 0x0000_0000, 0x2000, || {
-            Box::new(MemorySlave::new(0x2000, 0))
-        })
-        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
-            Box::new(PeripheralSlave::new(1))
-        })
-}
-
-fn run(backend: TransportSelect) -> PerfReport {
-    let blueprint = soc();
+fn run(backend: TransportSelect, cycles: u64) -> PerfReport {
+    let blueprint = fig2_soc();
     let config = CoEmuConfig::paper_defaults()
         .policy(ModePolicy::Auto)
         .rollback_vars(None)
@@ -59,7 +35,7 @@ fn run(backend: TransportSelect) -> PerfReport {
         .build()
         .expect("session builds");
     session
-        .run_until_committed(CYCLES)
+        .run_until_committed(cycles)
         .expect("reliable session survives");
     session.report()
 }
@@ -93,12 +69,14 @@ fn row(label: String, report: &PerfReport, clean_words: u64) -> Row {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { QUICK_CYCLES } else { CYCLES };
 
-    let clean = run(TransportSelect::Queue);
+    let clean = run(TransportSelect::Queue, cycles);
     let clean_words = clean.billed_words();
     println!("== Recovery overhead vs. fault rate ==");
     println!(
-        "(Fig.2-shaped SoC, {CYCLES} cycles, seed {SEED:#x}; clean queue run bills {clean_words} words)\n"
+        "(Fig.2-shaped SoC, {cycles} cycles, seed {SEED:#x}; clean queue run bills {clean_words} words)\n"
     );
     println!(
         "{:>16} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10} {:>8}",
@@ -107,11 +85,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for rate in DROP_RATES {
-        let report = run(TransportSelect::Reliable {
-            inner: ReliableInner::Lossy(FaultSpec::drops(SEED, rate)),
-            window: 8,
-            retry_budget: 16,
-        });
+        let report = run(
+            TransportSelect::Reliable {
+                inner: ReliableInner::Lossy(FaultSpec::drops(SEED, rate)),
+                window: 8,
+                retry_budget: 16,
+            },
+            cycles,
+        );
         rows.push(row(format!("drop {rate:.2}"), &report, clean_words));
     }
     for (label, spec) in [
@@ -127,11 +108,14 @@ fn main() {
             },
         ),
     ] {
-        let report = run(TransportSelect::Reliable {
-            inner: ReliableInner::Lossy(spec),
-            window: 8,
-            retry_budget: 16,
-        });
+        let report = run(
+            TransportSelect::Reliable {
+                inner: ReliableInner::Lossy(spec),
+                window: 8,
+                retry_budget: 16,
+            },
+            cycles,
+        );
         rows.push(row(label.to_string(), &report, clean_words));
     }
 
@@ -158,7 +142,7 @@ fn main() {
 
     if json {
         let mut out = String::from("{\n  \"bench\": \"recovery_sweep\",\n");
-        out.push_str(&format!("  \"seed\": {SEED},\n  \"cycles\": {CYCLES},\n"));
+        out.push_str(&format!("  \"seed\": {SEED},\n  \"cycles\": {cycles},\n"));
         out.push_str(&format!("  \"clean_billed_words\": {clean_words},\n"));
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {

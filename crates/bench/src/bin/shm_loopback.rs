@@ -1,0 +1,73 @@
+//! E10 — shared-memory ring overhead: the cheapest physical channel the
+//! model runs over, measured against every other backend.
+//!
+//! Runs the Fig. 2-shaped SoC over the in-process queue, the mpsc threaded
+//! backend, the TCP loopback socket pair, the shared-memory ring (both the
+//! heap-shared and the `/dev/shm` file-backed form), and the reliable layer
+//! over the ring, and reports host wall-clock throughput side by side with
+//! the *virtual* figures — which must be bit-identical across all of them
+//! (the cross-transport conformance suite proves it; this bench records the
+//! real-time price, and where the ring sits between mpsc and a socket).
+//!
+//! Run: `cargo run -p predpkt-bench --release --bin shm_loopback`
+//! Pass `--json` to also write `BENCH_shm_loopback.json` for tracking, and
+//! `--quick` for the reduced-iteration CI configuration.
+
+use predpkt_bench::loopback::{
+    bench_opts, loopback_iterations, print_loopback_table, run_loopback, write_loopback_json,
+};
+use predpkt_core::{ReliableInner, ShmOptions, TcpOptions, TransportSelect};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cycles, reps) = loopback_iterations(quick);
+
+    let rows = vec![
+        run_loopback("queue", TransportSelect::Queue, cycles, reps),
+        run_loopback(
+            "threaded",
+            TransportSelect::Threaded(bench_opts()),
+            cycles,
+            reps,
+        ),
+        run_loopback(
+            "tcp",
+            TransportSelect::Tcp(TcpOptions::default().threaded(bench_opts())),
+            cycles,
+            reps,
+        ),
+        run_loopback(
+            "shm",
+            TransportSelect::Shm(ShmOptions::default().threaded(bench_opts())),
+            cycles,
+            reps,
+        ),
+        run_loopback(
+            "shm+file",
+            TransportSelect::Shm(ShmOptions::default().threaded(bench_opts()).file_backed()),
+            cycles,
+            reps,
+        ),
+        run_loopback(
+            "reliable+shm",
+            TransportSelect::reliable(ReliableInner::Shm(
+                ShmOptions::default().threaded(bench_opts()),
+            )),
+            cycles,
+            reps,
+        ),
+    ];
+
+    print_loopback_table(
+        "Shared-memory ring overhead vs the other backends",
+        "ring",
+        cycles,
+        reps,
+        &rows,
+    );
+
+    if json {
+        write_loopback_json("shm_loopback", cycles, reps, &rows);
+    }
+}

@@ -8,173 +8,52 @@
 //! conformance suite proves it; this bench records the real-time price).
 //!
 //! Run: `cargo run -p predpkt-bench --release --bin tcp_loopback`
-//! Pass `--json` to also write `BENCH_tcp_loopback.json` for tracking.
+//! Pass `--json` to also write `BENCH_tcp_loopback.json` for tracking, and
+//! `--quick` for the reduced-iteration CI configuration.
 
-use predpkt_ahb::engine::BusOp;
-use predpkt_ahb::masters::{DmaDescriptor, DmaMaster, TrafficGenMaster};
-use predpkt_ahb::slaves::{MemorySlave, PeripheralSlave};
-use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, Side, SocBlueprint, TcpOptions,
-    ThreadedOpts, TransportSelect,
+use predpkt_bench::loopback::{
+    bench_opts, loopback_iterations, print_loopback_table, run_loopback, write_loopback_json,
 };
-use std::time::{Duration, Instant};
-
-const CYCLES: u64 = 2_000;
-const REPS: u32 = 3;
-
-fn soc() -> SocBlueprint {
-    SocBlueprint::new()
-        .master(Side::Accelerator, || {
-            Box::new(DmaMaster::new(vec![
-                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
-                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
-            ]))
-        })
-        .master(Side::Accelerator, || {
-            Box::new(
-                TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0000_2004, 0xabcd)])
-                    .looping()
-                    .with_idle_gap(7),
-            )
-        })
-        .slave(Side::Simulator, 0x0000_0000, 0x2000, || {
-            Box::new(MemorySlave::new(0x2000, 0))
-        })
-        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
-            Box::new(PeripheralSlave::new(1))
-        })
-}
-
-/// Fine-grained polling so blocked-domain wakeups don't dominate the figure.
-fn opts() -> ThreadedOpts {
-    ThreadedOpts {
-        poll_interval: Duration::from_micros(200),
-        deadlock_timeout: Duration::from_secs(10),
-    }
-}
-
-struct Row {
-    backend: &'static str,
-    wall: Duration,
-    host_kcps: f64,
-    trace_hash: u64,
-    virtual_time_ps: u64,
-    channel_words: u64,
-    recovery_words: u64,
-}
-
-fn run(backend_name: &'static str, backend: TransportSelect) -> Row {
-    // Warm-up run (connection setup, allocator) then timed repetitions.
-    let mut best = Duration::MAX;
-    let mut last = None;
-    for rep in 0..=REPS {
-        let blueprint = soc();
-        let config = CoEmuConfig::paper_defaults()
-            .policy(ModePolicy::Auto)
-            .rollback_vars(None)
-            .carry(true)
-            .adaptive(true);
-        let mut session = EmuSession::from_blueprint(&blueprint)
-            .config(config)
-            .transport(backend)
-            .build()
-            .expect("session builds");
-        let t0 = Instant::now();
-        session.run_until_committed(CYCLES).expect("run completes");
-        let wall = t0.elapsed();
-        if rep > 0 {
-            best = best.min(wall);
-        }
-        let placement = blueprint.placement();
-        let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
-        last = Some((trace.hash(), session));
-    }
-    let (trace_hash, session) = last.expect("at least one run");
-    let committed = session.committed_cycles();
-    let report = session.report();
-    Row {
-        backend: backend_name,
-        wall: best,
-        host_kcps: committed as f64 / best.as_secs_f64() / 1_000.0,
-        trace_hash,
-        virtual_time_ps: session.ledger().total().as_picos(),
-        channel_words: session.channel_stats().total_words(),
-        recovery_words: report.recovery().map_or(0, |r| r.overhead_words),
-    }
-}
+use predpkt_core::{ReliableInner, TcpOptions, TransportSelect};
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cycles, reps) = loopback_iterations(quick);
 
     let rows = vec![
-        run("queue", TransportSelect::Queue),
-        run("threaded", TransportSelect::Threaded(opts())),
-        run(
-            "tcp",
-            TransportSelect::Tcp(TcpOptions::default().threaded(opts())),
+        run_loopback("queue", TransportSelect::Queue, cycles, reps),
+        run_loopback(
+            "threaded",
+            TransportSelect::Threaded(bench_opts()),
+            cycles,
+            reps,
         ),
-        run(
+        run_loopback(
+            "tcp",
+            TransportSelect::Tcp(TcpOptions::default().threaded(bench_opts())),
+            cycles,
+            reps,
+        ),
+        run_loopback(
             "reliable+tcp",
-            TransportSelect::reliable(ReliableInner::Tcp(TcpOptions::default().threaded(opts()))),
+            TransportSelect::reliable(ReliableInner::Tcp(
+                TcpOptions::default().threaded(bench_opts()),
+            )),
+            cycles,
+            reps,
         ),
     ];
 
-    println!("== TCP loopback round-trip overhead vs in-process backends ==");
-    println!("({CYCLES} committed cycles, best of {REPS} timed reps after warm-up)\n");
-    println!(
-        "{:>14} {:>12} {:>12} {:>18} {:>12} {:>10}",
-        "backend", "wall", "host kc/s", "trace hash", "chan words", "ovh words"
-    );
-    for r in &rows {
-        println!(
-            "{:>14} {:>12} {:>12.1} {:>18} {:>12} {:>10}",
-            r.backend,
-            format!("{:.2?}", r.wall),
-            r.host_kcps,
-            format!("{:016x}", r.trace_hash),
-            r.channel_words,
-            r.recovery_words
-        );
-    }
-
-    let base = &rows[0];
-    let all_identical = rows.iter().all(|r| {
-        r.trace_hash == base.trace_hash
-            && r.channel_words == base.channel_words
-            && r.virtual_time_ps == base.virtual_time_ps
-    });
-    println!(
-        "\nvirtual time: {} ps on every backend; traces and protocol channel words {} — \
-         the socket costs the *host* (see wall column), never the model.",
-        base.virtual_time_ps,
-        if all_identical {
-            "bit-identical"
-        } else {
-            "DIVERGED (conformance bug!)"
-        }
+    print_loopback_table(
+        "TCP loopback round-trip overhead vs in-process backends",
+        "socket",
+        cycles,
+        reps,
+        &rows,
     );
 
     if json {
-        let mut out = String::from("{\n  \"bench\": \"tcp_loopback\",\n");
-        out.push_str(&format!("  \"cycles\": {CYCLES},\n  \"reps\": {REPS},\n"));
-        out.push_str("  \"rows\": [\n");
-        for (i, r) in rows.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"backend\": \"{}\", \"wall_us\": {}, \"host_kcycles_per_s\": {:.3}, \
-                 \"trace_hash\": {}, \"virtual_time_ps\": {}, \"channel_words\": {}, \
-                 \"recovery_overhead_words\": {}}}{}\n",
-                r.backend,
-                r.wall.as_micros(),
-                r.host_kcps,
-                r.trace_hash,
-                r.virtual_time_ps,
-                r.channel_words,
-                r.recovery_words,
-                if i + 1 == rows.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        std::fs::write("BENCH_tcp_loopback.json", out).expect("write BENCH_tcp_loopback.json");
-        println!("\nwrote BENCH_tcp_loopback.json");
+        write_loopback_json("tcp_loopback", cycles, reps, &rows);
     }
 }

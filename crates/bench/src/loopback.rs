@@ -1,0 +1,196 @@
+//! Shared machinery for the loopback-overhead bench binaries
+//! (`tcp_loopback`, `shm_loopback`): the Fig. 2-shaped SoC, the timed
+//! best-of-reps runner, the comparison table, and the `BENCH_*.json`
+//! emitter. One definition keeps the bins' artifacts comparable — the same
+//! workload, the same columns, the same JSON schema.
+
+use predpkt_ahb::engine::BusOp;
+use predpkt_ahb::masters::{DmaDescriptor, DmaMaster, TrafficGenMaster};
+use predpkt_ahb::slaves::{MemorySlave, PeripheralSlave};
+use predpkt_core::{
+    CoEmuConfig, EmuSession, ModePolicy, Side, SocBlueprint, ThreadedOpts, TransportSelect,
+};
+use std::time::{Duration, Instant};
+
+/// The Fig. 2-shaped SoC every loopback bench runs: a DMA master and a
+/// looping traffic generator on the accelerator side against a memory slave
+/// on the simulator side and a peripheral on the accelerator side.
+pub fn fig2_soc() -> SocBlueprint {
+    SocBlueprint::new()
+        .master(Side::Accelerator, || {
+            Box::new(DmaMaster::new(vec![
+                DmaDescriptor::new(0x0000_0100, 0x0000_1100, 24),
+                DmaDescriptor::new(0x0000_1200, 0x0000_0200, 12),
+            ]))
+        })
+        .master(Side::Accelerator, || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![BusOp::write_single(0x0000_2004, 0xabcd)])
+                    .looping()
+                    .with_idle_gap(7),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x2000, || {
+            Box::new(MemorySlave::new(0x2000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
+            Box::new(PeripheralSlave::new(1))
+        })
+}
+
+/// Fine-grained polling so blocked-domain wakeups don't dominate the
+/// figure.
+pub fn bench_opts() -> ThreadedOpts {
+    ThreadedOpts {
+        poll_interval: Duration::from_micros(200),
+        deadlock_timeout: Duration::from_secs(10),
+    }
+}
+
+/// The `(cycles, timed reps)` for a loopback bench: the full configuration,
+/// or the reduced one under `--quick` (CI's bench-artifacts job).
+pub fn loopback_iterations(quick: bool) -> (u64, u32) {
+    if quick {
+        (400, 1)
+    } else {
+        (2_000, 3)
+    }
+}
+
+/// One backend's measurements in the comparison table.
+pub struct LoopbackRow {
+    /// Stable backend name (also the JSON `backend` field).
+    pub backend: &'static str,
+    /// Best wall-clock over the timed reps.
+    pub wall: Duration,
+    /// Host throughput in kilo-cycles per second.
+    pub host_kcps: f64,
+    /// Hash of the merged committed trace.
+    pub trace_hash: u64,
+    /// Total virtual time in picoseconds.
+    pub virtual_time_ps: u64,
+    /// Protocol-level channel words.
+    pub channel_words: u64,
+    /// Recovery-layer overhead words (0 for non-reliable backends).
+    pub recovery_words: u64,
+}
+
+/// Runs the Fig. 2 SoC over `backend` for `cycles` committed cycles — one
+/// warm-up run (region/connection setup, allocator) then `reps` timed
+/// repetitions, keeping the best wall time.
+pub fn run_loopback(
+    backend_name: &'static str,
+    backend: TransportSelect,
+    cycles: u64,
+    reps: u32,
+) -> LoopbackRow {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for rep in 0..=reps {
+        let blueprint = fig2_soc();
+        let config = CoEmuConfig::paper_defaults()
+            .policy(ModePolicy::Auto)
+            .rollback_vars(None)
+            .carry(true)
+            .adaptive(true);
+        let mut session = EmuSession::from_blueprint(&blueprint)
+            .config(config)
+            .transport(backend)
+            .build()
+            .expect("session builds");
+        let t0 = Instant::now();
+        session.run_until_committed(cycles).expect("run completes");
+        let wall = t0.elapsed();
+        if rep > 0 {
+            best = best.min(wall);
+        }
+        let placement = blueprint.placement();
+        let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
+        last = Some((trace.hash(), session));
+    }
+    let (trace_hash, session) = last.expect("at least one run");
+    let committed = session.committed_cycles();
+    let report = session.report();
+    LoopbackRow {
+        backend: backend_name,
+        wall: best,
+        host_kcps: committed as f64 / best.as_secs_f64() / 1_000.0,
+        trace_hash,
+        virtual_time_ps: session.ledger().total().as_picos(),
+        channel_words: session.channel_stats().total_words(),
+        recovery_words: report.recovery().map_or(0, |r| r.overhead_words),
+    }
+}
+
+/// Prints the comparison table and the bit-identity verdict; returns
+/// whether every row matched the first one (the conformance property the
+/// table is meant to witness).
+pub fn print_loopback_table(
+    title: &str,
+    medium: &str,
+    cycles: u64,
+    reps: u32,
+    rows: &[LoopbackRow],
+) -> bool {
+    println!("== {title} ==");
+    println!("({cycles} committed cycles, best of {reps} timed reps after warm-up)\n");
+    println!(
+        "{:>14} {:>12} {:>12} {:>18} {:>12} {:>10}",
+        "backend", "wall", "host kc/s", "trace hash", "chan words", "ovh words"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>12} {:>12.1} {:>18} {:>12} {:>10}",
+            r.backend,
+            format!("{:.2?}", r.wall),
+            r.host_kcps,
+            format!("{:016x}", r.trace_hash),
+            r.channel_words,
+            r.recovery_words
+        );
+    }
+    let base = &rows[0];
+    let all_identical = rows.iter().all(|r| {
+        r.trace_hash == base.trace_hash
+            && r.channel_words == base.channel_words
+            && r.virtual_time_ps == base.virtual_time_ps
+    });
+    println!(
+        "\nvirtual time: {} ps on every backend; traces and protocol channel words {} — \
+         the {medium} costs the *host* (see wall column), never the model.",
+        base.virtual_time_ps,
+        if all_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED (conformance bug!)"
+        }
+    );
+    all_identical
+}
+
+/// Writes the rows as `BENCH_<bench_name>.json` in the working directory
+/// (the repo-root layout CI's bench-artifacts job validates and uploads).
+pub fn write_loopback_json(bench_name: &str, cycles: u64, reps: u32, rows: &[LoopbackRow]) {
+    let mut out = format!("{{\n  \"bench\": \"{bench_name}\",\n");
+    out.push_str(&format!("  \"cycles\": {cycles},\n  \"reps\": {reps},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"wall_us\": {}, \"host_kcycles_per_s\": {:.3}, \
+             \"trace_hash\": {}, \"virtual_time_ps\": {}, \"channel_words\": {}, \
+             \"recovery_overhead_words\": {}}}{}\n",
+            r.backend,
+            r.wall.as_micros(),
+            r.host_kcps,
+            r.trace_hash,
+            r.virtual_time_ps,
+            r.channel_words,
+            r.recovery_words,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = format!("BENCH_{bench_name}.json");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}

@@ -11,13 +11,16 @@
 //!   paper's exact constants.
 //! * [`Packet`] — a word-addressed payload with a message tag.
 //! * [`Transport`] — the pluggable mailbox abstraction between the two
-//!   domains. Four backends ship with the crate: the deterministic in-process
+//!   domains. Five backends ship with the crate: the deterministic in-process
 //!   [`QueueTransport`], the real-thread [`ThreadedTransport`] (each
 //!   [`ThreadedEndpoint`] implements [`Transport`] for its own side), the
 //!   socket-backed [`TcpTransport`] (per-side [`TcpEndpoint`]s moving
 //!   length-prefixed frames over `std::net::TcpStream`, for co-emulation
-//!   split across processes or hosts), and the fault-injecting
-//!   [`LossyTransport`] for protocol-robustness scenarios.
+//!   split across processes or hosts), the shared-memory [`ShmTransport`]
+//!   (per-side [`ShmEndpoint`]s over lock-free SPSC rings — in-process or
+//!   through a `/dev/shm` region file, for multi-process co-emulation on one
+//!   host), and the fault-injecting [`LossyTransport`] for
+//!   protocol-robustness scenarios.
 //! * [`CostedChannel`] — a transport combined with the cost model and
 //!   [`ChannelStats`], returning the virtual-time cost of every access so the
 //!   caller can charge its ledger.
@@ -136,8 +139,77 @@
 //! [`tcp::FrameDecoder`]) is public too, and rejects malformed input — short
 //! reads, oversized length prefixes, unknown tags — with typed
 //! [`tcp::FrameError`]s instead of panicking.
+//!
+//! # Quickstart: multi-process co-emulation on one host
+//!
+//! When both domains live on the *same* machine, a socket is needless
+//! overhead: the [`ShmEndpoint`] carries the same length-prefixed frames
+//! through a lock-free shared-memory ring — the lowest-latency channel the
+//! crate models. The file-backed form puts the ring in a `/dev/shm` tempfile
+//! so two separate processes can share it: one process creates the region,
+//! the other attaches by path, and each wraps its endpoint in its own
+//! per-side [`CostedChannel`], exactly like the TCP endpoints above:
+//!
+//! ```no_run
+//! # #[cfg(unix)] fn demo() -> Result<(), std::io::Error> {
+//! use predpkt_channel::{
+//!     ChannelCostModel, CostedChannel, Packet, PacketTag, ShmEndpoint, Side, Transport,
+//!     WaitTransport,
+//! };
+//! use std::time::Duration;
+//!
+//! // ── Process A: the accelerator, creating the shared region ──────────
+//! // $ accel /dev/shm/coemu.ring
+//! let endpoint = ShmEndpoint::create("/dev/shm/coemu.ring", Side::Accelerator)?;
+//! let mut acc = CostedChannel::with_transport(endpoint, ChannelCostModel::iprove_pci());
+//! loop {
+//!     if acc.transport_mut().wait_for_packet(Duration::from_millis(2)) {
+//!         let packet = acc.recv(Side::Accelerator).expect("a frame is ready");
+//!         // ...tick the hardware model, then answer:
+//!         acc.send(Side::Accelerator, Packet::new(PacketTag::CycleOutputs, vec![0xacc]));
+//!     }
+//! }
+//! # #[allow(unreachable_code)]
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ```no_run
+//! # #[cfg(unix)] fn demo() -> Result<(), std::io::Error> {
+//! use predpkt_channel::{
+//!     ChannelCostModel, CostedChannel, Packet, PacketTag, ShmEndpoint, Side, Transport,
+//!     WaitTransport,
+//! };
+//! use std::time::Duration;
+//!
+//! // ── Process B: the simulator, attaching to the region ───────────────
+//! // $ simulator /dev/shm/coemu.ring
+//! let endpoint = ShmEndpoint::attach("/dev/shm/coemu.ring", Side::Simulator)?;
+//! let mut sim = CostedChannel::with_transport(endpoint, ChannelCostModel::iprove_pci());
+//! let cost = sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+//! // Identical billing to every other backend — the cross-transport
+//! // conformance suite asserts bit-identical traces, stats, and ledgers.
+//! while !sim.transport_mut().wait_for_packet(Duration::from_millis(2)) {}
+//! let reply = sim.recv(Side::Simulator).expect("a frame is ready");
+//! # let _ = (cost, reply);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! In-process sessions and tests use [`ShmTransport::pair`] (a heap region
+//! shared through an [`Arc<ShmRegion>`](ShmRegion)) or
+//! [`ShmTransport::file_pair`] (an auto-unlinked `/dev/shm` tempfile); both
+//! forms run the identical ring algorithm. Malformed ring contents — a torn
+//! frame left by a peer that died mid-write, an oversized or unknown-tag
+//! frame — surface as typed [`RingError`]s, never panics, and dropping an
+//! endpoint flips its liveness flag so a peer blocked in
+//! [`WaitTransport::wait_for_packet`] wakes promptly.
 
-#![forbid(unsafe_code)]
+// The shm module's lock-free SPSC ring stores its data words in
+// `UnsafeCell`s (published by the head/tail atomics); it carries the
+// crate's only `unsafe`, each block documented. Everything else stays
+// unsafe-free under this deny.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cost;
@@ -145,6 +217,7 @@ mod knob;
 mod lossy;
 mod message;
 mod reliable;
+pub mod shm;
 mod stats;
 pub mod tcp;
 mod threaded;
@@ -157,6 +230,7 @@ pub use message::{Packet, PacketTag};
 pub use reliable::{
     RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, DATA_HEADER_WORDS,
 };
+pub use shm::{RingError, ShmEndpoint, ShmRegion, ShmTransport, DEFAULT_RING_WORDS};
 pub use stats::ChannelStats;
 pub use tcp::{FrameError, TcpEndpoint, TcpTransport, MAX_FRAME_WORDS};
 pub use threaded::{ThreadedEndpoint, ThreadedTransport};

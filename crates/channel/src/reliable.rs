@@ -275,7 +275,7 @@ struct RecvState {
 
 /// Sequence-numbered ack-and-retransmit wrapper turning any inner transport —
 /// including a fault-injecting [`LossyTransport`](crate::LossyTransport) —
-/// into a lossless one. See the [module docs](self) for the design.
+/// into a lossless one. See the module-level documentation for the design.
 #[derive(Debug)]
 pub struct ReliableTransport<T: Transport> {
     inner: T,

@@ -1,0 +1,1144 @@
+//! Shared-memory ring transport: the lowest-latency channel the crate models.
+//!
+//! The paper's channel is a tightly coupled physical link (PCI between host
+//! and iPROVE); [`TcpEndpoint`](crate::TcpEndpoint) stretched the abstraction
+//! across real sockets, and this module closes the remaining gap in the other
+//! direction — **multi-process co-emulation on one host**, where the two
+//! domains share a memory region instead of a wire. Each direction is a
+//! fixed-capacity single-producer/single-consumer ring of `u32` words; the
+//! producer publishes with a release-store of its head counter, the consumer
+//! frees space with a release-store of its tail counter, and no lock is ever
+//! taken.
+//!
+//! Two backings share one ring algorithm:
+//!
+//! * the **in-process pair** ([`ShmTransport::pair`]) — an
+//!   [`Arc<ShmRegion>`](ShmRegion) of [`UnsafeCell`] data words with atomic
+//!   head/tail counters, for sessions whose domains are threads of one
+//!   process (and for deterministic tests of the ring itself);
+//! * the **file-backed form** ([`ShmEndpoint::create`] /
+//!   [`ShmEndpoint::attach`], Unix only) — the same layout serialized into a
+//!   `/dev/shm` tempfile (falling back to the system temp dir), accessed with
+//!   positioned reads and writes. `/dev/shm` is a tmpfs, so every access goes
+//!   through the kernel page cache — the file *is* memory shared between the
+//!   two processes, reachable std-only (no `mmap` binding required).
+//!
+//! ## Wire format
+//!
+//! Frames are byte-for-byte the TCP codec's
+//! ([`tcp::write_frame`]): a `u32` little-endian
+//! length prefix counting the wire words, then the tag word and payload
+//! words. The receive side drains ring words into the shared
+//! [`FrameDecoder`], so malformed input — zero or
+//! oversized prefixes, unknown tags, a peer that died mid-frame — surfaces as
+//! a typed [`RingError`], never a panic.
+//!
+//! ## Liveness and teardown
+//!
+//! The region carries one liveness flag per side. Dropping an endpoint clears
+//! its flag, so a peer blocked in
+//! [`WaitTransport::wait_for_packet`](crate::WaitTransport) (bounded spin,
+//! then parked in short slices that re-check the flag) wakes promptly instead
+//! of sleeping out its timeout. A peer that vanishes mid-frame leaves the
+//! decoder stranded, which the survivor reports as [`RingError::TornFrame`].
+
+// The heap backing holds its data words in `UnsafeCell`s published across
+// threads by the head/tail atomics (the classic lock-free SPSC ring). The
+// crate otherwise denies `unsafe`; the two `unsafe` blocks live in
+// `HeapBacking` with their invariants spelled out.
+#![allow(unsafe_code)]
+
+use crate::cost::Side;
+use crate::message::Packet;
+use crate::tcp::{self, FrameDecoder, FrameError};
+use crate::transport::{Transport, WaitTransport};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Default per-direction ring capacity in words (32 KiB of payload per
+/// direction). The protocol's largest messages are LOB bursts of a few
+/// hundred words, so the default leaves generous headroom before
+/// backpressure engages.
+pub const DEFAULT_RING_WORDS: u32 = 8 * 1024;
+
+/// Smallest accepted ring capacity in words: the length prefix plus the tag
+/// word plus one payload word, with one word of slack so a ring can never be
+/// permanently wedged by a minimal frame.
+pub const MIN_RING_WORDS: u32 = 4;
+
+/// Largest accepted ring capacity in words (64 MiB of data per direction —
+/// sixteen times the largest frame [`tcp::MAX_FRAME_WORDS`] allows).
+/// Requests beyond this are clamped rather than honoured: an unchecked
+/// capacity would turn a typo'd knob into a multi-GiB allocation (or a
+/// tmpfs-filling `/dev/shm` file) instead of a working channel.
+pub const MAX_RING_WORDS: u32 = 1 << 24;
+
+/// How long a full ring may stall one send before the endpoint gives the
+/// peer up as wedged (the shared-memory analogue of
+/// [`tcp::WRITE_TIMEOUT`]): a live consumer
+/// drains words in microseconds; only a stopped or stuck peer process ever
+/// holds the ring full this long.
+pub const SEND_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Words a producer publishes per head-counter release. Publishing in chunks
+/// lets the consumer start reassembling a large frame while its tail is
+/// still being written (and keeps frames close to the ring capacity
+/// transmissible at all: the producer reclaims the space the consumer frees
+/// chunk by chunk).
+const DEFAULT_CHUNK_WORDS: u32 = 256;
+
+/// Bounded spin iterations in [`WaitTransport::wait_for_packet`] before the
+/// waiter starts parking. Shared-memory latency is sub-microsecond, so a
+/// short spin catches the common case without burning a core.
+const SPIN_POLLS: u32 = 64;
+
+/// Park slice while blocked: short enough that a cleared liveness flag (peer
+/// dropped) wakes the waiter promptly, long enough not to busy-wake.
+const PARK_SLICE: Duration = Duration::from_micros(500);
+
+/// Why a shared-memory ring operation failed.
+///
+/// Every malformed or unserviceable input maps to a variant here; the ring
+/// never panics on data read out of the shared region.
+#[derive(Debug)]
+pub enum RingError {
+    /// The ring stayed full past [`SEND_TIMEOUT`] with the peer still
+    /// attached — the consumer has stopped draining.
+    Full {
+        /// Words the stalled frame still owed the ring.
+        remaining: u32,
+        /// The ring's data capacity in words.
+        capacity: u32,
+    },
+    /// The peer detached (or its process died) mid-frame; the bytes already
+    /// drained can never complete.
+    TornFrame {
+        /// Bytes the frame still owed when the peer vanished.
+        missing: usize,
+    },
+    /// The peer detached while this side still had words to hand it.
+    PeerGone,
+    /// The frame (prefix word + wire words) exceeds what the ring can ever
+    /// hold.
+    Oversized {
+        /// The rejected frame size in ring words.
+        words: u32,
+    },
+    /// The drained bytes failed the shared frame codec (zero or oversized
+    /// length prefix, unknown tag word).
+    Codec(FrameError),
+    /// The file backing failed (I/O on the `/dev/shm` region).
+    Io(io::Error),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::Full {
+                remaining,
+                capacity,
+            } => write!(
+                f,
+                "ring full: peer stopped draining ({remaining} of {capacity} words still owed)"
+            ),
+            RingError::TornFrame { missing } => {
+                write!(f, "peer vanished mid-frame ({missing} bytes missing)")
+            }
+            RingError::PeerGone => f.write_str("peer detached from the shared region"),
+            RingError::Oversized { words } => {
+                write!(f, "frame of {words} words can never fit the ring")
+            }
+            RingError::Codec(e) => write!(f, "frame codec rejected ring data: {e}"),
+            RingError::Io(e) => write!(f, "shared region I/O failed: {e}"),
+        }
+    }
+}
+
+impl Error for RingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RingError::Codec(e) => Some(e),
+            RingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for RingError {
+    fn from(e: FrameError) -> Self {
+        RingError::Codec(e)
+    }
+}
+
+impl From<io::Error> for RingError {
+    fn from(e: io::Error) -> Self {
+        RingError::Io(e)
+    }
+}
+
+/// Which directional ring an operation addresses within the shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RingDir {
+    /// Simulator → accelerator.
+    SimToAcc,
+    /// Accelerator → simulator.
+    AccToSim,
+}
+
+impl RingDir {
+    fn outbound_from(side: Side) -> RingDir {
+        match side {
+            Side::Simulator => RingDir::SimToAcc,
+            Side::Accelerator => RingDir::AccToSim,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RingDir::SimToAcc => 0,
+            RingDir::AccToSim => 1,
+        }
+    }
+}
+
+fn side_index(side: Side) -> usize {
+    match side {
+        Side::Simulator => 0,
+        Side::Accelerator => 1,
+    }
+}
+
+/// The ring operations both backings implement. Control-word accesses carry
+/// acquire/release semantics (atomics on the heap backing; syscall-ordered
+/// positioned I/O on the file backing); data words need no ordering of their
+/// own because the head/tail publication protocol brackets them.
+trait RingBacking: Send + Sync {
+    /// Per-direction data capacity in words (a power of two).
+    fn capacity(&self) -> u32;
+    /// Acquire-load of a ring's producer counter.
+    fn head(&self, ring: RingDir) -> Result<u32, RingError>;
+    /// Release-store of a ring's producer counter.
+    fn set_head(&self, ring: RingDir, v: u32) -> Result<(), RingError>;
+    /// Acquire-load of a ring's consumer counter.
+    fn tail(&self, ring: RingDir) -> Result<u32, RingError>;
+    /// Release-store of a ring's consumer counter.
+    fn set_tail(&self, ring: RingDir, v: u32) -> Result<(), RingError>;
+    /// Copies `data` into the ring at `slot..slot + data.len()` (no wrap:
+    /// the caller splits runs at the ring boundary).
+    fn write_data(&self, ring: RingDir, slot: u32, data: &[u32]) -> Result<(), RingError>;
+    /// Copies `out.len()` words out of the ring starting at `slot` (no wrap).
+    fn read_data(&self, ring: RingDir, slot: u32, out: &mut [u32]) -> Result<(), RingError>;
+    /// Whether `side`'s endpoint is currently attached.
+    fn alive(&self, side: Side) -> Result<bool, RingError>;
+    /// Flips `side`'s attachment flag.
+    fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError>;
+}
+
+/// One directional SPSC ring of the heap backing.
+struct HeapRing {
+    head: AtomicU32,
+    tail: AtomicU32,
+    data: Box<[UnsafeCell<u32>]>,
+}
+
+impl HeapRing {
+    fn new(capacity: u32) -> Self {
+        HeapRing {
+            head: AtomicU32::new(0),
+            tail: AtomicU32::new(0),
+            data: (0..capacity).map(|_| UnsafeCell::new(0)).collect(),
+        }
+    }
+}
+
+/// The in-process shared region: two heap rings plus the per-side
+/// liveness flags, shared between the two [`ShmEndpoint`]s via [`Arc`].
+///
+/// Data words live in [`UnsafeCell`]s; the head/tail atomics carry the only
+/// synchronization. The SPSC discipline makes this sound — see the safety
+/// comments on the `Sync` impl and the data accessors.
+pub struct ShmRegion {
+    capacity: u32,
+    alive: [AtomicBool; 2],
+    rings: [HeapRing; 2],
+}
+
+impl fmt::Debug for ShmRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShmRegion")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+// SAFETY: each ring is single-producer/single-consumer — exactly one
+// endpoint ever writes data words and stores `head`, exactly one ever reads
+// data words and stores `tail` (ShmTransport::pair hands out one endpoint
+// per side and endpoints are !Clone). A producer writes slots in
+// [head, head+n) and only then release-stores head+n; the consumer
+// acquire-loads head before reading those slots, so the writes
+// happen-before the reads. Symmetrically, the consumer release-stores tail
+// after reading and the producer acquire-loads tail before reusing a slot.
+// No data word is therefore ever accessed concurrently from two threads.
+unsafe impl Sync for ShmRegion {}
+// SAFETY: the region owns its buffers; moving it between threads transfers
+// plain data and atomics, both of which are Send.
+unsafe impl Send for ShmRegion {}
+
+impl ShmRegion {
+    fn new(capacity: u32) -> Self {
+        ShmRegion {
+            capacity,
+            alive: [AtomicBool::new(true), AtomicBool::new(true)],
+            rings: [HeapRing::new(capacity), HeapRing::new(capacity)],
+        }
+    }
+}
+
+/// Heap backing: the ring operations over an [`Arc<ShmRegion>`].
+struct HeapBacking {
+    region: Arc<ShmRegion>,
+}
+
+impl RingBacking for HeapBacking {
+    fn capacity(&self) -> u32 {
+        self.region.capacity
+    }
+
+    fn head(&self, ring: RingDir) -> Result<u32, RingError> {
+        Ok(self.region.rings[ring.index()].head.load(Ordering::Acquire))
+    }
+
+    fn set_head(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
+        self.region.rings[ring.index()]
+            .head
+            .store(v, Ordering::Release);
+        Ok(())
+    }
+
+    fn tail(&self, ring: RingDir) -> Result<u32, RingError> {
+        Ok(self.region.rings[ring.index()].tail.load(Ordering::Acquire))
+    }
+
+    fn set_tail(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
+        self.region.rings[ring.index()]
+            .tail
+            .store(v, Ordering::Release);
+        Ok(())
+    }
+
+    fn write_data(&self, ring: RingDir, slot: u32, data: &[u32]) -> Result<(), RingError> {
+        let cells = &self.region.rings[ring.index()].data;
+        for (i, &w) in data.iter().enumerate() {
+            // SAFETY: `slot..slot+data.len()` lies in the producer-owned
+            // span [head, head+free): the consumer has release-stored a tail
+            // covering these slots and will not read them again until the
+            // producer's subsequent release-store of head publishes them.
+            // See the Sync impl for the full protocol.
+            unsafe { *cells[slot as usize + i].get() = w };
+        }
+        Ok(())
+    }
+
+    fn read_data(&self, ring: RingDir, slot: u32, out: &mut [u32]) -> Result<(), RingError> {
+        let cells = &self.region.rings[ring.index()].data;
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: `slot..slot+out.len()` lies in the consumer-owned span
+            // [tail, head): the producer release-stored a head covering
+            // these slots and will not write them again until the consumer's
+            // subsequent release-store of tail frees them.
+            *o = unsafe { *cells[slot as usize + i].get() };
+        }
+        Ok(())
+    }
+
+    fn alive(&self, side: Side) -> Result<bool, RingError> {
+        Ok(self.region.alive[side_index(side)].load(Ordering::Acquire))
+    }
+
+    fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
+        self.region.alive[side_index(side)].store(v, Ordering::Release);
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+mod file_backing {
+    //! The `/dev/shm` tempfile backing: the region layout serialized into a
+    //! file on a tmpfs, accessed with positioned reads/writes. Every access
+    //! is a syscall against the shared page cache, which both orders the
+    //! accesses (control-word stores cannot be reordered with the data
+    //! writes issued before them) and makes them visible to the peer
+    //! process immediately.
+
+    use super::{side_index, RingBacking, RingDir, RingError};
+    use crate::cost::Side;
+    use std::fs::{File, OpenOptions};
+    use std::io;
+    use std::os::unix::fs::FileExt;
+    use std::path::{Path, PathBuf};
+
+    /// Magic word opening every region file ("PPK1" little-endian).
+    pub const SHM_MAGIC: u32 = 0x314b_5050;
+    /// Region layout version.
+    pub const SHM_VERSION: u32 = 1;
+
+    // Header word offsets (in u32 words from the start of the file).
+    const W_MAGIC: u64 = 0;
+    const W_VERSION: u64 = 1;
+    const W_CAPACITY: u64 = 2;
+    const W_ALIVE: u64 = 3; // 3 = simulator, 4 = accelerator
+    const W_RING_CTRL: u64 = 5; // 5..9: ring0 head, ring0 tail, ring1 head, ring1 tail
+    /// First data word (the header is padded to a 16-word boundary).
+    const W_DATA: u64 = 16;
+
+    pub struct FileBacking {
+        file: File,
+        capacity: u32,
+        /// Path to unlink on drop (the creator owns the file's lifetime).
+        unlink_on_drop: Option<PathBuf>,
+    }
+
+    impl FileBacking {
+        fn write_word(&self, word_off: u64, v: u32) -> Result<(), RingError> {
+            self.file
+                .write_all_at(&v.to_le_bytes(), word_off * 4)
+                .map_err(RingError::from)
+        }
+
+        fn read_word(&self, word_off: u64) -> Result<u32, RingError> {
+            let mut buf = [0u8; 4];
+            self.file.read_exact_at(&mut buf, word_off * 4)?;
+            Ok(u32::from_le_bytes(buf))
+        }
+
+        fn ctrl_word(ring: RingDir, tail: bool) -> u64 {
+            W_RING_CTRL + 2 * ring.index() as u64 + u64::from(tail)
+        }
+
+        fn data_base(&self, ring: RingDir) -> u64 {
+            W_DATA + ring.index() as u64 * u64::from(self.capacity)
+        }
+
+        /// Creates and sizes a fresh region file at `path`, writing the
+        /// header. The creator unlinks the file when dropped.
+        pub fn create(path: &Path, capacity: u32) -> io::Result<FileBacking> {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(path)?;
+            file.set_len((W_DATA + 2 * u64::from(capacity)) * 4)?;
+            let backing = FileBacking {
+                file,
+                capacity,
+                unlink_on_drop: Some(path.to_path_buf()),
+            };
+            let io_err = |e: RingError| match e {
+                RingError::Io(e) => e,
+                other => io::Error::other(other.to_string()),
+            };
+            backing.write_word(W_CAPACITY, capacity).map_err(io_err)?;
+            backing.write_word(W_VERSION, SHM_VERSION).map_err(io_err)?;
+            // The magic goes last: an attacher that sees it sees a complete
+            // header.
+            backing.write_word(W_MAGIC, SHM_MAGIC).map_err(io_err)?;
+            Ok(backing)
+        }
+
+        /// Opens an existing region file, validating its header.
+        pub fn attach(path: &Path) -> io::Result<FileBacking> {
+            let file = OpenOptions::new().read(true).write(true).open(path)?;
+            let mut backing = FileBacking {
+                file,
+                capacity: 0,
+                unlink_on_drop: None,
+            };
+            let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+            let word = |off| match backing.read_word(off) {
+                Ok(w) => Ok(w),
+                Err(RingError::Io(e)) => Err(e),
+                Err(other) => Err(invalid(other.to_string())),
+            };
+            let magic = word(W_MAGIC)?;
+            if magic != SHM_MAGIC {
+                return Err(invalid(format!(
+                    "not a predpkt shm region (magic {magic:#010x})"
+                )));
+            }
+            let version = word(W_VERSION)?;
+            if version != SHM_VERSION {
+                return Err(invalid(format!(
+                    "unsupported shm region version {version} (expected {SHM_VERSION})"
+                )));
+            }
+            let capacity = word(W_CAPACITY)?;
+            if !capacity.is_power_of_two()
+                || !(super::MIN_RING_WORDS..=super::MAX_RING_WORDS).contains(&capacity)
+            {
+                return Err(invalid(format!("corrupt shm region capacity {capacity}")));
+            }
+            backing.capacity = capacity;
+            Ok(backing)
+        }
+    }
+
+    impl RingBacking for FileBacking {
+        fn capacity(&self) -> u32 {
+            self.capacity
+        }
+
+        fn head(&self, ring: RingDir) -> Result<u32, RingError> {
+            self.read_word(Self::ctrl_word(ring, false))
+        }
+
+        fn set_head(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
+            self.write_word(Self::ctrl_word(ring, false), v)
+        }
+
+        fn tail(&self, ring: RingDir) -> Result<u32, RingError> {
+            self.read_word(Self::ctrl_word(ring, true))
+        }
+
+        fn set_tail(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
+            self.write_word(Self::ctrl_word(ring, true), v)
+        }
+
+        fn write_data(&self, ring: RingDir, slot: u32, data: &[u32]) -> Result<(), RingError> {
+            let mut bytes = Vec::with_capacity(data.len() * 4);
+            for w in data {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            self.file
+                .write_all_at(&bytes, (self.data_base(ring) + u64::from(slot)) * 4)
+                .map_err(RingError::from)
+        }
+
+        fn read_data(&self, ring: RingDir, slot: u32, out: &mut [u32]) -> Result<(), RingError> {
+            let mut bytes = vec![0u8; out.len() * 4];
+            self.file
+                .read_exact_at(&mut bytes, (self.data_base(ring) + u64::from(slot)) * 4)?;
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+            }
+            Ok(())
+        }
+
+        fn alive(&self, side: Side) -> Result<bool, RingError> {
+            Ok(self.read_word(W_ALIVE + side_index(side) as u64)? != 0)
+        }
+
+        fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
+            self.write_word(W_ALIVE + side_index(side) as u64, u32::from(v))
+        }
+    }
+
+    impl Drop for FileBacking {
+        fn drop(&mut self) {
+            if let Some(path) = &self.unlink_on_drop {
+                // The attacher keeps its own descriptor: unlinking only
+                // removes the name, never the peer's mapping of the region.
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
+    /// A collision-free region path under `/dev/shm` (tmpfs — the file is
+    /// memory), falling back to the system temp dir.
+    pub fn fresh_region_path() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = Path::new("/dev/shm");
+        let dir = if dir.is_dir() {
+            dir.to_path_buf()
+        } else {
+            std::env::temp_dir()
+        };
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        dir.join(format!(
+            "predpkt-shm-{}-{}-{nanos}.ring",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+}
+
+/// Constructor for shared-memory channel endpoints (the shared-region
+/// sibling of [`TcpTransport`](crate::TcpTransport)).
+#[derive(Debug)]
+pub struct ShmTransport;
+
+impl ShmTransport {
+    /// Creates the two endpoints of an in-process shared-memory channel over
+    /// a fresh [`ShmRegion`] with the [default capacity](DEFAULT_RING_WORDS).
+    pub fn pair() -> (ShmEndpoint, ShmEndpoint) {
+        Self::pair_with_capacity(DEFAULT_RING_WORDS)
+    }
+
+    /// Creates an in-process pair whose per-direction rings hold
+    /// `ring_words` data words (rounded up to a power of two and clamped to
+    /// `[`[`MIN_RING_WORDS`]`, `[`MAX_RING_WORDS`]`]`).
+    pub fn pair_with_capacity(ring_words: u32) -> (ShmEndpoint, ShmEndpoint) {
+        let capacity = ring_capacity(ring_words);
+        let region = Arc::new(ShmRegion::new(capacity));
+        let sim = ShmEndpoint::over_backing(
+            Arc::new(HeapBacking {
+                region: Arc::clone(&region),
+            }),
+            Side::Simulator,
+            true,
+        );
+        let acc =
+            ShmEndpoint::over_backing(Arc::new(HeapBacking { region }), Side::Accelerator, true);
+        (sim, acc)
+    }
+
+    /// Creates a *file-backed* pair over a fresh `/dev/shm` tempfile with
+    /// the default capacity — the multi-process form, exercised here through
+    /// two endpoints of one process (tests, benches). The file is unlinked
+    /// when the creating endpoint drops.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, sizing, or attaching the region file.
+    #[cfg(unix)]
+    pub fn file_pair() -> io::Result<(ShmEndpoint, ShmEndpoint)> {
+        Self::file_pair_with_capacity(DEFAULT_RING_WORDS)
+    }
+
+    /// The file-backed form of [`pair_with_capacity`](Self::pair_with_capacity).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, sizing, or attaching the region file.
+    #[cfg(unix)]
+    pub fn file_pair_with_capacity(ring_words: u32) -> io::Result<(ShmEndpoint, ShmEndpoint)> {
+        let path = file_backing::fresh_region_path();
+        let sim = ShmEndpoint::create_with_capacity(&path, ring_words, Side::Simulator)?;
+        let acc = ShmEndpoint::attach(&path, Side::Accelerator)?;
+        Ok((sim, acc))
+    }
+}
+
+/// Rounds a requested ring size to the implementation's constraints: a
+/// power of two (so the word counters index the ring seamlessly across
+/// `u32` wraparound) clamped to `[`[`MIN_RING_WORDS`]`, `[`MAX_RING_WORDS`]`]`.
+fn ring_capacity(ring_words: u32) -> u32 {
+    // The clamp ceiling is itself a power of two, so the round-up cannot
+    // escape it.
+    ring_words
+        .clamp(MIN_RING_WORDS, MAX_RING_WORDS)
+        .next_power_of_two()
+}
+
+/// One side's endpoint of a shared-memory ring channel; `Send`, so it moves
+/// to its domain's thread (or lives in its domain's process, for the
+/// file-backed form). Implements [`Transport`] and [`WaitTransport`] for the
+/// side it belongs to, exactly like
+/// [`TcpEndpoint`](crate::TcpEndpoint) / [`ThreadedEndpoint`](crate::ThreadedEndpoint).
+pub struct ShmEndpoint {
+    side: Side,
+    backing: Arc<dyn RingBacking>,
+    /// Reassembles drained ring words into packets (the TCP frame codec).
+    decoder: FrameDecoder,
+    /// Decoded packets awaiting [`Transport::recv`].
+    ready: VecDeque<Packet>,
+    /// Local copy of the outbound ring's head (this side is its producer).
+    out_head: u32,
+    /// Local copy of the inbound ring's tail (this side is its consumer).
+    in_tail: u32,
+    /// Sticky first failure: once the ring is corrupt, wedged, or the peer
+    /// is gone mid-frame, the endpoint delivers nothing further and reports
+    /// the cause here (starvation is detected upstream by the session
+    /// layer, mirroring the socket endpoint).
+    error: Option<RingError>,
+    /// The peer has been observed attached at least once — required before
+    /// a cleared liveness flag can mean "gone" rather than "not yet
+    /// attached" (the file-backed form attaches asymmetrically).
+    peer_seen: bool,
+    /// The peer's liveness flag has been observed cleared after attachment.
+    peer_closed: bool,
+    /// See [`SEND_TIMEOUT`]; tests shrink it to exercise backpressure
+    /// failure without ten-second waits.
+    send_timeout: Duration,
+    /// See [`DEFAULT_CHUNK_WORDS`]; tests shrink it to place chunk seams at
+    /// every offset inside a frame.
+    chunk_words: u32,
+}
+
+impl fmt::Debug for ShmEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShmEndpoint")
+            .field("side", &self.side)
+            .field("capacity", &self.backing.capacity())
+            .field("ready", &self.ready.len())
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShmEndpoint {
+    /// `peer_seen` starts true when the peer is attached by construction —
+    /// both ends of an in-process pair, and an attacher (whose creator
+    /// necessarily preceded it). Only a region *creator* must first observe
+    /// its peer attach before a cleared flag can mean "gone".
+    fn over_backing(backing: Arc<dyn RingBacking>, side: Side, peer_seen: bool) -> Self {
+        // Attachment must be visible to the peer before any traffic.
+        let _ = backing.set_alive(side, true);
+        ShmEndpoint {
+            side,
+            backing,
+            decoder: FrameDecoder::new(),
+            ready: VecDeque::new(),
+            out_head: 0,
+            in_tail: 0,
+            error: None,
+            peer_seen,
+            peer_closed: false,
+            send_timeout: SEND_TIMEOUT,
+            chunk_words: DEFAULT_CHUNK_WORDS,
+        }
+    }
+
+    /// Creates a region file at `path` with the default ring capacity and
+    /// returns the creating endpoint for `side`. The peer process calls
+    /// [`attach`](Self::attach) with the same path. The file is unlinked
+    /// when this endpoint drops (the attached peer keeps its descriptor).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating or sizing the file (including
+    /// `AlreadyExists` — region files are never reused).
+    #[cfg(unix)]
+    pub fn create(path: impl AsRef<std::path::Path>, side: Side) -> io::Result<Self> {
+        Self::create_with_capacity(path, DEFAULT_RING_WORDS, side)
+    }
+
+    /// [`create`](Self::create) with an explicit per-direction ring capacity
+    /// in words (rounded up to a power of two and clamped to
+    /// `[`[`MIN_RING_WORDS`]`, `[`MAX_RING_WORDS`]`]`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating or sizing the file.
+    #[cfg(unix)]
+    pub fn create_with_capacity(
+        path: impl AsRef<std::path::Path>,
+        ring_words: u32,
+        side: Side,
+    ) -> io::Result<Self> {
+        let backing = file_backing::FileBacking::create(path.as_ref(), ring_capacity(ring_words))?;
+        Ok(Self::over_backing(Arc::new(backing), side, false))
+    }
+
+    /// Attaches to an existing region file created by a peer process.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening the file, or `InvalidData` when the header is
+    /// not a supported region (wrong magic, version, or corrupt capacity).
+    #[cfg(unix)]
+    pub fn attach(path: impl AsRef<std::path::Path>, side: Side) -> io::Result<Self> {
+        let backing = file_backing::FileBacking::attach(path.as_ref())?;
+        Ok(Self::over_backing(Arc::new(backing), side, true))
+    }
+
+    /// Which side this endpoint belongs to.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Per-direction ring capacity in data words.
+    pub fn capacity_words(&self) -> u32 {
+        self.backing.capacity()
+    }
+
+    /// The first ring failure, if the channel has broken down. A sticky
+    /// error means the endpoint will never deliver again; the session layer
+    /// sees the resulting starvation as a deadlock.
+    pub fn last_error(&self) -> Option<&RingError> {
+        self.error.as_ref()
+    }
+
+    /// True once the peer has detached (liveness flag observed cleared).
+    pub fn peer_closed(&self) -> bool {
+        self.peer_closed
+    }
+
+    /// Overrides the full-ring send deadline (default [`SEND_TIMEOUT`]).
+    pub fn set_send_timeout(&mut self, timeout: Duration) {
+        self.send_timeout = timeout;
+    }
+
+    /// Overrides the words published per head-counter release — test
+    /// instrumentation for placing chunk seams (and torn frames) at every
+    /// offset inside a frame.
+    #[doc(hidden)]
+    pub fn set_chunk_words(&mut self, words: u32) {
+        self.chunk_words = words.max(1);
+    }
+
+    /// Writes raw words into the outbound ring and publishes them without
+    /// any framing — fault-injection hook for tests simulating a peer that
+    /// crashes mid-frame (write a prefix that promises more words than
+    /// follow, then drop the endpoint).
+    #[doc(hidden)]
+    pub fn inject_raw_words(&mut self, words: &[u32]) {
+        let mut deadline = None;
+        if let Err(e) = self.push_words(words, &mut deadline) {
+            self.record_error(e);
+        }
+    }
+
+    fn record_error(&mut self, e: RingError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// True once nothing further will ever be decoded from the ring.
+    fn channel_dead(&self) -> bool {
+        self.error.is_some() || self.peer_closed
+    }
+
+    /// One peer-liveness observation; flips `peer_seen`/`peer_closed`.
+    fn observe_peer(&mut self) -> Result<(), RingError> {
+        if self.backing.alive(self.side.peer())? {
+            self.peer_seen = true;
+        } else if self.peer_seen {
+            self.peer_closed = true;
+        }
+        Ok(())
+    }
+
+    /// Pushes `words` into the outbound ring, publishing in
+    /// [`chunk_words`](Self::set_chunk_words) slices and waiting (bounded by
+    /// the send deadline) whenever the ring is full.
+    fn push_words(
+        &mut self,
+        words: &[u32],
+        deadline: &mut Option<Instant>,
+    ) -> Result<(), RingError> {
+        let ring = RingDir::outbound_from(self.side);
+        let capacity = self.backing.capacity();
+        let mask = capacity - 1;
+        let mut written = 0usize;
+        while written < words.len() {
+            let tail = self.backing.tail(ring)?;
+            let free = capacity - self.out_head.wrapping_sub(tail);
+            if free == 0 {
+                self.observe_peer()?;
+                if self.peer_closed {
+                    return Err(RingError::PeerGone);
+                }
+                let deadline = deadline.get_or_insert_with(|| Instant::now() + self.send_timeout);
+                if Instant::now() >= *deadline {
+                    return Err(RingError::Full {
+                        remaining: (words.len() - written) as u32,
+                        capacity,
+                    });
+                }
+                thread::sleep(PARK_SLICE);
+                continue;
+            }
+            let slot = self.out_head & mask;
+            let contiguous = capacity - slot;
+            let n = (words.len() - written)
+                .min(free as usize)
+                .min(contiguous as usize)
+                .min(self.chunk_words as usize);
+            self.backing
+                .write_data(ring, slot, &words[written..written + n])?;
+            self.out_head = self.out_head.wrapping_add(n as u32);
+            self.backing.set_head(ring, self.out_head)?;
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Drains every published inbound word through the frame decoder into
+    /// the ready queue, freeing ring space as it goes.
+    fn poll(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        let ring = RingDir::outbound_from(self.side.peer());
+        let capacity = self.backing.capacity();
+        let mask = capacity - 1;
+        let mut scratch = [0u32; 512];
+        loop {
+            let head = match self.backing.head(ring) {
+                Ok(h) => h,
+                Err(e) => return self.record_error(e),
+            };
+            let avail = head.wrapping_sub(self.in_tail);
+            if avail == 0 {
+                // Quiescent: now (and only now) a cleared liveness flag
+                // means the peer is gone. Re-check the head afterwards — the
+                // peer clears the flag strictly after its last publication,
+                // so one more pass drains anything that raced us.
+                let was_closed = self.peer_closed;
+                if let Err(e) = self.observe_peer() {
+                    return self.record_error(e);
+                }
+                if self.peer_closed && !was_closed {
+                    continue; // one re-drain after observing the close
+                }
+                if self.peer_closed && self.decoder.is_mid_frame() {
+                    let missing = self.decoder.missing_bytes();
+                    return self.record_error(RingError::TornFrame { missing });
+                }
+                return;
+            }
+            let slot = self.in_tail & mask;
+            let n = (avail as usize)
+                .min((capacity - slot) as usize)
+                .min(scratch.len());
+            if let Err(e) = self.backing.read_data(ring, slot, &mut scratch[..n]) {
+                return self.record_error(e);
+            }
+            self.in_tail = self.in_tail.wrapping_add(n as u32);
+            if let Err(e) = self.backing.set_tail(ring, self.in_tail) {
+                return self.record_error(e);
+            }
+            for w in &scratch[..n] {
+                self.decoder.push(&w.to_le_bytes());
+            }
+            loop {
+                match self.decoder.next_frame() {
+                    Ok(Some(packet)) => self.ready.push_back(packet),
+                    Ok(None) => break,
+                    Err(e) => return self.record_error(e.into()),
+                }
+            }
+        }
+    }
+}
+
+impl Transport for ShmEndpoint {
+    fn send(&mut self, from: Side, packet: Packet) {
+        debug_assert_eq!(from, self.side, "endpoints send from their own side");
+        if self.error.is_some() {
+            // The ring is wedged or corrupt: like a physical channel with no
+            // receiver, the packet is lost on the floor (mirrors the socket
+            // endpoint).
+            return;
+        }
+        // The TCP frame layout, produced as ring words: length prefix, then
+        // tag word and payload (`tcp::write_frame` emits exactly these words
+        // as little-endian bytes).
+        let wire = packet.to_wire();
+        let frame_words = 1 + wire.len() as u32;
+        if frame_words > self.backing.capacity()
+            || wire.len() as u64 > u64::from(tcp::MAX_FRAME_WORDS)
+        {
+            self.record_error(RingError::Oversized { words: frame_words });
+            return;
+        }
+        let mut words = Vec::with_capacity(frame_words as usize);
+        words.push(wire.len() as u32);
+        words.extend_from_slice(&wire);
+        let mut deadline = None;
+        if let Err(e) = self.push_words(&words, &mut deadline) {
+            self.record_error(e);
+        }
+    }
+
+    fn recv(&mut self, to: Side) -> Option<Packet> {
+        debug_assert_eq!(to, self.side, "endpoints receive for their own side");
+        if self.ready.is_empty() {
+            self.poll();
+        }
+        self.ready.pop_front()
+    }
+
+    /// Packets decoded locally and awaiting `recv`. Like the socket
+    /// endpoint there is no shared in-flight counter — the peer may be
+    /// another process — so frames still in the ring are not counted.
+    fn pending(&self, to: Side) -> usize {
+        debug_assert_eq!(to, self.side, "endpoints count for their own side");
+        self.ready.len()
+    }
+}
+
+impl WaitTransport for ShmEndpoint {
+    fn wait_for_packet(&mut self, timeout: Duration) -> bool {
+        if !self.ready.is_empty() {
+            return true;
+        }
+        self.poll();
+        if !self.ready.is_empty() {
+            return true;
+        }
+        if self.channel_dead() {
+            // Nothing will ever arrive, but returning instantly would turn
+            // the caller's poll loop into a hot spin (and, under a reliable
+            // wrapper, burn the retry budget in wall-clock microseconds).
+            // Pace the caller exactly like a live-but-silent link would.
+            thread::sleep(timeout);
+            return false;
+        }
+        let deadline = Instant::now() + timeout;
+        // Bounded spin: shared-memory handoffs complete in well under a
+        // microsecond, so most waits resolve here without a sleep.
+        for _ in 0..SPIN_POLLS {
+            std::hint::spin_loop();
+            self.poll();
+            if !self.ready.is_empty() {
+                return true;
+            }
+            if self.channel_dead() {
+                return false;
+            }
+        }
+        // Park in short slices; each wakeup re-checks the data *and* the
+        // peer's liveness flag, so a dropped peer (which clears its flag on
+        // Drop) wakes this waiter within one slice rather than letting it
+        // sleep out a long timeout.
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            thread::sleep(PARK_SLICE.min(deadline - now));
+            self.poll();
+            if !self.ready.is_empty() {
+                return true;
+            }
+            if self.channel_dead() {
+                return false;
+            }
+        }
+    }
+}
+
+impl Drop for ShmEndpoint {
+    fn drop(&mut self) {
+        // Wake a peer blocked in wait_for_packet promptly: its park slices
+        // re-check this flag. (The file backing additionally unlinks the
+        // region file when the creating endpoint drops.)
+        let _ = self.backing.set_alive(self.side, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{ChannelCostModel, Direction};
+    use crate::message::PacketTag;
+    use crate::transport::CostedChannel;
+
+    fn pair() -> (ShmEndpoint, ShmEndpoint) {
+        ShmTransport::pair()
+    }
+
+    #[test]
+    fn loopback_ping_pong() {
+        let (mut sim, mut acc) = pair();
+        let worker = thread::spawn(move || {
+            for _ in 0..50 {
+                while !acc.wait_for_packet(Duration::from_secs(5)) {}
+                let p = acc.recv(Side::Accelerator).unwrap();
+                let bumped: Vec<u32> = p.payload().iter().map(|w| w + 1).collect();
+                acc.send(
+                    Side::Accelerator,
+                    Packet::new(PacketTag::CycleOutputs, bumped),
+                );
+            }
+        });
+        for i in 0..50u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i]),
+            );
+            while !sim.wait_for_packet(Duration::from_secs(5)) {}
+            let reply = sim.recv(Side::Simulator).unwrap();
+            assert_eq!(reply.payload(), &[i + 1]);
+        }
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn recv_is_nonblocking_when_empty() {
+        let (mut sim, _acc) = pair();
+        assert!(sim.recv(Side::Simulator).is_none());
+        assert_eq!(sim.pending(Side::Simulator), 0);
+    }
+
+    #[test]
+    fn wait_times_out_then_delivers() {
+        let (mut sim, mut acc) = pair();
+        assert!(!sim.wait_for_packet(Duration::from_millis(5)));
+        acc.send(Side::Accelerator, Packet::new(PacketTag::Handshake, vec![]));
+        assert!(sim.wait_for_packet(Duration::from_secs(5)));
+        assert_eq!(
+            sim.recv(Side::Simulator).unwrap().tag(),
+            PacketTag::Handshake
+        );
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_the_ring() {
+        let (mut sim, mut acc) = pair();
+        for i in 0..100u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::Burst, vec![i; (i % 7) as usize]),
+            );
+        }
+        for i in 0..100u32 {
+            while !acc.wait_for_packet(Duration::from_secs(5)) {}
+            let p = acc.recv(Side::Accelerator).unwrap();
+            assert_eq!(p.payload(), vec![i; (i % 7) as usize].as_slice());
+        }
+    }
+
+    #[test]
+    fn costed_endpoint_bills_like_any_transport() {
+        let (sim_end, mut acc_end) = pair();
+        let mut sim = CostedChannel::with_transport(sim_end, ChannelCostModel::iprove_pci());
+        let cost = sim.send(Side::Simulator, Packet::new(PacketTag::Burst, vec![0; 9]));
+        assert_eq!(
+            cost,
+            ChannelCostModel::iprove_pci().access_cost(Direction::SimToAcc, 10)
+        );
+        while !acc_end.wait_for_packet(Duration::from_secs(5)) {}
+        assert_eq!(acc_end.recv(Side::Accelerator).unwrap().payload().len(), 9);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two_within_bounds() {
+        assert_eq!(ring_capacity(0), MIN_RING_WORDS);
+        assert_eq!(ring_capacity(5), 8);
+        assert_eq!(ring_capacity(8), 8);
+        assert_eq!(ring_capacity(1000), 1024);
+        // A typo'd giant request is clamped, not allocated.
+        assert_eq!(ring_capacity(u32::MAX), MAX_RING_WORDS);
+        assert_eq!(ring_capacity(MAX_RING_WORDS + 1), MAX_RING_WORDS);
+        let (sim, _acc) = ShmTransport::pair_with_capacity(100);
+        assert_eq!(sim.capacity_words(), 128);
+    }
+
+    #[test]
+    fn oversized_frame_is_a_typed_error_not_a_hang() {
+        let (mut sim, _acc) = ShmTransport::pair_with_capacity(16);
+        sim.send(Side::Simulator, Packet::new(PacketTag::Burst, vec![0; 64]));
+        assert!(
+            matches!(sim.last_error(), Some(RingError::Oversized { words }) if *words == 66),
+            "got {:?}",
+            sim.last_error()
+        );
+        // Subsequent sends are dropped on the floor, never panics.
+        sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+    }
+}

@@ -22,8 +22,8 @@
 //! ```
 //!
 //! `n` counts the tag word plus the payload, exactly [`Packet::wire_words`] —
-//! so the bytes on the wire mirror what the [`ChannelCostModel`]
-//! (crate::ChannelCostModel) bills. A length prefix of zero, a prefix above
+//! so the bytes on the wire mirror what the
+//! [`ChannelCostModel`](crate::ChannelCostModel) bills. A length prefix of zero, a prefix above
 //! [`MAX_FRAME_WORDS`], an unknown tag word, or a stream that ends mid-frame
 //! are all rejected as typed errors, never panics.
 //!

@@ -1,0 +1,286 @@
+//! Shared-memory ring codec suite: wrap-around reassembly at every seam
+//! offset, full-ring backpressure (both the surviving and the failing kind),
+//! torn-frame detection after a peer crash mid-write, and the file-backed
+//! region's header validation. The cross-transport conformance matrix in
+//! `predpkt-core` proves sessions over the ring commit bit-identical
+//! results; this suite pins down the ring mechanics themselves.
+
+use predpkt_channel::shm::{RingError, MIN_RING_WORDS};
+use predpkt_channel::{
+    Packet, PacketTag, ShmEndpoint, ShmTransport, Side, Transport, WaitTransport,
+};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const CAPACITY: u32 = 32;
+
+/// Advances the sim→acc ring so its next frame starts exactly at word
+/// `offset` within the ring (frames are at least two words, so small
+/// offsets are reached by going once around).
+fn rotate_to_offset(sim: &mut ShmEndpoint, acc: &mut ShmEndpoint, offset: u32) {
+    let mut remaining = if offset < 4 {
+        CAPACITY + offset
+    } else {
+        offset
+    };
+    while remaining > 0 {
+        // Frames occupy prefix + tag + payload = 2 + payload words; an odd
+        // remainder needs one 3-word frame, everything else drains as
+        // 2-word frames.
+        let payload_words = if remaining % 2 == 1 { 1 } else { 0 };
+        sim.send(
+            Side::Simulator,
+            Packet::new(PacketTag::Handshake, vec![0xeeee; payload_words]),
+        );
+        assert!(acc.wait_for_packet(Duration::from_secs(5)));
+        acc.recv(Side::Accelerator).expect("rotation frame");
+        remaining -= 2 + payload_words as u32;
+    }
+}
+
+#[test]
+fn wraparound_reassembly_at_every_offset() {
+    // For every seam offset in 1..=17: park the ring position exactly there,
+    // shrink the publication chunk to `offset` words (so the consumer also
+    // sees the frame arrive in `offset`-word slices), then push frames big
+    // enough that one of them straddles the ring boundary. Payloads are
+    // position-dependent so a mis-stitched wrap cannot pass.
+    for offset in 1u32..=17 {
+        let (mut sim, mut acc) = ShmTransport::pair_with_capacity(CAPACITY);
+        assert_eq!(sim.capacity_words(), CAPACITY);
+        rotate_to_offset(&mut sim, &mut acc, offset);
+        sim.set_chunk_words(offset);
+        for round in 0..3u32 {
+            // 29-word frames (prefix + tag + 27 payload) in a 32-word ring:
+            // consecutive frames cross the boundary at a different word
+            // each round.
+            let payload: Vec<u32> = (0..27).map(|i| offset << 16 | round << 8 | i).collect();
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::Burst, payload.clone()),
+            );
+            assert!(
+                acc.wait_for_packet(Duration::from_secs(5)),
+                "offset {offset} round {round}: frame never arrived"
+            );
+            let got = acc.recv(Side::Accelerator).expect("frame decodes");
+            assert_eq!(got.tag(), PacketTag::Burst);
+            assert_eq!(
+                got.payload(),
+                payload.as_slice(),
+                "offset {offset} round {round}: wrap-around reassembly corrupted the payload"
+            );
+        }
+        assert!(sim.last_error().is_none(), "offset {offset}");
+        assert!(acc.last_error().is_none(), "offset {offset}");
+    }
+}
+
+#[test]
+fn full_ring_backpressure_delivers_everything_in_order() {
+    // A 16-word ring holds at most a couple of frames; a slow consumer
+    // forces the producer through the full-ring wait path on nearly every
+    // send. Nothing may be lost, reordered, or corrupted.
+    let (mut sim, mut acc) = ShmTransport::pair_with_capacity(16);
+    let consumer = thread::spawn(move || {
+        let mut got = Vec::new();
+        while got.len() < 200 {
+            if acc.wait_for_packet(Duration::from_secs(10)) {
+                while let Some(p) = acc.recv(Side::Accelerator) {
+                    got.push(p.payload().to_vec());
+                }
+            }
+            // Stay slow enough that the ring saturates.
+            thread::sleep(Duration::from_micros(200));
+        }
+        got
+    });
+    let mut sent = Vec::new();
+    for i in 0..200u32 {
+        let payload: Vec<u32> = (0..(i % 11)).map(|w| i * 100 + w).collect();
+        sent.push(payload.clone());
+        sim.send(
+            Side::Simulator,
+            Packet::new(PacketTag::CycleOutputs, payload),
+        );
+        assert!(
+            sim.last_error().is_none(),
+            "send {i} errored: {:?}",
+            sim.last_error()
+        );
+    }
+    let got = consumer.join().unwrap();
+    assert_eq!(got, sent, "backpressured frames lost or reordered");
+}
+
+#[test]
+fn full_ring_against_a_stuck_peer_fails_typed_not_forever() {
+    // Nobody drains the ring: the producer must block for its (shortened)
+    // send deadline, then record a typed Full error — and later sends must
+    // be dropped on the floor, never panic or hang.
+    let (mut sim, _acc) = ShmTransport::pair_with_capacity(8);
+    sim.set_send_timeout(Duration::from_millis(50));
+    let t0 = Instant::now();
+    for _ in 0..4 {
+        sim.send(Side::Simulator, Packet::new(PacketTag::Burst, vec![7; 3]));
+        if sim.last_error().is_some() {
+            break;
+        }
+    }
+    assert!(
+        matches!(sim.last_error(), Some(RingError::Full { capacity: 8, .. })),
+        "expected a typed Full error, got {:?}",
+        sim.last_error()
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "the shortened deadline must bound the stall"
+    );
+    sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+}
+
+#[test]
+fn torn_frame_detected_after_peer_crash_mid_write() {
+    // The peer publishes a frame prefix promising five wire words, delivers
+    // two, and dies. The survivor must drain what exists, notice the peer is
+    // gone with the decoder mid-frame, and report a typed TornFrame with the
+    // missing byte count — never a hang or a panic.
+    let (mut sim, mut acc) = ShmTransport::pair_with_capacity(CAPACITY);
+    acc.inject_raw_words(&[5, PacketTag::Burst.encode(), 0xdead]);
+    drop(acc);
+    assert!(!sim.wait_for_packet(Duration::from_secs(5)));
+    assert!(
+        matches!(sim.last_error(), Some(RingError::TornFrame { missing: 12 })),
+        "expected TornFrame with 3 words (12 bytes) missing, got {:?}",
+        sim.last_error()
+    );
+    assert!(sim.recv(Side::Simulator).is_none());
+    // A dead channel paces its waiters instead of hot-spinning them.
+    let t0 = Instant::now();
+    assert!(!sim.wait_for_packet(Duration::from_millis(30)));
+    assert!(t0.elapsed() >= Duration::from_millis(25), "paced, not spun");
+}
+
+#[test]
+fn clean_peer_exit_at_a_frame_boundary_is_not_torn() {
+    // Same shape as the crash test, but the peer finishes its frame before
+    // dropping: the survivor must deliver the frame and report a clean
+    // close, not an error.
+    let (mut sim, mut acc) = ShmTransport::pair_with_capacity(CAPACITY);
+    acc.send(Side::Accelerator, Packet::new(PacketTag::Burst, vec![1, 2]));
+    drop(acc);
+    assert!(sim.wait_for_packet(Duration::from_secs(5)));
+    assert_eq!(sim.recv(Side::Simulator).unwrap().payload(), &[1, 2]);
+    assert!(!sim.wait_for_packet(Duration::from_millis(10)));
+    assert!(sim.peer_closed());
+    assert!(sim.last_error().is_none(), "{:?}", sim.last_error());
+}
+
+#[cfg(unix)]
+mod file_backed {
+    use super::*;
+    use std::io::Write;
+
+    fn region_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::path::Path::new("/dev/shm");
+        let dir = if dir.is_dir() {
+            dir.to_path_buf()
+        } else {
+            std::env::temp_dir()
+        };
+        dir.join(format!(
+            "predpkt-shm-test-{}-{tag}.ring",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn file_backed_pair_roundtrips_and_unlinks() {
+        let (mut sim, mut acc) = ShmTransport::file_pair().expect("region file");
+        for i in 0..50u32 {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i, i + 1]),
+            );
+            assert!(acc.wait_for_packet(Duration::from_secs(5)));
+            assert_eq!(acc.recv(Side::Accelerator).unwrap().payload(), &[i, i + 1]);
+            acc.send(
+                Side::Accelerator,
+                Packet::new(PacketTag::ReportSuccess, vec![i]),
+            );
+            assert!(sim.wait_for_packet(Duration::from_secs(5)));
+            assert_eq!(sim.recv(Side::Simulator).unwrap().payload(), &[i]);
+        }
+    }
+
+    #[test]
+    fn explicit_create_attach_shares_one_region() {
+        // The true multi-process shape: one side creates at a path, the
+        // other attaches by path (here from another thread; the file API is
+        // identical across processes). The creator's drop unlinks the file.
+        let path = region_path("explicit");
+        let mut acc = ShmEndpoint::create(&path, Side::Accelerator).expect("create");
+        let mut sim = ShmEndpoint::attach(&path, Side::Simulator).expect("attach");
+        sim.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+        assert!(acc.wait_for_packet(Duration::from_secs(5)));
+        assert_eq!(
+            acc.recv(Side::Accelerator).unwrap().tag(),
+            PacketTag::Handshake
+        );
+        assert!(path.exists(), "region lives while the creator does");
+        drop(acc);
+        assert!(!path.exists(), "creator unlinks its region on drop");
+        drop(sim);
+    }
+
+    #[test]
+    fn create_never_reuses_an_existing_region_file() {
+        let path = region_path("no-reuse");
+        let first = ShmEndpoint::create(&path, Side::Accelerator).expect("create");
+        let second = ShmEndpoint::create(&path, Side::Simulator);
+        assert!(
+            matches!(&second, Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists),
+            "got {second:?}"
+        );
+        drop(first);
+    }
+
+    #[test]
+    fn attach_rejects_missing_and_malformed_regions() {
+        let missing = ShmEndpoint::attach(region_path("missing"), Side::Simulator);
+        assert!(missing.is_err());
+
+        // A file that is not a region at all: wrong magic.
+        let path = region_path("garbage");
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(&[0u8; 256]).unwrap();
+        }
+        let garbage = ShmEndpoint::attach(&path, Side::Simulator);
+        assert!(
+            matches!(&garbage, Err(e) if e.kind() == std::io::ErrorKind::InvalidData),
+            "got {garbage:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attach_rejects_corrupt_capacity() {
+        // A structurally valid header whose capacity word was trampled (not
+        // a power of two / below the floor) must be refused, not divided by.
+        let path = region_path("corrupt-cap");
+        let end = ShmEndpoint::create(&path, Side::Accelerator).expect("create");
+        {
+            use std::os::unix::fs::FileExt;
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            let bad_cap = (MIN_RING_WORDS - 1).max(3); // 3: not a power of two
+            f.write_all_at(&bad_cap.to_le_bytes(), 8).unwrap();
+        }
+        let attached = ShmEndpoint::attach(&path, Side::Simulator);
+        assert!(
+            matches!(&attached, Err(e) if e.kind() == std::io::ErrorKind::InvalidData),
+            "got {attached:?}"
+        );
+        drop(end);
+    }
+}

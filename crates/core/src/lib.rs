@@ -20,9 +20,9 @@
 //! * [`EmuSession`] is the front door: a builder composing a blueprint (or an
 //!   explicit model pair), a [`CoEmuConfig`], a [`TransportSelect`] backend
 //!   (deterministic queue, fault-injecting lossy, one-thread-per-domain, a
-//!   real TCP socket pair, or an ack-and-retransmit reliable layer over any
-//!   of them), a predictor suite, and [`EmuObserver`] hooks that stream every
-//!   protocol
+//!   real TCP socket pair, a shared-memory ring pair, or an
+//!   ack-and-retransmit reliable layer over any of them), a predictor suite,
+//!   and [`EmuObserver`] hooks that stream every protocol
 //!   event (mode switches, rollbacks, LOB flushes, channel accesses).
 //! * [`CoEmulator`] is the co-operative engine under the queue-backed
 //!   sessions, now generic over any [`Transport`](predpkt_channel::Transport);
@@ -85,7 +85,7 @@ pub use protocol::{Message, ProtocolError};
 pub use report::PerfReport;
 pub use session::{
     BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, ReliableInner, SessionError,
-    TcpOptions, ThreadedOpts, TransportSelect,
+    ShmOptions, TcpOptions, ThreadedOpts, TransportSelect,
 };
 pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 

@@ -16,6 +16,10 @@
 //!   socket pair (per-side [`TcpEndpoint`]s moving length-prefixed frames),
 //!   the same machinery that carries a session whose domains live in
 //!   different processes or hosts;
+//! * [`TransportSelect::Shm`] — one OS thread per domain over a
+//!   shared-memory ring pair (per-side [`ShmEndpoint`]s moving the same
+//!   frames through lock-free SPSC rings, heap-shared or in a `/dev/shm`
+//!   region file), the multi-process-on-one-host configuration;
 //! * [`TransportSelect::Reliable`] — an ack-and-retransmit
 //!   [`ReliableTransport`] over any of the above (chosen with
 //!   [`ReliableInner`]): the session *survives* injected faults, committing
@@ -64,8 +68,9 @@ use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
     ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
-    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, Side, TcpEndpoint,
-    TcpTransport, ThreadedEndpoint, ThreadedTransport, WaitTransport,
+    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, ShmEndpoint, ShmTransport,
+    Side, TcpEndpoint, TcpTransport, ThreadedEndpoint, ThreadedTransport, Transport, WaitTransport,
+    DEFAULT_RING_WORDS,
 };
 use predpkt_predict::{PaperSuite, PredictorSuite};
 use predpkt_sim::{SimError, TimeLedger, Trace};
@@ -177,6 +182,70 @@ impl TcpOptions {
     }
 }
 
+/// Tuning knobs for the shared-memory ring backend.
+///
+/// The session spawns a per-side [`ShmEndpoint`] pair — a heap region shared
+/// through an `Arc` by default, or a `/dev/shm` region file when
+/// [`file_backed`](Self::file_backed) is set (the multi-process codepath,
+/// exercised here within one process) — and runs one domain thread per
+/// endpoint through the same runner as the mpsc and socket backends. `fault`
+/// optionally wraps each endpoint in a per-side
+/// [`LossyTransport`](predpkt_channel::LossyTransport), injecting seeded
+/// faults *on the ring path*; compose with [`TransportSelect::Reliable`]
+/// (via [`ReliableInner::Shm`]) when the session must survive them.
+#[derive(Debug, Clone, Copy)]
+pub struct ShmOptions {
+    /// Domain-thread scheduling knobs (poll interval doubles as the park
+    /// timeout while a domain is blocked on the ring).
+    pub threaded: ThreadedOpts,
+    /// Seeded per-side fault plan applied on top of the rings; `None`
+    /// leaves the channel clean (the wrapper is then bit-for-bit
+    /// transparent).
+    pub fault: Option<FaultSpec>,
+    /// Per-direction ring capacity in words (rounded up to a power of two).
+    pub ring_words: u32,
+    /// Put the rings in a `/dev/shm` region file instead of a shared heap
+    /// allocation — the same codepath two separate processes would use.
+    pub file_backed: bool,
+}
+
+impl Default for ShmOptions {
+    fn default() -> Self {
+        ShmOptions {
+            threaded: ThreadedOpts::default(),
+            fault: None,
+            ring_words: DEFAULT_RING_WORDS,
+            file_backed: false,
+        }
+    }
+}
+
+impl ShmOptions {
+    /// Overrides the domain-thread scheduling knobs.
+    pub fn threaded(mut self, opts: ThreadedOpts) -> Self {
+        self.threaded = opts;
+        self
+    }
+
+    /// Injects seeded faults on the ring path.
+    pub fn fault(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
+    }
+
+    /// Overrides the per-direction ring capacity in words.
+    pub fn ring_words(mut self, words: u32) -> Self {
+        self.ring_words = words;
+        self
+    }
+
+    /// Backs the rings with a `/dev/shm` region file.
+    pub fn file_backed(mut self) -> Self {
+        self.file_backed = true;
+        self
+    }
+}
+
 /// The transport backend a session runs over.
 #[derive(Debug, Clone, Copy, Default)]
 pub enum TransportSelect {
@@ -189,6 +258,10 @@ pub enum TransportSelect {
     Threaded(ThreadedOpts),
     /// One OS thread per domain over a real TCP socket pair.
     Tcp(TcpOptions),
+    /// One OS thread per domain over a shared-memory ring pair — the
+    /// multi-process-on-one-host configuration (and the lowest-latency
+    /// channel the crate models).
+    Shm(ShmOptions),
     /// An ack-and-retransmit [`ReliableTransport`] over one of the inner
     /// backends — the session *survives* channel faults instead of merely
     /// detecting them, and bills the recovery traffic (see
@@ -233,6 +306,11 @@ pub enum ReliableInner {
     /// faults fire *on the socket path* and the per-side reliability layers
     /// absorb them.
     Tcp(TcpOptions),
+    /// One OS thread per domain over a shared-memory ring pair — the
+    /// one-host multi-process configuration. With [`ShmOptions::fault`]
+    /// set, seeded faults fire *on the ring path* and the per-side
+    /// reliability layers absorb them.
+    Shm(ShmOptions),
 }
 
 /// Builder for an [`EmuSession`] from an explicit pair of domain models.
@@ -298,12 +376,17 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
         let fault_spec = match &self.transport {
             TransportSelect::Lossy(spec) => Some(spec),
             TransportSelect::Tcp(opts) => opts.fault.as_ref(),
+            TransportSelect::Shm(opts) => opts.fault.as_ref(),
             TransportSelect::Reliable {
                 inner: ReliableInner::Lossy(spec),
                 ..
             } => Some(spec),
             TransportSelect::Reliable {
                 inner: ReliableInner::Tcp(opts),
+                ..
+            } => opts.fault.as_ref(),
+            TransportSelect::Reliable {
+                inner: ReliableInner::Shm(opts),
                 ..
             } => opts.fault.as_ref(),
             _ => None,
@@ -354,6 +437,18 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
             TransportSelect::Tcp(opts) => {
                 let (sim_end, acc_end) = tcp_endpoint_pair(&opts)?;
                 SessionInner::Tcp(ThreadedSession::new(
+                    self.sim,
+                    self.acc,
+                    self.config,
+                    opts.threaded,
+                    self.observer,
+                    sim_end,
+                    acc_end,
+                ))
+            }
+            TransportSelect::Shm(opts) => {
+                let (sim_end, acc_end) = shm_endpoint_pair(&opts)?;
+                SessionInner::Shm(ThreadedSession::new(
                     self.sim,
                     self.acc,
                     self.config,
@@ -420,6 +515,20 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                                 .for_side(Side::Accelerator),
                         ))
                     }
+                    ReliableInner::Shm(opts) => {
+                        let (sim_end, acc_end) = shm_endpoint_pair(&opts)?;
+                        SessionInner::ReliableShm(ThreadedSession::new(
+                            self.sim,
+                            self.acc,
+                            self.config,
+                            opts.threaded,
+                            self.observer,
+                            ReliableTransport::new(sim_end, rcfg, channel_model)
+                                .for_side(Side::Simulator),
+                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                                .for_side(Side::Accelerator),
+                        ))
+                    }
                 }
             }
         };
@@ -427,22 +536,57 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
     }
 }
 
-/// Spawns the ephemeral localhost socket pair for a TCP-backed session and
-/// wraps each endpoint in its side's fault plan (a transparent
-/// [`FaultSpec::none`] wrapper when no faults are requested). The simulator
+/// Per-side fault plans for a two-endpoint backend (a transparent
+/// [`FaultSpec::none`] pair when no faults are requested). The simulator
 /// side uses the configured seed as given; the accelerator side a
 /// decorrelated one, so the two directions see independent fault streams —
 /// mirroring the shared-scope lossy backends, whose single RNG serves both
 /// directions.
-fn tcp_endpoint_pair(
-    opts: &TcpOptions,
-) -> Result<(LossyTransport<TcpEndpoint>, LossyTransport<TcpEndpoint>), SessionError> {
-    let (sim_end, acc_end) = TcpTransport::loopback_pair().map_err(SessionError::Io)?;
-    let sim_spec = opts.fault.unwrap_or(FaultSpec::none(0));
+fn per_side_fault_specs(fault: Option<FaultSpec>) -> (FaultSpec, FaultSpec) {
+    let sim_spec = fault.unwrap_or(FaultSpec::none(0));
     let acc_spec = FaultSpec {
         seed: sim_spec.seed ^ 0x9e37_79b9_7f4a_7c15,
         ..sim_spec
     };
+    (sim_spec, acc_spec)
+}
+
+/// Spawns the ephemeral localhost socket pair for a TCP-backed session and
+/// wraps each endpoint in its side's fault plan.
+fn tcp_endpoint_pair(
+    opts: &TcpOptions,
+) -> Result<(LossyTransport<TcpEndpoint>, LossyTransport<TcpEndpoint>), SessionError> {
+    let (sim_end, acc_end) = TcpTransport::loopback_pair().map_err(SessionError::Io)?;
+    let (sim_spec, acc_spec) = per_side_fault_specs(opts.fault);
+    Ok((
+        LossyTransport::new(sim_end, sim_spec),
+        LossyTransport::new(acc_end, acc_spec),
+    ))
+}
+
+/// Spawns the shared-memory ring pair for an shm-backed session — a shared
+/// heap region by default, a `/dev/shm` region file under
+/// [`ShmOptions::file_backed`] — and wraps each endpoint in its side's fault
+/// plan, exactly like the socket backend.
+fn shm_endpoint_pair(
+    opts: &ShmOptions,
+) -> Result<(LossyTransport<ShmEndpoint>, LossyTransport<ShmEndpoint>), SessionError> {
+    let (sim_end, acc_end) = if opts.file_backed {
+        #[cfg(unix)]
+        {
+            ShmTransport::file_pair_with_capacity(opts.ring_words).map_err(SessionError::Io)?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(SessionError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "file-backed shm regions require a unix host",
+            )));
+        }
+    } else {
+        ShmTransport::pair_with_capacity(opts.ring_words)
+    };
+    let (sim_spec, acc_spec) = per_side_fault_specs(opts.fault);
     Ok((
         LossyTransport::new(sim_end, sim_spec),
         LossyTransport::new(acc_end, acc_spec),
@@ -527,7 +671,8 @@ fn reliable_config(window: usize, retry_budget: u32) -> ReliableConfig {
 
 /// A co-emulation run composed from models, config, transport, and observer.
 ///
-/// See the [module docs](self) for the backend catalogue and halt semantics.
+/// See the crate-level docs for the backend catalogue ([`TransportSelect`])
+/// and the boundary-halt semantics shared by every backend.
 pub struct EmuSession<M: DomainModel + Send + 'static> {
     inner: SessionInner<M>,
 }
@@ -540,10 +685,12 @@ enum SessionInner<M: DomainModel + Send + 'static> {
     Lossy(CoEmulator<M, LossyTransport<QueueTransport>>),
     Threaded(ThreadedSession<M, ThreadedEndpoint>),
     Tcp(ThreadedSession<M, LossyTransport<TcpEndpoint>>),
+    Shm(ThreadedSession<M, LossyTransport<ShmEndpoint>>),
     ReliableQueue(CoEmulator<M, ReliableTransport<QueueTransport>>),
     ReliableLossy(CoEmulator<M, ReliableTransport<LossyTransport<QueueTransport>>>),
     ReliableThreaded(ThreadedSession<M, ReliableTransport<ThreadedEndpoint>>),
     ReliableTcp(ThreadedSession<M, ReliableTransport<LossyTransport<TcpEndpoint>>>),
+    ReliableShm(ThreadedSession<M, ReliableTransport<LossyTransport<ShmEndpoint>>>),
 }
 
 /// Dispatches over the four co-operative (CoEmulator-backed) variants and the
@@ -558,8 +705,10 @@ macro_rules! with_inner {
             SessionInner::ReliableLossy($c) => $coop,
             SessionInner::Threaded($t) => $threaded,
             SessionInner::Tcp($t) => $threaded,
+            SessionInner::Shm($t) => $threaded,
             SessionInner::ReliableThreaded($t) => $threaded,
             SessionInner::ReliableTcp($t) => $threaded,
+            SessionInner::ReliableShm($t) => $threaded,
         }
     };
 }
@@ -598,10 +747,12 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Lossy(_) => "lossy",
             SessionInner::Threaded(_) => "threaded",
             SessionInner::Tcp(_) => "tcp",
+            SessionInner::Shm(_) => "shm",
             SessionInner::ReliableQueue(_) => "reliable+queue",
             SessionInner::ReliableLossy(_) => "reliable+lossy",
             SessionInner::ReliableThreaded(_) => "reliable+threaded",
             SessionInner::ReliableTcp(_) => "reliable+tcp",
+            SessionInner::ReliableShm(_) => "reliable+shm",
         }
     }
 
@@ -623,6 +774,7 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Lossy(c) => c.run_until_synchronized(cycles),
             SessionInner::Threaded(t) => t.run_until_synchronized(cycles),
             SessionInner::Tcp(t) => t.run_until_synchronized(cycles),
+            SessionInner::Shm(t) => t.run_until_synchronized(cycles),
             SessionInner::ReliableQueue(c) => {
                 let result = c.run_until_synchronized(cycles);
                 map_reliable_outcome(result, c.transport().failure(), 0, c.committed_cycles())
@@ -633,11 +785,8 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
                 map_reliable_outcome(result, c.transport().failure(), seed, c.committed_cycles())
             }
             SessionInner::ReliableThreaded(t) => run_reliable_threaded(t, cycles, 0),
-            SessionInner::ReliableTcp(t) => {
-                let spec = *t.sim_ch.transport().inner().spec();
-                let seed = if spec.is_active() { spec.seed } else { 0 };
-                run_reliable_threaded(t, cycles, seed)
-            }
+            SessionInner::ReliableTcp(t) => run_reliable_lossy_threaded(t, cycles),
+            SessionInner::ReliableShm(t) => run_reliable_lossy_threaded(t, cycles),
         }
     }
 
@@ -673,7 +822,13 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::Tcp(t) => {
                 merged_socket_faults(t.sim_ch.transport(), t.acc_ch.transport())
             }
+            SessionInner::Shm(t) => {
+                merged_socket_faults(t.sim_ch.transport(), t.acc_ch.transport())
+            }
             SessionInner::ReliableTcp(t) => {
+                merged_socket_faults(t.sim_ch.transport().inner(), t.acc_ch.transport().inner())
+            }
+            SessionInner::ReliableShm(t) => {
                 merged_socket_faults(t.sim_ch.transport().inner(), t.acc_ch.transport().inner())
             }
             _ => None,
@@ -689,6 +844,7 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             SessionInner::ReliableLossy(c) => Some(c.transport().recovery_stats()),
             SessionInner::ReliableThreaded(t) => Some(merged_reliable_recovery(t)),
             SessionInner::ReliableTcp(t) => Some(merged_reliable_recovery(t)),
+            SessionInner::ReliableShm(t) => Some(merged_reliable_recovery(t)),
             _ => None,
         }
     }
@@ -764,6 +920,25 @@ where
     map_reliable_outcome(result, failure, seed, t.committed_cycles())
 }
 
+/// [`run_reliable_threaded`] for the backends whose per-side endpoints sit
+/// under a fault wrapper (TCP, shm): the replay seed reported on exhaustion
+/// is the fault plan's — when it can actually fire — and 0 otherwise. One
+/// body for every such backend, so the seed derivation can never drift
+/// between them.
+fn run_reliable_lossy_threaded<M, T>(
+    t: &mut ThreadedSession<M, ReliableTransport<LossyTransport<T>>>,
+    cycles: u64,
+) -> Result<(), SimError>
+where
+    M: DomainModel + Send + 'static,
+    T: Transport,
+    LossyTransport<T>: WaitTransport + Send,
+{
+    let spec = *t.sim_ch.transport().inner().spec();
+    let seed = if spec.is_active() { spec.seed } else { 0 };
+    run_reliable_threaded(t, cycles, seed)
+}
+
 /// Merges the two per-side reliability layers' recovery counters.
 fn merged_reliable_recovery<M, T>(t: &ThreadedSession<M, ReliableTransport<T>>) -> RecoveryStats
 where
@@ -775,13 +950,13 @@ where
     stats
 }
 
-/// Merges the two per-side fault wrappers of a socket backend; `None` when
-/// neither side injects faults (the wrapper is then a transparent shim, and
-/// reporting all-zero counters would wrongly suggest fault injection was
-/// requested).
-fn merged_socket_faults(
-    sim: &LossyTransport<TcpEndpoint>,
-    acc: &LossyTransport<TcpEndpoint>,
+/// Merges the two per-side fault wrappers of a two-endpoint backend (socket
+/// or shared-memory ring); `None` when neither side injects faults (the
+/// wrapper is then a transparent shim, and reporting all-zero counters would
+/// wrongly suggest fault injection was requested).
+fn merged_socket_faults<T: Transport>(
+    sim: &LossyTransport<T>,
+    acc: &LossyTransport<T>,
 ) -> Option<FaultStats> {
     if !sim.spec().is_active() && !acc.spec().is_active() {
         return None;

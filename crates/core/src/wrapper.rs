@@ -159,7 +159,7 @@ impl CwStats {
     }
 }
 
-/// Scheduling outcome of one [`ChannelWrapper::step`].
+/// Scheduling outcome of one `ChannelWrapper::step` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Progress {
     /// The wrapper did work (ticked, sent, or processed a message).

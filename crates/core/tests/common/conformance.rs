@@ -24,7 +24,8 @@
 
 use predpkt_channel::{ChannelStats, FaultSpec, RecoveryStats};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, TcpOptions, ThreadedOpts, TransportSelect,
+    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, ShmOptions, TcpOptions, ThreadedOpts,
+    TransportSelect,
 };
 use predpkt_sim::VirtualTime;
 use std::time::Duration;
@@ -91,6 +92,12 @@ pub fn tcp_opts() -> TcpOptions {
     TcpOptions::default().threaded(test_opts())
 }
 
+/// Shared-memory ring options for conformance runs (clean channel,
+/// fine-grained polling, default ring capacity).
+pub fn shm_opts() -> ShmOptions {
+    ShmOptions::default().threaded(test_opts())
+}
+
 /// Every transport backend the session layer offers, with its stable name.
 /// The queue baseline itself is first; fault-injecting variants appear in
 /// their *fault-free* configuration (the lossy wrapper must be bit-for-bit
@@ -101,6 +108,11 @@ pub fn conformant_backends() -> Vec<(&'static str, TransportSelect)> {
         ("lossy", TransportSelect::Lossy(FaultSpec::none(1))),
         ("threaded", TransportSelect::Threaded(test_opts())),
         ("tcp", TransportSelect::Tcp(tcp_opts())),
+        ("shm", TransportSelect::Shm(shm_opts())),
+        // The multi-process codepath: the same rings serialized into a
+        // `/dev/shm` region file, attached exactly as a second process
+        // would.
+        ("shm+file", TransportSelect::Shm(shm_opts().file_backed())),
         (
             "reliable+queue",
             TransportSelect::reliable(ReliableInner::Queue),
@@ -116,6 +128,10 @@ pub fn conformant_backends() -> Vec<(&'static str, TransportSelect)> {
         (
             "reliable+tcp",
             TransportSelect::reliable(ReliableInner::Tcp(tcp_opts())),
+        ),
+        (
+            "reliable+shm",
+            TransportSelect::reliable(ReliableInner::Shm(shm_opts())),
         ),
     ]
 }

@@ -9,7 +9,8 @@
 
 use predpkt_channel::{ChannelStats, FaultSpec, RecoveryStats};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, TcpOptions, TransportSelect,
+    CoEmuConfig, EmuSession, ModePolicy, PerfReport, ReliableInner, ShmOptions, TcpOptions,
+    TransportSelect,
 };
 use predpkt_sim::{SimError, VirtualTime};
 
@@ -69,6 +70,16 @@ fn reliable_lossy(spec: FaultSpec) -> TransportSelect {
 fn reliable_tcp_lossy(spec: FaultSpec) -> TransportSelect {
     TransportSelect::Reliable {
         inner: ReliableInner::Tcp(TcpOptions::default().threaded(test_opts()).fault(spec)),
+        window: 8,
+        retry_budget: 16,
+    }
+}
+
+/// The reliability layer over a *shared-memory ring pair*, with `spec`
+/// injecting seeded faults on the ring path of each side.
+fn reliable_shm_lossy(spec: FaultSpec) -> TransportSelect {
+    TransportSelect::Reliable {
+        inner: ReliableInner::Shm(ShmOptions::default().threaded(test_opts()).fault(spec)),
         window: 8,
         retry_budget: 16,
     }
@@ -188,6 +199,27 @@ fn seeded_fault_sweep_over_localhost_socket_commits_bit_identical_results() {
         };
         let faulty = run(reliable_tcp_lossy(spec), cycles);
         assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);
+    }
+}
+
+#[test]
+fn seeded_fault_sweep_over_shared_memory_ring_commits_bit_identical_results() {
+    // The same recovery invariants again, now with the faults firing on the
+    // *shared-memory ring path*: seeded drops, truncations, and duplicates
+    // hit the per-side lossy wrappers around each ShmEndpoint, and the
+    // per-side reliability layers heal them — the session commits the clean
+    // baseline bit-for-bit with the repairs billed into RecoveryStats.
+    let cycles = 400;
+    let baseline = run(TransportSelect::Queue, cycles);
+    for seed in SEEDS {
+        let spec = FaultSpec {
+            seed,
+            drop_rate: 0.1,
+            truncate_rate: 0.08,
+            duplicate_rate: 0.1,
+        };
+        let faulty = run(reliable_shm_lossy(spec), cycles);
+        assert_recovered_bit_identical(&format!("shm mixed seed {seed:#x}"), &baseline, &faulty);
     }
 }
 
@@ -342,5 +374,7 @@ fn wide_seeded_recovery_sweep() {
         };
         let faulty = run(reliable_tcp_lossy(socket_spec), cycles);
         assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);
+        let faulty = run(reliable_shm_lossy(socket_spec), cycles);
+        assert_recovered_bit_identical(&format!("shm mixed seed {seed:#x}"), &baseline, &faulty);
     }
 }

@@ -5,9 +5,10 @@
 //! runs under a wall-clock watchdog, so a teardown hang fails the test
 //! instead of hanging the suite.
 
-use predpkt_channel::FaultSpec;
+use predpkt_channel::{FaultSpec, ShmTransport, Side, Transport, WaitTransport};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, TcpOptions, ThreadedOpts, TransportSelect,
+    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, ShmOptions, TcpOptions, ThreadedOpts,
+    TransportSelect,
 };
 use predpkt_sim::SimError;
 use std::sync::mpsc;
@@ -58,8 +59,20 @@ fn backends() -> Vec<(&'static str, TransportSelect)> {
             TransportSelect::Tcp(TcpOptions::default().threaded(snappy())),
         ),
         (
+            "shm",
+            TransportSelect::Shm(ShmOptions::default().threaded(snappy())),
+        ),
+        (
+            "shm+file",
+            TransportSelect::Shm(ShmOptions::default().threaded(snappy()).file_backed()),
+        ),
+        (
             "reliable+tcp",
             TransportSelect::reliable(ReliableInner::Tcp(TcpOptions::default().threaded(snappy()))),
+        ),
+        (
+            "reliable+shm",
+            TransportSelect::reliable(ReliableInner::Shm(ShmOptions::default().threaded(snappy()))),
         ),
     ]
 }
@@ -142,6 +155,62 @@ fn sessions_can_run_again_after_a_partial_run() {
             assert!(session.committed_cycles() >= first + 100, "{name}");
         });
     }
+}
+
+#[test]
+fn dropping_an_shm_endpoint_wakes_a_peer_blocked_on_the_ring() {
+    // The ring has no file descriptor for the kernel to close: waking a
+    // blocked peer is entirely the liveness flag's job. A waiter parked in
+    // wait_for_packet with a generous timeout must return within a park
+    // slice or two of its peer dropping — for both backing forms.
+    let forms: Vec<(&'static str, _)> = vec![
+        ("heap", ShmTransport::pair()),
+        ("file", ShmTransport::file_pair().expect("region file")),
+    ];
+    for (form, (mut sim, acc)) in forms {
+        within(form, Duration::from_secs(10), move || {
+            let killer = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                drop(acc);
+            });
+            let t0 = std::time::Instant::now();
+            assert!(!sim.wait_for_packet(Duration::from_secs(30)));
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "{form}: the cleared liveness flag should wake the waiter, \
+                 not let it sleep out the timeout"
+            );
+            killer.join().unwrap();
+            assert!(sim.peer_closed(), "{form}");
+            assert!(sim.recv(Side::Simulator).is_none(), "{form}");
+            // Sends after the peer is gone are lost on the floor, not panics.
+            sim.send(
+                Side::Simulator,
+                predpkt_channel::Packet::new(predpkt_channel::PacketTag::Handshake, vec![]),
+            );
+        });
+    }
+}
+
+#[test]
+fn repeated_shm_sessions_release_their_regions() {
+    // Sixty-four sequential file-backed shm sessions: if the creating
+    // endpoint failed to unlink its region file, /dev/shm would accumulate
+    // sixty-four rings (and eventually fill the tmpfs on a real box).
+    within("shm region churn", Duration::from_secs(60), || {
+        for i in 0..64 {
+            let mut session = EmuSession::from_blueprint(&figure2_soc())
+                .config(config())
+                .transport(TransportSelect::Shm(
+                    ShmOptions::default().threaded(snappy()).file_backed(),
+                ))
+                .build()
+                .unwrap_or_else(|e| panic!("iteration {i}: build failed: {e}"));
+            session
+                .run_until_committed(40)
+                .unwrap_or_else(|e| panic!("iteration {i}: run failed: {e}"));
+        }
+    });
 }
 
 #[test]

@@ -3,8 +3,10 @@
 //! bit-identical committed traces, identical channel statistics, and
 //! identical virtual-time ledgers over **every** transport backend — the
 //! deterministic queue, the fault-free lossy wrapper, the real-thread
-//! transport, the TCP socket transport, and the ack-and-retransmit reliable
-//! layer over each of them. Sessions halt at transition boundaries, so the
+//! transport, the TCP socket transport, the shared-memory ring transport
+//! (heap-shared and `/dev/shm` file-backed), and the ack-and-retransmit
+//! reliable layer over each of them. Sessions halt at transition
+//! boundaries, so the
 //! stop point is a protocol event rather than a scheduling artifact, which is
 //! what makes this a meaningful (and stable) assertion.
 //!
@@ -19,8 +21,8 @@ use predpkt_predict::LastValueSuite;
 
 mod common;
 use common::conformance::{
-    assert_workload_conformance, run_workload, tcp_opts, test_opts, workload_for, workload_matrix,
-    Workload,
+    assert_workload_conformance, run_workload, shm_opts, tcp_opts, test_opts, workload_for,
+    workload_matrix, Workload,
 };
 use common::figure2_soc;
 
@@ -88,6 +90,28 @@ fn tcp_runs_are_reproducible() {
 }
 
 #[test]
+fn shm_runs_are_reproducible() {
+    // The ring adds chunked publication, wrap-around reassembly, and
+    // spin-then-park scheduling; none of it may leak into the committed
+    // results — in either backing form.
+    let w = Workload {
+        name: "auto-repro",
+        policy: ModePolicy::Auto,
+        cycles: 400,
+    };
+    for backend in [
+        TransportSelect::Shm(shm_opts()),
+        TransportSelect::Shm(shm_opts().file_backed()),
+    ] {
+        let a = run_workload(backend, &w);
+        let b = run_workload(backend, &w);
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.ledger_total, b.ledger_total);
+    }
+}
+
+#[test]
 fn custom_predictor_suite_changes_accuracy_never_correctness() {
     let blueprint = figure2_soc();
     let cycles = 500u64;
@@ -135,6 +159,7 @@ fn observer_counts_match_wrapper_statistics_across_backends() {
         TransportSelect::Queue,
         TransportSelect::Threaded(test_opts()),
         TransportSelect::Tcp(tcp_opts()),
+        TransportSelect::Shm(shm_opts()),
     ] {
         let blueprint = figure2_soc();
         let config = CoEmuConfig::paper_defaults()

@@ -6,7 +6,7 @@
 //!   own outputs plus the prediction it used, buffered during run-ahead and
 //!   flushed as one burst. Its depth bounds the number of predictions per
 //!   transition (the paper evaluates depths 8 and 64).
-//! * [`DeltaEncoder`] / [`DeltaDecoder`] — the packetizer: consecutive cycles
+//! * [`encode_block`] / [`decode_block`] — the packetizer: consecutive cycles
 //!   differ in few signals, so entries are encoded as change-mask + changed
 //!   words, shrinking flush payloads (the paper's dynamic packetizing
 //!   decision #3).

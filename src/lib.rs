@@ -44,10 +44,13 @@
 //! ```
 //!
 //! The same session runs over a real-thread transport
-//! (`TransportSelect::Threaded`) or a fault-injecting one
-//! (`TransportSelect::Lossy`) by changing one builder call — committed traces
-//! are bit-identical across backends. Custom prediction strategies plug in
-//! through [`predict::PredictorSuite`].
+//! (`TransportSelect::Threaded`), a fault-injecting one
+//! (`TransportSelect::Lossy`), a real TCP socket pair
+//! (`TransportSelect::Tcp`), or a shared-memory ring pair
+//! (`TransportSelect::Shm` — multi-process co-emulation on one host) by
+//! changing one builder call — committed traces are bit-identical across
+//! backends. Custom prediction strategies plug in through
+//! [`predict::PredictorSuite`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
