@@ -73,6 +73,12 @@ pub struct LoopbackRow {
     pub channel_words: u64,
     /// Recovery-layer overhead words (0 for non-reliable backends).
     pub recovery_words: u64,
+    /// Mean frames per physical write (socket write / ring publication);
+    /// 0 for backends with no physical write concept.
+    pub frames_per_write: f64,
+    /// Fraction of reliability acks piggybacked on data frames; 0 for
+    /// non-reliable backends.
+    pub ack_piggyback_ratio: f64,
 }
 
 /// Runs the Fig. 2 SoC over `backend` for `cycles` committed cycles — one
@@ -119,6 +125,8 @@ pub fn run_loopback(
         virtual_time_ps: session.ledger().total().as_picos(),
         channel_words: session.channel_stats().total_words(),
         recovery_words: report.recovery().map_or(0, |r| r.overhead_words),
+        frames_per_write: report.frames_per_physical_write().unwrap_or(0.0),
+        ack_piggyback_ratio: report.ack_piggyback_ratio().unwrap_or(0.0),
     }
 }
 
@@ -135,18 +143,27 @@ pub fn print_loopback_table(
     println!("== {title} ==");
     println!("({cycles} committed cycles, best of {reps} timed reps after warm-up)\n");
     println!(
-        "{:>14} {:>12} {:>12} {:>18} {:>12} {:>10}",
-        "backend", "wall", "host kc/s", "trace hash", "chan words", "ovh words"
+        "{:>14} {:>12} {:>12} {:>18} {:>12} {:>10} {:>9} {:>8}",
+        "backend",
+        "wall",
+        "host kc/s",
+        "trace hash",
+        "chan words",
+        "ovh words",
+        "frm/wr",
+        "ack pgb"
     );
     for r in rows {
         println!(
-            "{:>14} {:>12} {:>12.1} {:>18} {:>12} {:>10}",
+            "{:>14} {:>12} {:>12.1} {:>18} {:>12} {:>10} {:>9.2} {:>8.2}",
             r.backend,
             format!("{:.2?}", r.wall),
             r.host_kcps,
             format!("{:016x}", r.trace_hash),
             r.channel_words,
-            r.recovery_words
+            r.recovery_words,
+            r.frames_per_write,
+            r.ack_piggyback_ratio
         );
     }
     let base = &rows[0];
@@ -178,7 +195,8 @@ pub fn write_loopback_json(bench_name: &str, cycles: u64, reps: u32, rows: &[Loo
         out.push_str(&format!(
             "    {{\"backend\": \"{}\", \"wall_us\": {}, \"host_kcycles_per_s\": {:.3}, \
              \"trace_hash\": {}, \"virtual_time_ps\": {}, \"channel_words\": {}, \
-             \"recovery_overhead_words\": {}}}{}\n",
+             \"recovery_overhead_words\": {}, \"frames_per_write\": {:.4}, \
+             \"ack_piggyback_ratio\": {:.4}}}{}\n",
             r.backend,
             r.wall.as_micros(),
             r.host_kcps,
@@ -186,6 +204,8 @@ pub fn write_loopback_json(bench_name: &str, cycles: u64, reps: u32, rows: &[Loo
             r.virtual_time_ps,
             r.channel_words,
             r.recovery_words,
+            r.frames_per_write,
+            r.ack_piggyback_ratio,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

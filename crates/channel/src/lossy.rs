@@ -190,36 +190,127 @@ impl<T: Transport> LossyTransport<T> {
     }
 }
 
+/// One send's fault decisions, drawn in a fixed order so the seeded stream
+/// is identical whichever send entry point (owned, by-ref, batched) carried
+/// the packet.
+struct FaultDraw {
+    dropped: bool,
+    truncated: bool,
+    duplicated: bool,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Draws this send's faults. The draw order — drop, truncate, duplicate,
+    /// each consumed only when its rate is positive — is the wire format of
+    /// the seed and must never change.
+    fn draw_faults(&mut self, payload_empty: bool) -> FaultDraw {
+        if self.spec.drop_rate > 0.0 && self.rng.unit_f64() < self.spec.drop_rate {
+            return FaultDraw {
+                dropped: true,
+                truncated: false,
+                duplicated: false,
+            };
+        }
+        let truncated = self.spec.truncate_rate > 0.0
+            && self.rng.unit_f64() < self.spec.truncate_rate
+            && !payload_empty;
+        let duplicated =
+            self.spec.duplicate_rate > 0.0 && self.rng.unit_f64() < self.spec.duplicate_rate;
+        FaultDraw {
+            dropped: false,
+            truncated,
+            duplicated,
+        }
+    }
+}
+
 impl<T: Transport> Transport for LossyTransport<T> {
     fn send(&mut self, from: Side, mut packet: Packet) {
-        if self.spec.drop_rate > 0.0 && self.rng.unit_f64() < self.spec.drop_rate {
+        let draw = self.draw_faults(packet.payload().is_empty());
+        if draw.dropped {
             self.stats.dropped += 1;
             return;
         }
-        if self.spec.truncate_rate > 0.0
-            && self.rng.unit_f64() < self.spec.truncate_rate
-            && !packet.payload().is_empty()
-        {
-            let mut words = packet.payload().to_vec();
+        if draw.truncated {
+            // Reuse the packet's own allocation: pop the last word in place
+            // instead of copying the payload.
+            let tag = packet.tag();
+            let mut words = packet.into_payload();
             words.pop();
-            packet = Packet::new(packet.tag(), words);
+            packet = Packet::new(tag, words);
             self.stats.truncated += 1;
         }
-        let duplicate =
-            self.spec.duplicate_rate > 0.0 && self.rng.unit_f64() < self.spec.duplicate_rate;
-        if duplicate {
+        if draw.duplicated {
             self.stats.duplicated += 1;
             self.inner.send(from, packet.clone());
         }
         self.inner.send(from, packet);
     }
 
+    /// By-reference send: the packet is cloned **only when a fault that
+    /// needs an owned copy actually fires** — on the (common) clean draw the
+    /// borrow is forwarded straight to the inner transport.
+    fn send_ref(&mut self, from: Side, packet: &Packet) {
+        if !self.spec.is_active() {
+            return self.inner.send_ref(from, packet);
+        }
+        let draw = self.draw_faults(packet.payload().is_empty());
+        if draw.dropped {
+            self.stats.dropped += 1;
+            return;
+        }
+        if !draw.truncated && !draw.duplicated {
+            return self.inner.send_ref(from, packet);
+        }
+        let mut owned = packet.clone();
+        if draw.truncated {
+            let tag = owned.tag();
+            let mut words = owned.into_payload();
+            words.pop();
+            owned = Packet::new(tag, words);
+            self.stats.truncated += 1;
+        }
+        if draw.duplicated {
+            self.stats.duplicated += 1;
+            self.inner.send_ref(from, &owned);
+        }
+        self.inner.send(from, owned);
+    }
+
+    fn send_batch(&mut self, from: Side, packets: &mut Vec<Packet>) {
+        if !self.spec.is_active() {
+            // Transparent wrapper: hand the whole batch down so the inner
+            // backend's coalescing (one socket write / ring publish) is kept.
+            return self.inner.send_batch(from, packets);
+        }
+        for packet in packets.drain(..) {
+            self.send(from, packet);
+        }
+    }
+
+    fn send_batch_ref(&mut self, from: Side, packets: &mut dyn Iterator<Item = &Packet>) {
+        if !self.spec.is_active() {
+            return self.inner.send_batch_ref(from, packets);
+        }
+        for packet in packets {
+            self.send_ref(from, packet);
+        }
+    }
+
     fn recv(&mut self, to: Side) -> Option<Packet> {
         self.inner.recv(to)
     }
 
+    fn drain(&mut self, to: Side, out: &mut Vec<Packet>) {
+        self.inner.drain(to, out);
+    }
+
     fn pending(&self, to: Side) -> usize {
         self.inner.pending(to)
+    }
+
+    fn batch_stats(&self) -> Option<crate::transport::BatchStats> {
+        self.inner.batch_stats()
     }
 }
 

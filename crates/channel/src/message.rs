@@ -115,16 +115,36 @@ impl Packet {
         self.payload
     }
 
+    /// Exclusive access to the payload words — crate-internal so wrapper
+    /// layers (the reliable transport's ack refresh) can patch header words
+    /// in place without re-allocating the frame.
+    pub(crate) fn payload_mut(&mut self) -> &mut [u32] {
+        &mut self.payload
+    }
+
     /// Number of words this packet occupies on the wire (tag + payload).
     pub fn wire_words(&self) -> u64 {
         1 + self.payload.len() as u64
     }
 
+    /// Appends the packet's wire words (tag first) to `out` — the
+    /// allocation-free sibling of [`to_wire`](Self::to_wire). Callers own the
+    /// scratch buffer and reuse it across packets, so steady-state encoding
+    /// never touches the heap once the buffer has grown to the working set.
+    pub fn encode_into(&self, out: &mut Vec<u32>) {
+        out.reserve(1 + self.payload.len());
+        out.push(self.tag.encode());
+        out.extend_from_slice(&self.payload);
+    }
+
     /// Serializes to raw wire words (tag first).
+    ///
+    /// Allocates a fresh vector per call; hot paths use
+    /// [`encode_into`](Self::encode_into) with a reused scratch buffer
+    /// instead.
     pub fn to_wire(&self) -> Vec<u32> {
         let mut w = Vec::with_capacity(self.payload.len() + 1);
-        w.push(self.tag.encode());
-        w.extend_from_slice(&self.payload);
+        self.encode_into(&mut w);
         w
     }
 
@@ -132,8 +152,71 @@ impl Packet {
     ///
     /// Returns `None` on an empty slice or unknown tag.
     pub fn from_wire(words: &[u32]) -> Option<Packet> {
+        PacketView::parse(words).map(|v| v.to_packet())
+    }
+}
+
+/// A borrowed decode of raw wire words: the tag plus a payload *slice* into
+/// the caller's buffer. Decoding through a view costs nothing; the copy (if
+/// one is needed at all) happens only when the caller materializes a
+/// [`Packet`], and can then target a pooled buffer.
+///
+/// # Example
+///
+/// ```
+/// use predpkt_channel::{Packet, PacketTag, PacketView};
+/// let wire = Packet::new(PacketTag::Burst, vec![1, 2, 3]).to_wire();
+/// let view = PacketView::parse(&wire).unwrap();
+/// assert_eq!(view.tag(), PacketTag::Burst);
+/// assert_eq!(view.payload(), &[1, 2, 3]);
+/// assert_eq!(view.wire_words(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    tag: PacketTag,
+    payload: &'a [u32],
+}
+
+impl<'a> PacketView<'a> {
+    /// Borrows a decode of `words` (tag word first).
+    ///
+    /// Returns `None` on an empty slice or unknown tag — the same inputs
+    /// [`Packet::from_wire`] rejects.
+    pub fn parse(words: &'a [u32]) -> Option<PacketView<'a>> {
         let (&tag_word, payload) = words.split_first()?;
-        Some(Packet::new(PacketTag::decode(tag_word)?, payload.to_vec()))
+        Some(PacketView {
+            tag: PacketTag::decode(tag_word)?,
+            payload,
+        })
+    }
+
+    /// The message tag.
+    pub fn tag(&self) -> PacketTag {
+        self.tag
+    }
+
+    /// The borrowed payload words (tag not included).
+    pub fn payload(&self) -> &'a [u32] {
+        self.payload
+    }
+
+    /// Number of words the packet occupies on the wire (tag + payload).
+    pub fn wire_words(&self) -> u64 {
+        1 + self.payload.len() as u64
+    }
+
+    /// Materializes an owned [`Packet`], allocating a fresh payload.
+    pub fn to_packet(&self) -> Packet {
+        Packet::new(self.tag, self.payload.to_vec())
+    }
+
+    /// Materializes an owned [`Packet`] into `buf` (cleared first) — pair
+    /// with a [`BufferPool`](crate::BufferPool) to keep the decode path off
+    /// the allocator.
+    pub fn to_packet_into(&self, mut buf: Vec<u32>) -> Packet {
+        buf.clear();
+        buf.extend_from_slice(self.payload);
+        Packet::new(self.tag, buf)
     }
 }
 
@@ -191,5 +274,36 @@ mod tests {
     #[test]
     fn tag_display() {
         assert_eq!(PacketTag::Burst.to_string(), "Burst");
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_to_wire() {
+        let p = Packet::new(PacketTag::Burst, vec![5, 6]);
+        let mut scratch = vec![0xffff_ffff];
+        p.encode_into(&mut scratch);
+        assert_eq!(scratch[0], 0xffff_ffff, "existing contents are kept");
+        assert_eq!(&scratch[1..], p.to_wire().as_slice());
+    }
+
+    #[test]
+    fn view_parses_without_copying_and_roundtrips() {
+        let p = Packet::new(PacketTag::ReportFailure, vec![7, 8, 9]);
+        let wire = p.to_wire();
+        let view = PacketView::parse(&wire).unwrap();
+        assert_eq!(view.tag(), p.tag());
+        assert_eq!(view.payload(), p.payload());
+        assert_eq!(view.wire_words(), p.wire_words());
+        assert_eq!(view.to_packet(), p);
+        // Materializing into a reused buffer keeps its capacity.
+        let buf = Vec::with_capacity(64);
+        let rebuilt = view.to_packet_into(buf);
+        assert_eq!(rebuilt, p);
+        assert!(rebuilt.payload().len() <= 64);
+    }
+
+    #[test]
+    fn view_rejects_what_from_wire_rejects() {
+        assert_eq!(PacketView::parse(&[]), None);
+        assert_eq!(PacketView::parse(&[0x1234_5678, 1]), None);
     }
 }

@@ -1,0 +1,205 @@
+//! A free-list buffer pool for the packet hot path.
+//!
+//! The paper's premise is that channel traffic dominates co-emulation cost —
+//! so the host-side packet path should not add a heap allocation per packet
+//! on top. [`BufferPool`] is a minimal free list of `Vec<u32>` payload
+//! buffers: layers that consume packets (the reliable transport draining
+//! acked frames, decoders retiring consumed frames) release the buffers
+//! here, and layers that produce packets (frame encoders, decode
+//! materialization) acquire them back. Once the pool has warmed to the
+//! working set, steady-state send/recv runs entirely off the free list.
+//!
+//! The pool is deliberately not shared or locked: each transport layer owns
+//! its own pool, matching the per-side ownership of the endpoints
+//! themselves.
+//!
+//! # Example
+//!
+//! ```
+//! use predpkt_channel::BufferPool;
+//! let mut pool = BufferPool::new();
+//! let mut buf = pool.acquire(); // first acquire is a miss
+//! buf.extend_from_slice(&[1, 2, 3]);
+//! pool.release(buf);
+//! let again = pool.acquire(); // reuses the buffer: a hit, and cleared
+//! assert!(again.is_empty());
+//! assert_eq!(pool.stats().hits, 1);
+//! assert_eq!(pool.stats().misses, 1);
+//! ```
+
+/// Counters describing how well a [`BufferPool`] is feeding its users.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the free list (no allocation).
+    pub hits: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the free list.
+    pub recycled: u64,
+    /// Returned buffers dropped because the free list was at capacity.
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served without allocating (`None` before the
+    /// first acquire). A warmed steady-state hot path sits at ~1.0.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Default cap on retained free buffers: enough for a full reliable window
+/// per direction plus in-flight decodes, small enough that a burst never
+/// pins unbounded memory.
+pub const DEFAULT_POOL_RETAIN: usize = 64;
+
+/// A free list of reusable `Vec<u32>` payload buffers.
+///
+/// Buffers are always handed out **empty** (cleared on release, so a stale
+/// payload can never leak into a fresh packet) but keep their capacity, which
+/// is the entire point: after warm-up, `acquire` is a pop and `release` is a
+/// push.
+///
+/// Double-leasing is impossible by construction — `acquire` transfers
+/// ownership of the `Vec` out of the pool, and `release` moves it back.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u32>>,
+    max_free: usize,
+    stats: PoolStats,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// A pool retaining up to [`DEFAULT_POOL_RETAIN`] free buffers.
+    pub fn new() -> Self {
+        Self::with_retain(DEFAULT_POOL_RETAIN)
+    }
+
+    /// A pool retaining up to `max_free` free buffers; returns beyond the cap
+    /// drop the buffer instead of growing the list.
+    pub fn with_retain(max_free: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_free,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Takes an empty buffer — off the free list when one is available, a
+    /// fresh allocation otherwise.
+    pub fn acquire(&mut self) -> Vec<u32> {
+        match self.free.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty(), "released buffers are cleared");
+                self.stats.hits += 1;
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list, clearing it first (capacity is
+    /// kept). Beyond the retain cap the buffer is dropped.
+    pub fn release(&mut self, mut buf: Vec<u32>) {
+        if self.free.len() >= self.max_free {
+            self.stats.dropped += 1;
+            return;
+        }
+        buf.clear();
+        self.stats.recycled += 1;
+        self.free.push(buf);
+    }
+
+    /// Buffers currently on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The pool's hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_miss_then_hit_reuses_capacity() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.acquire();
+        assert_eq!(pool.stats().misses, 1);
+        buf.extend_from_slice(&[9; 100]);
+        let cap = buf.capacity();
+        pool.release(buf);
+        assert_eq!(pool.free_len(), 1);
+        let again = pool.acquire();
+        assert_eq!(pool.stats().hits, 1);
+        assert!(again.is_empty(), "released buffers are cleared");
+        assert!(again.capacity() >= cap, "capacity survives the round trip");
+    }
+
+    #[test]
+    fn no_double_lease_two_acquires_are_distinct_buffers() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.acquire();
+        let mut b = pool.acquire();
+        a.push(1);
+        b.push(2);
+        assert_eq!(a, vec![1]);
+        assert_eq!(b, vec![2]);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.free_len(), 2);
+        // Draining the free list twice hands each buffer out exactly once.
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.free_len(), 0);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn retain_cap_drops_excess_returns() {
+        let mut pool = BufferPool::with_retain(2);
+        for _ in 0..4 {
+            pool.release(vec![1, 2, 3]);
+        }
+        assert_eq!(pool.free_len(), 2);
+        assert_eq!(pool.stats().recycled, 2);
+        assert_eq!(pool.stats().dropped, 2);
+    }
+
+    #[test]
+    fn hit_rate_converges_to_one_in_steady_state() {
+        let mut pool = BufferPool::new();
+        // Warm-up: one miss.
+        let buf = pool.acquire();
+        pool.release(buf);
+        for _ in 0..99 {
+            let buf = pool.acquire();
+            pool.release(buf);
+        }
+        let rate = pool.stats().hit_rate().unwrap();
+        assert!(
+            rate >= 0.99,
+            "steady state must run off the free list: {rate}"
+        );
+        assert_eq!(pool.stats().misses, 1, "only the cold start allocates");
+    }
+
+    #[test]
+    fn hit_rate_is_none_before_first_acquire() {
+        assert_eq!(BufferPool::new().stats().hit_rate(), None);
+    }
+}

@@ -9,12 +9,25 @@
 //!
 //! Design points:
 //!
-//! * **Framing.** Every protocol packet is wrapped into a
-//!   [`PacketTag::RelData`] frame `[seq, orig_tag, crc, payload...]`; receipts
-//!   travel as [`PacketTag::RelAck`] frames `[ack_seq, crc]` carrying the
-//!   receiver's next expected sequence number (cumulative). A frame whose CRC
-//!   or layout check fails is discarded and healed by retransmission, so
-//!   truncation faults never reach the protocol decoder.
+//! * **Framing with piggybacked acks.** Every protocol packet is wrapped into
+//!   a [`PacketTag::RelData`] frame `[seq, ack, orig_tag, crc, payload...]`
+//!   whose `ack` word carries the sender's cumulative acknowledgement for the
+//!   *reverse* direction — when data is flowing, acknowledgements ride on it
+//!   for free instead of paying a channel access each. A standalone
+//!   [`PacketTag::RelAck`] frame `[ack_seq, crc]` is emitted only when the
+//!   receiving side goes idle (a fruitless receive poll) while still owing
+//!   one. Cumulative acks are idempotent, so a stale piggybacked value is
+//!   harmless. A frame whose CRC or layout check fails is discarded and
+//!   healed by retransmission, so truncation faults never reach the protocol
+//!   decoder.
+//! * **Zero-copy hot path.** Frame payloads are drawn from a free-list
+//!   [`BufferPool`](crate::BufferPool) fed by consumed inbound frames,
+//!   acknowledged outbound frames, and the protocol packets the layer
+//!   swallows; transmissions (first sends, window refills, go-back-N bursts)
+//!   go to the inner transport **by reference** ([`Transport::send_ref`] /
+//!   [`Transport::send_batch_ref`]), so the steady-state path neither clones
+//!   frames nor allocates, and a retransmission burst coalesces into one
+//!   physical write on batching backends.
 //! * **Virtual-time retransmission clock.** The layer keeps its own
 //!   [`VirtualTime`] clock, advanced by [`ReliableConfig::poll_tick`] on
 //!   every fruitless receive poll (the caller models blocking by polling, so
@@ -72,16 +85,17 @@
 use crate::cost::{ChannelCostModel, Direction, Side};
 use crate::knob::KnobError;
 use crate::message::{Packet, PacketTag};
-use crate::transport::{Transport, WaitTransport};
+use crate::pool::{BufferPool, PoolStats};
+use crate::transport::{BatchStats, Transport, WaitTransport};
 use predpkt_sim::VirtualTime;
 use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Words a [`PacketTag::RelData`] frame adds on top of the wrapped packet's
-/// own wire words: the sequence number, the original tag, and the CRC (the
-/// `RelData` tag word replaces the original tag word, which rides in the
-/// payload instead).
-pub const DATA_HEADER_WORDS: u64 = 3;
+/// own wire words: the sequence number, the piggybacked cumulative ack for
+/// the reverse direction, the original tag, and the CRC (the `RelData` tag
+/// word replaces the original tag word, which rides in the payload instead).
+pub const DATA_HEADER_WORDS: u64 = 4;
 
 /// Tuning knobs of a [`ReliableTransport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +103,10 @@ pub struct ReliableConfig {
     /// Maximum unacknowledged frames per direction; further sends queue in an
     /// unbounded backlog until the window opens.
     pub window: usize,
-    /// Retransmissions allowed per frame before the layer gives up and
-    /// records a [`RetryExhausted`] failure.
+    /// Go-back-N rounds a frame may fail as the *oldest unacknowledged*
+    /// frame before the layer gives up and records a [`RetryExhausted`]
+    /// failure (frames deeper in the window retransmit alongside without
+    /// being charged — they did not cause the stall).
     pub retry_budget: u32,
     /// Virtual time a frame may stay unacknowledged before go-back-N
     /// retransmission fires.
@@ -171,8 +187,12 @@ impl ReliableConfig {
 pub struct RecoveryStats {
     /// Data frames retransmitted after an RTO expiry.
     pub retransmits: u64,
-    /// Acknowledgement frames sent.
+    /// Acknowledgement obligations satisfied: standalone [`PacketTag::RelAck`]
+    /// frames plus acks piggybacked on outgoing data frames.
     pub acks_sent: u64,
+    /// The subset of [`acks_sent`](Self::acks_sent) that rode an outgoing
+    /// data frame instead of paying for a standalone ack access.
+    pub acks_piggybacked: u64,
     /// Already-delivered frames received again and discarded.
     pub duplicates_suppressed: u64,
     /// Frames discarded for CRC or layout violations.
@@ -195,10 +215,18 @@ impl RecoveryStats {
         self.retransmits + self.duplicates_suppressed + self.crc_rejects + self.out_of_order_drops
     }
 
+    /// Fraction of acknowledgements that rode data frames for free (`None`
+    /// before the first ack). High when traffic is bidirectional — the
+    /// batching/piggyback efficiency figure benches report.
+    pub fn ack_piggyback_ratio(&self) -> Option<f64> {
+        (self.acks_sent > 0).then(|| self.acks_piggybacked as f64 / self.acks_sent as f64)
+    }
+
     /// Merges another block into this one (per-side threaded instances).
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.retransmits += other.retransmits;
         self.acks_sent += other.acks_sent;
+        self.acks_piggybacked += other.acks_piggybacked;
         self.duplicates_suppressed += other.duplicates_suppressed;
         self.crc_rejects += other.crc_rejects;
         self.out_of_order_drops += other.out_of_order_drops;
@@ -271,6 +299,11 @@ struct RecvState {
     next_expected: u32,
     /// Decoded original packets ready for [`Transport::recv`].
     deliverable: VecDeque<Packet>,
+    /// The receiving side owes the data sender an acknowledgement. Cleared
+    /// when a cumulative ack goes out — piggybacked on a data frame when
+    /// traffic is flowing, or as a standalone frame on the receiver's next
+    /// idle poll.
+    ack_pending: bool,
 }
 
 /// Sequence-numbered ack-and-retransmit wrapper turning any inner transport —
@@ -293,6 +326,10 @@ pub struct ReliableTransport<T: Transport> {
     recv: [RecvState; 2],
     stats: RecoveryStats,
     failure: Option<RetryExhausted>,
+    /// Free list feeding the frame-encode and decode paths: consumed inbound
+    /// frames, acknowledged outbound frames, and swallowed protocol packets
+    /// all return their buffers here. Steady state runs allocation-free.
+    pool: BufferPool,
 }
 
 fn sender_of(direction: Direction) -> Side {
@@ -321,6 +358,7 @@ impl<T: Transport> ReliableTransport<T> {
             recv: Default::default(),
             stats: RecoveryStats::default(),
             failure: None,
+            pool: BufferPool::new(),
         }
     }
 
@@ -370,31 +408,73 @@ impl<T: Transport> ReliableTransport<T> {
         self.inner
     }
 
-    fn encode_data(seq: u32, packet: &Packet) -> Packet {
+    /// The pool's hit/miss counters — the steady-state zero-allocation
+    /// property, observable (and asserted by tests/benches).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Frames the packet into a `[seq, ack, orig_tag, crc, payload...]`
+    /// `RelData` frame, drawing the frame buffer from the pool.
+    fn encode_data(&mut self, seq: u32, ack: u32, packet: &Packet) -> Packet {
         let tag_word = packet.tag().encode();
-        let mut payload = Vec::with_capacity(3 + packet.payload().len());
+        let mut payload = self.pool.acquire();
+        payload.reserve(DATA_HEADER_WORDS as usize + packet.payload().len());
         payload.push(seq);
+        payload.push(ack);
         payload.push(tag_word);
-        payload.push(crc32_parts(&[seq, tag_word], packet.payload()));
+        payload.push(crc32_parts(&[seq, ack, tag_word], packet.payload()));
         payload.extend_from_slice(packet.payload());
         Packet::new(PacketTag::RelData, payload)
     }
 
-    fn decode_data(frame: &Packet) -> Option<(u32, Packet)> {
+    /// Validates a `RelData` frame and borrows its parts — `(seq,
+    /// piggybacked ack, wrapped tag, wrapped payload)`. No copy happens
+    /// here: the caller materializes the wrapped packet only for frames it
+    /// actually delivers (duplicates and gap frames are discarded from the
+    /// borrow).
+    fn parse_data(frame: &Packet) -> Option<(u32, u32, PacketTag, &[u32])> {
         let p = frame.payload();
-        if p.len() < 3 {
+        if p.len() < DATA_HEADER_WORDS as usize {
             return None;
         }
-        let (seq, tag_word, crc) = (p[0], p[1], p[2]);
+        let (seq, ack, tag_word, crc) = (p[0], p[1], p[2], p[3]);
         let tag = PacketTag::decode(tag_word)?;
-        if crc32_parts(&[seq, tag_word], &p[3..]) != crc {
+        if crc32_parts(&[seq, ack, tag_word], &p[4..]) != crc {
             return None;
         }
-        Some((seq, Packet::new(tag, p[3..].to_vec())))
+        Some((seq, ack, tag, &p[4..]))
     }
 
-    fn encode_ack(ack_seq: u32) -> Packet {
-        Packet::new(PacketTag::RelAck, vec![ack_seq, crc32(&[ack_seq])])
+    /// [`parse_data`](Self::parse_data) plus materialization through the
+    /// pool — the full decode, kept for the codec round-trip tests.
+    #[cfg(test)]
+    fn decode_data(&mut self, frame: &Packet) -> Option<(u32, u32, Packet)> {
+        let (seq, ack, tag, payload) = Self::parse_data(frame)?;
+        let mut buf = self.pool.acquire();
+        buf.extend_from_slice(payload);
+        Some((seq, ack, Packet::new(tag, buf)))
+    }
+
+    /// Rewrites the piggybacked ack word of an already-encoded data frame
+    /// (and its CRC) in place — transmissions always carry the *current*
+    /// cumulative ack, however long the frame sat in the backlog or window.
+    fn refresh_frame_ack(frame: &mut Packet, ack: u32) {
+        let p = frame.payload_mut();
+        debug_assert!(p.len() >= DATA_HEADER_WORDS as usize);
+        if p[1] == ack {
+            return;
+        }
+        p[1] = ack;
+        let crc = crc32_parts(&[p[0], ack, p[2]], &p[DATA_HEADER_WORDS as usize..]);
+        p[3] = crc;
+    }
+
+    fn encode_ack(&mut self, ack_seq: u32) -> Packet {
+        let mut payload = self.pool.acquire();
+        payload.push(ack_seq);
+        payload.push(crc32(&[ack_seq]));
+        Packet::new(PacketTag::RelAck, payload)
     }
 
     fn decode_ack(frame: &Packet) -> Option<u32> {
@@ -405,79 +485,145 @@ impl<T: Transport> ReliableTransport<T> {
         Some(p[0])
     }
 
-    /// Pushes `frame` onto the wire from `from`. Returns the wire words and
-    /// the cost-model access cost so callers can bill recovery overhead.
-    fn transmit(&mut self, from: Side, frame: Packet) -> (u64, VirtualTime) {
+    /// Sends a standalone cumulative ack from `from` (the receiving domain)
+    /// back toward the data sender, billing it as pure recovery overhead.
+    fn send_ack(&mut self, from: Side, ack_seq: u32) {
+        let frame = self.encode_ack(ack_seq);
         let words = frame.wire_words();
         let cost = self.cost_model.access_cost(from.outbound(), words);
-        self.inner.send(from, frame);
-        (words, cost)
-    }
-
-    /// Sends a cumulative ack from `from` (the receiving domain) back toward
-    /// the data sender, billing it as pure recovery overhead.
-    fn send_ack(&mut self, from: Side, ack_seq: u32) {
-        let (words, cost) = self.transmit(from, Self::encode_ack(ack_seq));
+        self.inner.send_ref(from, &frame);
+        self.pool.release(frame.into_payload());
         self.stats.acks_sent += 1;
         self.stats.overhead_words += words;
         self.stats.overhead_time += cost;
     }
 
+    /// Emits the standalone ack `from` still owes, if any — called on
+    /// fruitless polls (idle time), so an ack that found no data frame to
+    /// ride is never delayed past one poll tick.
+    fn flush_pending_ack(&mut self, from: Side) {
+        let in_dir = from.peer().outbound();
+        if !self.recv[in_dir.index()].ack_pending {
+            return;
+        }
+        self.recv[in_dir.index()].ack_pending = false;
+        let ack_seq = self.recv[in_dir.index()].next_expected;
+        self.send_ack(from, ack_seq);
+    }
+
     /// Moves backlogged frames of `direction` onto the wire while the window
-    /// has room.
+    /// has room, stamping each with the current cumulative ack (clearing any
+    /// pending ack obligation for free) and handing the whole refill to the
+    /// inner transport as one by-reference batch.
     fn fill_window(&mut self, direction: Direction) {
         let from = sender_of(direction);
-        loop {
-            let state = &mut self.send[direction.index()];
-            if state.unacked.len() >= self.config.window {
-                return;
+        let in_dir = from.peer().outbound();
+        let ack_now = self.recv[in_dir.index()].next_expected;
+        let idx = direction.index();
+        let start = {
+            let state = &mut self.send[idx];
+            let start = state.unacked.len();
+            while state.unacked.len() < self.config.window {
+                let Some(mut inflight) = state.backlog.pop_front() else {
+                    break;
+                };
+                inflight.sent_at = self.now;
+                Self::refresh_frame_ack(&mut inflight.frame, ack_now);
+                state.unacked.push_back(inflight);
             }
-            let Some(mut inflight) = state.backlog.pop_front() else {
-                return;
-            };
-            self.transmit(from, inflight.frame.clone());
-            inflight.sent_at = self.now;
-            self.send[direction.index()].unacked.push_back(inflight);
+            start
+        };
+        if self.send[idx].unacked.len() == start {
+            return;
         }
+        if self.recv[in_dir.index()].ack_pending {
+            // These frames carry the current cumulative ack: the obligation
+            // is satisfied without a standalone ack frame.
+            self.recv[in_dir.index()].ack_pending = false;
+            self.stats.acks_sent += 1;
+            self.stats.acks_piggybacked += 1;
+        }
+        self.inner.send_batch_ref(
+            from,
+            &mut self.send[idx].unacked.range(start..).map(|f| &f.frame),
+        );
     }
 
     fn handle_data(&mut self, to: Side, frame: &Packet) {
         let in_dir = to.peer().outbound();
-        let Some((seq, original)) = Self::decode_data(frame) else {
+        let Some((seq, ack, tag, payload)) = Self::parse_data(frame) else {
             self.stats.crc_rejects += 1;
             return;
         };
+        let in_order = seq == self.recv[in_dir.index()].next_expected;
+        // Materialize the wrapped packet only when it will be delivered;
+        // duplicates and gap frames are discarded straight from the borrow
+        // (the go-back-N recovery path would otherwise pay a full payload
+        // copy per retransmitted frame).
+        let original = in_order.then(|| {
+            let mut buf = self.pool.acquire();
+            buf.extend_from_slice(payload);
+            Packet::new(tag, buf)
+        });
+        // The piggybacked cumulative ack covers the direction `to` sends in.
+        self.apply_ack(to, ack);
         let state = &mut self.recv[in_dir.index()];
-        if seq == state.next_expected {
+        if let Some(original) = original {
             state.next_expected = state.next_expected.wrapping_add(1);
             state.deliverable.push_back(original);
-        } else if seq.wrapping_sub(state.next_expected) > u32::MAX / 2 {
-            // seq < next_expected (mod 2^32): already delivered.
-            self.stats.duplicates_suppressed += 1;
+            // Owe the sender an ack; on the hot path it rides the next
+            // outgoing data frame (or a standalone frame on the next idle
+            // poll) — deferring is safe because in-order delivery means the
+            // sender is not starving.
+            state.ack_pending = true;
         } else {
-            // A gap: an earlier frame is still missing; go-back-N discards.
-            self.stats.out_of_order_drops += 1;
+            // An abnormal frame is evidence the sender has timed out and is
+            // retransmitting: answer with the cumulative ack *immediately*
+            // (covering any deferred obligation too), so a lossy link gets
+            // one ack opportunity per arriving frame — not one per idle
+            // cycle — and the retry budget is never burned by our own ack
+            // frugality.
+            if seq.wrapping_sub(state.next_expected) > u32::MAX / 2 {
+                // seq < next_expected (mod 2^32): already delivered.
+                self.stats.duplicates_suppressed += 1;
+            } else {
+                // A gap: an earlier frame is still missing; go-back-N
+                // discards.
+                self.stats.out_of_order_drops += 1;
+            }
+            let ack_seq = self.recv[in_dir.index()].next_expected;
+            self.recv[in_dir.index()].ack_pending = false;
+            self.send_ack(to, ack_seq);
         }
-        let ack_seq = self.recv[in_dir.index()].next_expected;
-        self.send_ack(to, ack_seq);
     }
 
-    fn handle_ack(&mut self, to: Side, frame: &Packet) {
+    /// Releases acknowledged frames of the direction `to` sends in and
+    /// refills the window.
+    fn apply_ack(&mut self, to: Side, ack: u32) {
         let out_dir = to.outbound();
-        let Some(ack) = Self::decode_ack(frame) else {
-            self.stats.crc_rejects += 1;
-            return;
-        };
         let state = &mut self.send[out_dir.index()];
+        let mut advanced = false;
         while let Some(front) = state.unacked.front() {
             if front.seq.wrapping_sub(ack) > u32::MAX / 2 {
                 // front.seq < ack (mod 2^32): acknowledged.
-                state.unacked.pop_front();
+                let inflight = state.unacked.pop_front().expect("front exists");
+                self.pool.release(inflight.frame.into_payload());
+                advanced = true;
             } else {
                 break;
             }
         }
-        self.fill_window(out_dir);
+        if advanced {
+            self.fill_window(out_dir);
+        }
+    }
+
+    fn handle_ack(&mut self, to: Side, frame: &Packet) {
+        let Some(ack) = Self::decode_ack(frame) else {
+            self.stats.crc_rejects += 1;
+            return;
+        };
+        self.apply_ack(to, ack);
     }
 
     /// Drains every packet the inner transport holds for `side`, sorting
@@ -485,8 +631,14 @@ impl<T: Transport> ReliableTransport<T> {
     fn drain_for(&mut self, side: Side) {
         while let Some(frame) = self.inner.recv(side) {
             match frame.tag() {
-                PacketTag::RelData => self.handle_data(side, &frame),
-                PacketTag::RelAck => self.handle_ack(side, &frame),
+                PacketTag::RelData => {
+                    self.handle_data(side, &frame);
+                    self.pool.release(frame.into_payload());
+                }
+                PacketTag::RelAck => {
+                    self.handle_ack(side, &frame);
+                    self.pool.release(frame.into_payload());
+                }
                 // Unframed traffic (an inner transport shared with raw users)
                 // passes through untouched.
                 _ => {
@@ -508,7 +660,10 @@ impl<T: Transport> ReliableTransport<T> {
     }
 
     /// Retransmits timed-out frames (go-back-N) in every direction this
-    /// instance sends, abandoning directions whose budget is exhausted.
+    /// instance sends, abandoning directions whose budget is exhausted. The
+    /// whole go-back-N burst is refreshed (current cumulative ack) and handed
+    /// to the inner transport as **one** by-reference batch — no clones, and
+    /// one physical write on batching backends.
     fn pump_timeouts(&mut self) {
         for direction in Direction::BOTH {
             let state = &self.send[direction.index()];
@@ -518,12 +673,29 @@ impl<T: Transport> ReliableTransport<T> {
             if self.now - front.sent_at < self.config.rto {
                 continue;
             }
-            if front.retries >= self.config.retry_budget {
+            let (front_seq, front_retries) = (front.seq, front.retries);
+            if self.recv[direction.index()].ack_pending {
+                // Shared-scope guard: this very instance is also the
+                // receiver for `direction` and still owes its cumulative ack
+                // (delayed to ride reverse data that never came). Flush it
+                // now; and when it covers the expired frame — the frame was
+                // in fact delivered, the "timeout" is our own ack delay —
+                // skip the retransmission outright. (Per-side instances
+                // never receive in the direction they send, so none of this
+                // fires for them.)
+                let next_expected = self.recv[direction.index()].next_expected;
+                let delivered = front_seq.wrapping_sub(next_expected) > u32::MAX / 2;
+                self.flush_pending_ack(sender_of(direction).peer());
+                if delivered {
+                    continue;
+                }
+            }
+            if front_retries >= self.config.retry_budget {
                 if self.failure.is_none() {
                     self.failure = Some(RetryExhausted {
                         direction,
-                        seq: front.seq,
-                        retries: front.retries,
+                        seq: front_seq,
+                        retries: front_retries,
                     });
                 }
                 let state = &mut self.send[direction.index()];
@@ -532,47 +704,88 @@ impl<T: Transport> ReliableTransport<T> {
                 continue;
             }
             let from = sender_of(direction);
-            let count = self.send[direction.index()].unacked.len();
-            for i in 0..count {
-                let frame = self.send[direction.index()].unacked[i].frame.clone();
-                let (words, cost) = self.transmit(from, frame);
-                let inflight = &mut self.send[direction.index()].unacked[i];
-                inflight.sent_at = self.now;
-                inflight.retries += 1;
-                self.stats.retransmits += 1;
-                self.stats.overhead_words += words;
-                self.stats.overhead_time += cost;
+            let in_dir = from.peer().outbound();
+            let ack_now = self.recv[in_dir.index()].next_expected;
+            let idx = direction.index();
+            let now = self.now;
+            let count = self.send[idx].unacked.len() as u64;
+            let mut words_total = 0u64;
+            let mut time_total = VirtualTime::ZERO;
+            for (i, inflight) in self.send[idx].unacked.iter_mut().enumerate() {
+                Self::refresh_frame_ack(&mut inflight.frame, ack_now);
+                inflight.sent_at = now;
+                if i == 0 {
+                    // The budget is charged against the *front* frame only
+                    // (TCP-style): exhaustion means the oldest unacknowledged
+                    // frame failed `retry_budget` consecutive rounds, not
+                    // that the window was merely congested that often —
+                    // frames deep in a go-back-N window must not inherit
+                    // retries from stalls they did not cause.
+                    inflight.retries += 1;
+                }
+                let words = inflight.frame.wire_words();
+                words_total += words;
+                time_total += self.cost_model.access_cost(direction, words);
             }
+            self.stats.retransmits += count;
+            self.stats.overhead_words += words_total;
+            self.stats.overhead_time += time_total;
+            if self.recv[in_dir.index()].ack_pending {
+                self.recv[in_dir.index()].ack_pending = false;
+                self.stats.acks_sent += 1;
+                self.stats.acks_piggybacked += 1;
+            }
+            self.inner
+                .send_batch_ref(from, &mut self.send[idx].unacked.iter().map(|f| &f.frame));
         }
+    }
+
+    /// Frames `packet` (swallowing its buffer into the pool) and appends it
+    /// to the direction's backlog, billing the header overhead. The caller
+    /// refills the window afterwards — once per packet for a lone send, once
+    /// per batch for [`Transport::send_batch`].
+    fn enqueue_frame(&mut self, from: Side, packet: Packet) {
+        let out_dir = from.outbound();
+        let in_dir = from.peer().outbound();
+        let seq = {
+            let state = &mut self.send[out_dir.index()];
+            let seq = state.next_seq;
+            state.next_seq = state.next_seq.wrapping_add(1);
+            seq
+        };
+        let ack = self.recv[in_dir.index()].next_expected;
+        let frame = self.encode_data(seq, ack, &packet);
+        self.pool.release(packet.into_payload());
+        // The protocol already billed the original packet through its costed
+        // channel; the framing header is the recovery layer's own traffic.
+        self.stats.overhead_words += DATA_HEADER_WORDS;
+        self.stats.overhead_time += self.cost_model.per_word(out_dir) * DATA_HEADER_WORDS;
+        self.send[out_dir.index()].backlog.push_back(InFlight {
+            seq,
+            frame,
+            sent_at: VirtualTime::ZERO,
+            retries: 0,
+        });
     }
 }
 
 impl<T: Transport> Transport for ReliableTransport<T> {
     fn send(&mut self, from: Side, packet: Packet) {
-        let out_dir = from.outbound();
-        let state = &mut self.send[out_dir.index()];
-        let seq = state.next_seq;
-        state.next_seq = state.next_seq.wrapping_add(1);
-        let frame = Self::encode_data(seq, &packet);
-        // The protocol already billed the original packet through its costed
-        // channel; the framing header is the recovery layer's own traffic.
-        self.stats.overhead_words += DATA_HEADER_WORDS;
-        self.stats.overhead_time += self.cost_model.per_word(out_dir) * DATA_HEADER_WORDS;
-        let state = &mut self.send[out_dir.index()];
-        let window_open = state.unacked.len() < self.config.window && state.backlog.is_empty();
-        let mut inflight = InFlight {
-            seq,
-            frame,
-            sent_at: VirtualTime::ZERO,
-            retries: 0,
-        };
-        if window_open {
-            self.transmit(from, inflight.frame.clone());
-            inflight.sent_at = self.now;
-            self.send[out_dir.index()].unacked.push_back(inflight);
-        } else {
-            self.send[out_dir.index()].backlog.push_back(inflight);
+        self.enqueue_frame(from, packet);
+        self.fill_window(from.outbound());
+    }
+
+    fn send_batch(&mut self, from: Side, packets: &mut Vec<Packet>) {
+        if packets.is_empty() {
+            return;
         }
+        for packet in packets.drain(..) {
+            self.enqueue_frame(from, packet);
+        }
+        // One window refill for the whole batch: every frame the window
+        // admits leaves in a single inner batch (one physical write on
+        // batching backends), with the cumulative ack piggybacked once.
+        self.fill_window(from.outbound());
     }
 
     fn recv(&mut self, to: Side) -> Option<Packet> {
@@ -582,9 +795,32 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             return Some(packet);
         }
         // Nothing deliverable: the caller is polling, i.e. time is passing.
+        // The timeout pump runs first (its shared-scope guard turns an
+        // expiry caused by our own delayed ack into that ack, not a
+        // retransmission); any ack still owed then goes out standalone.
         self.now += self.config.poll_tick;
         self.pump_timeouts();
+        self.flush_pending_ack(to);
         None
+    }
+
+    fn drain(&mut self, to: Side, out: &mut Vec<Packet>) {
+        self.drain_inner(to);
+        let in_dir = to.peer().outbound();
+        let deliverable = &mut self.recv[in_dir.index()].deliverable;
+        if deliverable.is_empty() {
+            // An empty drain is one fruitless poll: let the retransmission
+            // clock advance, then flush owed acks (same order as `recv`).
+            self.now += self.config.poll_tick;
+            self.pump_timeouts();
+            self.flush_pending_ack(to);
+            return;
+        }
+        out.extend(self.recv[in_dir.index()].deliverable.drain(..));
+    }
+
+    fn batch_stats(&self) -> Option<BatchStats> {
+        self.inner.batch_stats()
     }
 
     /// Logical packets still owed to `to`: decoded-but-unconsumed deliveries
@@ -609,8 +845,12 @@ impl<T: WaitTransport> WaitTransport for ReliableTransport<T> {
         }
         let got = self.inner.wait_for_packet(timeout);
         // Like a delivering recv poll, a wait that produced a packet is not
-        // idle time; only a timed-out wait advances the RTO clock.
+        // idle time; only a timed-out wait advances the RTO clock (and, being
+        // idle, flushes any ack still owed by this instance's side).
         if !got {
+            if let Some(side) = self.scope {
+                self.flush_pending_ack(side);
+            }
             self.now += self.config.poll_tick;
             self.pump_timeouts();
         }
@@ -647,39 +887,68 @@ mod tests {
         }
     }
 
+    fn fresh() -> ReliableTransport<QueueTransport> {
+        ReliableTransport::new(
+            QueueTransport::new(),
+            ReliableConfig::default(),
+            ChannelCostModel::iprove_pci(),
+        )
+    }
+
     #[test]
-    fn data_frame_roundtrip() {
+    fn data_frame_roundtrip_carries_seq_and_piggybacked_ack() {
+        let mut t = fresh();
         let original = Packet::new(PacketTag::Burst, vec![9, 8, 7]);
-        let frame = ReliableTransport::<QueueTransport>::encode_data(5, &original);
+        let frame = t.encode_data(5, 3, &original);
         assert_eq!(frame.tag(), PacketTag::RelData);
         assert_eq!(
             frame.wire_words(),
             original.wire_words() + DATA_HEADER_WORDS
         );
-        let (seq, decoded) = ReliableTransport::<QueueTransport>::decode_data(&frame).unwrap();
+        let (seq, ack, decoded) = t.decode_data(&frame).unwrap();
         assert_eq!(seq, 5);
+        assert_eq!(ack, 3);
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn refreshing_the_piggybacked_ack_keeps_the_frame_valid() {
+        let mut t = fresh();
+        let original = Packet::new(PacketTag::CycleOutputs, vec![4, 5, 6]);
+        let mut frame = t.encode_data(9, 0, &original);
+        ReliableTransport::<QueueTransport>::refresh_frame_ack(&mut frame, 42);
+        let (seq, ack, decoded) = t.decode_data(&frame).expect("refreshed CRC must hold");
+        assert_eq!(seq, 9);
+        assert_eq!(ack, 42);
         assert_eq!(decoded, original);
     }
 
     #[test]
     fn corrupted_data_frame_rejected() {
+        let mut t = fresh();
         let original = Packet::new(PacketTag::CycleOutputs, vec![1, 2]);
-        let frame = ReliableTransport::<QueueTransport>::encode_data(0, &original);
+        let frame = t.encode_data(0, 0, &original);
         // Flip a payload bit.
         let mut words = frame.payload().to_vec();
         *words.last_mut().unwrap() ^= 1;
         let bad = Packet::new(PacketTag::RelData, words);
-        assert!(ReliableTransport::<QueueTransport>::decode_data(&bad).is_none());
+        assert!(t.decode_data(&bad).is_none());
         // Truncate the last word (what LossyTransport does).
         let mut words = frame.payload().to_vec();
         words.pop();
         let truncated = Packet::new(PacketTag::RelData, words);
-        assert!(ReliableTransport::<QueueTransport>::decode_data(&truncated).is_none());
+        assert!(t.decode_data(&truncated).is_none());
+        // Corrupting the piggybacked ack word is caught too.
+        let mut words = frame.payload().to_vec();
+        words[1] ^= 1;
+        let bad_ack = Packet::new(PacketTag::RelData, words);
+        assert!(t.decode_data(&bad_ack).is_none());
     }
 
     #[test]
     fn ack_frame_roundtrip_and_rejection() {
-        let ack = ReliableTransport::<QueueTransport>::encode_ack(77);
+        let mut t = fresh();
+        let ack = t.encode_ack(77);
         assert_eq!(
             ReliableTransport::<QueueTransport>::decode_ack(&ack),
             Some(77)

@@ -95,13 +95,28 @@ pub const SEND_TIMEOUT: Duration = Duration::from_secs(10);
 const DEFAULT_CHUNK_WORDS: u32 = 256;
 
 /// Bounded spin iterations in [`WaitTransport::wait_for_packet`] before the
-/// waiter starts parking. Shared-memory latency is sub-microsecond, so a
-/// short spin catches the common case without burning a core.
-const SPIN_POLLS: u32 = 64;
+/// waiter starts parking, for backings whose poll is a couple of atomic
+/// loads (the heap region). Shared-memory latency is sub-microsecond but the
+/// *peer's turnaround* (stepping its model between messages) is a few
+/// microseconds — the spin is sized to cover that window, because the first
+/// sleep costs two orders of magnitude more than the spin itself.
+const SPIN_POLLS: u32 = 1024;
 
-/// Park slice while blocked: short enough that a cleared liveness flag (peer
-/// dropped) wakes the waiter promptly, long enough not to busy-wake.
-const PARK_SLICE: Duration = Duration::from_micros(500);
+/// Spin budget for backings whose poll costs syscalls (the `/dev/shm` file
+/// region, a positioned read per control word): long spins would turn every
+/// blocked wait into a pread storm, so the waiter parks early instead.
+const SPIN_POLLS_SYSCALL: u32 = 16;
+
+/// Park slice while blocked: short enough that a reply (or a cleared
+/// liveness flag — peer dropped) wakes the waiter with little added latency,
+/// long enough not to busy-wake. Dominates the ring's observed round-trip
+/// latency whenever the spin window is missed, so it is kept near the OS
+/// sleep granularity.
+const PARK_SLICE: Duration = Duration::from_micros(50);
+
+/// Park slice for syscall-poll backings (each wake costs positioned reads):
+/// coarser, trading wake latency for syscall pressure.
+const PARK_SLICE_SYSCALL: Duration = Duration::from_micros(250);
 
 /// Why a shared-memory ring operation failed.
 ///
@@ -239,6 +254,9 @@ trait RingBacking: Send + Sync {
     fn alive(&self, side: Side) -> Result<bool, RingError>;
     /// Flips `side`'s attachment flag.
     fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError>;
+    /// Whether polling this backing is a couple of atomic loads (spin hard)
+    /// rather than syscalls (park early).
+    fn poll_is_cheap(&self) -> bool;
 }
 
 /// One directional SPSC ring of the heap backing.
@@ -366,6 +384,10 @@ impl RingBacking for HeapBacking {
     fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
         self.region.alive[side_index(side)].store(v, Ordering::Release);
         Ok(())
+    }
+
+    fn poll_is_cheap(&self) -> bool {
+        true
     }
 }
 
@@ -538,6 +560,10 @@ mod file_backing {
         fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
             self.write_word(W_ALIVE + side_index(side) as u64, u32::from(v))
         }
+
+        fn poll_is_cheap(&self) -> bool {
+            false
+        }
     }
 
     impl Drop for FileBacking {
@@ -674,6 +700,14 @@ pub struct ShmEndpoint {
     /// See [`DEFAULT_CHUNK_WORDS`]; tests shrink it to place chunk seams at
     /// every offset inside a frame.
     chunk_words: u32,
+    /// Reused frame-encoding scratch: sends serialize into this word buffer
+    /// and publish it in one pass, so the
+    /// steady-state send path performs no heap allocation and a batch of
+    /// frames shares its head-counter publications.
+    out_scratch: Vec<u32>,
+    /// Frames vs head-counter publications issued (the batching win,
+    /// measured).
+    io_stats: crate::transport::BatchStats,
 }
 
 impl fmt::Debug for ShmEndpoint {
@@ -707,6 +741,8 @@ impl ShmEndpoint {
             peer_closed: false,
             send_timeout: SEND_TIMEOUT,
             chunk_words: DEFAULT_CHUNK_WORDS,
+            out_scratch: Vec::new(),
+            io_stats: crate::transport::BatchStats::default(),
         }
     }
 
@@ -861,9 +897,42 @@ impl ShmEndpoint {
                 .write_data(ring, slot, &words[written..written + n])?;
             self.out_head = self.out_head.wrapping_add(n as u32);
             self.backing.set_head(ring, self.out_head)?;
+            self.io_stats.physical_writes += 1;
             written += n;
         }
         Ok(())
+    }
+
+    /// Appends `packet` as ring words (length prefix, tag word, payload
+    /// words) to `scratch`. Returns `false` — recording the sticky
+    /// [`RingError::Oversized`] — when the frame can never fit the ring.
+    fn encode_ring_frame(&mut self, packet: &Packet, scratch: &mut Vec<u32>) -> bool {
+        let wire_words = packet.wire_words();
+        let frame_words = wire_words + 1;
+        if frame_words > u64::from(self.backing.capacity())
+            || wire_words > u64::from(tcp::MAX_FRAME_WORDS)
+        {
+            self.record_error(RingError::Oversized {
+                words: frame_words.min(u64::from(u32::MAX)) as u32,
+            });
+            return false;
+        }
+        scratch.push(wire_words as u32);
+        packet.encode_into(scratch);
+        true
+    }
+
+    /// Publishes the encoded frames in `scratch` — `frames` of them — into
+    /// the outbound ring, recording the first failure as the sticky error.
+    fn push_scratch(&mut self, scratch: &[u32], frames: u64) {
+        if frames == 0 {
+            return;
+        }
+        self.io_stats.frames += frames;
+        let mut deadline = None;
+        if let Err(e) = self.push_words(scratch, &mut deadline) {
+            self.record_error(e);
+        }
     }
 
     /// Drains every published inbound word through the frame decoder into
@@ -927,31 +996,46 @@ impl ShmEndpoint {
 
 impl Transport for ShmEndpoint {
     fn send(&mut self, from: Side, packet: Packet) {
+        self.send_ref(from, &packet);
+    }
+
+    /// A lone send is the one-element batch (single shared body — the
+    /// error-guard/scratch/publish sequence lives in `send_batch_ref`
+    /// alone).
+    fn send_ref(&mut self, from: Side, packet: &Packet) {
+        self.send_batch_ref(from, &mut std::iter::once(packet));
+    }
+
+    fn send_batch(&mut self, from: Side, packets: &mut Vec<Packet>) {
+        self.send_batch_ref(from, &mut packets.iter());
+        packets.clear();
+    }
+
+    /// Coalesces the whole batch into the scratch buffer and publishes it in
+    /// one publication pass: consecutive frames share head-counter
+    /// publications (one release-store per [`chunk
+    /// words`](Self::set_chunk_words) slice) instead of paying at least one
+    /// per frame.
+    fn send_batch_ref(&mut self, from: Side, packets: &mut dyn Iterator<Item = &Packet>) {
         debug_assert_eq!(from, self.side, "endpoints send from their own side");
         if self.error.is_some() {
-            // The ring is wedged or corrupt: like a physical channel with no
-            // receiver, the packet is lost on the floor (mirrors the socket
-            // endpoint).
             return;
         }
-        // The TCP frame layout, produced as ring words: length prefix, then
-        // tag word and payload (`tcp::write_frame` emits exactly these words
-        // as little-endian bytes).
-        let wire = packet.to_wire();
-        let frame_words = 1 + wire.len() as u32;
-        if frame_words > self.backing.capacity()
-            || wire.len() as u64 > u64::from(tcp::MAX_FRAME_WORDS)
-        {
-            self.record_error(RingError::Oversized { words: frame_words });
-            return;
+        let mut scratch = std::mem::take(&mut self.out_scratch);
+        scratch.clear();
+        let mut frames = 0u64;
+        for packet in packets {
+            if !self.encode_ring_frame(packet, &mut scratch) {
+                // Oversized mid-batch: the offender is dropped with the
+                // sticky error recorded (every later send would be dropped
+                // too); frames already encoded still go out, matching the
+                // sequential path.
+                break;
+            }
+            frames += 1;
         }
-        let mut words = Vec::with_capacity(frame_words as usize);
-        words.push(wire.len() as u32);
-        words.extend_from_slice(&wire);
-        let mut deadline = None;
-        if let Err(e) = self.push_words(&words, &mut deadline) {
-            self.record_error(e);
-        }
+        self.push_scratch(&scratch, frames);
+        self.out_scratch = scratch;
     }
 
     fn recv(&mut self, to: Side) -> Option<Packet> {
@@ -968,6 +1052,10 @@ impl Transport for ShmEndpoint {
     fn pending(&self, to: Side) -> usize {
         debug_assert_eq!(to, self.side, "endpoints count for their own side");
         self.ready.len()
+    }
+
+    fn batch_stats(&self) -> Option<crate::transport::BatchStats> {
+        Some(self.io_stats)
     }
 }
 
@@ -990,8 +1078,15 @@ impl WaitTransport for ShmEndpoint {
         }
         let deadline = Instant::now() + timeout;
         // Bounded spin: shared-memory handoffs complete in well under a
-        // microsecond, so most waits resolve here without a sleep.
-        for _ in 0..SPIN_POLLS {
+        // microsecond and the peer's turnaround in a few, so most waits
+        // resolve here without a sleep (budget per backing: hard spin on
+        // atomic-load polls, a token spin on syscall polls).
+        let spins = if self.backing.poll_is_cheap() {
+            SPIN_POLLS
+        } else {
+            SPIN_POLLS_SYSCALL
+        };
+        for _ in 0..spins {
             std::hint::spin_loop();
             self.poll();
             if !self.ready.is_empty() {
@@ -1005,12 +1100,17 @@ impl WaitTransport for ShmEndpoint {
         // peer's liveness flag, so a dropped peer (which clears its flag on
         // Drop) wakes this waiter within one slice rather than letting it
         // sleep out a long timeout.
+        let park = if self.backing.poll_is_cheap() {
+            PARK_SLICE
+        } else {
+            PARK_SLICE_SYSCALL
+        };
         loop {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            thread::sleep(PARK_SLICE.min(deadline - now));
+            thread::sleep(park.min(deadline - now));
             self.poll();
             if !self.ready.is_empty() {
                 return true;

@@ -134,6 +134,20 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Appends `packet` as one length-prefixed frame (prefix, tag word, payload
+/// words, all little-endian) to `out` — the allocation-free encoder the
+/// endpoint's batch path is built on: callers reuse one scratch buffer for
+/// any number of frames and issue a single write.
+pub fn encode_frame_into(out: &mut Vec<u8>, packet: &Packet) {
+    let words = packet.wire_words() as u32;
+    out.reserve(4 * (words as usize + 1));
+    out.extend_from_slice(&words.to_le_bytes());
+    out.extend_from_slice(&packet.tag().encode().to_le_bytes());
+    for word in packet.payload() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+}
+
 /// Serializes `packet` as one length-prefixed frame into `w`.
 ///
 /// # Errors
@@ -141,12 +155,8 @@ impl From<io::Error> for FrameError {
 /// Propagates the writer's I/O errors; the frame is written with a single
 /// `write_all`, so short writes surface rather than corrupt the stream.
 pub fn write_frame(w: &mut impl Write, packet: &Packet) -> io::Result<()> {
-    let words = packet.to_wire();
-    let mut bytes = Vec::with_capacity(4 * (words.len() + 1));
-    bytes.extend_from_slice(&(words.len() as u32).to_le_bytes());
-    for word in &words {
-        bytes.extend_from_slice(&word.to_le_bytes());
-    }
+    let mut bytes = Vec::new();
+    encode_frame_into(&mut bytes, packet);
     w.write_all(&bytes)
 }
 
@@ -236,8 +246,16 @@ fn decode_body(body: &[u8]) -> Result<Packet, FrameError> {
 /// ```
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: VecDeque<u8>,
+    /// Flat receive buffer; bytes before `pos` are already consumed. The
+    /// consumed prefix is compacted away opportunistically (cheap `memmove`
+    /// amortized over many frames) rather than per frame — the decode path
+    /// itself performs no per-frame buffer shuffling or intermediate copies.
+    buf: Vec<u8>,
+    pos: usize,
 }
+
+/// Compact the decoder's consumed prefix once it exceeds this many bytes.
+const DECODER_COMPACT_BYTES: usize = 64 * 1024;
 
 impl FrameDecoder {
     /// An empty decoder.
@@ -247,60 +265,76 @@ impl FrameDecoder {
 
     /// Appends freshly received bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend(bytes);
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= DECODER_COMPACT_BYTES {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The undecoded bytes.
+    fn available(&self) -> &[u8] {
+        &self.buf[self.pos..]
     }
 
     /// True when buffered bytes form part of an unfinished frame — an EOF in
     /// this state is a truncation, not a clean close.
     pub fn is_mid_frame(&self) -> bool {
-        !self.buf.is_empty()
+        !self.available().is_empty()
     }
 
     /// Bytes buffered but not yet decoded.
     pub fn buffered_bytes(&self) -> usize {
-        self.buf.len()
+        self.available().len()
     }
 
     /// Bytes still owed before the partially buffered frame completes (0 at
     /// a frame boundary, or when the buffered prefix is itself malformed —
     /// [`next_frame`](Self::next_frame) surfaces the typed error for that).
     pub fn missing_bytes(&self) -> usize {
-        if self.buf.is_empty() {
+        let avail = self.available();
+        if avail.is_empty() {
             return 0;
         }
-        if self.buf.len() < 4 {
-            return 4 - self.buf.len();
+        if avail.len() < 4 {
+            return 4 - avail.len();
         }
-        let prefix: Vec<u8> = self.buf.iter().take(4).copied().collect();
-        let words = u32::from_le_bytes(prefix.try_into().unwrap());
+        let words = u32::from_le_bytes(avail[..4].try_into().unwrap());
         match frame_body_len(words) {
-            Ok(body_len) => (4 + body_len).saturating_sub(self.buf.len()),
+            Ok(body_len) => (4 + body_len).saturating_sub(avail.len()),
             Err(_) => 0,
         }
     }
 
     /// Decodes the next complete frame, `Ok(None)` when more bytes are
-    /// needed.
+    /// needed. The frame body is decoded straight out of the receive buffer —
+    /// no intermediate byte copy.
     ///
     /// # Errors
     ///
-    /// The codec's [`FrameError`]s for malformed prefixes or tag words. The
-    /// decoder does not resynchronize after an error: a corrupted
-    /// length-prefixed stream has no recoverable framing, so the connection
-    /// should be torn down.
+    /// The codec's [`FrameError`]s for malformed prefixes or tag words.
+    /// Errors are **sticky**: the offending bytes are not consumed, so every
+    /// subsequent call reports the same error again (and frames behind it
+    /// stay unreachable). The decoder deliberately does not resynchronize —
+    /// a corrupted length-prefixed stream has no recoverable framing — so
+    /// the caller must treat the first error as fatal and tear the
+    /// connection down.
     pub fn next_frame(&mut self) -> Result<Option<Packet>, FrameError> {
-        if self.buf.len() < 4 {
+        let avail = self.available();
+        if avail.len() < 4 {
             return Ok(None);
         }
-        let prefix: Vec<u8> = self.buf.iter().take(4).copied().collect();
-        let words = u32::from_le_bytes(prefix.try_into().unwrap());
+        let words = u32::from_le_bytes(avail[..4].try_into().unwrap());
         let body_len = frame_body_len(words)?;
-        if self.buf.len() < 4 + body_len {
+        if avail.len() < 4 + body_len {
             return Ok(None);
         }
-        self.buf.drain(..4);
-        let body: Vec<u8> = self.buf.drain(..body_len).collect();
-        decode_body(&body).map(Some)
+        let packet = decode_body(&avail[4..4 + body_len])?;
+        self.pos += 4 + body_len;
+        Ok(Some(packet))
     }
 }
 
@@ -346,6 +380,12 @@ pub struct TcpEndpoint {
     error: Option<FrameError>,
     /// The peer closed its write half cleanly.
     peer_closed: bool,
+    /// Reused frame-encoding scratch: sends serialize into this buffer and
+    /// issue one `write_all`, so the steady-state send path performs no heap
+    /// allocation and a batch of frames costs one syscall.
+    wbuf: Vec<u8>,
+    /// Frames vs physical writes issued (the batching win, measured).
+    io_stats: crate::transport::BatchStats,
 }
 
 impl TcpEndpoint {
@@ -391,7 +431,25 @@ impl TcpEndpoint {
             ready: VecDeque::new(),
             error: None,
             peer_closed: false,
+            wbuf: Vec::new(),
+            io_stats: crate::transport::BatchStats::default(),
         })
+    }
+
+    /// Flushes the encoded frames in `wbuf` — `frames` of them — as one
+    /// physical write, recording the first failure as the sticky error.
+    fn write_wbuf(&mut self, frames: u64) {
+        if frames == 0 {
+            return;
+        }
+        // recv polling may have left the socket non-blocking; writes must not
+        // short-circuit mid-frame.
+        let _ = self.stream.set_nonblocking(false);
+        self.io_stats.frames += frames;
+        self.io_stats.physical_writes += 1;
+        if let Err(e) = self.stream.write_all(&self.wbuf) {
+            self.error = Some(e.into());
+        }
     }
 
     /// Which side this endpoint belongs to.
@@ -529,18 +587,36 @@ impl TcpEndpoint {
 
 impl Transport for TcpEndpoint {
     fn send(&mut self, from: Side, packet: Packet) {
+        self.send_ref(from, &packet);
+    }
+
+    /// A lone send is the one-element batch (single shared body — the
+    /// error-guard/scratch/write sequence lives in `send_batch_ref` alone).
+    fn send_ref(&mut self, from: Side, packet: &Packet) {
+        self.send_batch_ref(from, &mut std::iter::once(packet));
+    }
+
+    fn send_batch(&mut self, from: Side, packets: &mut Vec<Packet>) {
+        self.send_batch_ref(from, &mut packets.iter());
+        packets.clear();
+    }
+
+    /// Coalesces the whole batch into the scratch buffer and issues **one**
+    /// physical write (`TCP_NODELAY` is on, so the segment leaves
+    /// immediately) — the per-frame-syscall cost of the sequential path
+    /// disappears.
+    fn send_batch_ref(&mut self, from: Side, packets: &mut dyn Iterator<Item = &Packet>) {
         debug_assert_eq!(from, self.side, "endpoints send from their own side");
         if self.error.is_some() {
-            // The stream is gone: like a physical channel with no receiver,
-            // the packet is lost on the floor (mirrors ThreadedEndpoint).
             return;
         }
-        // recv polling may have left the socket non-blocking; writes must not
-        // short-circuit mid-frame.
-        let _ = self.stream.set_nonblocking(false);
-        if let Err(e) = write_frame(&mut self.stream, &packet) {
-            self.error = Some(e.into());
+        self.wbuf.clear();
+        let mut frames = 0u64;
+        for packet in packets {
+            encode_frame_into(&mut self.wbuf, packet);
+            frames += 1;
         }
+        self.write_wbuf(frames);
     }
 
     fn recv(&mut self, to: Side) -> Option<Packet> {
@@ -558,6 +634,10 @@ impl Transport for TcpEndpoint {
     fn pending(&self, to: Side) -> usize {
         debug_assert_eq!(to, self.side, "endpoints count for their own side");
         self.ready.len()
+    }
+
+    fn batch_stats(&self) -> Option<crate::transport::BatchStats> {
+        Some(self.io_stats)
     }
 }
 

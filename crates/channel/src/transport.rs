@@ -7,12 +7,48 @@ use predpkt_sim::VirtualTime;
 use std::collections::VecDeque;
 use std::time::Duration;
 
+/// Physical-write efficiency counters of a batching transport.
+///
+/// Backends that coalesce frames — one socket write or one ring publication
+/// carrying several frames — report how many logical frames rode how many
+/// physical operations, so benches and the observer stream can show the
+/// batching win directly. Backends with no physical write concept (the
+/// in-process queues) report nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Logical frames handed to the physical medium.
+    pub frames: u64,
+    /// Physical operations issued (socket writes, ring head publications).
+    pub physical_writes: u64,
+}
+
+impl BatchStats {
+    /// Mean frames carried per physical operation (`None` before the first
+    /// write). 1.0 means no coalescing happened; higher is better.
+    pub fn frames_per_write(&self) -> Option<f64> {
+        (self.physical_writes > 0).then(|| self.frames as f64 / self.physical_writes as f64)
+    }
+
+    /// Merges another block into this one (per-side endpoints).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.frames += other.frames;
+        self.physical_writes += other.physical_writes;
+    }
+}
+
 /// Message-passing between the two co-emulation domains.
 ///
 /// A transport is *only* a mailbox: ordering is FIFO per direction, sends never
 /// block, and receives return `None` when no message is pending (the caller — the
 /// channel-wrapper state machine — models blocking by yielding to the peer
 /// domain). Costing and statistics live in [`CostedChannel`].
+///
+/// The batch hooks ([`send_batch`](Self::send_batch),
+/// [`send_batch_ref`](Self::send_batch_ref), [`drain`](Self::drain)) default
+/// to sequential sends/receives, so every implementation is batch-correct by
+/// construction; backends with a physical write concept override them to
+/// coalesce — the delivered packet sequence **must** stay bit-identical to
+/// the sequential path (the cross-transport conformance harness asserts it).
 pub trait Transport {
     /// Enqueues `packet` from `from` toward its peer.
     fn send(&mut self, from: Side, packet: Packet);
@@ -22,6 +58,45 @@ pub trait Transport {
 
     /// Number of packets currently queued toward `to`.
     fn pending(&self, to: Side) -> usize;
+
+    /// Sends `packet` by reference. Serializing backends (socket, ring)
+    /// override this to encode straight off the borrow; the default clones
+    /// for backends that must own the packet (in-process queues).
+    fn send_ref(&mut self, from: Side, packet: &Packet) {
+        self.send(from, packet.clone());
+    }
+
+    /// Sends every packet in `packets` (drained, preserving order) from
+    /// `from`. Override to coalesce the batch into one physical operation.
+    fn send_batch(&mut self, from: Side, packets: &mut Vec<Packet>) {
+        for packet in packets.drain(..) {
+            self.send(from, packet);
+        }
+    }
+
+    /// Sends a sequence of borrowed packets from `from`, preserving order.
+    /// The by-reference sibling of [`send_batch`](Self::send_batch), for
+    /// callers that must keep the packets (retransmission windows).
+    fn send_batch_ref(&mut self, from: Side, packets: &mut dyn Iterator<Item = &Packet>) {
+        for packet in packets {
+            self.send_ref(from, packet);
+        }
+    }
+
+    /// Moves every packet currently deliverable to `to` into `out`,
+    /// preserving order.
+    fn drain(&mut self, to: Side, out: &mut Vec<Packet>) {
+        while let Some(packet) = self.recv(to) {
+            out.push(packet);
+        }
+    }
+
+    /// Physical-write efficiency counters, for backends that coalesce frames
+    /// (`None` when the backend has no physical write concept). Wrappers
+    /// forward their inner transport's counters.
+    fn batch_stats(&self) -> Option<BatchStats> {
+        None
+    }
 }
 
 /// A [`Transport`] whose receiving end can block awaiting the next packet —
@@ -110,6 +185,14 @@ pub struct CostedChannel<T = QueueTransport> {
     transport: T,
     cost_model: ChannelCostModel,
     stats: ChannelStats,
+    /// When set, sends are billed immediately but parked in the outbox until
+    /// [`flush`](Self::flush) (or the next receive) pushes them to the
+    /// transport as one batch — the per-scheduling-slice coalescing the
+    /// threaded session runner uses. Billing order and amounts are identical
+    /// to the unbatched path, so statistics and ledgers cannot diverge.
+    batching: bool,
+    outbox: Vec<Packet>,
+    outbox_from: Option<Side>,
 }
 
 impl CostedChannel<QueueTransport> {
@@ -126,7 +209,33 @@ impl<T: Transport> CostedChannel<T> {
             transport,
             cost_model,
             stats: ChannelStats::new(),
+            batching: false,
+            outbox: Vec::new(),
+            outbox_from: None,
         }
+    }
+
+    /// Enables or disables outbox batching (disabled by default). While
+    /// enabled, sends are parked until [`flush`](Self::flush) — which every
+    /// [`recv`](Self::recv) performs first, so a caller that sends then polls
+    /// can never starve its peer. Disabling flushes whatever is parked.
+    pub fn set_batching(&mut self, batching: bool) {
+        self.batching = batching;
+        if !batching {
+            self.flush();
+        }
+    }
+
+    /// Pushes every parked packet to the transport as one
+    /// [`Transport::send_batch`]. A no-op when the outbox is empty.
+    pub fn flush(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let from = self
+            .outbox_from
+            .expect("a non-empty outbox records its sender");
+        self.transport.send_batch(from, &mut self.outbox);
     }
 
     /// Sends `packet` from `from`, returning the virtual-time cost of the access.
@@ -135,16 +244,33 @@ impl<T: Transport> CostedChannel<T> {
         let words = packet.wire_words();
         let cost = self.cost_model.access_cost(direction, words);
         self.stats.record(direction, words, cost);
-        self.transport.send(from, packet);
+        if self.batching {
+            if self.outbox_from != Some(from) {
+                // A new sender (shared-mailbox usage): flush the old side's
+                // packets first so per-direction FIFO order is preserved.
+                self.flush();
+                self.outbox_from = Some(from);
+            }
+            self.outbox.push(packet);
+        } else {
+            self.transport.send(from, packet);
+        }
         cost
     }
 
-    /// Receives the next packet addressed to `to`, if any.
+    /// Receives the next packet addressed to `to`, if any. Parked sends are
+    /// flushed first, so a send-then-poll caller cannot deadlock its peer.
     ///
     /// Receiving is free: the access was billed on the send side (the paper's
     /// model bills each channel access exactly once).
     pub fn recv(&mut self, to: Side) -> Option<Packet> {
+        self.flush();
         self.transport.recv(to)
+    }
+
+    /// The transport's physical-write efficiency counters, when it batches.
+    pub fn batch_stats(&self) -> Option<BatchStats> {
+        self.transport.batch_stats()
     }
 
     /// Number of packets pending toward `to`.
@@ -264,6 +390,93 @@ mod tests {
         let per_cycle = (c1 + c2).as_secs_f64() + 1.0e-6 + 0.1e-6; // + Tsim + Tacc
         let perf = 1.0 / per_cycle;
         assert!((perf - 38_900.0).abs() < 500.0, "perf = {perf}");
+    }
+
+    #[test]
+    fn batched_sends_bill_identically_and_deliver_on_flush() {
+        let mut plain = CostedChannel::new(ChannelCostModel::iprove_pci());
+        let mut batched = CostedChannel::new(ChannelCostModel::iprove_pci());
+        batched.set_batching(true);
+        for i in 0..5usize {
+            let c1 = plain.send(Side::Simulator, pkt(i));
+            let c2 = batched.send(Side::Simulator, pkt(i));
+            assert_eq!(c1, c2, "billing must not depend on batching");
+        }
+        assert_eq!(plain.stats(), batched.stats());
+        assert_eq!(
+            batched.transport().pending(Side::Accelerator),
+            0,
+            "parked until flush"
+        );
+        batched.flush();
+        assert_eq!(batched.transport().pending(Side::Accelerator), 5);
+        for i in 0..5usize {
+            assert_eq!(
+                batched.recv(Side::Accelerator).unwrap().payload().len(),
+                i,
+                "order preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_recv_flushes_first() {
+        let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
+        ch.set_batching(true);
+        ch.send(Side::Simulator, pkt(1));
+        // The packet is parked, but a receive pushes it out before polling —
+        // so a peer polling through the same channel sees it.
+        assert!(ch.recv(Side::Accelerator).is_some());
+    }
+
+    #[test]
+    fn disabling_batching_flushes() {
+        let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
+        ch.set_batching(true);
+        ch.send(Side::Simulator, pkt(2));
+        ch.set_batching(false);
+        assert_eq!(ch.transport().pending(Side::Accelerator), 1);
+    }
+
+    #[test]
+    fn default_batch_hooks_match_sequential_sends() {
+        let mut sequential = QueueTransport::new();
+        let mut batched = QueueTransport::new();
+        let packets: Vec<Packet> = (0..7)
+            .map(|i| Packet::new(PacketTag::CycleOutputs, vec![i; i as usize % 4]))
+            .collect();
+        for p in &packets {
+            sequential.send(Side::Simulator, p.clone());
+        }
+        let mut owned = packets.clone();
+        batched.send_batch(Side::Simulator, &mut owned);
+        assert!(owned.is_empty(), "send_batch drains its input");
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sequential.drain(Side::Accelerator, &mut a);
+        batched.drain(Side::Accelerator, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, packets);
+    }
+
+    #[test]
+    fn batch_stats_default_is_none() {
+        assert_eq!(QueueTransport::new().batch_stats(), None);
+        let merged = {
+            let mut s = BatchStats {
+                frames: 3,
+                physical_writes: 1,
+            };
+            s.merge(&BatchStats {
+                frames: 5,
+                physical_writes: 1,
+            });
+            s
+        };
+        assert_eq!(merged.frames, 8);
+        assert_eq!(merged.physical_writes, 2);
+        assert_eq!(merged.frames_per_write(), Some(4.0));
+        assert_eq!(BatchStats::default().frames_per_write(), None);
     }
 
     #[test]

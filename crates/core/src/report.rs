@@ -1,13 +1,14 @@
 //! Performance reports in the paper's Table 2 format.
 
 use crate::wrapper::CwStats;
-use predpkt_channel::{ChannelStats, RecoveryStats};
+use predpkt_channel::{BatchStats, ChannelStats, RecoveryStats};
 use predpkt_sim::{CostCategory, LedgerReport, TimeLedger, VirtualTime};
 use std::fmt;
 
 /// Everything measured about one co-emulation run, normalized per committed
-/// target cycle — the paper's Table 2 rows plus protocol statistics, and (for
-/// reliable-backend runs) the channel-recovery bill.
+/// target cycle — the paper's Table 2 rows plus protocol statistics, (for
+/// reliable-backend runs) the channel-recovery bill, and (for
+/// physically-batching backends) the frame-coalescing efficiency.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     ledger: LedgerReport,
@@ -15,6 +16,7 @@ pub struct PerfReport {
     sim: CwStats,
     acc: CwStats,
     recovery: Option<RecoveryStats>,
+    batch: Option<BatchStats>,
 }
 
 impl PerfReport {
@@ -31,12 +33,19 @@ impl PerfReport {
             sim,
             acc,
             recovery: None,
+            batch: None,
         }
     }
 
     /// Attaches the recovery bill of a reliable-backend run.
     pub(crate) fn with_recovery(mut self, recovery: RecoveryStats) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Attaches the frame-coalescing counters of a batching backend.
+    pub(crate) fn with_batch(mut self, batch: BatchStats) -> Self {
+        self.batch = Some(batch);
         self
     }
 
@@ -99,6 +108,24 @@ impl PerfReport {
         self.recovery.as_ref()
     }
 
+    /// Frame-coalescing counters, when the run used a physically-batching
+    /// backend (TCP, shared-memory ring): how many logical frames rode how
+    /// many physical writes.
+    pub fn batch(&self) -> Option<&BatchStats> {
+        self.batch.as_ref()
+    }
+
+    /// Mean frames per physical write, when the backend batches.
+    pub fn frames_per_physical_write(&self) -> Option<f64> {
+        self.batch.as_ref().and_then(|b| b.frames_per_write())
+    }
+
+    /// Fraction of reliability-layer acknowledgements that rode data frames
+    /// for free, when the run used a reliable backend.
+    pub fn ack_piggyback_ratio(&self) -> Option<f64> {
+        self.recovery.as_ref().and_then(|r| r.ack_piggyback_ratio())
+    }
+
     /// Total wire words actually billed: the protocol's channel words plus
     /// any reliability-layer overhead (headers, acks, retransmissions). On a
     /// faulty link this strictly exceeds [`ChannelStats::total_words`] of a
@@ -130,16 +157,27 @@ impl fmt::Display for PerfReport {
         if let Some(r) = &self.recovery {
             writeln!(
                 f,
-                "recovery: {} retransmits, {} acks, {} dups suppressed, {} crc rejects, \
-                 {} reorder drops; overhead {} words / {} (billed total {} words)",
+                "recovery: {} retransmits, {} acks ({} piggybacked), {} dups suppressed, \
+                 {} crc rejects, {} reorder drops; overhead {} words / {} \
+                 (billed total {} words)",
                 r.retransmits,
                 r.acks_sent,
+                r.acks_piggybacked,
                 r.duplicates_suppressed,
                 r.crc_rejects,
                 r.out_of_order_drops,
                 r.overhead_words,
                 r.overhead_time,
                 self.billed_words()
+            )?;
+        }
+        if let Some(b) = &self.batch {
+            writeln!(
+                f,
+                "batching: {} frames over {} physical writes ({:.2} frames/write)",
+                b.frames,
+                b.physical_writes,
+                b.frames_per_write().unwrap_or(0.0)
             )?;
         }
         Ok(())

@@ -67,7 +67,7 @@ use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress}
 use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
-    ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
+    BatchStats, ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
     RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, ShmEndpoint, ShmTransport,
     Side, TcpEndpoint, TcpTransport, ThreadedEndpoint, ThreadedTransport, Transport, WaitTransport,
     DEFAULT_RING_WORDS,
@@ -849,6 +849,27 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
         }
     }
 
+    /// Physical-write efficiency counters (frames per socket write / ring
+    /// publication), when the backend coalesces frames — the two-endpoint
+    /// backends (TCP, shm), merged across both sides, directly or under the
+    /// lossy/reliable wrappers. `None` for backends with no physical write
+    /// concept (queue, lossy-over-queue, mpsc).
+    pub fn batch_stats(&self) -> Option<BatchStats> {
+        fn merged<T: Transport>(a: Option<BatchStats>, b: &CostedChannel<T>) -> Option<BatchStats> {
+            match (a, b.batch_stats()) {
+                (Some(mut a), Some(b)) => {
+                    a.merge(&b);
+                    Some(a)
+                }
+                (a, b) => a.or(b),
+            }
+        }
+        with_inner!(&self.inner, |c| c.transport().batch_stats(), |t| merged(
+            t.sim_ch.batch_stats(),
+            &t.acc_ch
+        ))
+    }
+
     /// Simulator-side wrapper statistics.
     pub fn sim_stats(&self) -> &CwStats {
         with_inner!(&self.inner, |c| c.sim_stats(), |t| t.sim.stats())
@@ -884,8 +905,12 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
             t.sim.stats().clone(),
             t.acc.stats().clone(),
         ));
-        match self.recovery_stats() {
+        let report = match self.recovery_stats() {
             Some(recovery) => report.with_recovery(recovery),
+            None => report,
+        };
+        match self.batch_stats() {
+            Some(batch) => report.with_batch(batch),
             None => report,
         }
     }
@@ -1030,11 +1055,22 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
         acc_end: E,
     ) -> Self {
         let (sim, acc) = crate::coemu::build_wrapper_pair(sim_model, acc_model, &config);
+        let mut sim_ch = CostedChannel::with_transport(sim_end, config.channel);
+        let mut acc_ch = CostedChannel::with_transport(acc_end, config.channel);
+        // Per-scheduling-slice batching: a domain's sends are parked in the
+        // channel outbox and flushed when the domain next reads the channel
+        // or blocks — consecutive messages (a report followed by the next
+        // transition's opener) coalesce into one physical write. Billing is
+        // identical to the unbatched path, so traces, statistics, and
+        // ledgers stay bit-identical to the queue baseline (the conformance
+        // harness asserts exactly that).
+        sim_ch.set_batching(true);
+        acc_ch.set_batching(true);
         ThreadedSession {
             sim,
             acc,
-            sim_ch: CostedChannel::with_transport(sim_end, config.channel),
-            acc_ch: CostedChannel::with_transport(acc_end, config.channel),
+            sim_ch,
+            acc_ch,
             sim_ledger: TimeLedger::new(),
             acc_ledger: TimeLedger::new(),
             config,
@@ -1130,6 +1166,10 @@ fn run_side<M: DomainModel, E: WaitTransport>(
         if wrapper.at_transition_boundary() && wrapper.cycle() >= target {
             if !halted {
                 halted = true;
+                // The final message of the run (e.g. the closing report) may
+                // still sit in the batching outbox: push it out before
+                // lingering, or the peer would starve into a deadlock.
+                ch.flush();
                 done.fetch_add(1, Ordering::AcqRel);
             }
             if done.load(Ordering::Acquire) >= 2 {

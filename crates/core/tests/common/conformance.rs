@@ -22,7 +22,7 @@
 // remainder must not trip `-D warnings`.
 #![allow(dead_code)]
 
-use predpkt_channel::{ChannelStats, FaultSpec, RecoveryStats};
+use predpkt_channel::{BatchStats, ChannelStats, FaultSpec, RecoveryStats};
 use predpkt_core::{
     CoEmuConfig, EmuSession, ModePolicy, ReliableInner, ShmOptions, TcpOptions, ThreadedOpts,
     TransportSelect,
@@ -156,6 +156,8 @@ pub struct Observed {
     pub faults_injected: u64,
     /// Protocol words plus recovery overhead (the honest bill).
     pub billed_words: u64,
+    /// Frame-coalescing counters, for physically-batching backends.
+    pub batch: Option<BatchStats>,
 }
 
 /// Runs `workload` over `backend` and captures everything the conformance
@@ -188,6 +190,7 @@ pub fn run_workload(backend: TransportSelect, workload: &Workload) -> Observed {
         recovery: session.recovery_stats(),
         faults_injected: session.fault_stats().map_or(0, |f| f.total()),
         billed_words: report.billed_words(),
+        batch: session.batch_stats(),
     }
 }
 
@@ -274,6 +277,11 @@ pub fn assert_clean_reliable_invariants(
         workload.name
     );
     assert!(
+        recovery.acks_piggybacked <= recovery.acks_sent,
+        "{}/{name}: piggybacked acks are a subset of all acks",
+        workload.name
+    );
+    assert!(
         observed.billed_words > baseline.billed_words,
         "{}/{name}: headers and acks are honest overhead even on a clean link \
          ({} vs clean {})",
@@ -297,6 +305,30 @@ pub fn assert_workload_conformance(workload: &Workload) {
             "{}/{name}: a fault-free plan must fire nothing",
             workload.name
         );
+        // Physically-batching backends (socket, ring — bare or wrapped)
+        // report coalescing counters; every frame the protocol billed must
+        // have hit the medium, and never in more writes than frames.
+        if let Some(batch) = observed.batch {
+            assert!(
+                batch.frames > 0,
+                "{}/{name}: a batching backend moved no frames?",
+                workload.name
+            );
+            // (No `writes <= frames` bound: the ring publishes large frames
+            // in chunk-sized slices, so one big burst can take several head
+            // publications.)
+            assert!(
+                batch.physical_writes > 0,
+                "{}/{name}: frames moved without physical writes? ({batch:?})",
+                workload.name
+            );
+        } else {
+            assert!(
+                !name.contains("tcp") && !name.contains("shm"),
+                "{}/{name}: socket/ring backends must report batch stats",
+                workload.name
+            );
+        }
         if observed.recovery.is_some() {
             assert_clean_reliable_invariants(workload, name, &base, &observed);
         } else {

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Bench-artifact trend gate.
+
+Compares this run's ``BENCH_*.json`` artifacts against recent history and
+fails when a headline wall-clock figure regresses beyond the threshold. Used
+by CI's ``bench-artifacts`` job (see ``.github/workflows/ci.yml``); runs
+identically by hand:
+
+    python3 scripts/bench_trend.py <history-dir> <current-dir> [--threshold X]
+
+Noise model — loopback wall clock on shared runners is both jittery and
+*bimodal* (thread-pair placement can swing a backend's wall by ~50% with no
+code change), so a single-sample, single-baseline gate would flake:
+
+* **Current value** per backend = the minimum across this run's samples: the
+  main ``BENCH_<name>.json`` plus any ``BENCH_<stem>.sample*.json`` the job
+  recorded (CI runs each loopback bin twice). One fast-mode sample is enough
+  to prove the code can still hit the old figure.
+* **Baseline** per backend = the median across the newest
+  ``HISTORY_KEEP`` runs in ``<history-dir>/<stem>/``, so one slow-mode
+  historical run cannot poison the reference.
+* **History update**: on a passing gate the best-of-samples figures are
+  appended to history (pruned to ``HISTORY_KEEP``), so a slow-mode passing
+  run cannot drag the baseline upward. A failing gate leaves history
+  untouched, so a genuine regression stays red instead of becoming the new
+  baseline.
+* No history at all (first run, expired cache): warn, pass, and seed.
+
+Gated figures: per-backend ``wall_us`` in ``tcp_loopback``/``shm_loopback``
+(matched by backend name — adding or removing a backend never trips the
+gate). ``recovery_sweep`` rows are virtual-model outputs (bit-stable by
+construction) and are listed for context only. Writes a markdown delta table
+to ``$GITHUB_STEP_SUMMARY`` when set.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+# name -> (gated metric, allowed fractional regression). The TCP loopback
+# threshold sits above the ~50% bimodal thread-placement swing recorded in
+# ROADMAP.md (wall flips between ~7.3 ms and ~11 ms per process with no code
+# change); the shm rows are mode-stable and keep the tight gate.
+GATED = {
+    "BENCH_tcp_loopback.json": ("wall_us", 0.60),
+    "BENCH_shm_loopback.json": ("wall_us", 0.25),
+}
+CONTEXT_ONLY = ["BENCH_recovery_sweep.json"]
+HISTORY_KEEP = 5
+
+
+def load_rows(path: Path):
+    """Returns {backend-or-fault-name: row} for one artifact, or None."""
+    if not path.is_file():
+        return None
+    with open(path) as f:
+        data = json.load(f)
+    key = "backend" if data["rows"] and "backend" in data["rows"][0] else "fault"
+    return {row[key]: row for row in data["rows"]}
+
+
+def current_samples(current: Path, name: str):
+    """All of this run's sample dicts for `name` (main artifact first)."""
+    stem = Path(name).stem
+    paths = [current / name] + sorted(current.glob(f"{stem}.sample*.json"))
+    return [rows for p in paths if (rows := load_rows(p)) is not None]
+
+
+def history_files(history: Path, name: str):
+    """The newest HISTORY_KEEP history snapshots for `name`."""
+    return sorted((history / Path(name).stem).glob("*.json"))[-HISTORY_KEEP:]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("history", type=Path, help="history directory (one subdir per bench)")
+    parser.add_argument("current", type=Path, help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="override every bench's regression threshold (default: per-bench)")
+    args = parser.parse_args()
+
+    lines = ["## Bench trend vs recent history", ""]
+    regressions = []
+    compared = 0
+
+    for name, (metric, bench_threshold) in GATED.items():
+        threshold = args.threshold if args.threshold is not None else bench_threshold
+        samples = current_samples(args.current, name)
+        if not samples:
+            print(f"{name}: missing from current run", file=sys.stderr)
+            return 2
+        snapshots = [load_rows(p) for p in history_files(args.history, name)]
+        snapshots = [s for s in snapshots if s]
+        if not snapshots:
+            lines.append(f"**{name}**: no history — nothing to gate against (first run?)")
+            print(f"{name}: no history; skipping (warn)")
+            continue
+        lines += [
+            f"**{name}** (best-of-{len(samples)} samples on `{metric}` vs "
+            f"median-of-{len(snapshots)} history, threshold +{threshold:.0%})",
+            "", "| backend | baseline | current | delta |", "|---|---|---|---|",
+        ]
+        for backend in samples[0]:
+            values = [s[backend][metric] for s in samples if backend in s]
+            history_values = [s[backend][metric] for s in snapshots
+                              if backend in s and metric in s[backend]]
+            if not history_values:
+                lines.append(f"| {backend} | — | {min(values)} | new |")
+                continue
+            current_best = min(values)
+            baseline = statistics.median(history_values)
+            compared += 1
+            delta = (current_best - baseline) / baseline if baseline else 0.0
+            marker = ""
+            if delta > threshold:
+                regressions.append(
+                    f"{name}:{backend} {metric} {baseline} -> {current_best} (+{delta:.1%})"
+                )
+                marker = " ❌"
+            lines.append(f"| {backend} | {baseline:g} | {current_best} | {delta:+.1%}{marker} |")
+        lines.append("")
+
+    for name in CONTEXT_ONLY:
+        cur = load_rows(args.current / name)
+        if cur is not None:
+            lines.append(f"**{name}**: {len(cur)} rows (virtual-model figures, not wall-gated)")
+
+    summary = "\n".join(lines)
+    print(summary)
+    if step_summary := os.environ.get("GITHUB_STEP_SUMMARY"):
+        with open(step_summary, "a") as f:
+            f.write(summary + "\n")
+
+    if regressions:
+        print("\nwall-clock regressions beyond threshold (history left untouched):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+
+    # Passing gate: append this run's figures to history (per backend, the
+    # best across samples — a slow-mode passing run must not drag the median
+    # baseline upward) and prune.
+    run_id = os.environ.get("GITHUB_RUN_ID") or str(int(time.time()))
+    for name, (metric, _) in GATED.items():
+        samples = current_samples(args.current, name)
+        with open(args.current / name) as f:
+            data = json.load(f)
+        for row in data["rows"]:
+            backend = row.get("backend", row.get("fault"))
+            row[metric] = min(s[backend][metric] for s in samples if backend in s)
+        dest = args.history / Path(name).stem
+        dest.mkdir(parents=True, exist_ok=True)
+        with open(dest / f"{int(run_id):020d}.json", "w") as f:
+            json.dump(data, f)
+        for stale in sorted(dest.glob("*.json"))[:-HISTORY_KEEP]:
+            stale.unlink()
+    print(f"\ntrend gate passed ({compared} rows compared); history updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
