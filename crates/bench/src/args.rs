@@ -1,0 +1,155 @@
+//! Shared CLI handling and `BENCH_*.json` emission for the bench binaries.
+//!
+//! Every bin accepts the same surface: `--quick` (the reduced-iteration
+//! configuration CI's bench-artifacts job runs), `--json` (also write
+//! `BENCH_<name>.json` in the working directory), and an optional positional
+//! cycle count that overrides both presets. One parser keeps the flags — and
+//! the JSON schema the trend gate consumes — identical across bins.
+
+use std::fmt;
+
+/// The parsed common arguments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchArgs {
+    /// Write a `BENCH_<name>.json` artifact next to the table.
+    pub json: bool,
+    /// Run the reduced-iteration CI configuration.
+    pub quick: bool,
+    /// Positional cycle-count override, if one was given.
+    pub cycles_override: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`: `--json` and `--quick` flags in any order,
+    /// plus at most one positional integer (a cycle-count override).
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--json" => args.json = true,
+                "--quick" => args.quick = true,
+                other => {
+                    if let Ok(n) = other.parse() {
+                        args.cycles_override = Some(n);
+                    }
+                }
+            }
+        }
+        args
+    }
+
+    /// The committed-cycle count to run: the positional override if given,
+    /// else `quick` under `--quick`, else `full`.
+    pub fn cycles(&self, full: u64, quick: u64) -> u64 {
+        self.cycles_override
+            .unwrap_or(if self.quick { quick } else { full })
+    }
+}
+
+/// A JSON scalar for [`write_bench_json`]. Non-finite floats render as
+/// `null` (JSON has no NaN), which the trend gate treats as "skip this row".
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (rendered with enough precision for trend comparisons).
+    F64(f64),
+    /// A string (quoted; quotes and backslashes escaped).
+    Str(String),
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::U64(v) => write!(f, "{v}"),
+            JsonValue::F64(v) if v.is_finite() => write!(f, "{v:.6}"),
+            JsonValue::F64(_) => write!(f, "null"),
+            JsonValue::Str(s) => {
+                write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+        }
+    }
+}
+
+/// Writes `BENCH_<bench_name>.json` in the working directory (the repo-root
+/// layout CI's bench-artifacts job validates and uploads): a `bench` field,
+/// the `meta` key/values, and a `rows` array of flat objects.
+pub fn write_bench_json(
+    bench_name: &str,
+    meta: &[(&str, JsonValue)],
+    rows: &[Vec<(&str, JsonValue)>],
+) {
+    let mut out = format!("{{\n  \"bench\": \"{bench_name}\",\n");
+    for (key, value) in meta {
+        out.push_str(&format!("  \"{key}\": {value},\n"));
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|(key, value)| format!("\"{key}\": {value}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{{}}}{}\n",
+            fields.join(", "),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = format!("BENCH_{bench_name}.json");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_prefers_override_then_quick() {
+        let mut args = BenchArgs {
+            json: false,
+            quick: false,
+            cycles_override: None,
+        };
+        assert_eq!(args.cycles(1000, 100), 1000);
+        args.quick = true;
+        assert_eq!(args.cycles(1000, 100), 100);
+        args.cycles_override = Some(42);
+        assert_eq!(args.cycles(1000, 100), 42);
+    }
+
+    #[test]
+    fn json_values_render_as_json() {
+        assert_eq!(JsonValue::from(7u64).to_string(), "7");
+        assert_eq!(JsonValue::from(0.5f64).to_string(), "0.500000");
+        assert_eq!(JsonValue::from(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::from("a\"b").to_string(), "\"a\\\"b\"");
+    }
+}

@@ -1,8 +1,11 @@
 //! E6 — the conventional (cycle-by-cycle) baselines: 38.9 kcycles/s at
 //! sim=1000k and 28.8 kcycles/s at sim=100k.
 //!
-//! Run: `cargo run -p predpkt-bench --release --bin conventional_baseline`
+//! Run: `cargo run -p predpkt-bench --release --bin conventional_baseline [cycles]`
+//! Pass `--json` to also write `BENCH_conventional_baseline.json` for
+//! tracking, and `--quick` for the reduced-iteration CI configuration.
 
+use predpkt_bench::args::{write_bench_json, BenchArgs, JsonValue};
 use predpkt_bench::{fmt_kcps, run_synthetic};
 use predpkt_channel::Side;
 use predpkt_core::{CoEmuConfig, ModePolicy};
@@ -10,6 +13,9 @@ use predpkt_perfmodel::ModelParams;
 use predpkt_sim::Frequency;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let cycles = args.cycles(5_000, 1_000);
+    let mut json_rows: Vec<Vec<(&str, JsonValue)>> = Vec::new();
     println!("== Conventional co-emulation baselines ==\n");
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>14}",
@@ -19,8 +25,17 @@ fn main() {
         let config = CoEmuConfig::paper_defaults()
             .policy(ModePolicy::Conservative)
             .sim_speed(Frequency::from_kcycles_per_sec(sim_k));
-        let report = run_synthetic(1.0, config, 5_000);
+        let report = run_synthetic(1.0, config, cycles);
         let params = ModelParams::from_config(&config, Side::Accelerator);
+        json_rows.push(vec![
+            ("sim_kcps", JsonValue::from(sim_k)),
+            ("measured_cps", JsonValue::from(report.performance_cps())),
+            ("analytic_cps", JsonValue::from(params.conventional_perf())),
+            (
+                "accesses_per_cycle",
+                JsonValue::from(report.accesses_per_cycle()),
+            ),
+        ]);
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>14.2}",
             format!("{sim_k}k"),
@@ -35,4 +50,12 @@ fn main() {
          each, the channel alone caps co-emulation at ~41 kcycles/s regardless of\n\
          simulator or accelerator speed."
     );
+
+    if args.json {
+        write_bench_json(
+            "conventional_baseline",
+            &[("cycles", JsonValue::from(cycles))],
+            &json_rows,
+        );
+    }
 }

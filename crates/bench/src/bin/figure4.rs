@@ -3,7 +3,10 @@
 //! depth 8 / 64), with the conventional-method reference lines.
 //!
 //! Run: `cargo run -p predpkt-bench --release --bin figure4 [cycles]`
+//! Pass `--json` to also write `BENCH_figure4.json` for tracking, and
+//! `--quick` for the reduced-iteration CI configuration.
 
+use predpkt_bench::args::{write_bench_json, BenchArgs, JsonValue};
 use predpkt_bench::{ascii_chart, fmt_kcps, run_synthetic};
 use predpkt_channel::Side;
 use predpkt_core::{CoEmuConfig, ModePolicy};
@@ -11,10 +14,8 @@ use predpkt_perfmodel::{ModelParams, PAPER_ACCURACY_GRID};
 use predpkt_sim::Frequency;
 
 fn main() {
-    let cycles: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000);
+    let args = BenchArgs::parse();
+    let cycles = args.cycles(40_000, 4_000);
 
     println!("== Figure 4: simulation performance vs prediction accuracy (ALS) ==\n");
 
@@ -51,6 +52,16 @@ fn main() {
                 .collect::<String>()
         );
         series.push((name, ys));
+    }
+    let mut json_rows: Vec<Vec<(&str, JsonValue)>> = Vec::new();
+    for (name, ys) in &series {
+        for (p, y) in PAPER_ACCURACY_GRID.iter().zip(ys) {
+            json_rows.push(vec![
+                ("series", JsonValue::from(*name)),
+                ("accuracy", JsonValue::from(*p)),
+                ("performance_cps", JsonValue::from(*y)),
+            ]);
+        }
     }
 
     // Conventional reference lines (paper: 28.8k and 38.9k).
@@ -90,6 +101,14 @@ fn main() {
             ys.iter()
                 .map(|pt| format!("{:>8}", fmt_kcps(pt.performance)))
                 .collect::<String>()
+        );
+    }
+
+    if args.json {
+        write_bench_json(
+            "figure4",
+            &[("cycles", JsonValue::from(cycles))],
+            &json_rows,
         );
     }
 }

@@ -1,0 +1,253 @@
+//! E10 — session-farm throughput: ten thousand short co-emulation sessions
+//! multiplexed over a fixed worker pool.
+//!
+//! The server-shaped workload the transports were never benchmarked under:
+//! many *short* sessions (regression farms, parameter sweeps, CI matrices)
+//! instead of one long one. The farm runs them as cooperative slices over
+//! `WORKERS` threads — workers ≪ sessions, asserted against
+//! `/proc/self/status` — with idle sessions parked on the readiness poll-set
+//! at zero thread cost. Before the timed run, a bit-identity probe checks
+//! that a farm-scheduled session commits exactly what a direct
+//! `run_until_committed` run commits, per transport.
+//!
+//! Run: `cargo run -p predpkt-bench --release --bin session_farm [sessions]`
+//! Pass `--json` to also write `BENCH_session_farm.json` for tracking, and
+//! `--quick` for the reduced-session CI configuration.
+
+use std::time::{Duration, Instant};
+
+use predpkt_bench::args::{write_bench_json, BenchArgs, JsonValue};
+use predpkt_bench::loopback::bench_opts;
+use predpkt_core::{
+    AhbDomainModel, CoEmuConfig, EmuSession, ModePolicy, ShmOptions, TcpOptions, TransportSelect,
+};
+use predpkt_farm::{FarmConfig, SessionFarm};
+use predpkt_workloads::figure2_soc;
+
+/// Short sessions: enough cycles to cross several transition boundaries (so
+/// real protocol traffic flows) while keeping per-session work small — the
+/// regime where scheduling overhead would show.
+const TARGET_CYCLES: u64 = 40;
+const PROBE_CYCLES: u64 = 120;
+const WORKERS: usize = 8;
+const SEEDS: u64 = 16;
+
+fn config() -> CoEmuConfig {
+    CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None)
+}
+
+/// The mixed-transport rotation: in-process queue, shared-memory ring, TCP
+/// loopback — one third each.
+fn transport_for(i: usize) -> TransportSelect {
+    match i % 3 {
+        0 => TransportSelect::Queue,
+        1 => TransportSelect::Shm(ShmOptions::default().threaded(bench_opts())),
+        _ => TransportSelect::Tcp(TcpOptions::default().threaded(bench_opts())),
+    }
+}
+
+fn backend_name(i: usize) -> &'static str {
+    match i % 3 {
+        0 => "queue",
+        1 => "shm",
+        _ => "tcp",
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_count() -> Option<usize> {
+    None
+}
+
+/// What the bit-identity probe compares between a farm-scheduled run and a
+/// direct run of the same session.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    trace_hash: u64,
+    committed: u64,
+    channel_words: u64,
+    virtual_time_ps: u64,
+}
+
+fn fingerprint(session: &EmuSession<AhbDomainModel>, seed: u64) -> Fingerprint {
+    let blueprint = figure2_soc(seed);
+    let placement = blueprint.placement();
+    Fingerprint {
+        trace_hash: session
+            .merged_trace(|s, a| placement.merge_records(s, a))
+            .hash(),
+        committed: session.committed_cycles(),
+        channel_words: session.channel_stats().total_words(),
+        virtual_time_ps: session.ledger().total().as_picos(),
+    }
+}
+
+/// Runs the bit-identity probe: one session per transport through a small
+/// farm, compared field-for-field against the direct queue run.
+fn probe_bit_identity() -> bool {
+    let mut direct = EmuSession::from_blueprint(&figure2_soc(0))
+        .config(config())
+        .build()
+        .expect("probe session builds");
+    direct
+        .run_until_committed(PROBE_CYCLES)
+        .expect("probe run completes");
+    let expect = fingerprint(&direct, 0);
+
+    let farm = SessionFarm::new(FarmConfig::new().workers(2).keep_sessions(true))
+        .expect("probe farm builds");
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let transport = transport_for(i);
+        ids.push((
+            backend_name(i),
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(0))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(PROBE_CYCLES))
+            })
+            .expect("probe admitted"),
+        ));
+    }
+    let report = farm.join();
+    let mut identical = true;
+    for (name, id) in ids {
+        let result = report.result(id).expect("probe reported");
+        let session = result.session.as_ref().expect("probe session kept");
+        let got = fingerprint(session, 0);
+        let ok = result.outcome.is_completed() && got == expect;
+        println!(
+            "  bit-identity farm+{name:<6} {}",
+            if ok {
+                "ok"
+            } else {
+                "DIVERGED (conformance bug!)"
+            }
+        );
+        identical &= ok;
+    }
+    identical
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // The positional override counts *sessions* here, not cycles.
+    let sessions = args.cycles(10_000, 1_000) as usize;
+
+    println!("== Session farm: {sessions} short sessions over {WORKERS} workers ==");
+    println!(
+        "({TARGET_CYCLES} committed cycles per session, queue/shm/tcp rotation, \
+         slice budget 64 rounds)\n"
+    );
+    let identical = probe_bit_identity();
+
+    let threads_before = thread_count();
+    let farm = SessionFarm::new(
+        FarmConfig::new()
+            .workers(WORKERS)
+            .capacity(sessions)
+            .slice_steps(64),
+    )
+    .expect("farm builds");
+    let t0 = Instant::now();
+    for i in 0..sessions {
+        let seed = i as u64 % SEEDS;
+        let transport = transport_for(i);
+        farm.submit(move || {
+            Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                .config(config())
+                .transport(transport)
+                .build()?
+                .into_sliced(TARGET_CYCLES))
+        })
+        .expect("capacity covers the full batch");
+    }
+    // Sample the process thread count while the pool is hot: the farm must
+    // never scale threads with session count.
+    let mut peak_threads = threads_before.unwrap_or(0);
+    while farm.outstanding() > 0 {
+        if let Some(t) = thread_count() {
+            peak_threads = peak_threads.max(t);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = farm.join();
+    let wall = t0.elapsed();
+
+    assert_eq!(
+        report.stats.completed as usize, sessions,
+        "every session must complete: {}",
+        report.stats
+    );
+    let threads_delta = threads_before.map(|before| peak_threads.saturating_sub(before));
+    if let Some(delta) = threads_delta {
+        assert!(
+            delta <= WORKERS + 2,
+            "thread count grew with session count: +{delta} threads for {sessions} sessions"
+        );
+    }
+
+    let s = &report.stats;
+    println!("\n{:>22} {}", "sessions", s.completed);
+    println!("{:>22} {:.2?}", "wall", wall);
+    println!("{:>22} {:.0}", "sessions/sec", s.sessions_per_sec);
+    println!("{:>22} {:.2?}", "p50 latency", s.p50_latency);
+    println!("{:>22} {:.2?}", "p99 latency", s.p99_latency);
+    println!("{:>22} {:.1}%", "pool occupancy", s.pool_occupancy * 100.0);
+    println!("{:>22} {}", "park events", s.parked_events);
+    match threads_delta {
+        Some(delta) => println!(
+            "{:>22} +{delta} (pool of {WORKERS}; thread-per-session would need {})",
+            "peak extra threads",
+            2 * sessions
+        ),
+        None => println!(
+            "{:>22} (not measurable on this platform)",
+            "peak extra threads"
+        ),
+    }
+    println!(
+        "\n{} sessions never cost more than {WORKERS} worker threads; parked sessions\n\
+         wait on the readiness poll-set, not on a thread.",
+        s.completed
+    );
+
+    if args.json {
+        write_bench_json(
+            "session_farm",
+            &[
+                ("sessions", JsonValue::from(sessions)),
+                ("cycles_per_session", JsonValue::from(TARGET_CYCLES)),
+                ("trace_identical", JsonValue::from(u64::from(identical))),
+            ],
+            &[vec![
+                ("backend", JsonValue::from("mixed")),
+                ("wall_us", JsonValue::from(wall.as_micros() as u64)),
+                ("sessions_per_sec", JsonValue::from(s.sessions_per_sec)),
+                ("p50_us", JsonValue::from(s.p50_latency.as_micros() as u64)),
+                ("p99_us", JsonValue::from(s.p99_latency.as_micros() as u64)),
+                ("pool_occupancy", JsonValue::from(s.pool_occupancy)),
+                ("parked_events", JsonValue::from(s.parked_events)),
+                ("workers", JsonValue::from(WORKERS)),
+                (
+                    "peak_extra_threads",
+                    JsonValue::from(threads_delta.map_or(f64::NAN, |d| d as f64)),
+                ),
+            ]],
+        );
+    }
+    assert!(identical, "farm-scheduled runs diverged from direct runs");
+}

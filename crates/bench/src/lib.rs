@@ -10,6 +10,7 @@
 use predpkt_core::{CoEmuConfig, ModePolicy, PerfReport};
 use predpkt_workloads::SyntheticSoc;
 
+pub mod args;
 pub mod loopback;
 pub mod micro;
 

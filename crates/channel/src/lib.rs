@@ -205,6 +205,53 @@
 //! endpoint flips its liveness flag so a peer blocked in
 //! [`WaitTransport::wait_for_packet`] wakes promptly.
 //!
+//! # Quickstart: running a session farm
+//!
+//! A server multiplexing *thousands* of sessions cannot spend a blocked
+//! thread per link — that is what [`PollSet`] is for. Every endpoint
+//! implements [`PollReady`], a non-blocking probe cheap enough to sweep over
+//! thousands of parked sources; one thread calls
+//! [`wait_any`](PollSet::wait_any) over the whole set and pays the
+//! spin-then-park latency ladder once, regardless of how many links it
+//! covers. [`Readiness`] distinguishes *data waiting* ([`Readiness::Ready`])
+//! from *peer gone* ([`Readiness::Dead`]) from *healthy but quiet*
+//! ([`Readiness::Idle`]) — so a scheduler can run the first, fail the second
+//! fast, and park the third at zero thread cost:
+//!
+//! ```
+//! use predpkt_channel::{Packet, PacketTag, PollSet, Readiness, Side, ShmTransport, Transport};
+//! use std::time::Duration;
+//!
+//! // Three idle links parked on one poller; data lands on the last one.
+//! let mut links: Vec<_> = (0..3).map(|_| ShmTransport::pair()).collect();
+//! links[2].1.send(Side::Accelerator, Packet::new(PacketTag::CycleOutputs, vec![7]));
+//!
+//! let mut parked: Vec<_> = links.iter_mut().map(|(sim, _)| sim).collect();
+//! let hit = PollSet::new().wait_any(&mut parked, Duration::from_millis(100));
+//! assert_eq!(hit, Some((2, Readiness::Ready)));
+//! ```
+//!
+//! The `predpkt-farm` crate builds the full server on top of this: a
+//! `SessionFarm` runs whole co-emulation sessions as cooperative slices over
+//! a fixed worker pool, parking every blocked session on one poll-set
+//! (tuned via [`PollSet::syscall_probes`] because TCP probes embed a socket
+//! drain), with bounded admission and per-session fault isolation. Sketch:
+//!
+//! ```text
+//! let farm = SessionFarm::new(FarmConfig::new().workers(8).capacity(10_000))?;
+//! for blueprint in incoming {
+//!     let id = farm.submit(move || {
+//!         Ok(EmuSession::from_blueprint(&blueprint).build()?.into_sliced(cycles))
+//!     })?; // Err(FarmError::Saturated{..}) when the admission queue is full
+//! }
+//! let report = farm.join(); // per-session outcomes + sessions/sec, p50/p99
+//! ```
+//!
+//! Scheduling never changes results: a farm-scheduled session commits
+//! bit-identical traces, channel statistics, and virtual-time ledgers to a
+//! dedicated-thread run — asserted per transport by the farm's stress suite
+//! and the `session_farm` bench.
+//!
 //! # Hot-path performance notes
 //!
 //! The paper's premise is that channel traffic dominates co-emulation cost;
@@ -260,6 +307,7 @@ mod cost;
 mod knob;
 mod lossy;
 mod message;
+mod poll;
 mod pool;
 mod reliable;
 pub mod shm;
@@ -272,6 +320,7 @@ pub use cost::{ChannelCostModel, Direction, LayeredStartup, Side};
 pub use knob::KnobError;
 pub use lossy::{FaultSpec, FaultStats, LossyTransport};
 pub use message::{Packet, PacketTag, PacketView};
+pub use poll::{PollReady, PollSet, Readiness};
 pub use pool::{BufferPool, PoolStats, DEFAULT_POOL_RETAIN};
 pub use reliable::{
     RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, DATA_HEADER_WORDS,

@@ -324,6 +324,14 @@ impl<T: WaitTransport> WaitTransport for LossyTransport<T> {
     }
 }
 
+impl<T: Transport + crate::poll::PollReady> crate::poll::PollReady for LossyTransport<T> {
+    /// Faults fire on the send path only, so readiness is the inner
+    /// transport's verbatim.
+    fn readiness(&mut self) -> crate::poll::Readiness {
+        self.inner.readiness()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -838,6 +838,26 @@ impl<T: Transport> Transport for ReliableTransport<T> {
     }
 }
 
+impl<T: Transport + crate::poll::PollReady> crate::poll::PollReady for ReliableTransport<T> {
+    /// A reliable source is `Ready` not only when data is deliverable (or
+    /// the inner transport has frames to decode) but also while *recovery
+    /// work is outstanding* — unacknowledged or backlogged frames whose
+    /// retransmission clock only advances when the owner polls. A scheduler
+    /// must therefore never park a session that still owes the wire a
+    /// repair; parking happens only when the layer is fully drained.
+    fn readiness(&mut self) -> crate::poll::Readiness {
+        if self.recv.iter().any(|r| !r.deliverable.is_empty())
+            || self
+                .send
+                .iter()
+                .any(|s| !s.unacked.is_empty() || !s.backlog.is_empty())
+        {
+            return crate::poll::Readiness::Ready;
+        }
+        self.inner.readiness()
+    }
+}
+
 impl<T: WaitTransport> WaitTransport for ReliableTransport<T> {
     fn wait_for_packet(&mut self, timeout: Duration) -> bool {
         if self.recv.iter().any(|r| !r.deliverable.is_empty()) {

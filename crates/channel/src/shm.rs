@@ -94,29 +94,14 @@ pub const SEND_TIMEOUT: Duration = Duration::from_secs(10);
 /// chunk by chunk).
 const DEFAULT_CHUNK_WORDS: u32 = 256;
 
-/// Bounded spin iterations in [`WaitTransport::wait_for_packet`] before the
-/// waiter starts parking, for backings whose poll is a couple of atomic
-/// loads (the heap region). Shared-memory latency is sub-microsecond but the
-/// *peer's turnaround* (stepping its model between messages) is a few
-/// microseconds — the spin is sized to cover that window, because the first
-/// sleep costs two orders of magnitude more than the spin itself.
-const SPIN_POLLS: u32 = 1024;
-
-/// Spin budget for backings whose poll costs syscalls (the `/dev/shm` file
-/// region, a positioned read per control word): long spins would turn every
-/// blocked wait into a pread storm, so the waiter parks early instead.
-const SPIN_POLLS_SYSCALL: u32 = 16;
-
-/// Park slice while blocked: short enough that a reply (or a cleared
-/// liveness flag — peer dropped) wakes the waiter with little added latency,
-/// long enough not to busy-wake. Dominates the ring's observed round-trip
-/// latency whenever the spin window is missed, so it is kept near the OS
-/// sleep granularity.
-const PARK_SLICE: Duration = Duration::from_micros(50);
-
-/// Park slice for syscall-poll backings (each wake costs positioned reads):
-/// coarser, trading wake latency for syscall pressure.
-const PARK_SLICE_SYSCALL: Duration = Duration::from_micros(250);
+// The spin-then-park waiting ladder this ring's waiter pioneered now lives
+// in [`crate::poll`], where the session-farm poll-set generalizes it over N
+// transports; the ring's own blocking wait keeps using the same tuned
+// constants (hard spin for atomic-load polls, a token spin plus coarser
+// parks for syscall-cost polls).
+use crate::poll::{
+    PollReady, Readiness, PARK_SLICE, PARK_SLICE_SYSCALL, SPIN_POLLS, SPIN_POLLS_SYSCALL,
+};
 
 /// Why a shared-memory ring operation failed.
 ///
@@ -1118,6 +1103,24 @@ impl WaitTransport for ShmEndpoint {
             if self.channel_dead() {
                 return false;
             }
+        }
+    }
+}
+
+impl PollReady for ShmEndpoint {
+    /// Head/tail and liveness atomics only (plus the decode of whatever they
+    /// reveal): one drain pass, no spinning, no sleeping — the poll-set's
+    /// per-source probe.
+    fn readiness(&mut self) -> Readiness {
+        if self.ready.is_empty() {
+            self.poll();
+        }
+        if !self.ready.is_empty() {
+            Readiness::Ready
+        } else if self.channel_dead() {
+            Readiness::Dead
+        } else {
+            Readiness::Idle
         }
     }
 }

@@ -664,6 +664,24 @@ impl WaitTransport for TcpEndpoint {
     }
 }
 
+impl crate::poll::PollReady for TcpEndpoint {
+    /// Read-readiness probe: one non-blocking socket drain (the kernel
+    /// buffer is emptied into the decoder as a side effect), never a blocking
+    /// read — the poll-set's per-source probe.
+    fn readiness(&mut self) -> crate::poll::Readiness {
+        if self.ready.is_empty() {
+            self.poll_nonblocking();
+        }
+        if !self.ready.is_empty() {
+            crate::poll::Readiness::Ready
+        } else if self.stream_dead() {
+            crate::poll::Readiness::Dead
+        } else {
+            crate::poll::Readiness::Idle
+        }
+    }
+}
+
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
         // Wake a peer blocked in wait_for_packet immediately rather than

@@ -157,6 +157,25 @@ impl WaitTransport for ThreadedEndpoint {
     }
 }
 
+impl crate::poll::PollReady for ThreadedEndpoint {
+    /// One `try_recv` (parked into the wait buffer on success) — the
+    /// poll-set's per-source probe. A disconnected sender with the queue
+    /// drained is a dead source: nothing will ever arrive.
+    fn readiness(&mut self) -> crate::poll::Readiness {
+        if !self.buf.is_empty() {
+            return crate::poll::Readiness::Ready;
+        }
+        match self.rx.try_recv() {
+            Ok(p) => {
+                self.buf.push_back(p);
+                crate::poll::Readiness::Ready
+            }
+            Err(TryRecvError::Empty) => crate::poll::Readiness::Idle,
+            Err(TryRecvError::Disconnected) => crate::poll::Readiness::Dead,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -281,6 +281,23 @@ impl CoEmuConfig {
     }
 }
 
+/// What a bounded scheduling slice achieved — the vocabulary a session
+/// server schedules by (see [`SlicedSession`](crate::SlicedSession)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceStatus {
+    /// Both domains are halted at the target transition boundary: the run is
+    /// complete and further slices are no-ops.
+    Done,
+    /// The step budget ran out with protocol work still flowing; the session
+    /// is runnable and should be rescheduled.
+    Working,
+    /// Both domains are blocked with nothing locally deliverable: progress
+    /// now depends on the transport medium (frames in flight through the
+    /// kernel or ring). The session should be parked until its transports
+    /// report readiness — or declared starved after a deadlock window.
+    Idle,
+}
+
 /// The co-emulator: two channel wrappers, one costed channel, one ledger.
 ///
 /// Domains are scheduled co-operatively: each scheduling round steps both
@@ -466,6 +483,80 @@ impl<M: DomainModel, T: Transport> CoEmulator<M, T> {
                 }
             }
         }
+    }
+
+    /// Runs at most `max_steps` scheduling rounds of the
+    /// [`run_until_synchronized`](Self::run_until_synchronized) loop — the
+    /// budgeted form a session server interleaves with thousands of other
+    /// sessions on one worker thread. The stop condition, stepping order,
+    /// and deadlock rule are byte-for-byte the same, so a run driven to
+    /// [`SliceStatus::Done`] through any sequence of slices commits exactly
+    /// what one uninterrupted call commits.
+    ///
+    /// Never returns [`SliceStatus::Idle`]: both ends of the queue transport
+    /// live in this object, so "blocked with deliverable traffic" resolves
+    /// within the same slice and "blocked without" is an immediate
+    /// [`SimError::Deadlock`] — there is no external medium to wait on.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`run_until_synchronized`](Self::run_until_synchronized).
+    pub fn run_slice(&mut self, cycles: u64, max_steps: u32) -> Result<SliceStatus, SimError> {
+        let sim_costs = self.config.costs_for(Side::Simulator);
+        let acc_costs = self.config.costs_for(Side::Accelerator);
+        for _ in 0..max_steps {
+            let sim_halted = self.sim.at_transition_boundary() && self.sim.cycle() >= cycles;
+            let acc_halted = self.acc.at_transition_boundary() && self.acc.cycle() >= cycles;
+            if sim_halted && acc_halted {
+                return Ok(SliceStatus::Done);
+            }
+            let a = if sim_halted {
+                Progress::Blocked
+            } else {
+                self.sim.step(
+                    &mut self.channel,
+                    &mut self.ledger,
+                    &sim_costs,
+                    self.observer.as_mut(),
+                )?
+            };
+            let b = if acc_halted {
+                Progress::Blocked
+            } else {
+                self.acc.step(
+                    &mut self.channel,
+                    &mut self.ledger,
+                    &acc_costs,
+                    self.observer.as_mut(),
+                )?
+            };
+            if a == Progress::Blocked && b == Progress::Blocked {
+                let toward = |halted: bool, side: Side| {
+                    if halted {
+                        0
+                    } else {
+                        self.channel.pending(side)
+                    }
+                };
+                let deliverable =
+                    toward(sim_halted, Side::Simulator) + toward(acc_halted, Side::Accelerator);
+                if deliverable == 0 {
+                    return Err(SimError::Deadlock {
+                        cycle: self.committed_cycles(),
+                    });
+                }
+            }
+        }
+        // Re-check the halt condition before yielding: the budget may have
+        // run out on exactly the round that finished the run.
+        if self.sim.at_transition_boundary()
+            && self.sim.cycle() >= cycles
+            && self.acc.at_transition_boundary()
+            && self.acc.cycle() >= cycles
+        {
+            return Ok(SliceStatus::Done);
+        }
+        Ok(SliceStatus::Working)
     }
 
     /// Shared access to the transport backend (e.g. to read

@@ -78,14 +78,14 @@ mod wrapper;
 
 pub use ahb_model::AhbDomainModel;
 pub use blueprint::{Placement, SocBlueprint};
-pub use coemu::{CoEmuConfig, CoEmulator, ConfigError};
+pub use coemu::{CoEmuConfig, CoEmulator, ConfigError, SliceStatus};
 pub use model::{DomainModel, TickKind};
 pub use observer::{EmuEvent, EmuObserver, EventCounters, EventCounts, EventLog, NoopObserver};
 pub use protocol::{Message, ProtocolError};
 pub use report::PerfReport;
 pub use session::{
     BlueprintSessionBuilder, EmuSession, EmuSessionBuilder, ReliableInner, SessionError,
-    ShmOptions, TcpOptions, ThreadedOpts, TransportSelect,
+    ShmOptions, SlicedSession, TcpOptions, ThreadedOpts, TransportSelect,
 };
 pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 

@@ -59,7 +59,7 @@
 //! ```
 
 use crate::blueprint::SocBlueprint;
-use crate::coemu::{CoEmuConfig, CoEmulator, ConfigError};
+use crate::coemu::{CoEmuConfig, CoEmulator, ConfigError, SliceStatus};
 use crate::model::DomainModel;
 use crate::observer::{EmuObserver, NoopObserver, SharedObserver};
 use crate::report::PerfReport;
@@ -67,10 +67,10 @@ use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress}
 use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
-    BatchStats, ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, QueueTransport,
-    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, ShmEndpoint, ShmTransport,
-    Side, TcpEndpoint, TcpTransport, ThreadedEndpoint, ThreadedTransport, Transport, WaitTransport,
-    DEFAULT_RING_WORDS,
+    BatchStats, ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, PollReady,
+    QueueTransport, Readiness, RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted,
+    ShmEndpoint, ShmTransport, Side, TcpEndpoint, TcpTransport, ThreadedEndpoint,
+    ThreadedTransport, Transport, WaitTransport, DEFAULT_RING_WORDS,
 };
 use predpkt_predict::{PaperSuite, PredictorSuite};
 use predpkt_sim::{SimError, TimeLedger, Trace};
@@ -1005,13 +1005,18 @@ fn map_reliable_outcome(
     cycle: u64,
 ) -> Result<(), SimError> {
     match (result, failure) {
-        (Err(_), Some(f)) => Err(SimError::RetryBudgetExhausted {
-            seed,
-            seq: f.seq as u64,
-            retries: f.retries,
-            cycle,
-        }),
+        (Err(_), Some(f)) => Err(retry_exhausted(f, seed, cycle)),
         (result, _) => result,
+    }
+}
+
+/// The [`SimError`] a recorded frame abandonment surfaces as.
+fn retry_exhausted(f: RetryExhausted, seed: u64, cycle: u64) -> SimError {
+    SimError::RetryBudgetExhausted {
+        seed,
+        seq: f.seq as u64,
+        retries: f.retries,
+        cycle,
     }
 }
 
@@ -1211,5 +1216,349 @@ fn run_side<M: DomainModel, E: WaitTransport>(
                 return Err(e);
             }
         }
+    }
+}
+
+impl<M, E> ThreadedSession<M, E>
+where
+    M: DomainModel + Send + 'static,
+    E: WaitTransport + Send + PollReady,
+{
+    /// One bounded co-operative slice of the two-endpoint session: both
+    /// domains stepped round-robin *on the calling thread*, against the same
+    /// per-side channels, ledgers, and batching the two-thread runner uses.
+    /// The message sequence is identical to
+    /// [`run_until_synchronized`](Self::run_until_synchronized) — stepping
+    /// order cannot reorder packets that cross a real medium, the halt
+    /// condition is the same deterministic protocol event, and the
+    /// halt-linger flush happens at the same points — so traces, statistics,
+    /// and ledgers stay bit-identical to the threaded (and queue) runs.
+    ///
+    /// Where the two-thread runner parks a blocked domain in
+    /// `wait_for_packet`, this returns [`SliceStatus::Idle`] so the caller
+    /// can multiplex the wait over many sessions (the session farm parks it
+    /// on a [poll-set](predpkt_channel::PollSet)). Starvation detection
+    /// therefore also moves to the caller — with one exception: a *dead*
+    /// medium (peer gone, everything drained) with nothing deliverable fails
+    /// fast with [`SimError::Deadlock`] instead of waiting out a timeout.
+    fn run_slice(&mut self, target: u64, max_steps: u32) -> Result<SliceStatus, SimError> {
+        let sim_costs = self.config.costs_for(Side::Simulator);
+        let acc_costs = self.config.costs_for(Side::Accelerator);
+        let ThreadedSession {
+            sim,
+            acc,
+            sim_ch,
+            acc_ch,
+            sim_ledger,
+            acc_ledger,
+            observer,
+            ..
+        } = self;
+        let mut noop = NoopObserver;
+        let mut shared;
+        let obs: &mut dyn EmuObserver = match observer.as_ref() {
+            Some(m) => {
+                shared = SharedObserver::new(m);
+                &mut shared
+            }
+            None => &mut noop,
+        };
+        let halted = |w: &ChannelWrapper<M>| w.at_transition_boundary() && w.cycle() >= target;
+        for _ in 0..max_steps {
+            let sim_halted = halted(sim);
+            let acc_halted = halted(acc);
+            if sim_halted && acc_halted {
+                // Both flushes are no-ops if the linger branch below already
+                // pushed the final outbox out.
+                sim_ch.flush();
+                acc_ch.flush();
+                return Ok(SliceStatus::Done);
+            }
+            let a = if sim_halted {
+                // The halt-linger of the two-thread runner (see `run_side`):
+                // the final message of the run may still sit in the batching
+                // outbox (recv flushes it), and a per-side reliability layer
+                // may owe the peer retransmissions and must keep consuming
+                // acknowledgements. Anything drained here is recovery-layer
+                // chatter — protocol traffic stops at the boundary.
+                let _ = sim_ch.recv(Side::Simulator);
+                Progress::Blocked
+            } else {
+                sim.step(sim_ch, sim_ledger, &sim_costs, &mut *obs)?
+            };
+            let b = if acc_halted {
+                let _ = acc_ch.recv(Side::Accelerator);
+                Progress::Blocked
+            } else {
+                acc.step(acc_ch, acc_ledger, &acc_costs, &mut *obs)?
+            };
+            if a == Progress::Blocked && b == Progress::Blocked {
+                let deliverable = if sim_halted {
+                    0
+                } else {
+                    sim_ch.pending(Side::Simulator)
+                } + if acc_halted {
+                    0
+                } else {
+                    acc_ch.pending(Side::Accelerator)
+                };
+                if deliverable == 0 {
+                    // Nothing locally decoded — but frames may be in flight
+                    // inside the medium (kernel socket buffer, ring). Probe
+                    // both endpoints without blocking.
+                    match sim_ch
+                        .transport_mut()
+                        .readiness()
+                        .combine(acc_ch.transport_mut().readiness())
+                    {
+                        // Data just landed: keep stepping, it is deliverable
+                        // on the next round.
+                        Readiness::Ready => {}
+                        Readiness::Idle => return Ok(SliceStatus::Idle),
+                        Readiness::Dead => {
+                            return Err(SimError::Deadlock {
+                                cycle: sim.cycle().min(acc.cycle()),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        // The budget may have run out on exactly the round that finished.
+        if halted(&*sim) && halted(&*acc) {
+            self.sim_ch.flush();
+            self.acc_ch.flush();
+            return Ok(SliceStatus::Done);
+        }
+        Ok(SliceStatus::Working)
+    }
+
+    /// Non-blocking readiness of the pair of endpoints (the farm's parking
+    /// probe): data anywhere wins, then death, then idleness.
+    fn poll_endpoints(&mut self) -> Readiness {
+        self.sim_ch
+            .transport_mut()
+            .readiness()
+            .combine(self.acc_ch.transport_mut().readiness())
+    }
+}
+
+/// [`map_reliable_outcome`] for sliced runs: additionally, an *idle* session
+/// with an abandoned frame recorded is hopeless — the abandoned data can
+/// never arrive, so the exhaustion surfaces immediately instead of letting a
+/// scheduler park the session until its deadlock window expires. A slice
+/// that reaches [`SliceStatus::Done`] still reports success even with a
+/// failure recorded (the completed run proves every abandoned frame had in
+/// fact been delivered — same rule as the blocking runner).
+fn map_reliable_slice(
+    result: Result<SliceStatus, SimError>,
+    failure: Option<RetryExhausted>,
+    seed: u64,
+    cycle: u64,
+) -> Result<SliceStatus, SimError> {
+    match (result, failure) {
+        (Err(_), Some(f)) => Err(retry_exhausted(f, seed, cycle)),
+        (Ok(SliceStatus::Idle), Some(f)) => Err(retry_exhausted(f, seed, cycle)),
+        (result, _) => result,
+    }
+}
+
+/// [`run_reliable_threaded`], sliced: one body for every per-side-reliable
+/// backend so the failure precedence cannot drift from the blocking runner.
+fn slice_reliable_threaded<M, T>(
+    t: &mut ThreadedSession<M, ReliableTransport<T>>,
+    target: u64,
+    max_steps: u32,
+    seed: u64,
+) -> Result<SliceStatus, SimError>
+where
+    M: DomainModel + Send + 'static,
+    T: WaitTransport + Send + PollReady,
+{
+    let result = t.run_slice(target, max_steps);
+    let failure = t
+        .sim_ch
+        .transport()
+        .failure()
+        .or_else(|| t.acc_ch.transport().failure());
+    map_reliable_slice(result, failure, seed, t.committed_cycles())
+}
+
+/// [`run_reliable_lossy_threaded`], sliced: the replay seed reported on
+/// exhaustion is the fault plan's when it can actually fire, 0 otherwise.
+fn slice_reliable_lossy<M, T>(
+    t: &mut ThreadedSession<M, ReliableTransport<LossyTransport<T>>>,
+    target: u64,
+    max_steps: u32,
+) -> Result<SliceStatus, SimError>
+where
+    M: DomainModel + Send + 'static,
+    T: Transport,
+    LossyTransport<T>: WaitTransport + Send + PollReady,
+{
+    let spec = *t.sim_ch.transport().inner().spec();
+    let seed = if spec.is_active() { spec.seed } else { 0 };
+    slice_reliable_threaded(t, target, max_steps, seed)
+}
+
+/// An [`EmuSession`] scheduled in bounded slices instead of run to completion
+/// on dedicated threads — the unit a [session
+/// farm](https://docs.rs/predpkt-farm) multiplexes over a fixed worker pool.
+///
+/// Every backend the session layer offers runs sliced, with the same
+/// committed results: the queue-backed variants already were co-operative,
+/// and the two-endpoint variants (mpsc, TCP, shm — bare or under the
+/// reliable layer) step both domains on the calling thread, moving the
+/// blocking waits out to the caller as [`SliceStatus::Idle`] +
+/// [`readiness`](Self::readiness). The cross-transport conformance property
+/// carries over: driving a session to [`SliceStatus::Done`] through *any*
+/// interleaving of slices commits bit-identical traces, channel statistics,
+/// and ledgers to one uninterrupted [`EmuSession::run_until_committed`]
+/// call.
+///
+/// ```
+/// use predpkt_core::{EmuSession, SliceStatus, SocBlueprint, Side};
+/// use predpkt_ahb::engine::BusOp;
+/// use predpkt_ahb::masters::TrafficGenMaster;
+/// use predpkt_ahb::slaves::MemorySlave;
+///
+/// let blueprint = SocBlueprint::new()
+///     .master(Side::Accelerator, || {
+///         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
+///     })
+///     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+/// let session = EmuSession::from_blueprint(&blueprint).build()?;
+/// let mut sliced = session.into_sliced(200);
+/// loop {
+///     match sliced.run_slice(256)? {
+///         SliceStatus::Done => break,
+///         // Queue-backed sessions never go Idle; a farm would park on
+///         // `readiness()` here for the endpoint-backed ones.
+///         _ => continue,
+///     }
+/// }
+/// assert!(sliced.committed_cycles() >= 200);
+/// let session = sliced.into_session();
+/// assert!(session.report().billed_words() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SlicedSession<M: DomainModel + Send + 'static> {
+    session: EmuSession<M>,
+    target: u64,
+}
+
+impl<M: DomainModel + Send + 'static> EmuSession<M> {
+    /// Converts the session into its sliced form, targeting `cycles`
+    /// committed cycles at a transition boundary (the same stop condition as
+    /// [`run_until_committed`](Self::run_until_committed)).
+    pub fn into_sliced(self, cycles: u64) -> SlicedSession<M> {
+        SlicedSession {
+            session: self,
+            target: cycles,
+        }
+    }
+}
+
+impl<M: DomainModel + Send + 'static> SlicedSession<M> {
+    /// Runs at most `max_steps` scheduling rounds toward the target.
+    ///
+    /// Returns [`SliceStatus::Done`] once both domains stand halted at the
+    /// target boundary (further calls are no-ops returning `Done` again),
+    /// [`SliceStatus::Working`] when the budget ran out mid-flight, and
+    /// [`SliceStatus::Idle`] when progress now depends on the transport
+    /// medium — park the session and re-run it when
+    /// [`readiness`](Self::readiness) turns actionable.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`EmuSession::run_until_committed`], with one
+    /// scheduling difference: starvation on a *live* medium is the caller's
+    /// to detect (a session parked `Idle` past a deadlock window), because
+    /// only the caller knows how long the session has actually been starved
+    /// across slices. A dead medium still fails fast with
+    /// [`SimError::Deadlock`], and a reliable backend that abandoned a frame
+    /// surfaces [`SimError::RetryBudgetExhausted`] as soon as the session
+    /// would otherwise park.
+    pub fn run_slice(&mut self, max_steps: u32) -> Result<SliceStatus, SimError> {
+        let target = self.target;
+        match &mut self.session.inner {
+            SessionInner::Queue(c) => c.run_slice(target, max_steps),
+            SessionInner::Lossy(c) => c.run_slice(target, max_steps),
+            SessionInner::Threaded(t) => t.run_slice(target, max_steps),
+            SessionInner::Tcp(t) => t.run_slice(target, max_steps),
+            SessionInner::Shm(t) => t.run_slice(target, max_steps),
+            SessionInner::ReliableQueue(c) => {
+                let result = c.run_slice(target, max_steps);
+                map_reliable_slice(result, c.transport().failure(), 0, c.committed_cycles())
+            }
+            SessionInner::ReliableLossy(c) => {
+                let seed = c.transport().inner().spec().seed;
+                let result = c.run_slice(target, max_steps);
+                map_reliable_slice(result, c.transport().failure(), seed, c.committed_cycles())
+            }
+            SessionInner::ReliableThreaded(t) => slice_reliable_threaded(t, target, max_steps, 0),
+            SessionInner::ReliableTcp(t) => slice_reliable_lossy(t, target, max_steps),
+            SessionInner::ReliableShm(t) => slice_reliable_lossy(t, target, max_steps),
+        }
+    }
+
+    /// The committed-cycle target this sliced run halts at.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Cycles both domains have committed so far.
+    pub fn committed_cycles(&self) -> u64 {
+        self.session.committed_cycles()
+    }
+
+    /// The backend's stable name (see [`EmuSession::backend`]).
+    pub fn backend(&self) -> &'static str {
+        self.session.backend()
+    }
+
+    /// Shared access to the underlying session (reports, statistics,
+    /// traces).
+    pub fn session(&self) -> &EmuSession<M> {
+        &self.session
+    }
+
+    /// Unwraps back into the plain session — typically after
+    /// [`SliceStatus::Done`], to harvest the report and traces.
+    pub fn into_session(self) -> EmuSession<M> {
+        self.session
+    }
+}
+
+impl<M: DomainModel + Send + 'static> PollReady for SlicedSession<M> {
+    /// The probe a parked session is woken by. Queue-backed sessions are
+    /// always `Ready` (both transport ends live in the session object, so
+    /// stepping always makes progress or fails deterministically); the
+    /// endpoint-backed ones fold both endpoints' probes. `Dead` is
+    /// actionable too: scheduling the session lets it discover the loss and
+    /// fail fast, freeing its slot.
+    fn readiness(&mut self) -> Readiness {
+        match &mut self.session.inner {
+            SessionInner::Queue(_)
+            | SessionInner::Lossy(_)
+            | SessionInner::ReliableQueue(_)
+            | SessionInner::ReliableLossy(_) => Readiness::Ready,
+            SessionInner::Threaded(t) => t.poll_endpoints(),
+            SessionInner::Tcp(t) => t.poll_endpoints(),
+            SessionInner::Shm(t) => t.poll_endpoints(),
+            SessionInner::ReliableThreaded(t) => t.poll_endpoints(),
+            SessionInner::ReliableTcp(t) => t.poll_endpoints(),
+            SessionInner::ReliableShm(t) => t.poll_endpoints(),
+        }
+    }
+}
+
+impl<M: DomainModel + Send + fmt::Debug + 'static> fmt::Debug for SlicedSession<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlicedSession")
+            .field("backend", &self.session.backend())
+            .field("target", &self.target)
+            .field("committed", &self.session.committed_cycles())
+            .finish()
     }
 }

@@ -24,8 +24,8 @@
 
 use predpkt_channel::{BatchStats, ChannelStats, FaultSpec, RecoveryStats};
 use predpkt_core::{
-    CoEmuConfig, EmuSession, ModePolicy, ReliableInner, ShmOptions, TcpOptions, ThreadedOpts,
-    TransportSelect,
+    AhbDomainModel, CoEmuConfig, EmuSession, ModePolicy, ReliableInner, ShmOptions, SocBlueprint,
+    TcpOptions, ThreadedOpts, TransportSelect,
 };
 use predpkt_sim::VirtualTime;
 use std::time::Duration;
@@ -160,23 +160,18 @@ pub struct Observed {
     pub batch: Option<BatchStats>,
 }
 
-/// Runs `workload` over `backend` and captures everything the conformance
-/// assertions compare.
-pub fn run_workload(backend: TransportSelect, workload: &Workload) -> Observed {
-    let blueprint = figure2_soc();
-    let config = CoEmuConfig::paper_defaults()
+/// The conformance-run session configuration for `workload`.
+pub fn workload_config(workload: &Workload) -> CoEmuConfig {
+    CoEmuConfig::paper_defaults()
         .policy(workload.policy)
         .rollback_vars(None)
         .carry(true)
-        .adaptive(true);
-    let mut session = EmuSession::from_blueprint(&blueprint)
-        .config(config)
-        .transport(backend)
-        .build()
-        .expect("session builds");
-    session
-        .run_until_committed(workload.cycles)
-        .expect("session completes");
+        .adaptive(true)
+}
+
+/// Captures everything the conformance assertions compare from a finished
+/// session (built from `blueprint`, whose placement merges the traces).
+pub fn observe(session: &EmuSession<AhbDomainModel>, blueprint: &SocBlueprint) -> Observed {
     let placement = blueprint.placement();
     let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
     let report = session.report();
@@ -192,6 +187,21 @@ pub fn run_workload(backend: TransportSelect, workload: &Workload) -> Observed {
         billed_words: report.billed_words(),
         batch: session.batch_stats(),
     }
+}
+
+/// Runs `workload` over `backend` and captures everything the conformance
+/// assertions compare.
+pub fn run_workload(backend: TransportSelect, workload: &Workload) -> Observed {
+    let blueprint = figure2_soc();
+    let mut session = EmuSession::from_blueprint(&blueprint)
+        .config(workload_config(workload))
+        .transport(backend)
+        .build()
+        .expect("session builds");
+    session
+        .run_until_committed(workload.cycles)
+        .expect("session completes");
+    observe(&session, &blueprint)
 }
 
 /// The queue-transport baseline for `workload`.

@@ -1,0 +1,153 @@
+//! Sliced scheduling conformance: driving a session to completion through
+//! [`SlicedSession::run_slice`] — any slice budget, with readiness-waited
+//! parking on `Idle` — commits exactly what one uninterrupted
+//! `run_until_committed` call commits, for every transport backend.
+//!
+//! This is the property the session farm stands on: a scheduler is free to
+//! preempt, park, and resume sessions at slice granularity without ever
+//! changing traces, channel statistics, or ledgers. The farm's own stress
+//! suite (`crates/farm/tests/farm_stress.rs`) re-checks it end-to-end through
+//! the worker pool; this suite pins the core mechanism in isolation, per
+//! backend and per slice budget, where a regression is easiest to localize.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::conformance::{
+    assert_matches_baseline, baseline, conformant_backends, observe, workload_config,
+    workload_matrix, Observed, Workload,
+};
+use common::figure2_soc;
+use predpkt_channel::{PollReady, PollSet};
+use predpkt_core::{EmuSession, SliceStatus, SlicedSession, TransportSelect};
+
+/// Drives `sliced` to `Done`, parking on the readiness poll-set whenever the
+/// slice reports `Idle` — the same wait discipline the farm's poller uses,
+/// over a single session.
+fn drive<M>(sliced: &mut SlicedSession<M>, slice_steps: u32)
+where
+    M: predpkt_core::DomainModel + Send + 'static,
+{
+    let poll = PollSet::syscall_probes();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match sliced.run_slice(slice_steps).expect("sliced run completes") {
+            SliceStatus::Done => return,
+            SliceStatus::Working => {}
+            SliceStatus::Idle => {
+                let mut sources = [&mut *sliced];
+                poll.wait_any(&mut sources, Duration::from_millis(2));
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sliced {} run wedged mid-flight",
+            sliced.backend()
+        );
+    }
+}
+
+/// Runs `workload` over `backend` in slices of `slice_steps` rounds.
+fn run_workload_sliced(
+    backend: TransportSelect,
+    workload: &Workload,
+    slice_steps: u32,
+) -> Observed {
+    let blueprint = figure2_soc();
+    let session = EmuSession::from_blueprint(&blueprint)
+        .config(workload_config(workload))
+        .transport(backend)
+        .build()
+        .expect("session builds");
+    let mut sliced = session.into_sliced(workload.cycles);
+    drive(&mut sliced, slice_steps);
+    let session = sliced.into_session();
+    observe(&session, &blueprint)
+}
+
+/// Every backend, every workload, a mid-sized slice budget: sliced == direct.
+#[test]
+fn sliced_runs_match_queue_baseline_across_backends() {
+    for workload in workload_matrix() {
+        let expect = baseline(&workload);
+        for (name, backend) in conformant_backends() {
+            let observed = run_workload_sliced(backend, &workload, 64);
+            assert_matches_baseline(&workload, &format!("sliced+{name}"), &expect, &observed);
+        }
+    }
+}
+
+/// The slice budget is scheduling policy, not semantics: pathological budgets
+/// (single-round slices, one giant slice) commit the same results.
+#[test]
+fn slice_budget_does_not_change_committed_results() {
+    let workload = workload_matrix().remove(0);
+    let expect = baseline(&workload);
+    for slice_steps in [1, 7, 1 << 20] {
+        for (name, backend) in [
+            ("queue", TransportSelect::Queue),
+            (
+                "threaded",
+                TransportSelect::Threaded(common::conformance::test_opts()),
+            ),
+            ("shm", TransportSelect::Shm(common::conformance::shm_opts())),
+        ] {
+            let observed = run_workload_sliced(backend, &workload, slice_steps);
+            assert_matches_baseline(
+                &workload,
+                &format!("sliced[{slice_steps}]+{name}"),
+                &expect,
+                &observed,
+            );
+        }
+    }
+}
+
+/// `Done` is sticky: re-slicing a finished session is a no-op, and the
+/// session unwraps with its results intact.
+#[test]
+fn done_is_idempotent() {
+    let workload = workload_matrix().remove(0);
+    let blueprint = figure2_soc();
+    let session = EmuSession::from_blueprint(&blueprint)
+        .config(workload_config(&workload))
+        .transport(TransportSelect::Queue)
+        .build()
+        .expect("session builds");
+    let mut sliced = session.into_sliced(workload.cycles);
+    drive(&mut sliced, 64);
+    for _ in 0..3 {
+        assert_eq!(sliced.run_slice(16).expect("still ok"), SliceStatus::Done);
+    }
+    assert!(sliced.committed_cycles() >= workload.cycles);
+    let expect = baseline(&workload);
+    let observed = observe(&sliced.into_session(), &blueprint);
+    assert_matches_baseline(&workload, "sliced+idempotent", &expect, &observed);
+}
+
+/// A queue-backed sliced session is always `Ready` (its whole medium is
+/// in-object), so a scheduler never parks it.
+#[test]
+fn queue_backed_sessions_never_report_idle_readiness() {
+    let workload = workload_matrix().remove(0);
+    let blueprint = figure2_soc();
+    let session = EmuSession::from_blueprint(&blueprint)
+        .config(workload_config(&workload))
+        .transport(TransportSelect::Queue)
+        .build()
+        .expect("session builds");
+    let mut sliced = session.into_sliced(workload.cycles);
+    loop {
+        assert_eq!(
+            sliced.readiness(),
+            predpkt_channel::Readiness::Ready,
+            "queue-backed sessions are always schedulable"
+        );
+        match sliced.run_slice(32).expect("run ok") {
+            SliceStatus::Done => break,
+            SliceStatus::Working => {}
+            SliceStatus::Idle => panic!("queue-backed session reported Idle"),
+        }
+    }
+}

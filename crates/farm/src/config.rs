@@ -1,0 +1,207 @@
+//! Farm sizing and scheduling knobs, plus the admission-control error type.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use predpkt_channel::KnobError;
+
+/// Sizing and scheduling knobs for a [`SessionFarm`](crate::SessionFarm).
+///
+/// The defaults run a small pool suitable for tests; servers should size
+/// [`workers`](Self::workers) to the machine and [`capacity`](Self::capacity)
+/// to the memory/fd budget they are willing to commit to in-flight sessions.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    pub(crate) workers: usize,
+    pub(crate) capacity: usize,
+    pub(crate) slice_steps: u32,
+    pub(crate) park_slice: Duration,
+    pub(crate) deadlock_timeout: Duration,
+    pub(crate) keep_sessions: bool,
+    pub(crate) start_paused: bool,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            workers: 4,
+            capacity: 1024,
+            slice_steps: 1024,
+            park_slice: Duration::from_micros(200),
+            deadlock_timeout: Duration::from_secs(5),
+            keep_sessions: false,
+            start_paused: false,
+        }
+    }
+}
+
+impl FarmConfig {
+    /// The default configuration (4 workers, 1024-session capacity).
+    pub fn new() -> Self {
+        FarmConfig::default()
+    }
+
+    /// Number of worker threads in the fixed pool. This is the farm's *only*
+    /// source of threads — sessions never get their own.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Maximum sessions outstanding (runnable + parked + executing) before
+    /// [`submit`](crate::SessionFarm::submit) refuses with
+    /// [`FarmError::Saturated`].
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Scheduling rounds a session may consume per slice before it yields the
+    /// worker — the farm's time-slice, in the same granularity the sliced
+    /// runner steps (one round ≈ one step of each domain).
+    pub fn slice_steps(mut self, steps: u32) -> Self {
+        self.slice_steps = steps;
+        self
+    }
+
+    /// How long the poller parks on the readiness poll-set per sweep, and the
+    /// idle workers' condition-variable re-check interval.
+    pub fn park_slice(mut self, slice: Duration) -> Self {
+        self.park_slice = slice;
+        self
+    }
+
+    /// How long a session may stay parked without its endpoints turning
+    /// actionable before the farm gives up on it and reports
+    /// [`SessionOutcome::Evicted`](crate::SessionOutcome::Evicted). This is
+    /// the farm-side analogue of the blocking runner's deadlock timeout: a
+    /// wedged peer costs one eviction, never a worker.
+    pub fn deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.deadlock_timeout = timeout;
+        self
+    }
+
+    /// Keep each finished [`EmuSession`](predpkt_core::EmuSession) in its
+    /// [`FarmResult`](crate::FarmResult) so the caller can harvest reports,
+    /// traces, and ledgers. Off by default: ten thousand retained sessions
+    /// means ten thousand sets of sockets and rings held until
+    /// [`join`](crate::SessionFarm::join).
+    pub fn keep_sessions(mut self, keep: bool) -> Self {
+        self.keep_sessions = keep;
+        self
+    }
+
+    /// Start with the scheduler paused: sessions are admitted (and counted
+    /// against capacity) but none execute until
+    /// [`resume`](crate::SessionFarm::resume). Deterministic
+    /// saturation/cancellation tests want this; servers do not.
+    pub fn start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), KnobError> {
+        if self.workers == 0 {
+            return Err(KnobError::new("workers", "need at least one worker thread"));
+        }
+        if self.capacity == 0 {
+            return Err(KnobError::new(
+                "capacity",
+                "a zero-capacity farm can never admit a session",
+            ));
+        }
+        if self.slice_steps == 0 {
+            return Err(KnobError::new(
+                "slice_steps",
+                "a zero-round slice cannot make progress",
+            ));
+        }
+        if self.park_slice.is_zero() {
+            return Err(KnobError::new(
+                "park_slice",
+                "the poller needs a non-zero park interval",
+            ));
+        }
+        if self.deadlock_timeout < self.park_slice {
+            return Err(KnobError::new(
+                "deadlock_timeout",
+                format!(
+                    "must cover at least one park slice ({:?} < {:?})",
+                    self.deadlock_timeout, self.park_slice
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why the farm refused a request.
+#[derive(Debug)]
+pub enum FarmError {
+    /// The admission queue is full: `capacity` sessions are already
+    /// outstanding. Shed load or retry after some complete — the farm never
+    /// queues without bound.
+    Saturated {
+        /// The configured [`FarmConfig::capacity`] that was hit.
+        capacity: usize,
+    },
+    /// [`join`](crate::SessionFarm::join) has begun; the farm no longer
+    /// admits sessions.
+    Closed,
+    /// The [`FarmConfig`] failed validation.
+    Config(KnobError),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Saturated { capacity } => {
+                write!(f, "farm saturated: {capacity} sessions already outstanding")
+            }
+            FarmError::Closed => write!(f, "farm is closed to new sessions"),
+            FarmError::Config(e) => write!(f, "invalid farm config: {e}"),
+        }
+    }
+}
+
+impl Error for FarmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FarmError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KnobError> for FarmError {
+    fn from(e: KnobError) -> Self {
+        FarmError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(FarmConfig::new().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let err = FarmConfig::new().workers(0).validate().unwrap_err();
+        assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn deadlock_timeout_must_cover_a_park_slice() {
+        let err = FarmConfig::new()
+            .park_slice(Duration::from_millis(10))
+            .deadlock_timeout(Duration::from_millis(1))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("deadlock_timeout"));
+    }
+}

@@ -1,0 +1,87 @@
+//! # predpkt-farm — a session server for co-emulation at scale
+//!
+//! Every transport backend in this workspace runs one co-emulation *session*:
+//! two domains, two channel endpoints, and (for the socket-like media) two
+//! dedicated threads parked in `wait_for_packet` whenever their side has
+//! nothing to do. That shape is right for a single long-running emulation and
+//! wrong for a *server* — regression farms, parameter sweeps, and CI matrices
+//! want thousands of short sessions in flight at once, and thousands of
+//! sessions times two threads each is a thread-per-connection server wearing a
+//! co-emulation costume.
+//!
+//! This crate is the event-driven alternative. A [`SessionFarm`] owns a fixed
+//! pool of worker threads (workers ≪ sessions) and multiplexes every admitted
+//! session over it:
+//!
+//! * Sessions run as [`SlicedSession`]s — bounded co-operative slices instead
+//!   of blocking runs, so a worker never commits to a session for longer than
+//!   one slice ([`FarmConfig::slice_steps`] scheduling rounds).
+//! * A session that goes [`Idle`](predpkt_core::SliceStatus::Idle) — blocked
+//!   on its transport medium with nothing deliverable — is **parked**: it
+//!   costs zero threads until one worker, acting as the *poller*, observes
+//!   data (or death) on its endpoints through the
+//!   [`PollSet`](predpkt_channel::PollSet) readiness machinery and moves it
+//!   back to the run queue.
+//! * Admission is bounded: past [`FarmConfig::capacity`] outstanding sessions,
+//!   [`SessionFarm::submit`] refuses with [`FarmError::Saturated`] instead of
+//!   queueing without limit — the caller decides whether to retry, shed, or
+//!   block, exactly like the retry-budget knob on the reliable transport.
+//! * Sessions are isolated: a session that panics, fails, or wedges (parked
+//!   past [`FarmConfig::deadlock_timeout`] without its endpoints turning
+//!   readable) is reported — [`SessionOutcome::Panicked`] /
+//!   [`Failed`](SessionOutcome::Failed) / [`Evicted`](SessionOutcome::Evicted)
+//!   — and its worker moves on. A wedged peer never stalls the pool.
+//!
+//! [`SessionFarm::join`] drains the farm and returns a [`FarmReport`]: one
+//! [`FarmResult`] per session (optionally carrying the finished
+//! [`EmuSession`](predpkt_core::EmuSession) for reports, traces, and ledgers)
+//! plus farm-level [`FarmStats`] — sessions/sec, p50/p99 session latency,
+//! pool occupancy, park and eviction counts.
+//!
+//! Scheduling never changes committed results: a farm-scheduled session
+//! commits bit-identical traces, channel statistics, and time ledgers to the
+//! same session run directly — the cross-transport conformance suite holds
+//! slice-for-slice (see `tests/farm_stress.rs`).
+//!
+//! ```
+//! use predpkt_core::{EmuSession, Side, SocBlueprint};
+//! use predpkt_ahb::engine::BusOp;
+//! use predpkt_ahb::masters::TrafficGenMaster;
+//! use predpkt_ahb::slaves::MemorySlave;
+//! use predpkt_farm::{FarmConfig, SessionFarm};
+//!
+//! let farm = SessionFarm::new(FarmConfig::new().workers(2).keep_sessions(true))?;
+//! for seed in 0..16u64 {
+//!     farm.submit(move || {
+//!         let blueprint = SocBlueprint::new()
+//!             .master(Side::Accelerator, move || {
+//!                 Box::new(
+//!                     TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, seed as u32)])
+//!                         .looping(),
+//!                 )
+//!             })
+//!             .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+//!         Ok(EmuSession::from_blueprint(&blueprint).build()?.into_sliced(100))
+//!     })?;
+//! }
+//! let report = farm.join();
+//! assert_eq!(report.stats.completed, 16);
+//! for result in &report.results {
+//!     let session = result.session.as_ref().expect("keep_sessions(true)");
+//!     assert!(session.report().billed_words() > 0);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod farm;
+mod stats;
+
+pub use config::{FarmConfig, FarmError};
+pub use farm::{SessionFarm, SessionId};
+pub use stats::{FarmReport, FarmResult, FarmStats, SessionOutcome};
+
+pub use predpkt_core::{SliceStatus, SlicedSession};

@@ -1,0 +1,163 @@
+//! Per-session outcomes and farm-level statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+use predpkt_core::{DomainModel, EmuSession, SessionError};
+use predpkt_sim::SimError;
+
+use crate::farm::SessionId;
+
+/// How one admitted session ended.
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// The session reached its committed-cycle target.
+    Completed,
+    /// The session surfaced an emulation error (deadlock on a dead medium,
+    /// retry-budget exhaustion, rollback-depth overflow, …).
+    Failed(SimError),
+    /// The session's build closure returned an error before a single slice
+    /// ran — bad blueprint, unroutable address map, transport setup failure.
+    BuildFailed(SessionError),
+    /// The session (or its build closure) panicked. The panic was contained
+    /// to this session; the worker that caught it kept serving others.
+    Panicked(String),
+    /// The session sat parked past the farm's deadlock window without its
+    /// endpoints ever turning actionable — a wedged peer, from the farm's
+    /// point of view — and was dropped to keep the pool healthy.
+    Evicted,
+    /// The session was cancelled via [`cancel`](crate::SessionFarm::cancel)
+    /// before it completed.
+    Cancelled,
+}
+
+impl SessionOutcome {
+    /// True for [`SessionOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SessionOutcome::Completed)
+    }
+}
+
+impl fmt::Display for SessionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionOutcome::Completed => write!(f, "completed"),
+            SessionOutcome::Failed(e) => write!(f, "failed: {e}"),
+            SessionOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
+            SessionOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
+            SessionOutcome::Evicted => write!(f, "evicted (parked past deadlock window)"),
+            SessionOutcome::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// The farm's record of one admitted session.
+#[derive(Debug)]
+pub struct FarmResult<M: DomainModel + Send + 'static> {
+    /// The handle [`submit`](crate::SessionFarm::submit) returned.
+    pub id: SessionId,
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Wall-clock time from admission to the outcome being recorded —
+    /// queueing and parked time included, because that is what a caller
+    /// waiting on the session experienced.
+    pub latency: Duration,
+    /// The finished session, when the farm was configured with
+    /// [`keep_sessions`](crate::FarmConfig::keep_sessions). Present for
+    /// completed, failed, and evicted sessions whose build succeeded.
+    pub session: Option<EmuSession<M>>,
+}
+
+/// Farm-level statistics computed at [`join`](crate::SessionFarm::join).
+#[derive(Debug, Clone)]
+pub struct FarmStats {
+    /// Sessions admitted over the farm's lifetime.
+    pub submitted: u64,
+    /// Sessions that reached their target.
+    pub completed: u64,
+    /// Sessions that surfaced an emulation error.
+    pub failed: u64,
+    /// Sessions whose build closure failed.
+    pub build_failed: u64,
+    /// Sessions that panicked (contained per session).
+    pub panicked: u64,
+    /// Sessions evicted after parking past the deadlock window.
+    pub evicted: u64,
+    /// Sessions cancelled before completion.
+    pub cancelled: u64,
+    /// Times any session was parked on the readiness poll-set.
+    pub parked_events: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Wall-clock time from farm construction to drain.
+    pub wall: Duration,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Median admission-to-completion latency over completed sessions.
+    pub p50_latency: Duration,
+    /// 99th-percentile admission-to-completion latency over completed
+    /// sessions.
+    pub p99_latency: Duration,
+    /// Fraction of the pool's total thread-time spent executing session
+    /// slices (1.0 = every worker busy the whole run).
+    pub pool_occupancy: f64,
+}
+
+impl fmt::Display for FarmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions over {} workers in {:.1?}: {:.0} sessions/sec, \
+             p50 {:.1?} / p99 {:.1?}, occupancy {:.0}%, {} parked, {} evicted",
+            self.completed,
+            self.workers,
+            self.wall,
+            self.sessions_per_sec,
+            self.p50_latency,
+            self.p99_latency,
+            self.pool_occupancy * 100.0,
+            self.parked_events,
+            self.evicted,
+        )
+    }
+}
+
+/// Everything [`join`](crate::SessionFarm::join) hands back: one
+/// [`FarmResult`] per admitted session plus the [`FarmStats`] roll-up.
+#[derive(Debug)]
+pub struct FarmReport<M: DomainModel + Send + 'static> {
+    /// Per-session results, in completion order.
+    pub results: Vec<FarmResult<M>>,
+    /// The farm-level roll-up.
+    pub stats: FarmStats,
+}
+
+impl<M: DomainModel + Send + 'static> FarmReport<M> {
+    /// The result for one session handle, if it was admitted.
+    pub fn result(&self, id: SessionId) -> Option<&FarmResult<M>> {
+        self.results.iter().find(|r| r.id == id)
+    }
+}
+
+/// `values` must be sorted ascending; `q` in `[0, 1]` (nearest-rank).
+pub(crate) fn percentile(values: &[Duration], q: f64) -> Duration {
+    if values.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&v, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&v, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&v, 1.0), Duration::from_micros(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

@@ -1,0 +1,420 @@
+//! Farm stress suite: scheduling at scale must never change what a session
+//! commits, and one bad session must never take the pool down with it.
+//!
+//! * A thousand mixed-transport sessions multiplexed over four workers commit
+//!   bit-identically to direct (unfarmed) runs of the same sessions — the
+//!   conformance ledger checks, through the farm.
+//! * A wedged peer (every frame dropped on the socket path) is evicted after
+//!   the deadlock window while normal sessions keep completing.
+//! * Saturation is a typed refusal, cancellation lands, and a panicking
+//!   session is contained to its own result.
+//! * Churning many socket-backed sessions through a small pool keeps file
+//!   descriptors and thread counts bounded: sessions never spawn threads.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use predpkt_channel::{ChannelStats, FaultSpec};
+use predpkt_core::{
+    AhbDomainModel, CoEmuConfig, EmuSession, ModePolicy, ShmOptions, TcpOptions, ThreadedOpts,
+    TransportSelect,
+};
+use predpkt_farm::{FarmConfig, FarmError, SessionFarm, SessionOutcome};
+use predpkt_sim::VirtualTime;
+use predpkt_workloads::figure2_soc;
+
+const CYCLES: u64 = 120;
+
+fn config() -> CoEmuConfig {
+    CoEmuConfig::paper_defaults()
+        .policy(ModePolicy::Auto)
+        .rollback_vars(None)
+}
+
+/// Fine-grained polling knobs (matching the core conformance suite) so
+/// blocked-domain wakeups stay snappy on loaded CI hosts.
+fn snappy() -> ThreadedOpts {
+    ThreadedOpts {
+        poll_interval: Duration::from_micros(500),
+        deadlock_timeout: Duration::from_secs(10),
+    }
+}
+
+/// The mixed-transport rotation the ISSUE asks for: queue, shm, tcp.
+fn transport_for(i: usize) -> TransportSelect {
+    match i % 3 {
+        0 => TransportSelect::Queue,
+        1 => TransportSelect::Shm(ShmOptions::default().threaded(snappy())),
+        _ => TransportSelect::Tcp(TcpOptions::default().threaded(snappy())),
+    }
+}
+
+/// The conformance ledger fields a farm run is compared on.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    trace_hash: u64,
+    committed: u64,
+    channel: ChannelStats,
+    ledger_total: VirtualTime,
+    billed_words: u64,
+}
+
+fn observe(session: &EmuSession<AhbDomainModel>, seed: u64) -> Observed {
+    let blueprint = figure2_soc(seed);
+    let placement = blueprint.placement();
+    let trace = session.merged_trace(|s, a| placement.merge_records(s, a));
+    Observed {
+        trace_hash: trace.hash(),
+        committed: session.committed_cycles(),
+        channel: session.channel_stats(),
+        ledger_total: session.ledger().total(),
+        billed_words: session.report().billed_words(),
+    }
+}
+
+/// The direct (unfarmed) baseline for one seed, over the deterministic queue
+/// transport — what *every* transport must commit, farm or no farm.
+fn direct_baseline(seed: u64) -> Observed {
+    let mut session = EmuSession::from_blueprint(&figure2_soc(seed))
+        .config(config())
+        .transport(TransportSelect::Queue)
+        .build()
+        .expect("baseline builds");
+    session
+        .run_until_committed(CYCLES)
+        .expect("baseline completes");
+    observe(&session, seed)
+}
+
+#[cfg(target_os = "linux")]
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .unwrap_or(usize::MAX)
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Spin until the farm has no outstanding sessions (bounded by `limit`).
+fn drain(farm: &SessionFarm<AhbDomainModel>, limit: Duration) {
+    let deadline = Instant::now() + limit;
+    while farm.outstanding() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "farm failed to drain in {limit:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The tentpole property end-to-end: one thousand sessions, three transports,
+/// four workers, and every single one commits exactly what its direct run
+/// commits.
+#[test]
+fn thousand_mixed_sessions_match_direct_runs() {
+    const SESSIONS: usize = 999;
+    const SEEDS: u64 = 16;
+    let baselines: Vec<Observed> = (0..SEEDS).map(direct_baseline).collect();
+
+    let farm = SessionFarm::new(
+        FarmConfig::new()
+            .workers(4)
+            .capacity(SESSIONS)
+            .slice_steps(64)
+            .keep_sessions(true),
+    )
+    .expect("farm builds");
+    let mut seed_of = HashMap::new();
+    for i in 0..SESSIONS {
+        let seed = i as u64 % SEEDS;
+        let transport = transport_for(i);
+        let id = farm
+            .submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(CYCLES))
+            })
+            .expect("capacity covers every session");
+        seed_of.insert(id, seed);
+    }
+    let report = farm.join();
+
+    assert_eq!(report.stats.submitted, SESSIONS as u64);
+    assert_eq!(
+        report.stats.completed, SESSIONS as u64,
+        "every session completes: {}",
+        report.stats
+    );
+    assert_eq!(report.results.len(), SESSIONS);
+    for result in &report.results {
+        assert!(
+            result.outcome.is_completed(),
+            "session {} ended {}",
+            result.id,
+            result.outcome
+        );
+        let seed = seed_of[&result.id];
+        let session = result.session.as_ref().expect("keep_sessions retains it");
+        assert_eq!(
+            baselines[seed as usize],
+            observe(session, seed),
+            "session {} (seed {seed}) diverged from its direct run",
+            result.id
+        );
+    }
+    assert!(report.stats.sessions_per_sec > 0.0);
+    assert!(report.stats.p99_latency >= report.stats.p50_latency);
+    assert!(report.stats.pool_occupancy > 0.0 && report.stats.pool_occupancy <= 1.0);
+}
+
+/// A peer that drops every frame wedges its session, not the pool: the farm
+/// parks it, evicts it after the deadlock window, and the normal sessions
+/// sharing the pool all complete.
+#[test]
+fn wedged_peer_is_evicted_and_does_not_stall_the_pool() {
+    let farm = SessionFarm::new(
+        FarmConfig::new()
+            .workers(2)
+            .slice_steps(64)
+            .park_slice(Duration::from_micros(200))
+            .deadlock_timeout(Duration::from_millis(300)),
+    )
+    .expect("farm builds");
+    let wedged = farm
+        .submit(move || {
+            Ok(EmuSession::from_blueprint(&figure2_soc(7))
+                .config(config())
+                .transport(TransportSelect::Tcp(
+                    TcpOptions::default()
+                        .threaded(snappy())
+                        .fault(FaultSpec::drops(42, 1.0)),
+                ))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("wedged session admitted");
+    let mut normal = Vec::new();
+    for i in 0..20 {
+        let seed = i as u64;
+        let transport = transport_for(i);
+        let id = farm
+            .submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(CYCLES))
+            })
+            .expect("normal session admitted");
+        normal.push(id);
+    }
+    let report = farm.join();
+    let wedged_result = report.result(wedged).expect("wedged session reported");
+    assert!(
+        matches!(wedged_result.outcome, SessionOutcome::Evicted),
+        "wedged session should be evicted, ended {}",
+        wedged_result.outcome
+    );
+    for id in normal {
+        let r = report.result(id).expect("normal session reported");
+        assert!(
+            r.outcome.is_completed(),
+            "session {id} stalled behind the wedged peer: {}",
+            r.outcome
+        );
+    }
+    assert_eq!(report.stats.evicted, 1);
+    assert_eq!(report.stats.completed, 20);
+    assert!(report.stats.parked_events > 0, "the wedge must have parked");
+}
+
+/// Admission control: a full farm refuses with the typed `Saturated` error
+/// (the caller sheds or retries — nothing queues unbounded), and a cancelled
+/// session reports `Cancelled` without running.
+#[test]
+fn saturation_is_typed_and_cancellation_lands() {
+    let farm: SessionFarm<AhbDomainModel> = SessionFarm::new(
+        FarmConfig::new()
+            .workers(1)
+            .capacity(4)
+            .start_paused(true)
+            .keep_sessions(true),
+    )
+    .expect("farm builds");
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let seed = i as u64;
+        ids.push(
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .build()?
+                    .into_sliced(CYCLES))
+            })
+            .expect("within capacity"),
+        );
+    }
+    let refused = farm.submit(|| {
+        Ok(EmuSession::from_blueprint(&figure2_soc(0))
+            .config(config())
+            .build()?
+            .into_sliced(CYCLES))
+    });
+    match refused {
+        Err(FarmError::Saturated { capacity }) => assert_eq!(capacity, 4),
+        other => panic!("expected Saturated, got {other:?}"),
+    }
+    farm.cancel(ids[2]);
+    farm.resume();
+    let report = farm.join();
+    let cancelled = report.result(ids[2]).expect("cancelled session reported");
+    assert!(
+        matches!(cancelled.outcome, SessionOutcome::Cancelled),
+        "cancel before scheduling must land, ended {}",
+        cancelled.outcome
+    );
+    assert!(
+        cancelled.session.is_none(),
+        "a session cancelled before its first slice was never built"
+    );
+    for &id in &[ids[0], ids[1], ids[3]] {
+        assert!(report.result(id).expect("reported").outcome.is_completed());
+    }
+    assert_eq!(report.stats.cancelled, 1);
+    assert_eq!(report.stats.completed, 3);
+}
+
+/// A panicking session (here: the build closure itself) is contained — its
+/// result says `Panicked`, its worker survives, every other session runs.
+#[test]
+fn a_panicking_session_is_contained_to_its_result() {
+    let farm = SessionFarm::new(FarmConfig::new().workers(2)).expect("farm builds");
+    let bomb = farm
+        .submit(|| -> Result<_, predpkt_core::SessionError> {
+            panic!("session bomb");
+        })
+        .expect("admitted");
+    let mut normal = Vec::new();
+    for i in 0..8 {
+        let seed = i as u64;
+        normal.push(
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .build()?
+                    .into_sliced(CYCLES))
+            })
+            .expect("admitted"),
+        );
+    }
+    let report = farm.join();
+    match &report.result(bomb).expect("reported").outcome {
+        SessionOutcome::Panicked(msg) => assert!(msg.contains("session bomb")),
+        other => panic!("expected Panicked, got {other}"),
+    }
+    for id in normal {
+        assert!(report.result(id).expect("reported").outcome.is_completed());
+    }
+    assert_eq!(report.stats.panicked, 1);
+    assert_eq!(report.stats.completed, 8);
+}
+
+/// Cancelling sessions mid-run (not merely mid-queue) frees their slots
+/// without disturbing the survivors.
+#[test]
+fn mid_run_cancellation_does_not_stall_others() {
+    let farm = SessionFarm::new(FarmConfig::new().workers(2).slice_steps(4)).expect("farm builds");
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        let seed = i as u64;
+        let transport = transport_for(i);
+        ids.push(
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(600))
+            })
+            .expect("admitted"),
+        );
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    for &id in ids.iter().step_by(2) {
+        farm.cancel(id);
+    }
+    let report = farm.join();
+    for (i, &id) in ids.iter().enumerate() {
+        let r = report.result(id).expect("reported");
+        if i % 2 == 0 {
+            assert!(
+                matches!(
+                    r.outcome,
+                    SessionOutcome::Cancelled | SessionOutcome::Completed
+                ),
+                "session {id}: cancel raced completion but must not fail: {}",
+                r.outcome
+            );
+        } else {
+            assert!(r.outcome.is_completed(), "session {id} ended {}", r.outcome);
+        }
+    }
+    assert_eq!(report.stats.failed, 0);
+    assert_eq!(report.stats.evicted, 0);
+}
+
+/// The resource story: churning 64 socket/ring sessions through a two-worker
+/// farm leaves file descriptors flat and never grows the thread count —
+/// sessions cost sockets while alive and *zero threads ever*.
+#[cfg(target_os = "linux")]
+#[test]
+fn churn_keeps_fds_and_threads_bounded() {
+    let fds_before = open_fds();
+    let threads_before = thread_count();
+    let farm = SessionFarm::new(FarmConfig::new().workers(2).capacity(8)).expect("farm builds");
+    let mut max_threads = 0;
+    for wave in 0..8 {
+        for i in 0..8 {
+            let seed = (wave * 8 + i) as u64;
+            let transport = if i % 2 == 0 {
+                TransportSelect::Tcp(TcpOptions::default().threaded(snappy()))
+            } else {
+                TransportSelect::Shm(ShmOptions::default().threaded(snappy()).file_backed())
+            };
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(40))
+            })
+            .expect("wave fits capacity");
+        }
+        drain(&farm, Duration::from_secs(30));
+        max_threads = max_threads.max(thread_count());
+    }
+    let report = farm.join();
+    assert_eq!(report.stats.completed, 64);
+
+    // Two farm workers plus slack for the test harness's own sibling test
+    // threads; 64 thread-per-session runs would have needed 128.
+    assert!(
+        max_threads <= threads_before + 2 + 8,
+        "thread count grew with session count: {threads_before} -> {max_threads}"
+    );
+    let fds_after = open_fds();
+    assert!(
+        fds_after <= fds_before + 8,
+        "descriptor churn leaked: {fds_before} -> {fds_after}"
+    );
+}

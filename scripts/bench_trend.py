@@ -2,9 +2,9 @@
 """Bench-artifact trend gate.
 
 Compares this run's ``BENCH_*.json`` artifacts against recent history and
-fails when a headline wall-clock figure regresses beyond the threshold. Used
-by CI's ``bench-artifacts`` job (see ``.github/workflows/ci.yml``); runs
-identically by hand:
+fails when a headline figure regresses beyond the threshold. Used by CI's
+``bench-artifacts`` job (see ``.github/workflows/ci.yml``); runs identically
+by hand:
 
     python3 scripts/bench_trend.py <history-dir> <current-dir> [--threshold X]
 
@@ -12,42 +12,61 @@ Noise model — loopback wall clock on shared runners is both jittery and
 *bimodal* (thread-pair placement can swing a backend's wall by ~50% with no
 code change), so a single-sample, single-baseline gate would flake:
 
-* **Current value** per backend = the minimum across this run's samples: the
-  main ``BENCH_<name>.json`` plus any ``BENCH_<stem>.sample*.json`` the job
-  recorded (CI runs each loopback bin twice). One fast-mode sample is enough
-  to prove the code can still hit the old figure.
+* **Current value** per backend = the best across this run's samples (minimum
+  for lower-is-better metrics like ``wall_us``, maximum for higher-is-better
+  ones like ``sessions_per_sec``): the main ``BENCH_<name>.json`` plus any
+  ``BENCH_<stem>.sample*.json`` the job recorded (CI runs each loopback bin
+  twice, with ``PREDPKT_LOOPBACK_REPS`` pinning extra in-process reps). One
+  good sample is enough to prove the code can still hit the old figure.
 * **Baseline** per backend = the median across the newest
   ``HISTORY_KEEP`` runs in ``<history-dir>/<stem>/``, so one slow-mode
   historical run cannot poison the reference.
 * **History update**: on a passing gate the best-of-samples figures are
   appended to history (pruned to ``HISTORY_KEEP``), so a slow-mode passing
-  run cannot drag the baseline upward. A failing gate leaves history
-  untouched, so a genuine regression stays red instead of becoming the new
-  baseline.
+  run cannot drag the baseline toward the slow mode. A failing gate leaves
+  history untouched, so a genuine regression stays red instead of becoming
+  the new baseline.
 * No history at all (first run, expired cache): warn, pass, and seed.
+* A row whose gated metric is missing, null, or NaN (bench bins emit
+  ``null`` for non-finite values) is **skipped and reported**, never a
+  crash: a partially-instrumented platform must not take the gate down.
 
 Gated figures: per-backend ``wall_us`` in ``tcp_loopback``/``shm_loopback``
 (matched by backend name — adding or removing a backend never trips the
-gate). ``recovery_sweep`` rows are virtual-model outputs (bit-stable by
-construction) and are listed for context only. Writes a markdown delta table
-to ``$GITHUB_STEP_SUMMARY`` when set.
+gate), and the ``session_farm`` throughput row (``sessions_per_sec`` must
+not drop, ``p99_us`` must not blow up). ``recovery_sweep`` rows are
+virtual-model outputs (bit-stable by construction) and are listed for
+context only. Writes a markdown delta table to ``$GITHUB_STEP_SUMMARY``
+when set.
 """
 
 import argparse
 import json
+import math
 import os
 import statistics
 import sys
 import time
 from pathlib import Path
 
-# name -> (gated metric, allowed fractional regression). The TCP loopback
-# threshold sits above the ~50% bimodal thread-placement swing recorded in
-# ROADMAP.md (wall flips between ~7.3 ms and ~11 ms per process with no code
-# change); the shm rows are mode-stable and keep the tight gate.
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+
+# name -> [(gated metric, allowed fractional regression, direction)].
+# The TCP loopback threshold used to sit above the ~50% bimodal
+# thread-placement swing recorded in ROADMAP.md; with CI pinning
+# PREDPKT_LOOPBACK_REPS=5 the best-of-N discipline absorbs the slow mode, so
+# the gate is tightened to +35% (toward the shm gate, on the way to +25%).
+# session_farm gates scheduling-throughput end to end: sessions/sec must not
+# drop by more than 40%, and tail latency must not grow by more than 60%
+# (p99 under the one-shot submission pattern tracks total batch wall).
 GATED = {
-    "BENCH_tcp_loopback.json": ("wall_us", 0.60),
-    "BENCH_shm_loopback.json": ("wall_us", 0.25),
+    "BENCH_tcp_loopback.json": [("wall_us", 0.35, LOWER_IS_BETTER)],
+    "BENCH_shm_loopback.json": [("wall_us", 0.25, LOWER_IS_BETTER)],
+    "BENCH_session_farm.json": [
+        ("sessions_per_sec", 0.40, HIGHER_IS_BETTER),
+        ("p99_us", 0.60, LOWER_IS_BETTER),
+    ],
 }
 CONTEXT_ONLY = ["BENCH_recovery_sweep.json"]
 HISTORY_KEEP = 5
@@ -61,6 +80,19 @@ def load_rows(path: Path):
         data = json.load(f)
     key = "backend" if data["rows"] and "backend" in data["rows"][0] else "fault"
     return {row[key]: row for row in data["rows"]}
+
+
+def usable(row, metric):
+    """The metric value if present and finite, else None (skip the row)."""
+    value = row.get(metric)
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return value
+    return None
+
+
+def best(values, direction):
+    """The most favourable sample for the metric's direction."""
+    return min(values) if direction == LOWER_IS_BETTER else max(values)
 
 
 def current_samples(current: Path, name: str):
@@ -85,10 +117,10 @@ def main() -> int:
 
     lines = ["## Bench trend vs recent history", ""]
     regressions = []
+    skipped = []
     compared = 0
 
-    for name, (metric, bench_threshold) in GATED.items():
-        threshold = args.threshold if args.threshold is not None else bench_threshold
+    for name, gates in GATED.items():
         samples = current_samples(args.current, name)
         if not samples:
             print(f"{name}: missing from current run", file=sys.stderr)
@@ -99,30 +131,45 @@ def main() -> int:
             lines.append(f"**{name}**: no history — nothing to gate against (first run?)")
             print(f"{name}: no history; skipping (warn)")
             continue
-        lines += [
-            f"**{name}** (best-of-{len(samples)} samples on `{metric}` vs "
-            f"median-of-{len(snapshots)} history, threshold +{threshold:.0%})",
-            "", "| backend | baseline | current | delta |", "|---|---|---|---|",
-        ]
-        for backend in samples[0]:
-            values = [s[backend][metric] for s in samples if backend in s]
-            history_values = [s[backend][metric] for s in snapshots
-                              if backend in s and metric in s[backend]]
-            if not history_values:
-                lines.append(f"| {backend} | — | {min(values)} | new |")
-                continue
-            current_best = min(values)
-            baseline = statistics.median(history_values)
-            compared += 1
-            delta = (current_best - baseline) / baseline if baseline else 0.0
-            marker = ""
-            if delta > threshold:
-                regressions.append(
-                    f"{name}:{backend} {metric} {baseline} -> {current_best} (+{delta:.1%})"
+        for metric, bench_threshold, direction in gates:
+            threshold = args.threshold if args.threshold is not None else bench_threshold
+            lines += [
+                f"**{name}** (best-of-{len(samples)} samples on `{metric}`, "
+                f"{direction} is better, vs median-of-{len(snapshots)} history, "
+                f"threshold {threshold:.0%})",
+                "", "| backend | baseline | current | delta |", "|---|---|---|---|",
+            ]
+            for backend in samples[0]:
+                values = [v for s in samples if backend in s
+                          if (v := usable(s[backend], metric)) is not None]
+                if not values:
+                    skipped.append(f"{name}:{backend}:{metric} (missing or non-finite)")
+                    lines.append(f"| {backend} | — | — | skipped (no usable `{metric}`) |")
+                    continue
+                history_values = [v for s in snapshots if backend in s
+                                  if (v := usable(s[backend], metric)) is not None]
+                current_best = best(values, direction)
+                if not history_values:
+                    lines.append(f"| {backend} | — | {current_best} | new |")
+                    continue
+                baseline = statistics.median(history_values)
+                compared += 1
+                if baseline:
+                    delta = (current_best - baseline) / baseline
+                else:
+                    delta = 0.0
+                regressed = (delta > threshold if direction == LOWER_IS_BETTER
+                             else delta < -threshold)
+                marker = ""
+                if regressed:
+                    regressions.append(
+                        f"{name}:{backend} {metric} {baseline} -> {current_best} ({delta:+.1%})"
+                    )
+                    marker = " ❌"
+                lines.append(
+                    f"| {backend} | {baseline:g} | {current_best} | {delta:+.1%}{marker} |"
                 )
-                marker = " ❌"
-            lines.append(f"| {backend} | {baseline:g} | {current_best} | {delta:+.1%}{marker} |")
-        lines.append("")
+            lines.append("")
 
     for name in CONTEXT_ONLY:
         cur = load_rows(args.current / name)
@@ -131,28 +178,38 @@ def main() -> int:
 
     summary = "\n".join(lines)
     print(summary)
+    if skipped:
+        print("\nrows skipped (metric missing or non-finite):")
+        for s in skipped:
+            print(f"  {s}")
     if step_summary := os.environ.get("GITHUB_STEP_SUMMARY"):
         with open(step_summary, "a") as f:
             f.write(summary + "\n")
 
     if regressions:
-        print("\nwall-clock regressions beyond threshold (history left untouched):",
+        print("\nregressions beyond threshold (history left untouched):",
               file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1
 
     # Passing gate: append this run's figures to history (per backend, the
-    # best across samples — a slow-mode passing run must not drag the median
-    # baseline upward) and prune.
+    # best across samples in each metric's favourable direction — a slow-mode
+    # passing run must not drag the median baseline toward the slow mode)
+    # and prune. Rows with no usable value keep whatever the main artifact
+    # recorded; they were skipped above and stay skipped as history.
     run_id = os.environ.get("GITHUB_RUN_ID") or str(int(time.time()))
-    for name, (metric, _) in GATED.items():
+    for name, gates in GATED.items():
         samples = current_samples(args.current, name)
         with open(args.current / name) as f:
             data = json.load(f)
         for row in data["rows"]:
             backend = row.get("backend", row.get("fault"))
-            row[metric] = min(s[backend][metric] for s in samples if backend in s)
+            for metric, _, direction in gates:
+                values = [v for s in samples if backend in s
+                          if (v := usable(s[backend], metric)) is not None]
+                if values:
+                    row[metric] = best(values, direction)
         dest = args.history / Path(name).stem
         dest.mkdir(parents=True, exist_ok=True)
         with open(dest / f"{int(run_id):020d}.json", "w") as f:

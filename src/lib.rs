@@ -58,6 +58,7 @@
 pub use predpkt_ahb as ahb;
 pub use predpkt_channel as channel;
 pub use predpkt_core as core;
+pub use predpkt_farm as farm;
 pub use predpkt_perfmodel as perfmodel;
 pub use predpkt_predict as predict;
 pub use predpkt_sim as sim;
