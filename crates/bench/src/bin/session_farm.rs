@@ -56,6 +56,15 @@ fn backend_name(i: usize) -> &'static str {
     }
 }
 
+/// An optional latency as a JSON value: microseconds, or null when no
+/// session completed.
+fn latency_us(latency: Option<Duration>) -> JsonValue {
+    match latency {
+        Some(d) => JsonValue::from(d.as_micros() as u64),
+        None => JsonValue::from(f64::NAN),
+    }
+}
+
 #[cfg(target_os = "linux")]
 fn thread_count() -> Option<usize> {
     std::fs::read_to_string("/proc/self/status")
@@ -204,8 +213,13 @@ fn main() {
     println!("\n{:>22} {}", "sessions", s.completed);
     println!("{:>22} {:.2?}", "wall", wall);
     println!("{:>22} {:.0}", "sessions/sec", s.sessions_per_sec);
-    println!("{:>22} {:.2?}", "p50 latency", s.p50_latency);
-    println!("{:>22} {:.2?}", "p99 latency", s.p99_latency);
+    match (s.p50_latency, s.p99_latency) {
+        (Some(p50), Some(p99)) => {
+            println!("{:>22} {:.2?}", "p50 latency", p50);
+            println!("{:>22} {:.2?}", "p99 latency", p99);
+        }
+        _ => println!("{:>22} (no sessions completed)", "latency"),
+    }
     println!("{:>22} {:.1}%", "pool occupancy", s.pool_occupancy * 100.0);
     println!("{:>22} {}", "park events", s.parked_events);
     match threads_delta {
@@ -237,8 +251,12 @@ fn main() {
                 ("backend", JsonValue::from("mixed")),
                 ("wall_us", JsonValue::from(wall.as_micros() as u64)),
                 ("sessions_per_sec", JsonValue::from(s.sessions_per_sec)),
-                ("p50_us", JsonValue::from(s.p50_latency.as_micros() as u64)),
-                ("p99_us", JsonValue::from(s.p99_latency.as_micros() as u64)),
+                // Absent percentiles (a run where nothing completed) render
+                // as JSON null via the non-finite-float rule — never NaN,
+                // never a fake zero the trend gate would flag as a 100%
+                // improvement.
+                ("p50_us", latency_us(s.p50_latency)),
+                ("p99_us", latency_us(s.p99_latency)),
                 ("pool_occupancy", JsonValue::from(s.pool_occupancy)),
                 ("parked_events", JsonValue::from(s.parked_events)),
                 ("workers", JsonValue::from(WORKERS)),

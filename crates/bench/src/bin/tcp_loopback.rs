@@ -12,11 +12,13 @@
 //! `--quick` for the reduced-iteration CI configuration.
 
 use predpkt_bench::loopback::{
-    bench_opts, loopback_iterations, print_loopback_table, run_loopback, write_loopback_json,
+    bench_opts, loopback_iterations, maybe_pin_cores, print_loopback_table, run_loopback,
+    write_loopback_json,
 };
 use predpkt_core::{ReliableInner, TcpOptions, TransportSelect};
 
 fn main() {
+    maybe_pin_cores();
     let json = std::env::args().any(|a| a == "--json");
     let quick = std::env::args().any(|a| a == "--quick");
     let (cycles, reps) = loopback_iterations(quick);

@@ -52,17 +52,56 @@ pub fn bench_opts() -> ThreadedOpts {
 ///
 /// `PREDPKT_LOOPBACK_REPS` overrides the rep count in either mode. Loopback
 /// TCP wall clock is bimodal on shared hosts (scheduler placement, C-state
-/// wakeups), and the best-of-N discipline only kills that bimodality when N
-/// is large enough — CI pins N higher than the local default so its gated
-/// `wall_us` samples are stable enough for a tight regression threshold.
+/// wakeups); two disciplines tame it so the trend gate can run tight:
+/// best-of-N inside the bin — `--quick` included, which used to take a
+/// single timed sample and fed the gate whichever mode the scheduler picked
+/// — and the optional [`maybe_pin_cores`] affinity hook.
 pub fn loopback_iterations(quick: bool) -> (u64, u32) {
-    let (cycles, default_reps) = if quick { (400, 1) } else { (2_000, 3) };
+    let (cycles, default_reps) = if quick { (400, 3) } else { (2_000, 5) };
     let reps = std::env::var("PREDPKT_LOOPBACK_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&r| r >= 1)
         .unwrap_or(default_reps);
     (cycles, reps)
+}
+
+/// Guard variable marking a process already re-executed under `taskset`, so
+/// the pinning hook can never recurse.
+const PIN_GUARD: &str = "PREDPKT_PIN_CORES_APPLIED";
+
+/// Opt-in core pinning for the loopback bins: with `PREDPKT_PIN_CORES` set
+/// to a CPU list (taskset syntax, e.g. `0-1` or `2,3`), the bench re-execs
+/// itself under `taskset -c <list>` so both domain threads stay on the named
+/// cores. Scheduler migration across cores (and across core complexes /
+/// sockets) is the main source of loopback-TCP wall-clock bimodality;
+/// pinning removes it without taking a dependency on an affinity crate.
+///
+/// No-op when the variable is unset, on non-Linux hosts, or when `taskset`
+/// is unavailable (the bench then runs unpinned rather than failing).
+pub fn maybe_pin_cores() {
+    let Ok(cores) = std::env::var("PREDPKT_PIN_CORES") else {
+        return;
+    };
+    if cores.is_empty() || std::env::var_os(PIN_GUARD).is_some() || !cfg!(target_os = "linux") {
+        return;
+    }
+    let Ok(exe) = std::env::current_exe() else {
+        return;
+    };
+    let status = std::process::Command::new("taskset")
+        .arg("-c")
+        .arg(&cores)
+        .arg(exe)
+        .args(std::env::args_os().skip(1))
+        .env(PIN_GUARD, "1")
+        .status();
+    match status {
+        Ok(status) => std::process::exit(status.code().unwrap_or(1)),
+        Err(e) => {
+            eprintln!("PREDPKT_PIN_CORES={cores}: taskset unavailable ({e}); running unpinned")
+        }
+    }
 }
 
 /// One backend's measurements in the comparison table.

@@ -23,6 +23,12 @@
 //!   through the kernel page cache — the file *is* memory shared between the
 //!   two processes, reachable std-only (no `mmap` binding required).
 //!
+//! Both backings scale past one channel: a region holds one or more **link
+//! slots**, each an independent ring pair with its own liveness flags, so an
+//! N-domain fabric ([`ShmTransport::mesh`] / [`ShmTransport::file_mesh`])
+//! carries all of its edges in one shared allocation (or one `/dev/shm`
+//! file) instead of one per link.
+//!
 //! ## Wire format
 //!
 //! Frames are byte-for-byte the TCP codec's
@@ -261,30 +267,53 @@ impl HeapRing {
     }
 }
 
-/// The in-process shared region: two heap rings plus the per-side
-/// liveness flags, shared between the two [`ShmEndpoint`]s via [`Arc`].
+/// One link's slot within a region: a bidirectional SPSC ring pair plus the
+/// two per-side liveness flags. A two-domain channel uses one slot; an
+/// N-domain fabric packs every edge's slot into a single region.
+struct LinkSlot {
+    alive: [AtomicBool; 2],
+    rings: [HeapRing; 2],
+}
+
+impl LinkSlot {
+    fn new(capacity: u32) -> Self {
+        LinkSlot {
+            alive: [AtomicBool::new(true), AtomicBool::new(true)],
+            rings: [HeapRing::new(capacity), HeapRing::new(capacity)],
+        }
+    }
+}
+
+/// The in-process shared region: one or more link slots — each a pair of
+/// heap rings plus per-side liveness flags — shared between the
+/// [`ShmEndpoint`]s via [`Arc`]. A plain channel ([`ShmTransport::pair`])
+/// occupies a single-slot region; a fabric mesh
+/// ([`ShmTransport::mesh`]) carries all of its edges' SPSC ring pairs in
+/// *one* region, so an N-domain host pays one shared allocation, not one per
+/// link.
 ///
 /// Data words live in [`UnsafeCell`]s; the head/tail atomics carry the only
 /// synchronization. The SPSC discipline makes this sound — see the safety
 /// comments on the `Sync` impl and the data accessors.
 pub struct ShmRegion {
     capacity: u32,
-    alive: [AtomicBool; 2],
-    rings: [HeapRing; 2],
+    links: Vec<LinkSlot>,
 }
 
 impl fmt::Debug for ShmRegion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShmRegion")
             .field("capacity", &self.capacity)
+            .field("links", &self.links.len())
             .finish_non_exhaustive()
     }
 }
 
 // SAFETY: each ring is single-producer/single-consumer — exactly one
 // endpoint ever writes data words and stores `head`, exactly one ever reads
-// data words and stores `tail` (ShmTransport::pair hands out one endpoint
-// per side and endpoints are !Clone). A producer writes slots in
+// data words and stores `tail` (ShmTransport::pair / ShmTransport::mesh hand
+// out one endpoint per side *per link slot*, each backing addresses exactly
+// one slot, and endpoints are !Clone). A producer writes slots in
 // [head, head+n) and only then release-stores head+n; the consumer
 // acquire-loads head before reading those slots, so the writes
 // happen-before the reads. Symmetrically, the consumer release-stores tail
@@ -296,18 +325,26 @@ unsafe impl Sync for ShmRegion {}
 unsafe impl Send for ShmRegion {}
 
 impl ShmRegion {
-    fn new(capacity: u32) -> Self {
+    fn with_links(capacity: u32, links: usize) -> Self {
         ShmRegion {
             capacity,
-            alive: [AtomicBool::new(true), AtomicBool::new(true)],
-            rings: [HeapRing::new(capacity), HeapRing::new(capacity)],
+            links: (0..links).map(|_| LinkSlot::new(capacity)).collect(),
         }
     }
 }
 
-/// Heap backing: the ring operations over an [`Arc<ShmRegion>`].
+/// Heap backing: the ring operations over one link slot of an
+/// [`Arc<ShmRegion>`]. Each backing instance addresses exactly one link, so
+/// the SPSC argument is per-slot and a mesh region stays sound.
 struct HeapBacking {
     region: Arc<ShmRegion>,
+    link: usize,
+}
+
+impl HeapBacking {
+    fn slot(&self) -> &LinkSlot {
+        &self.region.links[self.link]
+    }
 }
 
 impl RingBacking for HeapBacking {
@@ -316,29 +353,29 @@ impl RingBacking for HeapBacking {
     }
 
     fn head(&self, ring: RingDir) -> Result<u32, RingError> {
-        Ok(self.region.rings[ring.index()].head.load(Ordering::Acquire))
+        Ok(self.slot().rings[ring.index()].head.load(Ordering::Acquire))
     }
 
     fn set_head(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
-        self.region.rings[ring.index()]
+        self.slot().rings[ring.index()]
             .head
             .store(v, Ordering::Release);
         Ok(())
     }
 
     fn tail(&self, ring: RingDir) -> Result<u32, RingError> {
-        Ok(self.region.rings[ring.index()].tail.load(Ordering::Acquire))
+        Ok(self.slot().rings[ring.index()].tail.load(Ordering::Acquire))
     }
 
     fn set_tail(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
-        self.region.rings[ring.index()]
+        self.slot().rings[ring.index()]
             .tail
             .store(v, Ordering::Release);
         Ok(())
     }
 
     fn write_data(&self, ring: RingDir, slot: u32, data: &[u32]) -> Result<(), RingError> {
-        let cells = &self.region.rings[ring.index()].data;
+        let cells = &self.slot().rings[ring.index()].data;
         for (i, &w) in data.iter().enumerate() {
             // SAFETY: `slot..slot+data.len()` lies in the producer-owned
             // span [head, head+free): the consumer has release-stored a tail
@@ -351,7 +388,7 @@ impl RingBacking for HeapBacking {
     }
 
     fn read_data(&self, ring: RingDir, slot: u32, out: &mut [u32]) -> Result<(), RingError> {
-        let cells = &self.region.rings[ring.index()].data;
+        let cells = &self.slot().rings[ring.index()].data;
         for (i, o) in out.iter_mut().enumerate() {
             // SAFETY: `slot..slot+out.len()` lies in the consumer-owned span
             // [tail, head): the producer release-stored a head covering
@@ -363,11 +400,11 @@ impl RingBacking for HeapBacking {
     }
 
     fn alive(&self, side: Side) -> Result<bool, RingError> {
-        Ok(self.region.alive[side_index(side)].load(Ordering::Acquire))
+        Ok(self.slot().alive[side_index(side)].load(Ordering::Acquire))
     }
 
     fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
-        self.region.alive[side_index(side)].store(v, Ordering::Release);
+        self.slot().alive[side_index(side)].store(v, Ordering::Release);
         Ok(())
     }
 
@@ -394,21 +431,45 @@ mod file_backing {
 
     /// Magic word opening every region file ("PPK1" little-endian).
     pub const SHM_MAGIC: u32 = 0x314b_5050;
-    /// Region layout version.
-    pub const SHM_VERSION: u32 = 1;
+    /// Region layout version. Version 2 generalized the single ring pair to
+    /// a per-link slot array (`W_LINKS` links, each with its own control
+    /// block and ring pair), so one region file can carry a whole fabric
+    /// mesh; version-1 attachers reject v2 files cleanly via the version
+    /// word.
+    pub const SHM_VERSION: u32 = 2;
+    /// Most links one region file may declare — bounds the attach-side
+    /// multiplication before it can size a rogue mapping (4096 links covers
+    /// a 64-domain full mesh).
+    pub const MAX_LINKS: u32 = 1 << 12;
 
     // Header word offsets (in u32 words from the start of the file).
     const W_MAGIC: u64 = 0;
     const W_VERSION: u64 = 1;
     const W_CAPACITY: u64 = 2;
-    const W_ALIVE: u64 = 3; // 3 = simulator, 4 = accelerator
-    const W_RING_CTRL: u64 = 5; // 5..9: ring0 head, ring0 tail, ring1 head, ring1 tail
-    /// First data word (the header is padded to a 16-word boundary).
-    const W_DATA: u64 = 16;
+    const W_LINKS: u64 = 3;
+    /// First per-link control block (8 words each):
+    /// `[alive_sim, alive_acc, r0_head, r0_tail, r1_head, r1_tail, pad, pad]`.
+    const W_LINK_CTRL: u64 = 8;
+    const LINK_CTRL_WORDS: u64 = 8;
+
+    /// First data word: the control blocks padded up to a 16-word boundary.
+    fn data_start(links: u32) -> u64 {
+        let end = W_LINK_CTRL + LINK_CTRL_WORDS * u64::from(links);
+        end.next_multiple_of(16)
+    }
+
+    /// Total file size in words for a region of `links` links.
+    fn region_words(capacity: u32, links: u32) -> u64 {
+        data_start(links) + 2 * u64::from(links) * u64::from(capacity)
+    }
 
     pub struct FileBacking {
         file: File,
         capacity: u32,
+        /// How many link slots the file declares (fixes the data base).
+        links: u32,
+        /// Which link slot this backing addresses.
+        link: u32,
         /// Path to unlink on drop (the creator owns the file's lifetime).
         unlink_on_drop: Option<PathBuf>,
     }
@@ -426,26 +487,38 @@ mod file_backing {
             Ok(u32::from_le_bytes(buf))
         }
 
-        fn ctrl_word(ring: RingDir, tail: bool) -> u64 {
-            W_RING_CTRL + 2 * ring.index() as u64 + u64::from(tail)
+        fn link_ctrl(&self) -> u64 {
+            W_LINK_CTRL + LINK_CTRL_WORDS * u64::from(self.link)
+        }
+
+        fn ctrl_word(&self, ring: RingDir, tail: bool) -> u64 {
+            self.link_ctrl() + 2 + 2 * ring.index() as u64 + u64::from(tail)
         }
 
         fn data_base(&self, ring: RingDir) -> u64 {
-            W_DATA + ring.index() as u64 * u64::from(self.capacity)
+            data_start(self.links)
+                + (2 * u64::from(self.link) + ring.index() as u64) * u64::from(self.capacity)
         }
 
-        /// Creates and sizes a fresh region file at `path`, writing the
-        /// header. The creator unlinks the file when dropped.
-        pub fn create(path: &Path, capacity: u32) -> io::Result<FileBacking> {
+        /// Creates and sizes a fresh region file at `path` holding `links`
+        /// link slots, writing the header; returns the backing for link 0.
+        /// The creator unlinks the file when dropped.
+        pub fn create(path: &Path, capacity: u32, links: u32) -> io::Result<FileBacking> {
+            assert!(
+                (1..=MAX_LINKS).contains(&links),
+                "region link count {links} outside 1..={MAX_LINKS}"
+            );
             let file = OpenOptions::new()
                 .read(true)
                 .write(true)
                 .create_new(true)
                 .open(path)?;
-            file.set_len((W_DATA + 2 * u64::from(capacity)) * 4)?;
+            file.set_len(region_words(capacity, links) * 4)?;
             let backing = FileBacking {
                 file,
                 capacity,
+                links,
+                link: 0,
                 unlink_on_drop: Some(path.to_path_buf()),
             };
             let io_err = |e: RingError| match e {
@@ -453,6 +526,7 @@ mod file_backing {
                 other => io::Error::other(other.to_string()),
             };
             backing.write_word(W_CAPACITY, capacity).map_err(io_err)?;
+            backing.write_word(W_LINKS, links).map_err(io_err)?;
             backing.write_word(W_VERSION, SHM_VERSION).map_err(io_err)?;
             // The magic goes last: an attacher that sees it sees a complete
             // header.
@@ -460,12 +534,15 @@ mod file_backing {
             Ok(backing)
         }
 
-        /// Opens an existing region file, validating its header.
-        pub fn attach(path: &Path) -> io::Result<FileBacking> {
+        /// Opens an existing region file, validating its header, addressing
+        /// link slot `link`.
+        pub fn attach(path: &Path, link: u32) -> io::Result<FileBacking> {
             let file = OpenOptions::new().read(true).write(true).open(path)?;
             let mut backing = FileBacking {
                 file,
                 capacity: 0,
+                links: 0,
+                link,
                 unlink_on_drop: None,
             };
             let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
@@ -492,7 +569,17 @@ mod file_backing {
             {
                 return Err(invalid(format!("corrupt shm region capacity {capacity}")));
             }
+            let links = word(W_LINKS)?;
+            if !(1..=MAX_LINKS).contains(&links) {
+                return Err(invalid(format!("corrupt shm region link count {links}")));
+            }
+            if link >= links {
+                return Err(invalid(format!(
+                    "link {link} out of range for a {links}-link region"
+                )));
+            }
             backing.capacity = capacity;
+            backing.links = links;
             Ok(backing)
         }
     }
@@ -503,19 +590,19 @@ mod file_backing {
         }
 
         fn head(&self, ring: RingDir) -> Result<u32, RingError> {
-            self.read_word(Self::ctrl_word(ring, false))
+            self.read_word(self.ctrl_word(ring, false))
         }
 
         fn set_head(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
-            self.write_word(Self::ctrl_word(ring, false), v)
+            self.write_word(self.ctrl_word(ring, false), v)
         }
 
         fn tail(&self, ring: RingDir) -> Result<u32, RingError> {
-            self.read_word(Self::ctrl_word(ring, true))
+            self.read_word(self.ctrl_word(ring, true))
         }
 
         fn set_tail(&self, ring: RingDir, v: u32) -> Result<(), RingError> {
-            self.write_word(Self::ctrl_word(ring, true), v)
+            self.write_word(self.ctrl_word(ring, true), v)
         }
 
         fn write_data(&self, ring: RingDir, slot: u32, data: &[u32]) -> Result<(), RingError> {
@@ -539,11 +626,11 @@ mod file_backing {
         }
 
         fn alive(&self, side: Side) -> Result<bool, RingError> {
-            Ok(self.read_word(W_ALIVE + side_index(side) as u64)? != 0)
+            Ok(self.read_word(self.link_ctrl() + side_index(side) as u64)? != 0)
         }
 
         fn set_alive(&self, side: Side, v: bool) -> Result<(), RingError> {
-            self.write_word(W_ALIVE + side_index(side) as u64, u32::from(v))
+            self.write_word(self.link_ctrl() + side_index(side) as u64, u32::from(v))
         }
 
         fn poll_is_cheap(&self) -> bool {
@@ -600,18 +687,75 @@ impl ShmTransport {
     /// `ring_words` data words (rounded up to a power of two and clamped to
     /// `[`[`MIN_RING_WORDS`]`, `[`MAX_RING_WORDS`]`]`).
     pub fn pair_with_capacity(ring_words: u32) -> (ShmEndpoint, ShmEndpoint) {
+        let mut pairs = Self::mesh(1, ring_words);
+        pairs.pop().expect("one-link mesh")
+    }
+
+    /// Creates `links` independent in-process channels over **one** shared
+    /// region — the fabric form: an N-domain full mesh packs all of its
+    /// N×(N−1)/2 edge ring pairs into a single allocation. Tuple order per
+    /// link is `(simulator endpoint, accelerator endpoint)`; each link is
+    /// its own SPSC ring pair with its own liveness flags, so links fail and
+    /// tear down independently.
+    ///
+    /// # Panics
+    ///
+    /// When `links` is zero.
+    pub fn mesh(links: usize, ring_words: u32) -> Vec<(ShmEndpoint, ShmEndpoint)> {
+        assert!(links > 0, "a region carries at least one link");
         let capacity = ring_capacity(ring_words);
-        let region = Arc::new(ShmRegion::new(capacity));
-        let sim = ShmEndpoint::over_backing(
-            Arc::new(HeapBacking {
-                region: Arc::clone(&region),
-            }),
-            Side::Simulator,
-            true,
-        );
-        let acc =
-            ShmEndpoint::over_backing(Arc::new(HeapBacking { region }), Side::Accelerator, true);
-        (sim, acc)
+        let region = Arc::new(ShmRegion::with_links(capacity, links));
+        (0..links)
+            .map(|link| {
+                let sim = ShmEndpoint::over_backing(
+                    Arc::new(HeapBacking {
+                        region: Arc::clone(&region),
+                        link,
+                    }),
+                    Side::Simulator,
+                    true,
+                );
+                let acc = ShmEndpoint::over_backing(
+                    Arc::new(HeapBacking {
+                        region: Arc::clone(&region),
+                        link,
+                    }),
+                    Side::Accelerator,
+                    true,
+                );
+                (sim, acc)
+            })
+            .collect()
+    }
+
+    /// The file-backed form of [`mesh`](Self::mesh): one `/dev/shm` region
+    /// file carrying every link's ring pair. The link-0 simulator endpoint
+    /// is the region creator and unlinks the file when dropped; every other
+    /// endpoint attaches to the same path (exactly what a peer process
+    /// would do with [`ShmEndpoint::attach_link`]).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, sizing, or attaching the region file.
+    ///
+    /// # Panics
+    ///
+    /// When `links` is zero or exceeds the region format's link bound.
+    #[cfg(unix)]
+    pub fn file_mesh(links: usize, ring_words: u32) -> io::Result<Vec<(ShmEndpoint, ShmEndpoint)>> {
+        assert!(links > 0, "a region carries at least one link");
+        let path = file_backing::fresh_region_path();
+        let mut pairs = Vec::with_capacity(links);
+        for link in 0..links {
+            let sim = if link == 0 {
+                ShmEndpoint::create_mesh(&path, ring_words, links, Side::Simulator)?
+            } else {
+                ShmEndpoint::attach_link(&path, link, Side::Simulator)?
+            };
+            let acc = ShmEndpoint::attach_link(&path, link, Side::Accelerator)?;
+            pairs.push((sim, acc));
+        }
+        Ok(pairs)
     }
 
     /// Creates a *file-backed* pair over a fresh `/dev/shm` tempfile with
@@ -758,7 +902,32 @@ impl ShmEndpoint {
         ring_words: u32,
         side: Side,
     ) -> io::Result<Self> {
-        let backing = file_backing::FileBacking::create(path.as_ref(), ring_capacity(ring_words))?;
+        Self::create_mesh(path, ring_words, 1, side)
+    }
+
+    /// Creates a region file carrying `links` link slots and returns the
+    /// creating endpoint for `side` on **link 0** — the multi-process fabric
+    /// form of [`create`](Self::create). Peer endpoints (including this
+    /// process's other links) call [`attach_link`](Self::attach_link) with
+    /// the same path.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating or sizing the file.
+    ///
+    /// # Panics
+    ///
+    /// When `links` is zero or exceeds the region format's link bound.
+    #[cfg(unix)]
+    pub fn create_mesh(
+        path: impl AsRef<std::path::Path>,
+        ring_words: u32,
+        links: usize,
+        side: Side,
+    ) -> io::Result<Self> {
+        let links = u32::try_from(links).unwrap_or(u32::MAX);
+        let backing =
+            file_backing::FileBacking::create(path.as_ref(), ring_capacity(ring_words), links)?;
         Ok(Self::over_backing(Arc::new(backing), side, false))
     }
 
@@ -770,7 +939,25 @@ impl ShmEndpoint {
     /// not a supported region (wrong magic, version, or corrupt capacity).
     #[cfg(unix)]
     pub fn attach(path: impl AsRef<std::path::Path>, side: Side) -> io::Result<Self> {
-        let backing = file_backing::FileBacking::attach(path.as_ref())?;
+        Self::attach_link(path, 0, side)
+    }
+
+    /// Attaches to link slot `link` of an existing multi-link region file —
+    /// the fabric form of [`attach`](Self::attach).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening the file, or `InvalidData` when the header is
+    /// not a supported region or `link` is out of range for it.
+    #[cfg(unix)]
+    pub fn attach_link(
+        path: impl AsRef<std::path::Path>,
+        link: usize,
+        side: Side,
+    ) -> io::Result<Self> {
+        let link = u32::try_from(link)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "link index overflow"))?;
+        let backing = file_backing::FileBacking::attach(path.as_ref(), link)?;
         Ok(Self::over_backing(Arc::new(backing), side, true))
     }
 
@@ -1230,6 +1417,66 @@ mod tests {
         assert_eq!(ring_capacity(MAX_RING_WORDS + 1), MAX_RING_WORDS);
         let (sim, _acc) = ShmTransport::pair_with_capacity(100);
         assert_eq!(sim.capacity_words(), 128);
+    }
+
+    #[test]
+    fn mesh_links_are_independent_channels_in_one_region() {
+        let mut pairs = ShmTransport::mesh(3, 64);
+        // Traffic on one link never appears on another.
+        for (i, (sim, _acc)) in pairs.iter_mut().enumerate() {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i as u32]),
+            );
+        }
+        for (i, (_sim, acc)) in pairs.iter_mut().enumerate() {
+            while !acc.wait_for_packet(Duration::from_secs(5)) {}
+            assert_eq!(
+                acc.recv(Side::Accelerator).unwrap().payload(),
+                &[i as u32],
+                "link {i} received its own traffic"
+            );
+            assert_eq!(acc.pending(Side::Accelerator), 0, "no cross-link leakage");
+        }
+        // Dropping one link's endpoint closes only that link.
+        let (sim0, mut acc0) = pairs.remove(0);
+        drop(sim0);
+        assert!(!acc0.wait_for_packet(Duration::from_millis(50)));
+        assert!(acc0.peer_closed(), "link 0 sees its peer gone");
+        let (ref mut sim1, ref mut acc1) = pairs[0];
+        sim1.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+        assert!(acc1.wait_for_packet(Duration::from_secs(5)));
+        assert!(!acc1.peer_closed(), "link 1 unaffected by link 0 teardown");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn file_mesh_links_are_independent_channels_in_one_file() {
+        let mut pairs = ShmTransport::file_mesh(3, 64).expect("file mesh builds");
+        for (i, (sim, _acc)) in pairs.iter_mut().enumerate() {
+            sim.send(
+                Side::Simulator,
+                Packet::new(PacketTag::Burst, vec![i as u32; 5]),
+            );
+        }
+        for (i, (_sim, acc)) in pairs.iter_mut().enumerate() {
+            while !acc.wait_for_packet(Duration::from_secs(5)) {}
+            assert_eq!(
+                acc.recv(Side::Accelerator).unwrap().payload(),
+                vec![i as u32; 5].as_slice()
+            );
+            assert_eq!(acc.pending(Side::Accelerator), 0, "no cross-link leakage");
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn attach_link_rejects_out_of_range_links() {
+        let path = file_backing::fresh_region_path();
+        let _creator = ShmEndpoint::create_mesh(&path, 64, 2, Side::Simulator).unwrap();
+        assert!(ShmEndpoint::attach_link(&path, 1, Side::Accelerator).is_ok());
+        let err = ShmEndpoint::attach_link(&path, 2, Side::Accelerator).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum ConfigError {
         /// Why the value was rejected.
         detail: String,
     },
+    /// A fabric session was asked for fewer than two domains — there is no
+    /// channel to co-emulate over.
+    TooFewDomains {
+        /// The rejected domain count.
+        domains: usize,
+    },
 }
 
 impl ConfigError {
@@ -83,6 +89,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidReliableConfig { field, detail } => {
                 write!(f, "invalid reliable transport config: {field}: {detail}")
+            }
+            ConfigError::TooFewDomains { domains } => {
+                write!(f, "a fabric needs at least two domains (got {domains})")
             }
         }
     }

@@ -69,6 +69,7 @@
 mod ahb_model;
 mod blueprint;
 mod coemu;
+mod fabric;
 mod model;
 mod observer;
 mod protocol;
@@ -79,6 +80,7 @@ mod wrapper;
 pub use ahb_model::AhbDomainModel;
 pub use blueprint::{Placement, SocBlueprint};
 pub use coemu::{CoEmuConfig, CoEmulator, ConfigError, SliceStatus};
+pub use fabric::{FabricLinkSelect, FabricReliableInner, FabricSession, FabricSessionBuilder};
 pub use model::{DomainModel, TickKind};
 pub use observer::{EmuEvent, EmuObserver, EventCounters, EventCounts, EventLog, NoopObserver};
 pub use protocol::{Message, ProtocolError};
@@ -91,3 +93,4 @@ pub use wrapper::{ChannelWrapper, CwStats, ModePolicy, PaperPath, Progress};
 
 // Re-export the pieces users need to drive the engine.
 pub use predpkt_channel::Side;
+pub use predpkt_channel::{full_mesh, FabricEdge};

@@ -542,7 +542,7 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
 /// decorrelated one, so the two directions see independent fault streams —
 /// mirroring the shared-scope lossy backends, whose single RNG serves both
 /// directions.
-fn per_side_fault_specs(fault: Option<FaultSpec>) -> (FaultSpec, FaultSpec) {
+pub(crate) fn per_side_fault_specs(fault: Option<FaultSpec>) -> (FaultSpec, FaultSpec) {
     let sim_spec = fault.unwrap_or(FaultSpec::none(0));
     let acc_spec = FaultSpec {
         seed: sim_spec.seed ^ 0x9e37_79b9_7f4a_7c15,
@@ -663,7 +663,7 @@ impl<'bp> BlueprintSessionBuilder<'bp> {
 
 /// Builds the [`ReliableConfig`] a session uses for the given window and
 /// retry budget (defaults for the timing knobs).
-fn reliable_config(window: usize, retry_budget: u32) -> ReliableConfig {
+pub(crate) fn reliable_config(window: usize, retry_budget: u32) -> ReliableConfig {
     ReliableConfig::default()
         .window(window)
         .retry_budget(retry_budget)
@@ -998,7 +998,7 @@ fn merged_socket_faults<T: Transport>(
 /// the way — on the threaded backend an OS scheduling stall can burn the
 /// retry budget spuriously, and a completed run proves every abandoned frame
 /// had in fact been delivered.
-fn map_reliable_outcome(
+pub(crate) fn map_reliable_outcome(
     result: Result<(), SimError>,
     failure: Option<RetryExhausted>,
     seed: u64,
@@ -1011,7 +1011,7 @@ fn map_reliable_outcome(
 }
 
 /// The [`SimError`] a recorded frame abandonment surfaces as.
-fn retry_exhausted(f: RetryExhausted, seed: u64, cycle: u64) -> SimError {
+pub(crate) fn retry_exhausted(f: RetryExhausted, seed: u64, cycle: u64) -> SimError {
     SimError::RetryBudgetExhausted {
         seed,
         seq: f.seq as u64,

@@ -235,8 +235,8 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
             workers: self.shared.cfg.workers,
             wall,
             sessions_per_sec: 0.0,
-            p50_latency: Default::default(),
-            p99_latency: Default::default(),
+            p50_latency: None,
+            p99_latency: None,
             pool_occupancy: 0.0,
         };
         let mut latencies = Vec::new();

@@ -93,11 +93,13 @@ pub struct FarmStats {
     pub wall: Duration,
     /// Completed sessions per wall-clock second.
     pub sessions_per_sec: f64,
-    /// Median admission-to-completion latency over completed sessions.
-    pub p50_latency: Duration,
+    /// Median admission-to-completion latency over completed sessions;
+    /// `None` when no session completed (a percentile over an empty set has
+    /// no value — reporting zero here would fake an infinitely fast farm).
+    pub p50_latency: Option<Duration>,
     /// 99th-percentile admission-to-completion latency over completed
-    /// sessions.
-    pub p99_latency: Duration,
+    /// sessions; `None` when no session completed.
+    pub p99_latency: Option<Duration>,
     /// Fraction of the pool's total thread-time spent executing session
     /// slices (1.0 = every worker busy the whole run).
     pub pool_occupancy: f64,
@@ -108,13 +110,13 @@ impl fmt::Display for FarmStats {
         write!(
             f,
             "{} sessions over {} workers in {:.1?}: {:.0} sessions/sec, \
-             p50 {:.1?} / p99 {:.1?}, occupancy {:.0}%, {} parked, {} evicted",
+             p50 {} / p99 {}, occupancy {:.0}%, {} parked, {} evicted",
             self.completed,
             self.workers,
             self.wall,
             self.sessions_per_sec,
-            self.p50_latency,
-            self.p99_latency,
+            fmt_latency(self.p50_latency),
+            fmt_latency(self.p99_latency),
             self.pool_occupancy * 100.0,
             self.parked_events,
             self.evicted,
@@ -140,12 +142,24 @@ impl<M: DomainModel + Send + 'static> FarmReport<M> {
 }
 
 /// `values` must be sorted ascending; `q` in `[0, 1]` (nearest-rank).
-pub(crate) fn percentile(values: &[Duration], q: f64) -> Duration {
+/// `None` for an empty set: a percentile of nothing is not zero, and
+/// downstream consumers (the bench JSON) must render it as an explicit
+/// null, never a NaN or a fake fast number.
+pub(crate) fn percentile(values: &[Duration], q: f64) -> Option<Duration> {
     if values.is_empty() {
-        return Duration::ZERO;
+        return None;
     }
     let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
-    values[rank - 1]
+    Some(values[rank - 1])
+}
+
+/// Renders an optional latency for [`FarmStats`]'s `Display` ("n/a" when no
+/// session completed).
+fn fmt_latency(latency: Option<Duration>) -> String {
+    match latency {
+        Some(d) => format!("{d:.1?}"),
+        None => "n/a".to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -155,9 +169,14 @@ mod tests {
     #[test]
     fn percentile_uses_nearest_rank() {
         let v: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
-        assert_eq!(percentile(&v, 0.50), Duration::from_micros(50));
-        assert_eq!(percentile(&v, 0.99), Duration::from_micros(99));
-        assert_eq!(percentile(&v, 1.0), Duration::from_micros(100));
-        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&v, 0.50), Some(Duration::from_micros(50)));
+        assert_eq!(percentile(&v, 0.99), Some(Duration::from_micros(99)));
+        assert_eq!(percentile(&v, 1.0), Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn percentile_of_nothing_is_explicitly_absent() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[], 0.99), None);
     }
 }

@@ -173,8 +173,49 @@ fn thousand_mixed_sessions_match_direct_runs() {
         );
     }
     assert!(report.stats.sessions_per_sec > 0.0);
-    assert!(report.stats.p99_latency >= report.stats.p50_latency);
+    let p50 = report
+        .stats
+        .p50_latency
+        .expect("completed sessions have a p50");
+    let p99 = report
+        .stats
+        .p99_latency
+        .expect("completed sessions have a p99");
+    assert!(p99 >= p50);
     assert!(report.stats.pool_occupancy > 0.0 && report.stats.pool_occupancy <= 1.0);
+}
+
+/// A farm drained without a single completed session has *no* latency
+/// percentiles — the stats must say so explicitly (`None`, rendered as JSON
+/// null by the bench emitter) instead of faking a zero or dividing into a
+/// NaN.
+#[test]
+fn empty_farm_reports_absent_percentiles_not_nan() {
+    let farm: SessionFarm<predpkt_core::AhbDomainModel> =
+        SessionFarm::new(FarmConfig::new().workers(2)).expect("farm builds");
+    let report = farm.join();
+    assert_eq!(report.stats.submitted, 0);
+    assert_eq!(report.stats.completed, 0);
+    assert_eq!(report.stats.p50_latency, None);
+    assert_eq!(report.stats.p99_latency, None);
+    assert!(
+        report.stats.sessions_per_sec.is_finite(),
+        "throughput over zero sessions must stay finite"
+    );
+    assert!(
+        report.stats.pool_occupancy.is_finite(),
+        "occupancy over an idle pool must stay finite"
+    );
+    // The roll-up must also render without panicking or printing NaN.
+    let rendered = report.stats.to_string();
+    assert!(
+        rendered.contains("n/a"),
+        "absent percentiles render as n/a: {rendered}"
+    );
+    assert!(
+        !rendered.contains("NaN"),
+        "stats must never display NaN: {rendered}"
+    );
 }
 
 /// A peer that drops every frame wedges its session, not the pool: the farm

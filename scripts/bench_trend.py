@@ -33,8 +33,9 @@ code change), so a single-sample, single-baseline gate would flake:
 
 Gated figures: per-backend ``wall_us`` in ``tcp_loopback``/``shm_loopback``
 (matched by backend name — adding or removing a backend never trips the
-gate), and the ``session_farm`` throughput row (``sessions_per_sec`` must
-not drop, ``p99_us`` must not blow up). ``recovery_sweep`` rows are
+gate), the ``session_farm`` throughput row (``sessions_per_sec`` must not
+drop, ``p99_us`` must not blow up), and per-mesh-shape ``wall_us`` in
+``fabric_sweep`` (the N-domain fabric runs). ``recovery_sweep`` rows are
 virtual-model outputs (bit-stable by construction) and are listed for
 context only. Writes a markdown delta table to ``$GITHUB_STEP_SUMMARY``
 when set.
@@ -54,19 +55,25 @@ HIGHER_IS_BETTER = "higher"
 
 # name -> [(gated metric, allowed fractional regression, direction)].
 # The TCP loopback threshold used to sit above the ~50% bimodal
-# thread-placement swing recorded in ROADMAP.md; with CI pinning
-# PREDPKT_LOOPBACK_REPS=5 the best-of-N discipline absorbs the slow mode, so
-# the gate is tightened to +35% (toward the shm gate, on the way to +25%).
+# thread-placement swing recorded in ROADMAP.md. Two rounds of taming got it
+# down: CI pins PREDPKT_LOOPBACK_REPS=5 so best-of-N absorbs the slow mode,
+# and the bins now run best-of-3 even under --quick (a single timed sample
+# used to feed the gate whichever mode the scheduler picked). With both in
+# place the gate is tightened from +35% to +25%, matching the shm gate.
 # session_farm gates scheduling-throughput end to end: sessions/sec must not
 # drop by more than 40%, and tail latency must not grow by more than 60%
 # (p99 under the one-shot submission pattern tracks total batch wall).
+# fabric_sweep gates the N-domain fabric's wall per mesh shape; thread count
+# scales with N, so placement noise grows with the row's domain count and
+# the threshold sits at the farm tier rather than the loopback tier.
 GATED = {
-    "BENCH_tcp_loopback.json": [("wall_us", 0.35, LOWER_IS_BETTER)],
+    "BENCH_tcp_loopback.json": [("wall_us", 0.25, LOWER_IS_BETTER)],
     "BENCH_shm_loopback.json": [("wall_us", 0.25, LOWER_IS_BETTER)],
     "BENCH_session_farm.json": [
         ("sessions_per_sec", 0.40, HIGHER_IS_BETTER),
         ("p99_us", 0.60, LOWER_IS_BETTER),
     ],
+    "BENCH_fabric_sweep.json": [("wall_us", 0.50, LOWER_IS_BETTER)],
 }
 CONTEXT_ONLY = ["BENCH_recovery_sweep.json"]
 HISTORY_KEEP = 5
