@@ -252,6 +252,51 @@
 //! dedicated-thread run — asserted per transport by the farm's stress suite
 //! and the `session_farm` bench.
 //!
+//! # Quickstart: checkpoint, migrate, replay
+//!
+//! A whole-session checkpoint (`SessionCheckpoint` in `predpkt-core`) rides
+//! this crate's frame codec: the blob is a sequence of
+//! [`PacketTag::Checkpoint`] frames, each length-prefixed and CRC-sealed
+//! exactly like the frames a [`TcpEndpoint`] puts on the wire —
+//!
+//! ```text
+//! frame 0 (header):   [magic "PKCP"] [version] [backend name] [committed
+//!                     cycles] [section count] [CRC-32]
+//! frame 1..:          [section label: "wrapper.sim", "channel", "ledger", …]
+//!                     [word count] [state words] [CRC-32]
+//!                     (+ label-less continuation frames for big sections)
+//! ```
+//!
+//! **Versioning rules:** the header's version is bumped whenever the layout
+//! changes, and there are no compatibility shims — an older or newer blob is
+//! rejected with a typed error (`CheckpointError::BadVersion`) instead of
+//! being misread, a truncated or bit-flipped blob fails its CRC with the
+//! damaged section named, and a backend-name mismatch is refused before any
+//! state is touched. A restore that fails mid-way poisons the target
+//! session, which then refuses to step: there is no half-restored state.
+//!
+//! Because the blob is just framed bytes, **live migration is plain socket
+//! I/O** — no bespoke serialization on either end:
+//!
+//! ```text
+//! // ── Host A: donor halts at a committed boundary and ships the cut ──
+//! let ckpt = session.checkpoint()?;            // one consistent cut
+//! stream.write_all(&ckpt.to_bytes())?;         // any medium works
+//!
+//! // ── Host B: rebuild the same session shape, rewind onto the cut ────
+//! let blob = read_to_end(&mut stream)?;
+//! let ckpt = SessionCheckpoint::from_bytes(&blob)?;   // magic/version/CRC
+//! let mut twin = EmuSession::from_blueprint(&blueprint)
+//!     .transport(select.clone())               // same backend as the donor
+//!     .build()?;
+//! twin.restore(&ckpt)?;                        // exact committed prefix
+//! twin.run_until_committed(target)?;           // …replays bit-identically
+//! ```
+//!
+//! The session farm uses the same blob for eviction: a parked-past-deadline
+//! session leaves as `SessionOutcome::Evicted { checkpoint }` carrying its
+//! latest auto-captured cut, ready to re-admit on any worker — or any host.
+//!
 //! # Quickstart: an N-domain fabric
 //!
 //! One co-emulation can span more than two domains. A [`Fabric`] hosts the
@@ -378,7 +423,8 @@ pub use message::{Packet, PacketTag, PacketView};
 pub use poll::{PollReady, PollSet, Readiness};
 pub use pool::{BufferPool, PoolStats, DEFAULT_POOL_RETAIN};
 pub use reliable::{
-    RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted, DATA_HEADER_WORDS,
+    crc32, crc32_feed, crc32_parts, RecoveryStats, ReliableConfig, ReliableTransport,
+    RetryExhausted, DATA_HEADER_WORDS,
 };
 pub use shm::{RingError, ShmEndpoint, ShmRegion, ShmTransport, DEFAULT_RING_WORDS};
 pub use stats::ChannelStats;

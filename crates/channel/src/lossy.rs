@@ -158,14 +158,33 @@ impl LossyTransport<QueueTransport> {
 }
 
 impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner` with the fault plan `spec`, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KnobError`] naming the first out-of-range (or NaN) rate.
+    pub fn try_new(inner: T, spec: FaultSpec) -> Result<Self, KnobError> {
+        spec.validate()?;
+        Ok(Self::new_prevalidated(inner, spec))
+    }
+
     /// Wraps `inner` with the fault plan `spec`.
+    ///
+    /// Convenience for specs known valid by construction (literals in tests
+    /// and examples); fallible callers — anything forwarding user input —
+    /// should use [`try_new`](Self::try_new) instead.
     ///
     /// # Panics
     ///
-    /// Panics if any rate in `spec` is outside `[0, 1]`; validate with
-    /// [`FaultSpec::validate`] first for a `Result`-returning path.
+    /// Panics if any rate in `spec` is outside `[0, 1]`.
     pub fn new(inner: T, spec: FaultSpec) -> Self {
-        spec.validate().expect("invalid fault spec");
+        Self::try_new(inner, spec).expect("invalid fault spec")
+    }
+
+    /// The infallible interior constructor: `spec` has already passed
+    /// [`FaultSpec::validate`] (the session builder validates every knob
+    /// before any transport is built).
+    pub(crate) fn new_prevalidated(inner: T, spec: FaultSpec) -> Self {
         LossyTransport {
             inner,
             spec,
@@ -314,6 +333,30 @@ impl<T: Transport> Transport for LossyTransport<T> {
     }
 }
 
+/// The RNG cursor, fault counters, and the inner transport. The [`FaultSpec`]
+/// is configuration (validated at construction) and stays with the live
+/// instance — restoring resumes the *same* seeded fault plan draw-for-draw.
+impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for LossyTransport<T> {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        self.rng.save(w);
+        w.word(self.stats.dropped)
+            .word(self.stats.truncated)
+            .word(self.stats.duplicated);
+        self.inner.save(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        self.rng.restore(r)?;
+        self.stats.dropped = r.word()?;
+        self.stats.truncated = r.word()?;
+        self.stats.duplicated = r.word()?;
+        self.inner.restore(r)
+    }
+}
+
 /// Fault injection happens on the send path, so waiting is delegated
 /// untouched — this is what lets a fault plan ride on a blocking-capable
 /// endpoint (e.g. a [`TcpEndpoint`](crate::TcpEndpoint)) under a per-side
@@ -405,6 +448,51 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_rate_rejected() {
         let _ = LossyTransport::over_queue(FaultSpec::drops(0, 1.5));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_specs_without_panicking() {
+        for spec in [
+            FaultSpec::drops(0, 1.5),
+            FaultSpec::drops(0, -0.1),
+            FaultSpec::drops(0, f64::NAN),
+            FaultSpec::truncations(0, f64::INFINITY),
+            FaultSpec::duplicates(0, 2.0),
+        ] {
+            let err = LossyTransport::try_new(QueueTransport::new(), spec)
+                .expect_err("spec must be rejected");
+            assert!(err.to_string().contains("_rate"), "{err}");
+        }
+        assert!(LossyTransport::try_new(QueueTransport::new(), FaultSpec::none(1)).is_ok());
+    }
+
+    #[test]
+    fn snapshot_resumes_the_fault_plan_exactly() {
+        use predpkt_sim::{restore_from_vec, save_to_vec};
+        let spec = FaultSpec {
+            seed: 99,
+            drop_rate: 0.3,
+            truncate_rate: 0.2,
+            duplicate_rate: 0.1,
+        };
+        let mut t = LossyTransport::over_queue(spec);
+        for _ in 0..50 {
+            t.send(Side::Simulator, pkt(2));
+        }
+        while t.recv(Side::Accelerator).is_some() {}
+        let state = save_to_vec(&t);
+        // Continue the original...
+        let mut expect_stats = {
+            let mut probe = LossyTransport::over_queue(spec);
+            restore_from_vec(&mut probe, &state).unwrap();
+            probe
+        };
+        for _ in 0..50 {
+            t.send(Side::Simulator, pkt(2));
+            expect_stats.send(Side::Simulator, pkt(2));
+        }
+        assert_eq!(t.fault_stats(), expect_stats.fault_stats());
+        assert!(t.fault_stats().total() > 0, "faults really fired");
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum PacketTag {
     RelData,
     /// A cumulative acknowledgement of the reliable layer.
     RelAck,
+    /// One labeled section of a serialized whole-session checkpoint (magic /
+    /// version header, component payloads, CRC trailer). Checkpoint blobs are
+    /// a framed sequence of these, so they can be written to disk or streamed
+    /// over any transport that moves packets.
+    Checkpoint,
 }
 
 impl PacketTag {
@@ -44,6 +49,7 @@ impl PacketTag {
             PacketTag::Handshake => 0x4853_4b21,     // "HSK!"
             PacketTag::RelData => 0x5244_4154,       // "RDAT"
             PacketTag::RelAck => 0x5241_434b,        // "RACK"
+            PacketTag::Checkpoint => 0x434b_5054,    // "CKPT"
         }
     }
 
@@ -57,12 +63,13 @@ impl PacketTag {
             0x4853_4b21 => Some(PacketTag::Handshake),
             0x5244_4154 => Some(PacketTag::RelData),
             0x5241_434b => Some(PacketTag::RelAck),
+            0x434b_5054 => Some(PacketTag::Checkpoint),
             _ => None,
         }
     }
 
     /// All tags (for exhaustive tests).
-    pub const ALL: [PacketTag; 7] = [
+    pub const ALL: [PacketTag; 8] = [
         PacketTag::CycleOutputs,
         PacketTag::Burst,
         PacketTag::ReportSuccess,
@@ -70,6 +77,7 @@ impl PacketTag {
         PacketTag::Handshake,
         PacketTag::RelData,
         PacketTag::RelAck,
+        PacketTag::Checkpoint,
     ];
 }
 
@@ -153,6 +161,27 @@ impl Packet {
     /// Returns `None` on an empty slice or unknown tag.
     pub fn from_wire(words: &[u32]) -> Option<Packet> {
         PacketView::parse(words).map(|v| v.to_packet())
+    }
+}
+
+/// Tag word plus length-prefixed payload. An unknown tag word surfaces as a
+/// [`Corrupt`](predpkt_sim::SnapshotError::Corrupt) error anchored at the tag
+/// word, so corrupt checkpoint blobs fail loudly instead of resurrecting a
+/// garbage packet.
+impl predpkt_sim::Snapshot for Packet {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        w.u32(self.tag.encode()).slice_u32(&self.payload);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        let at = r.position();
+        let tag_word = r.u32()?;
+        self.tag = PacketTag::decode(tag_word).ok_or_else(|| r.corrupt_at(at))?;
+        self.payload = r.slice_u32()?;
+        Ok(())
     }
 }
 

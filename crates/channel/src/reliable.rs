@@ -87,7 +87,7 @@ use crate::knob::KnobError;
 use crate::message::{Packet, PacketTag};
 use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{BatchStats, Transport, WaitTransport};
-use predpkt_sim::VirtualTime;
+use predpkt_sim::{Snapshot, VirtualTime};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -249,7 +249,7 @@ pub struct RetryExhausted {
 /// Feeds the little-endian bytes of `words` into a running CRC-32 state
 /// (IEEE 802.3, reflected); streaming so frame checksums never need a
 /// contiguous copy of header + payload.
-fn crc32_feed(mut crc: u32, words: &[u32]) -> u32 {
+pub fn crc32_feed(mut crc: u32, words: &[u32]) -> u32 {
     for word in words {
         for byte in word.to_le_bytes() {
             crc ^= byte as u32;
@@ -263,12 +263,14 @@ fn crc32_feed(mut crc: u32, words: &[u32]) -> u32 {
 }
 
 /// CRC-32 of `head` followed by `tail`, as if they were one word slice.
-fn crc32_parts(head: &[u32], tail: &[u32]) -> u32 {
+pub fn crc32_parts(head: &[u32], tail: &[u32]) -> u32 {
     !crc32_feed(crc32_feed(!0, head), tail)
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over the little-endian bytes of `words`.
-fn crc32(words: &[u32]) -> u32 {
+/// CRC-32 (IEEE 802.3, reflected) over the little-endian bytes of `words` —
+/// the same polynomial that protects `RelData` frames, reused by the session
+/// checkpoint codec to seal each section of a checkpoint blob.
+pub fn crc32(words: &[u32]) -> u32 {
     crc32_parts(words, &[])
 }
 
@@ -340,14 +342,42 @@ fn sender_of(direction: Direction) -> Side {
 }
 
 impl<T: Transport> ReliableTransport<T> {
+    /// Wraps `inner`, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KnobError`] naming the first knob
+    /// [`ReliableConfig::validate`] rejects.
+    pub fn try_new(
+        inner: T,
+        config: ReliableConfig,
+        cost_model: ChannelCostModel,
+    ) -> Result<Self, KnobError> {
+        config.validate()?;
+        Ok(Self::new_prevalidated(inner, config, cost_model))
+    }
+
     /// Wraps `inner`, validating the configuration.
+    ///
+    /// Convenience for configurations known valid by construction (defaults,
+    /// literals); fallible callers — anything forwarding user input — should
+    /// use [`try_new`](Self::try_new) instead.
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`ReliableConfig::validate`]; callers wanting
-    /// a `Result` validate first (the session builder does).
+    /// Panics if `config` fails [`ReliableConfig::validate`].
     pub fn new(inner: T, config: ReliableConfig, cost_model: ChannelCostModel) -> Self {
-        config.validate().expect("invalid reliable config");
+        Self::try_new(inner, config, cost_model).expect("invalid reliable config")
+    }
+
+    /// The infallible interior constructor: `config` has already passed
+    /// [`ReliableConfig::validate`] (the session builder validates every knob
+    /// before any transport is built).
+    pub(crate) fn new_prevalidated(
+        inner: T,
+        config: ReliableConfig,
+        cost_model: ChannelCostModel,
+    ) -> Self {
         ReliableTransport {
             inner,
             config,
@@ -769,6 +799,152 @@ impl<T: Transport> ReliableTransport<T> {
     }
 }
 
+impl InFlight {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        w.u32(self.seq);
+        self.frame.save(w);
+        w.word(self.sent_at.as_picos()).u32(self.retries);
+    }
+
+    fn restore(r: &mut predpkt_sim::StateReader<'_>) -> Result<Self, predpkt_sim::SnapshotError> {
+        let seq = r.u32()?;
+        let mut frame = Packet::new(PacketTag::RelData, Vec::new());
+        frame.restore(r)?;
+        Ok(InFlight {
+            seq,
+            frame,
+            sent_at: VirtualTime::from_picos(r.word()?),
+            retries: r.u32()?,
+        })
+    }
+}
+
+fn save_frame_queue(queue: &VecDeque<InFlight>, w: &mut predpkt_sim::StateWriter<'_>) {
+    w.usize(queue.len());
+    for inflight in queue {
+        inflight.save(w);
+    }
+}
+
+fn restore_frame_queue(
+    r: &mut predpkt_sim::StateReader<'_>,
+) -> Result<VecDeque<InFlight>, predpkt_sim::SnapshotError> {
+    let n = r.usize()?;
+    let mut queue = VecDeque::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        queue.push_back(InFlight::restore(r)?);
+    }
+    Ok(queue)
+}
+
+/// The complete recovery state — the RTO clock, both directions' send
+/// windows (sequence cursors, unacknowledged and backlogged frames with
+/// their per-frame retry counts and transmission stamps), both directions'
+/// receive state (expected sequence, decoded-but-unconsumed deliveries, owed
+/// acks), the recovery counters, and any recorded abandonment. Configuration
+/// (`config`, `cost_model`, `scope`) and the buffer pool stay with the live
+/// instance.
+///
+/// Restoring **re-arms** the window: frames restored into `unacked` carry
+/// their original `sent_at` stamps against the restored clock, so the next
+/// idle polls age them exactly as the uninterrupted run would — a restored
+/// session resumes mid-window, retransmitting whatever the cut left
+/// unhealed.
+impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for ReliableTransport<T> {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        w.section("reliable.clock").word(self.now.as_picos());
+        w.section("reliable.send");
+        for state in &self.send {
+            w.u32(state.next_seq);
+            save_frame_queue(&state.unacked, w);
+            save_frame_queue(&state.backlog, w);
+        }
+        w.section("reliable.recv");
+        for state in &self.recv {
+            w.u32(state.next_expected);
+            w.usize(state.deliverable.len());
+            for packet in &state.deliverable {
+                packet.save(w);
+            }
+            w.bool(state.ack_pending);
+        }
+        w.section("reliable.stats")
+            .word(self.stats.retransmits)
+            .word(self.stats.acks_sent)
+            .word(self.stats.acks_piggybacked)
+            .word(self.stats.duplicates_suppressed)
+            .word(self.stats.crc_rejects)
+            .word(self.stats.out_of_order_drops)
+            .word(self.stats.overhead_words)
+            .word(self.stats.overhead_time.as_picos());
+        w.section("reliable.failure");
+        match self.failure {
+            None => {
+                w.bool(false);
+            }
+            Some(f) => {
+                w.bool(true)
+                    .word(match f.direction {
+                        Direction::SimToAcc => 0,
+                        Direction::AccToSim => 1,
+                    })
+                    .u32(f.seq)
+                    .u32(f.retries);
+            }
+        }
+        w.section("reliable.inner");
+        self.inner.save(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        self.now = VirtualTime::from_picos(r.word()?);
+        for state in &mut self.send {
+            state.next_seq = r.u32()?;
+            state.unacked = restore_frame_queue(r)?;
+            state.backlog = restore_frame_queue(r)?;
+        }
+        for state in &mut self.recv {
+            state.next_expected = r.u32()?;
+            let n = r.usize()?;
+            let mut deliverable = VecDeque::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let mut packet = Packet::new(PacketTag::RelData, Vec::new());
+                packet.restore(r)?;
+                deliverable.push_back(packet);
+            }
+            state.deliverable = deliverable;
+            state.ack_pending = r.bool()?;
+        }
+        self.stats.retransmits = r.word()?;
+        self.stats.acks_sent = r.word()?;
+        self.stats.acks_piggybacked = r.word()?;
+        self.stats.duplicates_suppressed = r.word()?;
+        self.stats.crc_rejects = r.word()?;
+        self.stats.out_of_order_drops = r.word()?;
+        self.stats.overhead_words = r.word()?;
+        self.stats.overhead_time = VirtualTime::from_picos(r.word()?);
+        self.failure = if r.bool()? {
+            let at = r.position();
+            let direction = match r.word()? {
+                0 => Direction::SimToAcc,
+                1 => Direction::AccToSim,
+                _ => return Err(r.corrupt_at(at)),
+            };
+            Some(RetryExhausted {
+                direction,
+                seq: r.u32()?,
+                retries: r.u32()?,
+            })
+        } else {
+            None
+        };
+        self.inner.restore(r)
+    }
+}
+
 impl<T: Transport> Transport for ReliableTransport<T> {
     fn send(&mut self, from: Side, packet: Packet) {
         self.enqueue_frame(from, packet);
@@ -1007,5 +1183,102 @@ mod tests {
             ReliableConfig::default().window(0),
             ChannelCostModel::iprove_pci(),
         );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        for (field, config) in [
+            ("window", ReliableConfig::default().window(0)),
+            ("retry_budget", ReliableConfig::default().retry_budget(0)),
+            ("rto", ReliableConfig::default().rto(VirtualTime::ZERO)),
+            (
+                "poll_tick",
+                ReliableConfig::default().poll_tick(VirtualTime::ZERO),
+            ),
+        ] {
+            let err = ReliableTransport::try_new(
+                QueueTransport::new(),
+                config,
+                ChannelCostModel::iprove_pci(),
+            )
+            .expect_err("config must be rejected");
+            assert_eq!(err.field, field, "{err}");
+        }
+        assert!(ReliableTransport::try_new(
+            QueueTransport::new(),
+            ReliableConfig::default(),
+            ChannelCostModel::iprove_pci(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn snapshot_restores_a_mid_window_cut_exactly() {
+        use predpkt_sim::{restore_from_vec, save_to_vec};
+        // Fill the window past capacity so unacked AND backlog are non-empty,
+        // with an un-drained reverse direction so acks are still owed.
+        let mut t = fresh();
+        for i in 0..12u32 {
+            t.send(
+                Side::Simulator,
+                Packet::new(PacketTag::CycleOutputs, vec![i]),
+            );
+        }
+        let _ = t.recv(Side::Accelerator); // deliver one, leave the ack owed
+        let state = save_to_vec(&t);
+        assert!(
+            state.section_at(0).is_some(),
+            "reliable snapshots are section-labeled"
+        );
+
+        let mut resumed = fresh();
+        restore_from_vec(&mut resumed, &state).unwrap();
+        assert_eq!(resumed.clock(), t.clock());
+        assert_eq!(resumed.recovery_stats(), t.recovery_stats());
+        assert_eq!(
+            resumed.pending(Side::Accelerator),
+            t.pending(Side::Accelerator)
+        );
+
+        // Both must drain identically from here: same deliveries, same stats.
+        let drain = |t: &mut ReliableTransport<QueueTransport>| {
+            let mut got = Vec::new();
+            for _ in 0..10_000 {
+                if let Some(p) = t.recv(Side::Accelerator) {
+                    got.push(p.payload()[0]);
+                }
+                let _ = t.recv(Side::Simulator);
+                if got.len() == 11 {
+                    break;
+                }
+            }
+            got
+        };
+        assert_eq!(drain(&mut t), drain(&mut resumed));
+        assert_eq!(t.recovery_stats(), resumed.recovery_stats());
+        // And re-saving is bit-equal to the state both started from… after
+        // identical further traffic, both snapshots still agree.
+        assert_eq!(save_to_vec(&t), save_to_vec(&resumed));
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_a_corrupt_direction_word() {
+        use predpkt_sim::{restore_from_vec, save_to_vec};
+        let mut t = fresh();
+        t.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![]));
+        let state = save_to_vec(&t);
+        // Truncate: drop the trailing words and the restore must fail with a
+        // typed, section-labeled error rather than panic.
+        let truncated: predpkt_sim::StateVec =
+            state.words()[..state.words().len() - 3].to_vec().into();
+        let mut target = fresh();
+        let err = restore_from_vec(&mut target, &truncated).unwrap_err();
+        assert!(matches!(
+            err,
+            predpkt_sim::SnapshotError::Exhausted { .. }
+                | predpkt_sim::SnapshotError::Corrupt { .. }
+                | predpkt_sim::SnapshotError::TrailingWords { .. }
+                | predpkt_sim::SnapshotError::InSection { .. }
+        ));
     }
 }

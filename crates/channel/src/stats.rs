@@ -95,6 +95,32 @@ impl ChannelStats {
     }
 }
 
+/// Six words: per-direction accesses, words, and virtual time (picoseconds),
+/// forward direction first.
+impl predpkt_sim::Snapshot for ChannelStats {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        for i in 0..2 {
+            w.word(self.accesses[i])
+                .word(self.words[i])
+                .word(self.time[i].as_picos());
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        let mut restored = ChannelStats::new();
+        for i in 0..2 {
+            restored.accesses[i] = r.word()?;
+            restored.words[i] = r.word()?;
+            restored.time[i] = VirtualTime::from_picos(r.word()?);
+        }
+        *self = restored;
+        Ok(())
+    }
+}
+
 impl fmt::Display for ChannelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -3,7 +3,7 @@
 use crate::cost::{ChannelCostModel, Side};
 use crate::message::Packet;
 use crate::stats::ChannelStats;
-use predpkt_sim::VirtualTime;
+use predpkt_sim::{Snapshot, VirtualTime};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -164,6 +164,38 @@ impl Transport for QueueTransport {
     }
 }
 
+/// Both FIFO queues, in-flight packets included — an in-process medium is
+/// part of the session state, so a checkpoint captures it exactly.
+impl predpkt_sim::Snapshot for QueueTransport {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        for queue in [&self.to_acc, &self.to_sim] {
+            w.usize(queue.len());
+            for packet in queue {
+                packet.save(w);
+            }
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        let mut queues = [VecDeque::new(), VecDeque::new()];
+        for queue in &mut queues {
+            let n = r.usize()?;
+            for _ in 0..n {
+                let mut packet = Packet::new(crate::message::PacketTag::Handshake, Vec::new());
+                packet.restore(r)?;
+                queue.push_back(packet);
+            }
+        }
+        let [to_acc, to_sim] = queues;
+        self.to_acc = to_acc;
+        self.to_sim = to_sim;
+        Ok(())
+    }
+}
+
 /// A transport wrapped with the [`ChannelCostModel`] and [`ChannelStats`].
 ///
 /// Every [`send`](CostedChannel::send) charges `startup + wire_words × per_word`
@@ -308,6 +340,48 @@ impl<T: Transport> CostedChannel<T> {
     /// Consumes the channel, returning the inner transport.
     pub fn into_inner(self) -> T {
         self.transport
+    }
+}
+
+/// Statistics, the parked outbox, and the inner transport — everything that
+/// distinguishes two mid-run channels sharing a cost model. The cost model
+/// itself is configuration and stays with the live instance.
+impl<T: Transport + Snapshot> Snapshot for CostedChannel<T> {
+    fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
+        self.stats.save(w);
+        w.word(match self.outbox_from {
+            None => 0,
+            Some(Side::Simulator) => 1,
+            Some(Side::Accelerator) => 2,
+        });
+        w.usize(self.outbox.len());
+        for packet in &self.outbox {
+            packet.save(w);
+        }
+        self.transport.save(w);
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut predpkt_sim::StateReader<'_>,
+    ) -> Result<(), predpkt_sim::SnapshotError> {
+        self.stats.restore(r)?;
+        let at = r.position();
+        self.outbox_from = match r.word()? {
+            0 => None,
+            1 => Some(Side::Simulator),
+            2 => Some(Side::Accelerator),
+            _ => return Err(r.corrupt_at(at)),
+        };
+        let n = r.usize()?;
+        let mut outbox = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let mut packet = Packet::new(crate::message::PacketTag::Handshake, Vec::new());
+            packet.restore(r)?;
+            outbox.push(packet);
+        }
+        self.outbox = outbox;
+        self.transport.restore(r)
     }
 }
 

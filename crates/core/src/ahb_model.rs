@@ -433,6 +433,10 @@ impl DomainModel for AhbDomainModel {
         &self.trace
     }
 
+    fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
     fn trace_mark(&self) -> TraceMark {
         self.trace.mark()
     }

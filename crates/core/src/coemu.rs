@@ -1,6 +1,7 @@
 //! The co-emulation orchestrator.
 
 use crate::blueprint::SocBlueprint;
+use crate::checkpoint::{restore_section, save_section, CheckpointError, SessionCheckpoint};
 use crate::model::DomainModel;
 use crate::observer::{EmuObserver, NoopObserver};
 use crate::report::PerfReport;
@@ -10,7 +11,7 @@ use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
     ChannelCostModel, ChannelStats, CostedChannel, QueueTransport, Side, Transport,
 };
-use predpkt_sim::{CostCategory, Frequency, SimError, TimeLedger, Trace, VirtualTime};
+use predpkt_sim::{CostCategory, Frequency, SimError, Snapshot, TimeLedger, Trace, VirtualTime};
 use std::error::Error;
 use std::fmt;
 
@@ -632,6 +633,105 @@ impl<M: DomainModel, T: Transport> CoEmulator<M, T> {
     /// them into the golden record layout.
     pub fn merged_trace(&self, merge: impl Fn(&[u64], &[u64]) -> Vec<u64>) -> Trace {
         crate::wrapper::merge_committed_traces(&self.sim, &self.acc, merge)
+    }
+}
+
+/// The labels a co-operative (single-channel) checkpoint serializes under,
+/// in restore order.
+const COOP_SECTIONS: [&str; 4] = ["wrapper.sim", "wrapper.acc", "channel", "ledger"];
+
+impl<M: DomainModel, T: Transport + Snapshot> CoEmulator<M, T> {
+    /// Whether both domains stand at a committed transition boundary — the
+    /// only cut at which a checkpoint is consistent.
+    pub(crate) fn at_checkpoint_boundary(&self) -> bool {
+        self.sim.at_transition_boundary() && self.acc.at_transition_boundary()
+    }
+
+    /// Fills `ckpt` with this engine's component sections (see
+    /// [`checkpoint`](Self::checkpoint) for the public form).
+    pub(crate) fn checkpoint_into(
+        &self,
+        ckpt: &mut SessionCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        if let Some(err) = self.sim.poisoned().or_else(|| self.acc.poisoned()) {
+            return Err(CheckpointError::Poisoned(err.clone()));
+        }
+        if !self.at_checkpoint_boundary() {
+            return Err(CheckpointError::NotAtBoundary);
+        }
+        ckpt.push_section("wrapper.sim", save_section(|w| self.sim.checkpoint_save(w)));
+        ckpt.push_section("wrapper.acc", save_section(|w| self.acc.checkpoint_save(w)));
+        ckpt.push_section("channel", save_section(|w| self.channel.save(w)));
+        ckpt.push_section("ledger", save_section(|w| self.ledger.save(w)));
+        Ok(())
+    }
+
+    /// Restores this engine from a checkpoint's component sections (see
+    /// [`restore`](Self::restore) for the public form).
+    pub(crate) fn restore_from(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        // Pre-flight the section table before touching anything, so a
+        // checkpoint with the wrong shape is rejected without mutation.
+        for label in COOP_SECTIONS {
+            ckpt.section(label)?;
+        }
+        let result = (|| {
+            let CoEmulator {
+                sim,
+                acc,
+                channel,
+                ledger,
+                ..
+            } = self;
+            restore_section(ckpt, "wrapper.sim", |r| sim.checkpoint_restore(r))?;
+            restore_section(ckpt, "wrapper.acc", |r| acc.checkpoint_restore(r))?;
+            restore_section(ckpt, "channel", |r| channel.restore(r))?;
+            restore_section(ckpt, "ledger", |r| ledger.restore(r))
+        })();
+        if let Err(CheckpointError::Snapshot { source, .. }) = &result {
+            // A failed section leaves the pair inconsistent: poison both
+            // wrappers so the session refuses to step until a full restore
+            // succeeds.
+            self.sim.poison(source.clone());
+            self.acc.poison(source.clone());
+        }
+        result
+    }
+
+    /// Takes a whole-session checkpoint at the current committed transition
+    /// boundary: both wrappers (model, predictors, trace, statistics), the
+    /// channel — including any frames a cooperative backend holds in flight
+    /// and the reliability layer's windows — and the virtual-time ledger.
+    ///
+    /// Standalone engines stamp the backend name `"coemulator"`; sessions
+    /// built through [`EmuSession`](crate::EmuSession) stamp their
+    /// [`backend`](crate::EmuSession::backend) name instead and check it on
+    /// restore.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotAtBoundary`] unless both domains stand halted
+    /// at a committed transition boundary (run with
+    /// [`run_until_synchronized`](Self::run_until_synchronized) first), and
+    /// [`CheckpointError::Poisoned`] after a failed restore.
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, CheckpointError> {
+        let mut ckpt = SessionCheckpoint::new("coemulator", self.committed_cycles());
+        self.checkpoint_into(&mut ckpt)?;
+        Ok(ckpt)
+    }
+
+    /// Restores this engine to a checkpoint's cut. The engine must have the
+    /// same shape (models, transport type, configuration) as the one the
+    /// checkpoint was taken on; resuming then commits bit-identical traces,
+    /// statistics, and ledgers to the original run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::MissingSection`] if the checkpoint's shape does
+    /// not match (rejected before any state is touched), and
+    /// [`CheckpointError::Snapshot`] if a component rejects its words — the
+    /// engine is then **poisoned** and refuses further steps.
+    pub fn restore(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        self.restore_from(ckpt)
     }
 }
 

@@ -62,12 +62,62 @@
 //! assert!(counters.snapshot().transitions > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Checkpoint, migrate, replay
+//!
+//! [`EmuSession::checkpoint`] captures one consistent cut of a running
+//! session — models, predictors, committed traces, channel, reliability
+//! windows, and ledgers — at a committed transition boundary (where every
+//! [`run_until_committed`](EmuSession::run_until_committed) call halts).
+//! [`SessionCheckpoint::to_bytes`] turns the cut into a self-describing byte
+//! blob (CRC-sealed frames; see the [`checkpoint`](SessionCheckpoint) docs
+//! for the wire format and versioning rules), and
+//! [`EmuSession::restore`] rewinds any freshly built session of the same
+//! backend onto it. Restore-then-run is bit-identical to running straight
+//! through:
+//!
+//! ```
+//! use predpkt_core::{EmuSession, ModePolicy, SessionCheckpoint, Side, SocBlueprint};
+//! use predpkt_ahb::engine::BusOp;
+//! use predpkt_ahb::masters::TrafficGenMaster;
+//! use predpkt_ahb::slaves::MemorySlave;
+//!
+//! let blueprint = SocBlueprint::new()
+//!     .master(Side::Accelerator, || {
+//!         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
+//!     })
+//!     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+//! let build = || EmuSession::from_blueprint(&blueprint).policy(ModePolicy::Auto).build();
+//!
+//! // Donor: run half-way, cut a checkpoint, keep going to the end.
+//! let mut donor = build()?;
+//! donor.run_until_committed(100)?;
+//! let blob = donor.checkpoint()?.to_bytes();
+//! donor.run_until_committed(200)?;
+//!
+//! // Twin (another process, another host, a farm re-admission…): decode,
+//! // restore, and replay the remaining half. Same committed outcome.
+//! let mut twin = build()?;
+//! twin.restore(&SessionCheckpoint::from_bytes(&blob)?)?;
+//! twin.run_until_committed(200)?;
+//! assert_eq!(twin.committed_cycles(), donor.committed_cycles());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Long-running sliced sessions can capture cuts automatically
+//! ([`SlicedSession::set_auto_checkpoint`]): the farm crate uses this so an
+//! evicted session leaves carrying its latest consistent cut instead of
+//! losing the run. A failed restore — wrong backend, truncated blob, bad
+//! CRC, mismatched section shape — is a typed [`CheckpointError`] and never
+//! a half-restored session: the target is poisoned and refuses to step
+//! until a later restore succeeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ahb_model;
 mod blueprint;
+mod checkpoint;
 mod coemu;
 mod fabric;
 mod model;
@@ -79,6 +129,7 @@ mod wrapper;
 
 pub use ahb_model::AhbDomainModel;
 pub use blueprint::{Placement, SocBlueprint};
+pub use checkpoint::{CheckpointError, SessionCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use coemu::{CoEmuConfig, CoEmulator, ConfigError, SliceStatus};
 pub use fabric::{FabricLinkSelect, FabricReliableInner, FabricSession, FabricSessionBuilder};
 pub use model::{DomainModel, TickKind};

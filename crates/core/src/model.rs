@@ -75,6 +75,12 @@ pub trait DomainModel: Snapshot {
     /// The committed local-outputs trace.
     fn trace(&self) -> &Trace;
 
+    /// Exclusive access to the committed trace — for whole-session
+    /// checkpoint/restore only. The trace lives *outside* the model's
+    /// [`Snapshot`] (rollback truncates it with marks), so a session
+    /// checkpoint captures and restores it through this accessor.
+    fn trace_mut(&mut self) -> &mut Trace;
+
     /// Marks the trace for possible rollback.
     fn trace_mark(&self) -> TraceMark;
 

@@ -219,9 +219,11 @@ impl Message {
                 })
             }
             // Reliability-layer frames are consumed by `ReliableTransport`
-            // below the protocol; one reaching the decoder means the session
-            // was misconfigured (a raw transport carrying framed traffic).
-            PacketTag::RelData | PacketTag::RelAck => {
+            // below the protocol, and checkpoint section frames live only
+            // inside serialized checkpoint blobs; either reaching the decoder
+            // means the session was misconfigured (a raw transport carrying
+            // framed traffic, or a checkpoint blob replayed as live traffic).
+            PacketTag::RelData | PacketTag::RelAck | PacketTag::Checkpoint => {
                 Err(ProtocolError::Unexpected { tag: packet.tag() })
             }
         }

@@ -59,6 +59,7 @@
 //! ```
 
 use crate::blueprint::SocBlueprint;
+use crate::checkpoint::{restore_section, save_section, CheckpointError, SessionCheckpoint};
 use crate::coemu::{CoEmuConfig, CoEmulator, ConfigError, SliceStatus};
 use crate::model::DomainModel;
 use crate::observer::{EmuObserver, NoopObserver, SharedObserver};
@@ -67,13 +68,13 @@ use crate::wrapper::{ChannelWrapper, CwStats, DomainCosts, ModePolicy, Progress}
 use crate::AhbDomainModel;
 use predpkt_ahb::bus::BusConfigError;
 use predpkt_channel::{
-    BatchStats, ChannelStats, CostedChannel, FaultSpec, FaultStats, LossyTransport, PollReady,
-    QueueTransport, Readiness, RecoveryStats, ReliableConfig, ReliableTransport, RetryExhausted,
-    ShmEndpoint, ShmTransport, Side, TcpEndpoint, TcpTransport, ThreadedEndpoint,
-    ThreadedTransport, Transport, WaitTransport, DEFAULT_RING_WORDS,
+    BatchStats, ChannelCostModel, ChannelStats, CostedChannel, FaultSpec, FaultStats,
+    LossyTransport, PollReady, QueueTransport, Readiness, RecoveryStats, ReliableConfig,
+    ReliableTransport, RetryExhausted, ShmEndpoint, ShmTransport, Side, TcpEndpoint, TcpTransport,
+    ThreadedEndpoint, ThreadedTransport, Transport, WaitTransport, DEFAULT_RING_WORDS,
 };
 use predpkt_predict::{PaperSuite, PredictorSuite};
-use predpkt_sim::{SimError, TimeLedger, Trace};
+use predpkt_sim::{SimError, Snapshot, TimeLedger, Trace};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -418,7 +419,7 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                     self.sim,
                     self.acc,
                     self.config,
-                    LossyTransport::over_queue(spec),
+                    lossy_over(QueueTransport::new(), spec)?,
                 )
                 .with_observer(observer(self.observer)),
             ),
@@ -470,7 +471,7 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                             self.sim,
                             self.acc,
                             self.config,
-                            ReliableTransport::new(QueueTransport::new(), rcfg, channel_model),
+                            reliable_over(QueueTransport::new(), rcfg, channel_model)?,
                         )
                         .with_observer(observer(self.observer)),
                     ),
@@ -479,11 +480,11 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                             self.sim,
                             self.acc,
                             self.config,
-                            ReliableTransport::new(
-                                LossyTransport::over_queue(spec),
+                            reliable_over(
+                                lossy_over(QueueTransport::new(), spec)?,
                                 rcfg,
                                 channel_model,
-                            ),
+                            )?,
                         )
                         .with_observer(observer(self.observer)),
                     ),
@@ -495,9 +496,8 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                             self.config,
                             opts,
                             self.observer,
-                            ReliableTransport::new(sim_end, rcfg, channel_model)
-                                .for_side(Side::Simulator),
-                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                            reliable_over(sim_end, rcfg, channel_model)?.for_side(Side::Simulator),
+                            reliable_over(acc_end, rcfg, channel_model)?
                                 .for_side(Side::Accelerator),
                         ))
                     }
@@ -509,9 +509,8 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                             self.config,
                             opts.threaded,
                             self.observer,
-                            ReliableTransport::new(sim_end, rcfg, channel_model)
-                                .for_side(Side::Simulator),
-                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                            reliable_over(sim_end, rcfg, channel_model)?.for_side(Side::Simulator),
+                            reliable_over(acc_end, rcfg, channel_model)?
                                 .for_side(Side::Accelerator),
                         ))
                     }
@@ -523,9 +522,8 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
                             self.config,
                             opts.threaded,
                             self.observer,
-                            ReliableTransport::new(sim_end, rcfg, channel_model)
-                                .for_side(Side::Simulator),
-                            ReliableTransport::new(acc_end, rcfg, channel_model)
+                            reliable_over(sim_end, rcfg, channel_model)?.for_side(Side::Simulator),
+                            reliable_over(acc_end, rcfg, channel_model)?
                                 .for_side(Side::Accelerator),
                         ))
                     }
@@ -534,6 +532,26 @@ impl<M: DomainModel + Send + 'static> EmuSessionBuilder<M> {
         };
         Ok(EmuSession { inner })
     }
+}
+
+/// Builds a fault wrapper through the fallible constructor, lifting the
+/// channel layer's typed rejection into the session error space — the
+/// builder prevalidates every spec, so this cannot actually fail, but the
+/// session layer keeps no panicking path to the channel constructors.
+fn lossy_over<T: Transport>(inner: T, spec: FaultSpec) -> Result<LossyTransport<T>, SessionError> {
+    LossyTransport::try_new(inner, spec)
+        .map_err(|e| SessionError::Config(ConfigError::invalid_fault_spec(e)))
+}
+
+/// Builds a reliability layer through the fallible constructor; same
+/// rationale as [`lossy_over`].
+fn reliable_over<T: Transport>(
+    inner: T,
+    config: ReliableConfig,
+    model: ChannelCostModel,
+) -> Result<ReliableTransport<T>, SessionError> {
+    ReliableTransport::try_new(inner, config, model)
+        .map_err(|e| SessionError::Config(ConfigError::invalid_reliable_config(e)))
 }
 
 /// Per-side fault plans for a two-endpoint backend (a transparent
@@ -559,8 +577,8 @@ fn tcp_endpoint_pair(
     let (sim_end, acc_end) = TcpTransport::loopback_pair().map_err(SessionError::Io)?;
     let (sim_spec, acc_spec) = per_side_fault_specs(opts.fault);
     Ok((
-        LossyTransport::new(sim_end, sim_spec),
-        LossyTransport::new(acc_end, acc_spec),
+        lossy_over(sim_end, sim_spec)?,
+        lossy_over(acc_end, acc_spec)?,
     ))
 }
 
@@ -588,8 +606,8 @@ fn shm_endpoint_pair(
     };
     let (sim_spec, acc_spec) = per_side_fault_specs(opts.fault);
     Ok((
-        LossyTransport::new(sim_end, sim_spec),
-        LossyTransport::new(acc_end, acc_spec),
+        lossy_over(sim_end, sim_spec)?,
+        lossy_over(acc_end, acc_spec)?,
     ))
 }
 
@@ -921,6 +939,63 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
         with_inner!(&self.inner, |c| c.merged_trace(merge), |t| t
             .merged_trace(merge))
     }
+
+    /// Whether both domains stand at a committed transition boundary — the
+    /// only cut at which [`checkpoint`](Self::checkpoint) succeeds. True
+    /// after every [`run_until_committed`](Self::run_until_committed) call
+    /// (the halt condition *is* the boundary).
+    pub fn at_checkpoint_boundary(&self) -> bool {
+        with_inner!(&self.inner, |c| c.at_checkpoint_boundary(), |t| t
+            .at_checkpoint_boundary())
+    }
+
+    /// Takes a whole-session checkpoint: both domains' model, predictor,
+    /// trace, and statistics state, the channel (in-flight frames of the
+    /// cooperative backends; the reliability layer's windows, clock, and
+    /// recovery counters where one is installed), and the virtual-time
+    /// ledgers — one consistent cut, stamped with the
+    /// [`backend`](Self::backend) name and the committed cycle count.
+    ///
+    /// Restoring the checkpoint into a freshly built session of the same
+    /// shape ([`restore`](Self::restore)) and running on commits
+    /// bit-identical results to never having stopped. Serialize with
+    /// [`SessionCheckpoint::to_bytes`] to migrate the session between
+    /// processes or hosts.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotAtBoundary`] unless the session is halted at a
+    /// committed transition boundary, and [`CheckpointError::Poisoned`]
+    /// after a failed restore.
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, CheckpointError> {
+        let mut ckpt = SessionCheckpoint::new(self.backend(), self.committed_cycles());
+        with_inner!(&self.inner, |c| c.checkpoint_into(&mut ckpt), |t| t
+            .checkpoint_into(&mut ckpt))?;
+        Ok(ckpt)
+    }
+
+    /// Restores this session to a checkpoint's cut. The session must run
+    /// the same [`backend`](Self::backend) and be built from the same
+    /// models and configuration as the one the checkpoint was taken on.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BackendMismatch`] or
+    /// [`CheckpointError::MissingSection`] for a checkpoint of the wrong
+    /// shape (rejected before any state is touched), and
+    /// [`CheckpointError::Snapshot`] when a component rejects its words —
+    /// the session is then **poisoned**: every subsequent step fails with
+    /// [`SimError::StatePoisoned`] until a full restore succeeds.
+    pub fn restore(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        if ckpt.backend() != self.backend() {
+            return Err(CheckpointError::BackendMismatch {
+                expected: self.backend().to_string(),
+                found: ckpt.backend().to_string(),
+            });
+        }
+        with_inner!(&mut self.inner, |c| c.restore_from(ckpt), |t| t
+            .restore_from(ckpt))
+    }
 }
 
 /// Runs a per-side-reliable threaded session to completion and maps the
@@ -1134,6 +1209,77 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
             )
         });
         sim_result.and(acc_result)
+    }
+}
+
+/// The labels a two-endpoint (per-side-channel) checkpoint serializes under,
+/// in restore order.
+const THREADED_SECTIONS: [&str; 6] = [
+    "wrapper.sim",
+    "wrapper.acc",
+    "channel.sim",
+    "channel.acc",
+    "ledger.sim",
+    "ledger.acc",
+];
+
+impl<M: DomainModel + Send + 'static, E: WaitTransport + Send + Snapshot> ThreadedSession<M, E> {
+    fn at_checkpoint_boundary(&self) -> bool {
+        self.sim.at_transition_boundary() && self.acc.at_transition_boundary()
+    }
+
+    /// Fills `ckpt` with the per-side component sections. Runs between
+    /// `run_until_synchronized` calls (the domain threads are joined), so
+    /// `&self` access is race-free; endpoint transports serialize nothing —
+    /// in-flight frames in an external medium are healed on resume by a
+    /// reliability layer's re-armed window.
+    fn checkpoint_into(&self, ckpt: &mut SessionCheckpoint) -> Result<(), CheckpointError> {
+        if let Some(err) = self.sim.poisoned().or_else(|| self.acc.poisoned()) {
+            return Err(CheckpointError::Poisoned(err.clone()));
+        }
+        if !self.at_checkpoint_boundary() {
+            return Err(CheckpointError::NotAtBoundary);
+        }
+        ckpt.push_section("wrapper.sim", save_section(|w| self.sim.checkpoint_save(w)));
+        ckpt.push_section("wrapper.acc", save_section(|w| self.acc.checkpoint_save(w)));
+        ckpt.push_section("channel.sim", save_section(|w| self.sim_ch.save(w)));
+        ckpt.push_section("channel.acc", save_section(|w| self.acc_ch.save(w)));
+        ckpt.push_section("ledger.sim", save_section(|w| self.sim_ledger.save(w)));
+        ckpt.push_section("ledger.acc", save_section(|w| self.acc_ledger.save(w)));
+        Ok(())
+    }
+
+    fn restore_from(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        // Pre-flight the section table before touching anything, so a
+        // checkpoint with the wrong shape is rejected without mutation.
+        for label in THREADED_SECTIONS {
+            ckpt.section(label)?;
+        }
+        let result = (|| {
+            let ThreadedSession {
+                sim,
+                acc,
+                sim_ch,
+                acc_ch,
+                sim_ledger,
+                acc_ledger,
+                ..
+            } = self;
+            restore_section(ckpt, "wrapper.sim", |r| sim.checkpoint_restore(r))?;
+            restore_section(ckpt, "wrapper.acc", |r| acc.checkpoint_restore(r))?;
+            restore_section(ckpt, "channel.sim", |r| sim_ch.restore(r))?;
+            restore_section(ckpt, "channel.acc", |r| acc_ch.restore(r))?;
+            restore_section(ckpt, "ledger.sim", |r| sim_ledger.restore(r))?;
+            restore_section(ckpt, "ledger.acc", |r| acc_ledger.restore(r))
+        })();
+        if let Err(CheckpointError::Snapshot { source, .. }) = &result {
+            // A failed section leaves the pair inconsistent: poison both
+            // wrappers so the session refuses to step until a full restore
+            // succeeds.
+            self.sim.poison(source.clone());
+            self.acc.poison(source.clone());
+        }
+        result
     }
 }
 
@@ -1445,7 +1591,20 @@ where
 pub struct SlicedSession<M: DomainModel + Send + 'static> {
     session: EmuSession<M>,
     target: u64,
+    /// When set, a fresh checkpoint is stashed every time a slice ends with
+    /// the session at a new committed transition boundary.
+    auto_checkpoint: bool,
+    /// Committed cycles between auto-checkpoint cuts (see
+    /// [`set_checkpoint_interval`](Self::set_checkpoint_interval)).
+    checkpoint_interval: u64,
+    latest_checkpoint: Option<Box<SessionCheckpoint>>,
+    /// Committed cycles at the last stash, so boundaries are checkpointed
+    /// once instead of on every subsequent no-op slice.
+    checkpointed_at: Option<u64>,
 }
+
+/// Default committed-cycle spacing between auto-checkpoint cuts.
+const DEFAULT_CHECKPOINT_INTERVAL: u64 = 16;
 
 impl<M: DomainModel + Send + 'static> EmuSession<M> {
     /// Converts the session into its sliced form, targeting `cycles`
@@ -1455,6 +1614,10 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
         SlicedSession {
             session: self,
             target: cycles,
+            auto_checkpoint: false,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            latest_checkpoint: None,
+            checkpointed_at: None,
         }
     }
 }
@@ -1480,8 +1643,36 @@ impl<M: DomainModel + Send + 'static> SlicedSession<M> {
     /// surfaces [`SimError::RetryBudgetExhausted`] as soon as the session
     /// would otherwise park.
     pub fn run_slice(&mut self, max_steps: u32) -> Result<SliceStatus, SimError> {
-        let target = self.target;
-        match &mut self.session.inner {
+        if !self.auto_checkpoint {
+            return self.dispatch_slice(self.target, max_steps);
+        }
+        // Checkpoints are only consistent with both domains halted at the
+        // same committed boundary, and free-running domains pipeline past
+        // each other — they almost never align on their own. So aim the
+        // engine at the next interval cut instead of the final target: it
+        // halts there exactly like `run_until_committed` would (the linger
+        // drains are protocol no-ops, so the committed stream is unchanged),
+        // the stash captures the cut, and `Working` tells the scheduler the
+        // real target still lies ahead.
+        // Anchor cuts at fixed interval multiples: a moving `committed +
+        // interval` cut would recede ahead of the run and never be reached.
+        let iv = self.checkpoint_interval.max(1);
+        let cut = (self.session.committed_cycles() / iv)
+            .saturating_add(1)
+            .saturating_mul(iv)
+            .min(self.target);
+        let status = self.dispatch_slice(cut, max_steps)?;
+        self.stash_fresh_boundary();
+        match status {
+            SliceStatus::Done if cut < self.target => Ok(SliceStatus::Working),
+            s => Ok(s),
+        }
+    }
+
+    /// One bounded run of the backend engine toward `target`, with no
+    /// checkpoint capture.
+    fn dispatch_slice(&mut self, target: u64, max_steps: u32) -> Result<SliceStatus, SimError> {
+        let status = match &mut self.session.inner {
             SessionInner::Queue(c) => c.run_slice(target, max_steps),
             SessionInner::Lossy(c) => c.run_slice(target, max_steps),
             SessionInner::Threaded(t) => t.run_slice(target, max_steps),
@@ -1499,7 +1690,74 @@ impl<M: DomainModel + Send + 'static> SlicedSession<M> {
             SessionInner::ReliableThreaded(t) => slice_reliable_threaded(t, target, max_steps, 0),
             SessionInner::ReliableTcp(t) => slice_reliable_lossy(t, target, max_steps),
             SessionInner::ReliableShm(t) => slice_reliable_lossy(t, target, max_steps),
+        }?;
+        Ok(status)
+    }
+
+    /// Stashes a checkpoint if the session stands at a committed boundary
+    /// it has not checkpointed yet.
+    fn stash_fresh_boundary(&mut self) {
+        if self.checkpointed_at != Some(self.session.committed_cycles())
+            && self.session.at_checkpoint_boundary()
+        {
+            if let Ok(ckpt) = self.session.checkpoint() {
+                self.checkpointed_at = Some(ckpt.committed_cycles());
+                self.latest_checkpoint = Some(Box::new(ckpt));
+            }
         }
+    }
+
+    /// Enables (or disables) automatic checkpoint capture: the sliced run
+    /// periodically halts at a committed transition boundary (every
+    /// [`checkpoint interval`](Self::set_checkpoint_interval) cycles) and
+    /// stashes a whole-session checkpoint there, retrievable with
+    /// [`take_latest_checkpoint`](Self::take_latest_checkpoint). The halts
+    /// do not change what the session commits — they are the same boundary
+    /// stops `run_until_committed` makes, and the committed stream stays
+    /// bit-identical to an uninterrupted run. A session farm enables this so
+    /// an evicted session leaves carrying its most recent consistent cut
+    /// instead of losing the run.
+    pub fn set_auto_checkpoint(&mut self, enabled: bool) {
+        self.auto_checkpoint = enabled;
+    }
+
+    /// Sets the committed-cycle spacing between auto-checkpoint cuts
+    /// (default 16; clamped to at least 1). Smaller intervals lose less work
+    /// on eviction but serialize the session more often.
+    pub fn set_checkpoint_interval(&mut self, cycles: u64) {
+        self.checkpoint_interval = cycles.max(1);
+    }
+
+    /// Whether automatic checkpoint capture is on.
+    pub fn auto_checkpoint(&self) -> bool {
+        self.auto_checkpoint
+    }
+
+    /// Takes ownership of the most recent auto-captured checkpoint, if any
+    /// (see [`set_auto_checkpoint`](Self::set_auto_checkpoint)).
+    pub fn take_latest_checkpoint(&mut self) -> Option<Box<SessionCheckpoint>> {
+        self.latest_checkpoint.take()
+    }
+
+    /// Takes a whole-session checkpoint now (see
+    /// [`EmuSession::checkpoint`]); the session must stand at a committed
+    /// transition boundary, e.g. after [`SliceStatus::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Those of [`EmuSession::checkpoint`].
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, CheckpointError> {
+        self.session.checkpoint()
+    }
+
+    /// Restores the underlying session to a checkpoint's cut (see
+    /// [`EmuSession::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`EmuSession::restore`].
+    pub fn restore(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        self.session.restore(ckpt)
     }
 
     /// The committed-cycle target this sliced run halts at.

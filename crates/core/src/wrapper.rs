@@ -24,8 +24,8 @@ use crate::protocol::Message;
 use predpkt_channel::{CostedChannel, Side, Transport};
 use predpkt_predict::{Lob, LobEntry};
 use predpkt_sim::{
-    restore_from_vec, save_to_vec, CostCategory, SimError, StateVec, TimeLedger, TraceMark,
-    VirtualTime,
+    restore_from_vec, save_to_vec, CostCategory, SimError, Snapshot, SnapshotError, StateReader,
+    StateVec, StateWriter, TimeLedger, TraceMark, VirtualTime,
 };
 use std::fmt;
 
@@ -178,6 +178,43 @@ impl CwStats {
     }
 }
 
+/// Sixteen words: the ten counters in declaration order, then the six
+/// per-path occupancy buckets (F, P, S, L, R, C).
+impl Snapshot for CwStats {
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.word(self.transitions)
+            .word(self.clean_transitions)
+            .word(self.rollbacks)
+            .word(self.predicted_cycles)
+            .word(self.replayed_cycles)
+            .word(self.head_cycles)
+            .word(self.conservative_cycles)
+            .word(self.checked_predictions)
+            .word(self.failed_predictions)
+            .word(self.flushes);
+        for count in self.path_events {
+            w.word(count);
+        }
+    }
+
+    fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.transitions = r.word()?;
+        self.clean_transitions = r.word()?;
+        self.rollbacks = r.word()?;
+        self.predicted_cycles = r.word()?;
+        self.replayed_cycles = r.word()?;
+        self.head_cycles = r.word()?;
+        self.conservative_cycles = r.word()?;
+        self.checked_predictions = r.word()?;
+        self.failed_predictions = r.word()?;
+        self.flushes = r.word()?;
+        for count in &mut self.path_events {
+            *count = r.word()?;
+        }
+        Ok(())
+    }
+}
+
 /// Scheduling outcome of one `ChannelWrapper::step` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Progress {
@@ -278,6 +315,11 @@ pub struct ChannelWrapper<M: DomainModel> {
     /// clean transition, shrink to the achieved run on a failure.
     adaptive_depth: bool,
     stats: CwStats,
+    /// Set when a restore failed partway, leaving the model in an undefined
+    /// mixture of old and new state. Every further [`step`](Self::step) then
+    /// refuses with [`SimError::StatePoisoned`] — a half-restored run must
+    /// never silently diverge.
+    poisoned: Option<SnapshotError>,
 }
 
 impl<M: DomainModel> ChannelWrapper<M> {
@@ -299,6 +341,7 @@ impl<M: DomainModel> ChannelWrapper<M> {
             cur_depth: lob_depth,
             adaptive_depth: false,
             stats: CwStats::default(),
+            poisoned: None,
         }
     }
 
@@ -344,6 +387,79 @@ impl<M: DomainModel> ChannelWrapper<M> {
     /// The domain this wrapper drives.
     pub(crate) fn side(&self) -> Side {
         self.side
+    }
+
+    /// The restore failure that quarantined this wrapper, if any.
+    pub(crate) fn poisoned(&self) -> Option<&SnapshotError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Quarantines the wrapper after an external restore failure (the
+    /// session-level checkpoint restore poisons *both* wrappers when either
+    /// side's section fails, so a half-restored pair can never step).
+    pub(crate) fn poison(&mut self, err: SnapshotError) {
+        self.poisoned = Some(err);
+    }
+
+    /// Serializes everything live at a transition boundary: the model (its
+    /// own [`Snapshot`]), the committed trace (outside the model snapshot by
+    /// contract), the carried next-cycle actuals, the adaptive run-ahead
+    /// depth, and the statistics. Transient transition state (LOB, rollback
+    /// snapshot, in-flight entries, head actuals) is empty at a boundary by
+    /// construction and is reset on restore instead of serialized.
+    pub(crate) fn checkpoint_save(&self, w: &mut StateWriter<'_>) {
+        debug_assert!(
+            self.at_transition_boundary(),
+            "checkpoints are taken only at committed boundaries"
+        );
+        w.section("model");
+        self.model.save(w);
+        w.section("trace");
+        self.model.trace().save(w);
+        w.section("wrapper");
+        match &self.pending_actuals {
+            None => {
+                w.bool(false);
+            }
+            Some((cycle, actuals)) => {
+                w.bool(true).word(*cycle).slice_u32(actuals);
+            }
+        }
+        w.usize(self.cur_depth);
+        self.stats.save(w);
+    }
+
+    /// Restores a [`checkpoint_save`](Self::checkpoint_save) cut, resetting
+    /// the wrapper to the boundary phase. On failure the wrapper poisons
+    /// itself — the model may hold a mixture of old and new state.
+    pub(crate) fn checkpoint_restore(
+        &mut self,
+        r: &mut StateReader<'_>,
+    ) -> Result<(), SnapshotError> {
+        if let Err(err) = self.checkpoint_restore_inner(r) {
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        self.poisoned = None;
+        Ok(())
+    }
+
+    fn checkpoint_restore_inner(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.model.restore(r)?;
+        self.model.trace_mut().restore(r)?;
+        self.pending_actuals = if r.bool()? {
+            Some((r.word()?, r.slice_u32()?))
+        } else {
+            None
+        };
+        self.cur_depth = r.usize()?;
+        self.stats.restore(r)?;
+        self.phase = Phase::Elect;
+        let _ = self.lob.drain();
+        self.snapshot = None;
+        self.inflight.clear();
+        self.head_actuals = None;
+        Ok(())
     }
 
     fn send<T: Transport>(
@@ -395,6 +511,9 @@ impl<M: DomainModel> ChannelWrapper<M> {
         costs: &DomainCosts,
         obs: &mut dyn EmuObserver,
     ) -> Result<Progress, SimError> {
+        if let Some(err) = &self.poisoned {
+            return Err(SimError::StatePoisoned(err.clone()));
+        }
         match &self.phase {
             Phase::HandshakeSend => {
                 let msg = Message::Handshake {
@@ -705,7 +824,12 @@ impl<M: DomainModel> ChannelWrapper<M> {
             .ok_or_else(|| SimError::Config("rollback without a snapshot".into()))?;
         let vars = self.rollback_vars(costs, &state);
         ledger.charge(CostCategory::StateRestore, costs.restore_per_var * vars);
-        restore_from_vec(&mut self.model, &state)?;
+        if let Err(err) = restore_from_vec(&mut self.model, &state) {
+            // The model now holds an undefined mixture of pre- and
+            // post-rollback state: quarantine it so no further step can run.
+            self.poisoned = Some(err.clone());
+            return Err(SimError::Snapshot(err));
+        }
         self.model.trace_truncate(mark);
 
         // Roll-forth: replay the verified prefix with its recorded predictions

@@ -1,0 +1,347 @@
+//! Whole-session checkpoint/restore: the acceptance matrix.
+//!
+//! The core property: checkpointing a session at a committed boundary,
+//! serializing the checkpoint to bytes, restoring it into a *freshly built*
+//! session of the same shape, and running on commits results bit-identical to
+//! never having stopped — merged trace, halt boundary, protocol channel
+//! statistics, virtual-time ledger, and wrapper counters all match the
+//! straight-through queue baseline, for every transport backend the session
+//! layer offers, including mid-run checkpoints under seeded faults.
+//!
+//! The failure half: corrupt or truncated blobs are rejected with typed
+//! errors naming the damaged component, a checkpoint restored into a session
+//! of the wrong shape poisons it (every subsequent step refuses with
+//! [`SimError::StatePoisoned`]) until a well-shaped restore heals it, and a
+//! checkpoint from one backend never restores into another.
+
+mod common;
+
+use common::conformance::{
+    assert_matches_baseline, baseline, conformant_backends, observe, workload_config, workload_for,
+    Observed, Workload,
+};
+use common::figure2_soc;
+use predpkt_channel::{FaultSpec, RecoveryStats};
+use predpkt_core::{
+    AhbDomainModel, CheckpointError, EmuSession, ModePolicy, ReliableInner, SessionCheckpoint,
+    Side, SliceStatus, SocBlueprint, TransportSelect,
+};
+use predpkt_sim::SimError;
+
+/// A fresh `TransportSelect` for the named conformance backend (the selects
+/// hold endpoints, so each session needs its own).
+fn backend_for(name: &str) -> TransportSelect {
+    conformant_backends()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown backend {name}"))
+        .1
+}
+
+/// Builds a fresh Fig. 2 session for `workload` over `backend`.
+fn build_session(backend: TransportSelect, workload: &Workload) -> EmuSession<AhbDomainModel> {
+    EmuSession::from_blueprint(&figure2_soc())
+        .config(workload_config(workload))
+        .transport(backend)
+        .build()
+        .expect("session builds")
+}
+
+/// Runs `workload` in two halves with a full byte-serialized
+/// checkpoint/restore into a *fresh* session between them, and captures what
+/// the second session committed.
+fn run_with_mid_checkpoint(name: &str, workload: &Workload) -> Observed {
+    let blueprint = figure2_soc();
+    let mut first = build_session(backend_for(name), workload);
+    first
+        .run_until_committed(workload.cycles / 2)
+        .expect("first half completes");
+    assert!(
+        first.at_checkpoint_boundary(),
+        "{name}: the halt after run_until_committed is a checkpoint boundary"
+    );
+    let ckpt = first.checkpoint().expect("checkpoint at the halt boundary");
+    assert!(
+        ckpt.committed_cycles() >= workload.cycles / 2,
+        "{name}: checkpoint records the halt boundary"
+    );
+    let bytes = ckpt.to_bytes();
+    drop(first);
+
+    // The round trip through bytes is the migration path: nothing but the
+    // blob crosses from the first session to the second.
+    let ckpt = SessionCheckpoint::from_bytes(&bytes).expect("blob round-trips");
+    let mut second = build_session(backend_for(name), workload);
+    second.restore(&ckpt).expect("restore into a fresh session");
+    assert_eq!(
+        second.committed_cycles(),
+        ckpt.committed_cycles(),
+        "{name}: the restored session stands at the checkpoint's boundary"
+    );
+    second
+        .run_until_committed(workload.cycles)
+        .expect("second half completes");
+    observe(&second, &blueprint)
+}
+
+/// The tentpole acceptance: restore-then-run is bit-identical to
+/// run-straight-through on every backend in the conformance matrix.
+#[test]
+fn restore_then_run_matches_straight_through_on_every_backend() {
+    let workload = workload_for(ModePolicy::Auto);
+    let straight = baseline(&workload);
+    for (name, _) in conformant_backends() {
+        let observed = run_with_mid_checkpoint(name, &workload);
+        assert_matches_baseline(&workload, name, &straight, &observed);
+        // Cooperative reliable backends serialize their windows and clock in
+        // the cut, so the restored run repairs nothing on a clean link.
+        if name == "reliable+queue" || name == "reliable+lossy" {
+            let recovery = observed
+                .recovery
+                .expect("reliable backend reports recovery");
+            assert_eq!(recovery.retransmits, 0, "{name}: clean link, restored run");
+            assert_eq!(recovery.crc_rejects, 0, "{name}: clean link, restored run");
+        }
+    }
+}
+
+/// Mid-run checkpoints under seeded faults: the lossy transport's RNG cursor
+/// and the reliability layer's windows are part of the cut, so the restored
+/// run replays the *same* fault plan and the *same* repairs — recovery
+/// counters and fault counters included.
+#[test]
+fn mid_run_checkpoint_under_seeded_faults_is_bit_identical() {
+    let workload = workload_for(ModePolicy::Auto);
+    let specs = [
+        FaultSpec::drops(7, 0.15),
+        FaultSpec::truncations(11, 0.15),
+        FaultSpec::duplicates(13, 0.2),
+    ];
+    for spec in specs {
+        let faulty = |spec| TransportSelect::reliable(ReliableInner::Lossy(spec));
+        let mut straight = build_session(faulty(spec), &workload);
+        straight
+            .run_until_committed(workload.cycles)
+            .expect("straight run survives the faults");
+        let blueprint = figure2_soc();
+        let expected = observe(&straight, &blueprint);
+        let expected_recovery: RecoveryStats =
+            straight.recovery_stats().expect("recovery stats present");
+
+        let mut first = build_session(faulty(spec), &workload);
+        first
+            .run_until_committed(workload.cycles / 2)
+            .expect("first half survives the faults");
+        let bytes = first.checkpoint().expect("mid-run checkpoint").to_bytes();
+        let ckpt = SessionCheckpoint::from_bytes(&bytes).expect("blob round-trips");
+        let mut second = build_session(faulty(spec), &workload);
+        second.restore(&ckpt).expect("restore under seeded faults");
+        second
+            .run_until_committed(workload.cycles)
+            .expect("second half survives the faults");
+        let observed = observe(&second, &blueprint);
+
+        let ctx = format!("seeded faults {spec:?}");
+        assert_eq!(expected.trace_hash, observed.trace_hash, "{ctx}: trace");
+        assert_eq!(expected.committed, observed.committed, "{ctx}: boundary");
+        assert_eq!(expected.channel, observed.channel, "{ctx}: channel stats");
+        assert_eq!(
+            expected.ledger_total, observed.ledger_total,
+            "{ctx}: ledger"
+        );
+        assert_eq!(
+            expected.faults_injected, observed.faults_injected,
+            "{ctx}: the restored run replays the same fault plan"
+        );
+        assert_eq!(
+            expected_recovery,
+            second.recovery_stats().expect("recovery stats present"),
+            "{ctx}: the restored run performs the same repairs"
+        );
+    }
+}
+
+/// Truncated and bit-flipped blobs are rejected with typed errors naming the
+/// damage, before any session state is touched.
+#[test]
+fn corrupt_blobs_are_rejected_typed() {
+    let workload = workload_for(ModePolicy::Auto);
+    let mut session = build_session(TransportSelect::Queue, &workload);
+    session.run_until_committed(100).expect("run completes");
+    let bytes = session.checkpoint().expect("checkpoint").to_bytes();
+
+    // Truncation anywhere in the stream is a typed parse failure.
+    for cut in [0, 3, bytes.len() / 2, bytes.len() - 5] {
+        let err = SessionCheckpoint::from_bytes(&bytes[..cut])
+            .expect_err("truncated blob must be rejected");
+        assert!(
+            matches!(err, CheckpointError::Malformed { .. }),
+            "truncation at {cut} bytes: got {err:?}"
+        );
+    }
+
+    // A bit flip in the final section's CRC seal names that section. The
+    // cooperative section table ends with the ledger.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    let err = SessionCheckpoint::from_bytes(&flipped).expect_err("damaged CRC must be rejected");
+    assert_eq!(
+        err,
+        CheckpointError::CrcMismatch {
+            section: "ledger".to_string()
+        }
+    );
+
+    // The session the checkpoint came from is untouched by all of the above.
+    assert!(session.at_checkpoint_boundary());
+    session.run_until_committed(150).expect("still runs");
+}
+
+/// A minimal SoC with a different shape than Fig. 2 — its wrapper state
+/// vectors have different widths, so a Fig. 2 checkpoint cannot restore into
+/// it.
+fn tiny_soc() -> SocBlueprint {
+    use predpkt_ahb::masters::{CpuMaster, CpuProfile};
+    use predpkt_ahb::slaves::MemorySlave;
+    SocBlueprint::new()
+        .master(Side::Simulator, || {
+            Box::new(CpuMaster::new(0x5eed, CpuProfile::default()))
+        })
+        .slave(Side::Accelerator, 0x0000_0000, 0x1000, || {
+            Box::new(MemorySlave::new(0x1000, 0))
+        })
+}
+
+/// A checkpoint restored into a session of the wrong shape fails with a typed
+/// error naming the component, poisons the session (stepping refuses with
+/// `StatePoisoned` instead of running on half-restored state), and a
+/// well-shaped restore heals it.
+#[test]
+fn shape_mismatch_poisons_until_a_good_restore() {
+    let workload = workload_for(ModePolicy::Auto);
+    let mut donor = build_session(TransportSelect::Queue, &workload);
+    donor.run_until_committed(100).expect("donor run completes");
+    let foreign = donor.checkpoint().expect("donor checkpoint");
+
+    let mut victim = EmuSession::from_blueprint(&tiny_soc())
+        .config(workload_config(&workload))
+        .build()
+        .expect("tiny session builds");
+    victim.run_until_committed(50).expect("victim runs clean");
+    let own = victim.checkpoint().expect("victim checkpoint");
+
+    let err = victim
+        .restore(&foreign)
+        .expect_err("wrong-shape restore must fail");
+    let section = match &err {
+        CheckpointError::Snapshot { section, .. } => section.clone(),
+        other => panic!("expected a component-naming snapshot error, got {other:?}"),
+    };
+    assert!(
+        !section.is_empty(),
+        "the failure names the component that rejected its words"
+    );
+
+    // Half-restored state must not run.
+    let step = victim
+        .run_until_committed(60)
+        .expect_err("poisoned session refuses to step");
+    assert!(
+        matches!(step, SimError::StatePoisoned(_)),
+        "got {step:?} instead of StatePoisoned"
+    );
+    // And must not checkpoint (the cut would capture the inconsistency).
+    assert!(matches!(
+        victim.checkpoint(),
+        Err(CheckpointError::Poisoned(_))
+    ));
+
+    // A successful restore of its own checkpoint heals the session.
+    victim.restore(&own).expect("well-shaped restore heals");
+    victim.run_until_committed(60).expect("healed session runs");
+}
+
+/// Backends serialize different channel word streams, so a checkpoint only
+/// restores into a session running the same backend — rejected up front,
+/// before any state is touched.
+#[test]
+fn backend_mismatch_is_rejected_before_any_state_changes() {
+    let workload = workload_for(ModePolicy::Auto);
+    let mut queue = build_session(TransportSelect::Queue, &workload);
+    queue.run_until_committed(100).expect("queue run completes");
+    let ckpt = queue.checkpoint().expect("queue checkpoint");
+
+    let mut reliable = build_session(TransportSelect::reliable(ReliableInner::Queue), &workload);
+    reliable.run_until_committed(40).expect("reliable run");
+    let before = reliable.committed_cycles();
+    let err = reliable
+        .restore(&ckpt)
+        .expect_err("cross-backend restore must fail");
+    assert_eq!(
+        err,
+        CheckpointError::BackendMismatch {
+            expected: "reliable+queue".to_string(),
+            found: "queue".to_string()
+        }
+    );
+    assert_eq!(
+        reliable.committed_cycles(),
+        before,
+        "the rejected restore touched nothing"
+    );
+    reliable
+        .run_until_committed(80)
+        .expect("session still runs");
+}
+
+/// The sliced runner's opt-in auto-checkpoint: after slices that cross a
+/// committed boundary, the latest cut is stashed for harvest — the farm's
+/// eviction path rides on exactly this.
+#[test]
+fn sliced_auto_checkpoint_stashes_the_latest_boundary() {
+    let workload = workload_for(ModePolicy::Auto);
+    let mut sliced = build_session(TransportSelect::Queue, &workload).into_sliced(200);
+    assert!(!sliced.auto_checkpoint(), "off by default");
+    sliced.set_auto_checkpoint(true);
+    loop {
+        match sliced.run_slice(64).expect("slice runs") {
+            SliceStatus::Done => break,
+            SliceStatus::Working | SliceStatus::Idle => continue,
+        }
+    }
+    let ckpt = sliced
+        .take_latest_checkpoint()
+        .expect("auto-checkpoint stashed a cut");
+    assert_eq!(ckpt.committed_cycles(), sliced.committed_cycles());
+    assert!(
+        sliced.take_latest_checkpoint().is_none(),
+        "take hands the stash over exactly once"
+    );
+
+    // The stashed cut restores like any other.
+    let mut fresh = build_session(TransportSelect::Queue, &workload);
+    fresh.restore(&ckpt).expect("stashed cut restores");
+    assert_eq!(fresh.committed_cycles(), ckpt.committed_cycles());
+}
+
+/// A checkpoint mid-transition is refused: the cut is only defined at a
+/// committed boundary.
+#[test]
+fn checkpoint_off_boundary_is_refused() {
+    let workload = workload_for(ModePolicy::Auto);
+    let mut sliced = build_session(TransportSelect::Queue, &workload).into_sliced(500);
+    // Step one scheduling round at a time until the session leaves the
+    // boundary mid-transition, then demand a checkpoint.
+    for _ in 0..10_000 {
+        if !sliced.session().at_checkpoint_boundary() {
+            let err = sliced.checkpoint().expect_err("mid-transition cut refused");
+            assert_eq!(err, CheckpointError::NotAtBoundary);
+            return;
+        }
+        if matches!(sliced.run_slice(1).expect("slice runs"), SliceStatus::Done) {
+            break;
+        }
+    }
+    panic!("the run never left a checkpoint boundary mid-transition");
+}

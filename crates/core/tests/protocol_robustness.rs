@@ -68,6 +68,9 @@ impl DomainModel for MiniModel {
     fn trace(&self) -> &Trace {
         &self.trace
     }
+    fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
     fn trace_mark(&self) -> TraceMark {
         self.trace.mark()
     }
@@ -172,6 +175,9 @@ fn width_mismatch_fails_the_handshake() {
         }
         fn trace(&self) -> &Trace {
             self.0.trace()
+        }
+        fn trace_mut(&mut self) -> &mut Trace {
+            self.0.trace_mut()
         }
         fn trace_mark(&self) -> TraceMark {
             self.0.trace_mark()

@@ -20,6 +20,7 @@ pub struct FarmConfig {
     pub(crate) deadlock_timeout: Duration,
     pub(crate) keep_sessions: bool,
     pub(crate) start_paused: bool,
+    pub(crate) checkpoint_evictions: bool,
 }
 
 impl Default for FarmConfig {
@@ -32,6 +33,7 @@ impl Default for FarmConfig {
             deadlock_timeout: Duration::from_secs(5),
             keep_sessions: false,
             start_paused: false,
+            checkpoint_evictions: false,
         }
     }
 }
@@ -89,6 +91,19 @@ impl FarmConfig {
     /// [`join`](crate::SessionFarm::join).
     pub fn keep_sessions(mut self, keep: bool) -> Self {
         self.keep_sessions = keep;
+        self
+    }
+
+    /// Checkpoint sessions at each committed boundary they pass, so that an
+    /// eviction carries the last consistent cut out in
+    /// [`SessionOutcome::Evicted`](crate::SessionOutcome::Evicted) instead of
+    /// dropping the session's progress. The checkpoint can be re-admitted to
+    /// this farm (or migrated to another host) via
+    /// [`EmuSession::restore`](predpkt_core::EmuSession::restore). Off by
+    /// default: each checkpoint copies the session's full state, which is
+    /// wasted work for farms that treat wedged sessions as disposable.
+    pub fn checkpoint_evictions(mut self, enabled: bool) -> Self {
+        self.checkpoint_evictions = enabled;
         self
     }
 

@@ -15,7 +15,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use predpkt_channel::{PollReady, PollSet, Readiness};
-use predpkt_core::{DomainModel, SessionError, SliceStatus, SlicedSession};
+use predpkt_core::{DomainModel, SessionCheckpoint, SessionError, SliceStatus, SlicedSession};
 
 use crate::config::{FarmConfig, FarmError};
 use crate::stats::{percentile, FarmReport, FarmResult, FarmStats, SessionOutcome};
@@ -249,7 +249,7 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
                 SessionOutcome::Failed(_) => stats.failed += 1,
                 SessionOutcome::BuildFailed(_) => stats.build_failed += 1,
                 SessionOutcome::Panicked(_) => stats.panicked += 1,
-                SessionOutcome::Evicted => stats.evicted += 1,
+                SessionOutcome::Evicted { .. } => stats.evicted += 1,
                 SessionOutcome::Cancelled => stats.cancelled += 1,
             }
         }
@@ -310,7 +310,7 @@ fn worker_loop<M: DomainModel + Send + 'static>(shared: &Shared<M>) {
             }
             drop(state);
             let slice_start = Instant::now();
-            let turn = run_turn(job, shared.cfg.slice_steps);
+            let turn = run_turn(job, &shared.cfg);
             let busy = slice_start.elapsed().as_nanos() as u64;
             let mut state = shared.state.lock().unwrap();
             state.busy_ns += busy;
@@ -353,7 +353,7 @@ fn worker_loop<M: DomainModel + Send + 'static>(shared: &Shared<M>) {
 /// One scheduling turn for one job, run outside the farm lock. Panics in the
 /// build closure or the slice are contained here: the worker reports them as
 /// a [`SessionOutcome::Panicked`] result and keeps serving other sessions.
-fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, slice_steps: u32) -> Turn<M> {
+fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> Turn<M> {
     let Job {
         id,
         submitted,
@@ -381,7 +381,12 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, slice_steps: u32) -> T
             }
         },
     };
-    match catch_unwind(AssertUnwindSafe(|| session.run_slice(slice_steps))) {
+    if cfg.checkpoint_evictions {
+        // Stash a checkpoint at each committed boundary so an eviction can
+        // hand the last consistent cut back instead of dropping the work.
+        session.set_auto_checkpoint(true);
+    }
+    match catch_unwind(AssertUnwindSafe(|| session.run_slice(cfg.slice_steps))) {
         Ok(Ok(SliceStatus::Done)) => Turn::Finished {
             id,
             submitted,
@@ -461,11 +466,13 @@ fn poll_parked<M: DomainModel + Send + 'static>(
             state.runnable.push_back(p.job);
         }
     }
-    for p in expired {
+    for mut p in expired {
         let outcome = if state.cancelled.remove(&p.job.id) {
             SessionOutcome::Cancelled
         } else {
-            SessionOutcome::Evicted
+            SessionOutcome::Evicted {
+                checkpoint: take_checkpoint(&mut p),
+            }
         };
         resolve_parked(shared, &mut state, p, outcome);
     }
@@ -474,6 +481,18 @@ fn poll_parked<M: DomainModel + Send + 'static>(
     }
     drop(state);
     shared.work.notify_all();
+}
+
+/// Pulls the evicted session's last boundary checkpoint (stashed by the
+/// auto-checkpoint hook when [`FarmConfig::checkpoint_evictions`] is on; the
+/// session itself may still be wedged mid-burst past that boundary).
+fn take_checkpoint<M: DomainModel + Send + 'static>(
+    p: &mut Parked<M>,
+) -> Option<Box<SessionCheckpoint>> {
+    match &mut p.job.state {
+        JobState::Built(s) => s.take_latest_checkpoint(),
+        JobState::Unbuilt(_) => None,
+    }
 }
 
 fn resolve_parked<M: DomainModel + Send + 'static>(

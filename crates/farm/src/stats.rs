@@ -24,8 +24,17 @@ pub enum SessionOutcome {
     Panicked(String),
     /// The session sat parked past the farm's deadlock window without its
     /// endpoints ever turning actionable — a wedged peer, from the farm's
-    /// point of view — and was dropped to keep the pool healthy.
-    Evicted,
+    /// point of view — and was removed to keep the pool healthy.
+    Evicted {
+        /// The session's last boundary checkpoint, when the farm was
+        /// configured with
+        /// [`checkpoint_evictions`](crate::FarmConfig::checkpoint_evictions)
+        /// and the session reached at least one committed boundary before
+        /// wedging. Re-admitting it elsewhere via
+        /// [`EmuSession::restore`](predpkt_core::EmuSession::restore) resumes
+        /// the run from that boundary instead of losing the work.
+        checkpoint: Option<Box<predpkt_core::SessionCheckpoint>>,
+    },
     /// The session was cancelled via [`cancel`](crate::SessionFarm::cancel)
     /// before it completed.
     Cancelled,
@@ -45,7 +54,14 @@ impl fmt::Display for SessionOutcome {
             SessionOutcome::Failed(e) => write!(f, "failed: {e}"),
             SessionOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
             SessionOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
-            SessionOutcome::Evicted => write!(f, "evicted (parked past deadlock window)"),
+            SessionOutcome::Evicted { checkpoint } => match checkpoint {
+                Some(c) => write!(
+                    f,
+                    "evicted (parked past deadlock window; checkpoint at cycle {})",
+                    c.committed_cycles()
+                ),
+                None => write!(f, "evicted (parked past deadlock window)"),
+            },
             SessionOutcome::Cancelled => write!(f, "cancelled"),
         }
     }

@@ -262,7 +262,7 @@ fn wedged_peer_is_evicted_and_does_not_stall_the_pool() {
     let report = farm.join();
     let wedged_result = report.result(wedged).expect("wedged session reported");
     assert!(
-        matches!(wedged_result.outcome, SessionOutcome::Evicted),
+        matches!(wedged_result.outcome, SessionOutcome::Evicted { .. }),
         "wedged session should be evicted, ended {}",
         wedged_result.outcome
     );
@@ -458,4 +458,77 @@ fn churn_keeps_fds_and_threads_bounded() {
         fds_after <= fds_before + 8,
         "descriptor churn leaked: {fds_before} -> {fds_after}"
     );
+}
+
+/// Checkpoint-carrying eviction, end to end: a session that commits a clean
+/// prefix and then wedges (a rare seeded drop on the plain socket path —
+/// no reliability layer, so the first lost frame is fatal) is evicted
+/// *with* its last consistent cut. Restoring that cut into a clean twin
+/// and running to the target commits exactly what a straight clean run
+/// commits — the evicted work is carried forward, not lost.
+#[test]
+fn eviction_checkpoint_readmits_into_a_twin() {
+    const SEED: u64 = 3;
+    // Chosen so the first seeded drop lands mid-run: the session wedges
+    // with a clean committed prefix behind it (the fault stream is a pure
+    // function of this seed, so the wedge point is stable).
+    const FAULT_SEED: u64 = 10;
+    const DROP_RATE: f64 = 0.02;
+
+    let farm: SessionFarm<AhbDomainModel> = SessionFarm::new(
+        FarmConfig::new()
+            .workers(1)
+            .slice_steps(8)
+            .park_slice(Duration::from_micros(200))
+            .deadlock_timeout(Duration::from_millis(300))
+            .checkpoint_evictions(true),
+    )
+    .expect("farm builds");
+    let id = farm
+        .submit(move || {
+            Ok(EmuSession::from_blueprint(&figure2_soc(SEED))
+                .config(config())
+                .transport(TransportSelect::Tcp(
+                    TcpOptions::default()
+                        .threaded(snappy())
+                        .fault(FaultSpec::drops(FAULT_SEED, DROP_RATE)),
+                ))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("admitted");
+    let report = farm.join();
+    let result = report.result(id).expect("reported");
+    let SessionOutcome::Evicted {
+        checkpoint: Some(ckpt),
+    } = &result.outcome
+    else {
+        panic!(
+            "expected a checkpoint-carrying eviction, got {}",
+            result.outcome
+        );
+    };
+    assert!(
+        ckpt.committed_cycles() > 0 && ckpt.committed_cycles() < CYCLES,
+        "the wedge must land mid-run for this test to mean anything \
+         (committed {} of {CYCLES}); retune the fault seed/rate",
+        ckpt.committed_cycles()
+    );
+    assert_eq!(report.stats.evicted, 1);
+
+    // Re-admit the cut into a clean twin on the same (fault-free) backend.
+    // Everything the wedged run committed before its first drop was clean,
+    // so the twin must land exactly on the straight-through baseline.
+    let mut twin = EmuSession::from_blueprint(&figure2_soc(SEED))
+        .config(config())
+        .transport(TransportSelect::Tcp(
+            TcpOptions::default().threaded(snappy()),
+        ))
+        .build()
+        .expect("twin builds");
+    twin.restore(ckpt.as_ref())
+        .expect("checkpoint restores into the twin");
+    assert_eq!(twin.committed_cycles(), ckpt.committed_cycles());
+    twin.run_until_committed(CYCLES).expect("twin completes");
+    assert_eq!(observe(&twin, SEED), direct_baseline(SEED));
 }

@@ -30,6 +30,10 @@ pub enum SimError {
         /// Committed cycle at which recovery was abandoned.
         cycle: u64,
     },
+    /// A previous restore failed and left this component's state unusable;
+    /// every further step is refused so a half-restored run can never
+    /// silently diverge. Carries the [`SnapshotError`] that poisoned it.
+    StatePoisoned(SnapshotError),
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +52,9 @@ impl fmt::Display for SimError {
                 "reliable channel gave up at cycle {cycle}: frame seq {seq} abandoned \
                  after {retries} retransmissions (fault seed {seed})"
             ),
+            SimError::StatePoisoned(e) => {
+                write!(f, "state poisoned by an earlier failed restore: {e}")
+            }
         }
     }
 }
@@ -56,6 +63,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Snapshot(e) => Some(e),
+            SimError::StatePoisoned(e) => Some(e),
             _ => None,
         }
     }

@@ -17,9 +17,17 @@ use std::fmt;
 ///
 /// Produced by [`Snapshot::save`] via [`StateWriter`]; consumed by
 /// [`Snapshot::restore`] via [`StateReader`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Alongside the words it carries an optional table of *labeled sections*
+/// (component name → starting word offset), written by
+/// [`StateWriter::section`]. Sections are pure bookkeeping: they do not add
+/// words, so [`len`](Self::len) — the rollback-variable count that drives the
+/// store/restore cost model — is unaffected, and two state vectors compare
+/// equal iff their **words** are equal.
+#[derive(Debug, Clone, Default)]
 pub struct StateVec {
     words: Vec<u64>,
+    sections: Vec<(&'static str, usize)>,
 }
 
 impl StateVec {
@@ -42,11 +50,39 @@ impl StateVec {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// The labeled sections, as `(name, starting word offset)` pairs in
+    /// ascending offset order.
+    pub fn sections(&self) -> &[(&'static str, usize)] {
+        &self.sections
+    }
+
+    /// The name of the section covering word `at`, if any (the last section
+    /// starting at or before `at`).
+    pub fn section_at(&self, at: usize) -> Option<&'static str> {
+        self.sections
+            .iter()
+            .rev()
+            .find(|(_, start)| *start <= at)
+            .map(|(name, _)| *name)
+    }
 }
+
+impl PartialEq for StateVec {
+    /// Word-for-word equality; section labels are diagnostics, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for StateVec {}
 
 impl From<Vec<u64>> for StateVec {
     fn from(words: Vec<u64>) -> Self {
-        StateVec { words }
+        StateVec {
+            words,
+            sections: Vec::new(),
+        }
     }
 }
 
@@ -100,12 +136,28 @@ impl<'a> StateWriter<'a> {
         }
         self
     }
+
+    /// Opens a labeled section starting at the current word offset. Costs no
+    /// words — it only records `(name, offset)` in the [`StateVec`]'s section
+    /// table, so a restore failure anywhere past this point (until the next
+    /// section) is reported against `name` instead of a bare word index.
+    pub fn section(&mut self, name: &'static str) -> &mut Self {
+        self.out.sections.push((name, self.out.words.len()));
+        self
+    }
 }
 
 /// Pop-side cursor for consuming a [`StateVec`].
+///
+/// When the state vector carries [labeled sections](StateWriter::section),
+/// every error this reader produces is wrapped in
+/// [`SnapshotError::InSection`], naming the component whose words failed —
+/// the difference between "corrupt at word 3127" and "corrupt in
+/// `acc.model` at offset 12".
 #[derive(Debug)]
 pub struct StateReader<'a> {
     words: &'a [u64],
+    sections: &'a [(&'static str, usize)],
     pos: usize,
 }
 
@@ -114,7 +166,21 @@ impl<'a> StateReader<'a> {
     pub fn new(state: &'a StateVec) -> Self {
         StateReader {
             words: &state.words,
+            sections: &state.sections,
             pos: 0,
+        }
+    }
+
+    /// Wraps `err` (anchored at absolute word `at`) with the covering
+    /// section's label, if any.
+    fn label(&self, at: usize, err: SnapshotError) -> SnapshotError {
+        match self.sections.iter().rev().find(|(_, start)| *start <= at) {
+            Some((name, start)) => SnapshotError::InSection {
+                section: name,
+                offset: at - start,
+                source: Box::new(err),
+            },
+            None => err,
         }
     }
 
@@ -128,7 +194,7 @@ impl<'a> StateReader<'a> {
             .words
             .get(self.pos)
             .copied()
-            .ok_or(SnapshotError::Exhausted { at: self.pos })?;
+            .ok_or_else(|| self.label(self.pos, SnapshotError::Exhausted { at: self.pos }))?;
         self.pos += 1;
         Ok(w)
     }
@@ -141,7 +207,8 @@ impl<'a> StateReader<'a> {
     /// [`SnapshotError::Corrupt`] if the word does not fit.
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
         let w = self.word()?;
-        u32::try_from(w).map_err(|_| SnapshotError::Corrupt { at: self.pos - 1 })
+        u32::try_from(w)
+            .map_err(|_| self.label(self.pos - 1, SnapshotError::Corrupt { at: self.pos - 1 }))
     }
 
     /// Reads a `usize`.
@@ -151,7 +218,8 @@ impl<'a> StateReader<'a> {
     /// Same conditions as [`StateReader::u32`].
     pub fn usize(&mut self) -> Result<usize, SnapshotError> {
         let w = self.word()?;
-        usize::try_from(w).map_err(|_| SnapshotError::Corrupt { at: self.pos - 1 })
+        usize::try_from(w)
+            .map_err(|_| self.label(self.pos - 1, SnapshotError::Corrupt { at: self.pos - 1 }))
     }
 
     /// Reads a `bool`.
@@ -163,7 +231,7 @@ impl<'a> StateReader<'a> {
         match self.word()? {
             0 => Ok(false),
             1 => Ok(true),
-            _ => Err(SnapshotError::Corrupt { at: self.pos - 1 }),
+            _ => Err(self.label(self.pos - 1, SnapshotError::Corrupt { at: self.pos - 1 })),
         }
     }
 
@@ -187,6 +255,18 @@ impl<'a> StateReader<'a> {
         (0..n).map(|_| self.u32()).collect()
     }
 
+    /// The absolute index of the next word to be read.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Builds a section-labeled [`SnapshotError::Corrupt`] anchored at
+    /// absolute word `at` — for components whose domain validation (tag
+    /// decode, enum range) goes beyond what the typed readers check.
+    pub fn corrupt_at(&self, at: usize) -> SnapshotError {
+        self.label(at, SnapshotError::Corrupt { at })
+    }
+
     /// Asserts the snapshot was fully consumed.
     ///
     /// # Errors
@@ -196,9 +276,12 @@ impl<'a> StateReader<'a> {
         if self.pos == self.words.len() {
             Ok(())
         } else {
-            Err(SnapshotError::TrailingWords {
-                remaining: self.words.len() - self.pos,
-            })
+            Err(self.label(
+                self.pos,
+                SnapshotError::TrailingWords {
+                    remaining: self.words.len() - self.pos,
+                },
+            ))
         }
     }
 }
@@ -221,6 +304,28 @@ pub enum SnapshotError {
         /// Number of words left unread.
         remaining: usize,
     },
+    /// A failure inside a [labeled section](StateWriter::section): the
+    /// component whose words failed, the offset *within* that component, and
+    /// the underlying error (whose indices stay absolute).
+    InSection {
+        /// Name of the labeled section (component) covering the failure.
+        section: &'static str,
+        /// Word offset of the failure relative to the section start.
+        offset: usize,
+        /// The underlying failure.
+        source: Box<SnapshotError>,
+    },
+}
+
+impl SnapshotError {
+    /// The labeled section (component name) the failure occurred in, if the
+    /// state vector carried section labels.
+    pub fn section(&self) -> Option<&'static str> {
+        match self {
+            SnapshotError::InSection { section, .. } => Some(section),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SnapshotError {
@@ -231,16 +336,29 @@ impl fmt::Display for SnapshotError {
             SnapshotError::TrailingWords { remaining } => {
                 write!(f, "snapshot has {remaining} trailing words")
             }
+            SnapshotError::InSection {
+                section,
+                offset,
+                source,
+            } => write!(f, "in component `{section}` (offset {offset}): {source}"),
         }
     }
 }
 
-impl Error for SnapshotError {}
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::InSection { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A component whose state can be checkpointed and restored bit-exactly.
 ///
 /// The round-trip law `restore(save(x)); save(x) == save(x)` is enforced by
-/// property tests across every component in the workspace.
+/// the shared seeded harness in `crates/core/tests/snapshot_roundtrip.rs`,
+/// which sweeps every `Snapshot` implementation in the workspace.
 pub trait Snapshot {
     /// Serializes the complete dynamic state into `w`.
     fn save(&self, w: &mut StateWriter<'_>);
@@ -250,8 +368,11 @@ pub trait Snapshot {
     /// # Errors
     ///
     /// Returns a [`SnapshotError`] if the reader underruns or a word fails
-    /// validation; the component may be left partially restored and must not be
-    /// used afterwards.
+    /// validation. On error the component may be left partially restored:
+    /// callers that keep the component alive **must** quarantine it (the
+    /// protocol engine poisons its wrapper, so every later step fails with
+    /// [`SimError::StatePoisoned`](crate::SimError) instead of silently
+    /// diverging).
     fn restore(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError>;
 }
 
@@ -381,6 +502,58 @@ mod tests {
             SnapshotError::TrailingWords { remaining: 2 }.to_string(),
             "snapshot has 2 trailing words"
         );
+    }
+
+    #[test]
+    fn sections_cost_no_words_and_label_errors() {
+        let mut state = StateVec::new();
+        let mut w = StateWriter::new(&mut state);
+        w.section("alpha").u32(1).u32(2).section("beta").bool(true);
+        assert_eq!(state.len(), 3, "section labels must not add words");
+        assert_eq!(state.sections(), &[("alpha", 0), ("beta", 2)]);
+        assert_eq!(state.section_at(0), Some("alpha"));
+        assert_eq!(state.section_at(2), Some("beta"));
+
+        // Corrupt beta's word: the error names the component.
+        state.words[2] = 7; // not a valid bool
+        let mut r = StateReader::new(&state);
+        r.u32().unwrap();
+        r.u32().unwrap();
+        let err = r.bool().unwrap_err();
+        assert_eq!(err.section(), Some("beta"));
+        match &err {
+            SnapshotError::InSection {
+                section,
+                offset,
+                source,
+            } => {
+                assert_eq!(*section, "beta");
+                assert_eq!(*offset, 0);
+                assert_eq!(**source, SnapshotError::Corrupt { at: 2 });
+            }
+            other => panic!("expected InSection, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("beta"), "{text}");
+        assert!(text.contains("corrupt at word 2"), "{text}");
+    }
+
+    #[test]
+    fn section_labels_do_not_affect_equality() {
+        let mut labeled = StateVec::new();
+        StateWriter::new(&mut labeled).section("x").u32(5);
+        let plain = StateVec::from(vec![5]);
+        assert_eq!(labeled, plain);
+    }
+
+    #[test]
+    fn exhaustion_past_last_section_is_labeled() {
+        let mut state = StateVec::new();
+        StateWriter::new(&mut state).section("tail").u32(1);
+        let mut r = StateReader::new(&state);
+        r.u32().unwrap();
+        let err = r.word().unwrap_err();
+        assert_eq!(err.section(), Some("tail"));
     }
 
     #[test]

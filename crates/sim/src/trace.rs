@@ -144,6 +144,29 @@ impl fmt::Display for Trace {
     }
 }
 
+/// Whole-trace serialization for session checkpoints. The committed trace is
+/// deliberately *outside* every [`DomainModel`-level](crate::Snapshot)
+/// snapshot (rollback truncates it with marks instead), so a whole-session
+/// checkpoint captures it through this impl.
+impl crate::Snapshot for Trace {
+    fn save(&self, w: &mut crate::StateWriter<'_>) {
+        w.usize(self.records.len());
+        for rec in &self.records {
+            w.slice(rec);
+        }
+    }
+
+    fn restore(&mut self, r: &mut crate::StateReader<'_>) -> Result<(), crate::SnapshotError> {
+        let n = r.usize()?;
+        let mut records = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            records.push(r.slice()?);
+        }
+        self.records = records;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,6 +156,10 @@ impl DomainModel for SyntheticModel {
         &self.trace
     }
 
+    fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
     fn trace_mark(&self) -> TraceMark {
         self.trace.mark()
     }
@@ -299,6 +303,42 @@ mod tests {
             assert_ne!(next, v, "p=0 must change every cycle");
             v = next;
         }
+    }
+
+    /// The workspace-wide snapshot round-trip law (the shared harness lives
+    /// in `predpkt-core`'s `snapshot_roundtrip` suite; this crate sits above
+    /// core in the dependency order, so its one impl is checked here): save a
+    /// seeded instance, restore into a fresh one, save again — a fixed point;
+    /// truncated words are rejected and the rejection is recoverable.
+    #[test]
+    fn snapshot_roundtrip_law() {
+        use predpkt_sim::{restore_from_vec, save_to_vec, StateVec};
+        let (mut sim, mut acc) = SyntheticSoc::als(0.7, 0x5eed).build();
+        for _ in 0..48 {
+            let sim_out = sim.local_outputs();
+            let acc_out = acc.local_outputs();
+            sim.tick(&acc_out, TickKind::Actual);
+            acc.tick(&sim_out, TickKind::Actual);
+        }
+
+        let saved = save_to_vec(&sim);
+        let mut fresh = SyntheticSoc::als(0.7, 0x5eed).build().0;
+        restore_from_vec(&mut fresh, &saved).expect("restore into a fresh instance");
+        assert_eq!(
+            saved,
+            save_to_vec(&fresh),
+            "save → restore → save fixed point"
+        );
+        // The trace is excluded by the rollback-cut convention; states match
+        // once it is handed over, and the restored replica evolves the same
+        // stream (it is a pure function of seed and the restored cycle).
+        *fresh.trace_mut() = sim.trace().clone();
+        assert_eq!(sim, fresh);
+
+        let truncated = StateVec::from(saved.words()[..saved.len() - 1].to_vec());
+        restore_from_vec(&mut fresh, &truncated).expect_err("truncated words rejected");
+        restore_from_vec(&mut fresh, &saved).expect("recoverable after rejection");
+        assert_eq!(saved, save_to_vec(&fresh), "recovery restore lost state");
     }
 
     #[test]

@@ -34,8 +34,10 @@ code change), so a single-sample, single-baseline gate would flake:
 Gated figures: per-backend ``wall_us`` in ``tcp_loopback``/``shm_loopback``
 (matched by backend name — adding or removing a backend never trips the
 gate), the ``session_farm`` throughput row (``sessions_per_sec`` must not
-drop, ``p99_us`` must not blow up), and per-mesh-shape ``wall_us`` in
-``fabric_sweep`` (the N-domain fabric runs). ``recovery_sweep`` rows are
+drop, ``p99_us`` must not blow up), per-mesh-shape ``wall_us`` in
+``fabric_sweep`` (the N-domain fabric runs), and per-backend ``blob_bytes``
+in ``checkpoint_cost`` (deterministic for a fixed cycle count — the gate
+catches silent checkpoint-format bloat). ``recovery_sweep`` rows are
 virtual-model outputs (bit-stable by construction) and are listed for
 context only. Writes a markdown delta table to ``$GITHUB_STEP_SUMMARY``
 when set.
@@ -74,6 +76,10 @@ GATED = {
         ("p99_us", 0.60, LOWER_IS_BETTER),
     ],
     "BENCH_fabric_sweep.json": [("wall_us", 0.50, LOWER_IS_BETTER)],
+    # blob_bytes is bit-deterministic for a fixed cycle count, so the gate is
+    # really "the checkpoint format didn't silently bloat"; wall costs stay
+    # context-only (microsecond-scale figures are all runner noise).
+    "BENCH_checkpoint_cost.json": [("blob_bytes", 0.25, LOWER_IS_BETTER)],
 }
 CONTEXT_ONLY = ["BENCH_recovery_sweep.json"]
 HISTORY_KEEP = 5
