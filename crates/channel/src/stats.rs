@@ -42,6 +42,16 @@ impl ChannelStats {
         self.time[i] += cost;
     }
 
+    /// Records `words` of *piggybacked* payload costing `cost` — control
+    /// words riding an access that is already being billed (e.g. adaptive
+    /// strategy epochs appended to a burst flush). Words and time accrue,
+    /// the access count does not.
+    pub fn record_piggyback(&mut self, direction: Direction, words: u64, cost: VirtualTime) {
+        let i = direction.index();
+        self.words[i] += words;
+        self.time[i] += cost;
+    }
+
     /// Accesses performed in `direction`.
     pub fn accesses(&self, direction: Direction) -> u64 {
         self.accesses[direction.index()]
@@ -163,6 +173,16 @@ mod tests {
         assert_eq!(s.total_words(), 35);
         assert_eq!(s.total_time(), VirtualTime::from_nanos(350));
         assert!((s.mean_words_per_access().unwrap() - 35.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piggyback_accrues_words_and_time_only() {
+        let mut s = ChannelStats::new();
+        s.record(Direction::SimToAcc, 10, VirtualTime::from_nanos(100));
+        s.record_piggyback(Direction::SimToAcc, 3, VirtualTime::from_nanos(30));
+        assert_eq!(s.accesses(Direction::SimToAcc), 1);
+        assert_eq!(s.words(Direction::SimToAcc), 13);
+        assert_eq!(s.time(Direction::SimToAcc), VirtualTime::from_nanos(130));
     }
 
     #[test]

@@ -290,6 +290,18 @@ impl<T: Transport> CostedChannel<T> {
         cost
     }
 
+    /// Bills `words` of control payload piggybacked on an access already
+    /// sent from `from` (e.g. adaptive-suite strategy epochs riding a burst
+    /// flush). No packet moves and no access is counted: the words are
+    /// charged at the per-word rate only, and the returned cost is what the
+    /// caller should add to its virtual-time ledger.
+    pub fn bill_control(&mut self, from: Side, words: u64) -> VirtualTime {
+        let direction = from.outbound();
+        let cost = self.cost_model.per_word(direction) * words;
+        self.stats.record_piggyback(direction, words, cost);
+        cost
+    }
+
     /// Receives the next packet addressed to `to`, if any. Parked sends are
     /// flushed first, so a send-then-poll caller cannot deadlock its peer.
     ///
@@ -429,6 +441,22 @@ mod tests {
         assert_eq!(ch.stats().accesses(Direction::SimToAcc), 1);
         assert_eq!(ch.stats().words(Direction::SimToAcc), 5);
         assert_eq!(ch.stats().time(Direction::SimToAcc), cost);
+    }
+
+    #[test]
+    fn bill_control_adds_words_and_time_but_no_access() {
+        let mut ch = CostedChannel::new(ChannelCostModel::iprove_pci());
+        ch.send(Side::Simulator, pkt(4)); // 5 wire words, 1 access
+        let before_words = ch.stats().words(Direction::SimToAcc);
+        let cost = ch.bill_control(Side::Simulator, 3);
+        assert_eq!(
+            cost,
+            ChannelCostModel::iprove_pci().per_word(Direction::SimToAcc) * 3
+        );
+        assert_eq!(ch.stats().accesses(Direction::SimToAcc), 1, "no new access");
+        assert_eq!(ch.stats().words(Direction::SimToAcc), before_words + 3);
+        assert_eq!(ch.recv(Side::Accelerator).unwrap().payload().len(), 4);
+        assert_eq!(ch.recv(Side::Accelerator), None, "no packet was created");
     }
 
     #[test]

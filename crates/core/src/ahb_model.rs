@@ -366,6 +366,17 @@ impl DomainModel for AhbDomainModel {
         out
     }
 
+    fn take_control_words(&mut self) -> u64 {
+        let mut words = 0u64;
+        for p in self.m_pred.iter_mut().flatten() {
+            words += p.take_control_words() as u64;
+        }
+        for p in self.s_pred.iter_mut().flatten() {
+            words += p.take_control_words() as u64;
+        }
+        words
+    }
+
     fn tick(&mut self, remote: &[u32], kind: TickKind) {
         self.load_remote(remote);
         let (full_m, full_s) = self.full_vectors();

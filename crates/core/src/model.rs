@@ -66,6 +66,15 @@ pub trait DomainModel: Snapshot {
     /// Advances one cycle given the peer's outputs for that cycle.
     fn tick(&mut self, remote: &[u32], kind: TickKind);
 
+    /// Drains control words the model's predictors owe the channel (e.g.
+    /// adaptive-suite strategy epochs). The wrapper collects these when it
+    /// flushes a burst and bills them through the cost model as piggybacked
+    /// payload, so strategy coordination shows up in traffic accounting.
+    /// Models without billable predictors owe nothing.
+    fn take_control_words(&mut self) -> u64 {
+        0
+    }
+
     /// Lagger-side check: would the leader's prediction `predicted_me` of this
     /// domain's outputs have been adequate for the upcoming cycle — equal in
     /// every *active* signal position (the MSABS projection, §3) — given the

@@ -628,6 +628,13 @@ impl<M: DomainModel> ChannelWrapper<M> {
                     );
                     self.stats.flushes += 1;
                     self.stats.bump(PaperPath::S);
+                    // Strategy-coordination words (adaptive suites) piggyback
+                    // on the burst just sent: bill them per-word, no access.
+                    let control = self.model.take_control_words();
+                    if control > 0 {
+                        let cost = channel.bill_control(self.side, control);
+                        ledger.charge(CostCategory::Channel, cost);
+                    }
                     self.phase = Phase::LeadAwaitReport;
                     return Ok(Progress::Worked);
                 }

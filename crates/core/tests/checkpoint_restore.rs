@@ -105,6 +105,48 @@ fn restore_then_run_matches_straight_through_on_every_backend() {
     }
 }
 
+/// Adaptive predictor state is part of the cut: a session racing candidate
+/// strategies — scoreboards, shadow candidates, learned context tables, and
+/// any un-billed switch words — checkpoints mid-run and restores into a
+/// fresh session bit-identically to never having stopped. A restored twin
+/// that re-learned from scratch (or forgot a pending switch bill) would
+/// diverge in channel statistics even though rollback keeps traces equal, so
+/// the full `Observed` comparison is the meaningful assertion here.
+#[test]
+fn adaptive_suite_checkpoint_restores_predictor_state() {
+    use common::conformance::run_workload_with_suite;
+    use predpkt_predict::AdaptiveSuite;
+
+    let workload = workload_for(ModePolicy::Auto);
+    let blueprint = figure2_soc();
+    let adaptive_session = |workload: &Workload| {
+        EmuSession::from_blueprint(&blueprint)
+            .config(workload_config(workload))
+            .predictors(AdaptiveSuite::default())
+            .build()
+            .expect("session builds")
+    };
+
+    let straight =
+        run_workload_with_suite(TransportSelect::Queue, &workload, AdaptiveSuite::default());
+
+    let mut first = adaptive_session(&workload);
+    first
+        .run_until_committed(workload.cycles / 2)
+        .expect("first half completes");
+    let bytes = first.checkpoint().expect("mid-run checkpoint").to_bytes();
+    drop(first);
+
+    let ckpt = SessionCheckpoint::from_bytes(&bytes).expect("blob round-trips");
+    let mut second = adaptive_session(&workload);
+    second.restore(&ckpt).expect("restore into a fresh session");
+    second
+        .run_until_committed(workload.cycles)
+        .expect("second half completes");
+    let observed = observe(&second, &blueprint);
+    assert_matches_baseline(&workload, "adaptive+checkpoint", &straight, &observed);
+}
+
 /// Mid-run checkpoints under seeded faults: the lossy transport's RNG cursor
 /// and the reliability layer's windows are part of the cut, so the restored
 /// run replays the *same* fault plan and the *same* repairs — recovery

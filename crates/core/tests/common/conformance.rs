@@ -192,10 +192,22 @@ pub fn observe(session: &EmuSession<AhbDomainModel>, blueprint: &SocBlueprint) -
 /// Runs `workload` over `backend` and captures everything the conformance
 /// assertions compare.
 pub fn run_workload(backend: TransportSelect, workload: &Workload) -> Observed {
+    run_workload_with_suite(backend, workload, predpkt_predict::PaperSuite)
+}
+
+/// [`run_workload`], but with an explicit predictor suite — the hook the
+/// suite-conformance tests use to prove that predictor choice (including
+/// mid-run adaptive switching) never changes what a session commits.
+pub fn run_workload_with_suite(
+    backend: TransportSelect,
+    workload: &Workload,
+    suite: impl predpkt_predict::PredictorSuite + 'static,
+) -> Observed {
     let blueprint = figure2_soc();
     let mut session = EmuSession::from_blueprint(&blueprint)
         .config(workload_config(workload))
         .transport(backend)
+        .predictors(suite)
         .build()
         .expect("session builds");
     session

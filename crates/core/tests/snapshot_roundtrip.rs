@@ -25,9 +25,10 @@ use predpkt_channel::{
 };
 use predpkt_core::{CwStats, DomainModel, Side, TickKind};
 use predpkt_predict::{
-    BurstFollower, LastValueMasterPredictor, LastValuePredictor, LastValueSlavePredictor, Lob,
-    LobEntry, MasterPredictor, MasterSignals, PaperMasterPredictor, PaperSlavePredictor,
-    SlavePredictor, SlaveSignals, WaitPredictor,
+    AdaptiveConfig, AdaptiveMasterPredictor, AdaptiveSlavePredictor, BurstFollower,
+    ContextMasterPredictor, ContextSlavePredictor, ContextTable, LastValueMasterPredictor,
+    LastValuePredictor, LastValueSlavePredictor, Lob, LobEntry, MasterPredictor, MasterSignals,
+    PaperMasterPredictor, PaperSlavePredictor, SlavePredictor, SlaveSignals, WaitPredictor,
 };
 use predpkt_sim::{
     restore_from_vec, save_to_vec, CostCategory, Snapshot, SplitMix64, StateVec, TimeLedger, Trace,
@@ -277,6 +278,112 @@ fn predictor_components_roundtrip() {
         "LastValueSlavePredictor",
         &lv_slave,
         &mut LastValueSlavePredictor::new(),
+    );
+}
+
+/// The context/Markov and adaptive predictors: their state vectors carry
+/// learned tables, speculative-timeline cursors, shadow candidates, and the
+/// scoreboard's pending switch billing — all of which must survive the cut.
+#[test]
+fn adaptive_predictor_components_roundtrip() {
+    let mut table = ContextTable::new();
+    let mut rng = SplitMix64::new(0xc0_17ab1e);
+    for i in 0..200u32 {
+        // Mix of reinforced entries (learned to full confidence), contested
+        // slots (conf decay), and one-shot noise.
+        let key = rng.below(96);
+        table.observe(key, (key as u32).wrapping_mul(5) + (i % 7 == 0) as u32);
+    }
+    assert_roundtrip("ContextTable", &table, &mut ContextTable::new());
+
+    // Drive the master through a repeating gapped single-transfer stream so
+    // the phase machine, stride history, and run counters are all mid-flight
+    // at the cut.
+    let mut ctx_master = ContextMasterPredictor::new();
+    for period in 0..5u32 {
+        for cycle in 0..9u32 {
+            let mut sig = MasterSignals::idle();
+            sig.busreq = (2..5).contains(&cycle);
+            if cycle == 4 {
+                sig.addr = 0x100 + period * 0x20;
+                sig.trans = predpkt_predict::Htrans::Nonseq;
+                sig.write = true;
+                sig.wdata = period;
+            }
+            ctx_master.observe(&sig, cycle == 4);
+            ctx_master.predict();
+        }
+    }
+    assert_roundtrip(
+        "ContextMasterPredictor",
+        &ctx_master,
+        &mut ContextMasterPredictor::new(),
+    );
+
+    let mut ctx_slave = ContextSlavePredictor::new();
+    let mut ssig = SlaveSignals::idle();
+    for i in 0..40u32 {
+        ssig.ready = i % 3 != 1;
+        ssig.rdata = i.wrapping_mul(31);
+        ssig.irq = i % 8 == 7;
+        ctx_slave.observe(&ssig, (i % 2 == 0).then_some(i % 4 == 0));
+        ctx_slave.begin_phase(i % 4 == 0);
+        ctx_slave.predict(i % 2 == 0);
+    }
+    assert_roundtrip(
+        "ContextSlavePredictor",
+        &ctx_slave,
+        &mut ContextSlavePredictor::new(),
+    );
+
+    // A twitchy config so the scoreboard actually switches (and banks pending
+    // control words) within the short seeding run.
+    let cfg = AdaptiveConfig {
+        window: 16,
+        margin: 1,
+        cooldown: 2,
+        switch_words: 2,
+    };
+    let mut ad_master = AdaptiveMasterPredictor::new(cfg);
+    for i in 0..48u32 {
+        let mut sig = MasterSignals::idle();
+        sig.busreq = i % 4 < 2;
+        if i % 4 == 1 {
+            sig.addr = 0x40 * (i / 4);
+            sig.trans = predpkt_predict::Htrans::Nonseq;
+        }
+        ad_master.observe(&sig, i % 4 == 1);
+        ad_master.predict();
+    }
+    assert_roundtrip(
+        "AdaptiveMasterPredictor",
+        &ad_master,
+        &mut AdaptiveMasterPredictor::new(cfg),
+    );
+    // Un-drained switch billing is part of the cut: the restored twin must
+    // bill the same words the donor owed.
+    let mut restored = AdaptiveMasterPredictor::new(cfg);
+    restore_from_vec(&mut restored, &save_to_vec(&ad_master)).unwrap();
+    assert_eq!(
+        restored.take_control_words(),
+        ad_master.take_control_words(),
+        "pending switch billing must survive restore"
+    );
+
+    let mut ad_slave = AdaptiveSlavePredictor::new(cfg);
+    let mut ssig = SlaveSignals::idle();
+    for i in 0..48u32 {
+        ssig.ready = i % 5 != 0;
+        ssig.rdata = 0x5a5a_0000 | i;
+        ssig.irq = i % 6 < 3;
+        ad_slave.observe(&ssig, (i % 2 == 0).then_some(i % 8 == 0));
+        ad_slave.begin_phase(i % 8 == 0);
+        ad_slave.predict(i % 2 == 1);
+    }
+    assert_roundtrip(
+        "AdaptiveSlavePredictor",
+        &ad_slave,
+        &mut AdaptiveSlavePredictor::new(cfg),
     );
 }
 

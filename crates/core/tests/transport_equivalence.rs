@@ -17,12 +17,13 @@
 //! observer consistency).
 
 use predpkt_core::{CoEmuConfig, EmuSession, EventCounters, ModePolicy, TransportSelect};
-use predpkt_predict::LastValueSuite;
+use predpkt_predict::{AdaptiveSuite, LastValueSuite, MarkovSuite};
 
 mod common;
 use common::conformance::{
-    assert_workload_conformance, run_workload, shm_opts, tcp_opts, test_opts, workload_for,
-    workload_matrix, Workload,
+    assert_matches_baseline, assert_workload_conformance, conformant_backends, run_workload,
+    run_workload_with_suite, shm_opts, tcp_opts, test_opts, workload_for, workload_matrix,
+    Workload,
 };
 use common::figure2_soc;
 
@@ -151,6 +152,45 @@ fn custom_predictor_suite_changes_accuracy_never_correctness() {
         naive_accuracy < paper_accuracy,
         "naive {naive_accuracy} should trail paper {paper_accuracy}"
     );
+}
+
+/// The adaptive suite races candidate strategies online, switches mid-run,
+/// and bills each switch as channel traffic. None of that may depend on the
+/// transport underneath: a session using [`AdaptiveSuite`] must commit
+/// bit-identically across every backend — same trace, same boundary, same
+/// channel statistics (so the switch billing itself is deterministic), same
+/// rollback/flush counts.
+#[test]
+fn adaptive_suite_is_bit_identical_across_all_backends() {
+    let workload = workload_for(ModePolicy::Auto);
+    let base = run_workload_with_suite(TransportSelect::Queue, &workload, AdaptiveSuite::default());
+    for (name, backend) in conformant_backends() {
+        let observed = run_workload_with_suite(backend, &workload, AdaptiveSuite::default());
+        assert_matches_baseline(&workload, &format!("adaptive/{name}"), &base, &observed);
+    }
+}
+
+/// Suite choice changes accuracy and traffic, never the committed trace: the
+/// context/Markov and adaptive suites must reproduce the paper suite's
+/// committed history exactly (rollback repairs every misprediction), even
+/// though each pays a different traffic bill for it.
+#[test]
+fn every_suite_commits_the_paper_suite_trace() {
+    let workload = workload_for(ModePolicy::Auto);
+    let paper = run_workload(TransportSelect::Queue, &workload);
+    let markov = run_workload_with_suite(TransportSelect::Queue, &workload, MarkovSuite);
+    let adaptive =
+        run_workload_with_suite(TransportSelect::Queue, &workload, AdaptiveSuite::default());
+    for (name, observed) in [("markov", &markov), ("adaptive", &adaptive)] {
+        assert_eq!(
+            paper.trace_hash, observed.trace_hash,
+            "{name}: suite choice must never change committed history"
+        );
+        assert_eq!(
+            paper.committed, observed.committed,
+            "{name}: suite choice must never move the halt boundary"
+        );
+    }
 }
 
 #[test]

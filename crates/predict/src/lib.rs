@@ -23,15 +23,76 @@
 //! All predictors implement [`Snapshot`](predpkt_sim::Snapshot): predictor
 //! state is part of the leader's rollback state, so a rolled-back leader also
 //! rolls back what it has learned during the failed speculation.
+//!
+//! ## Quickstart: writing a custom suite
+//!
+//! A suite is a factory of per-component predictor objects. Implement the
+//! three-method [`PredictorSuite`] trait and hand it to the session builder
+//! (`BlueprintSessionBuilder::predictors`); verification + rollback guarantee
+//! that a bad strategy costs performance, never fidelity:
+//!
+//! ```
+//! use predpkt_predict::{
+//!     LastValueSlavePredictor, MasterPredictor, MasterSignals, PaperMasterPredictor,
+//!     PredictorSuite, SlavePredictor,
+//! };
+//!
+//! /// Paper-style masters, but slaves degraded to last-value.
+//! struct MixedSuite;
+//!
+//! impl PredictorSuite for MixedSuite {
+//!     fn master_predictor(&self, _index: usize) -> Box<dyn MasterPredictor> {
+//!         Box::new(PaperMasterPredictor::new())
+//!     }
+//!     fn slave_predictor(&self, _index: usize) -> Box<dyn SlavePredictor> {
+//!         Box::new(LastValueSlavePredictor::new())
+//!     }
+//!     fn name(&self) -> &'static str {
+//!         "mixed"
+//!     }
+//! }
+//! ```
+//!
+//! A custom predictor implements [`MasterPredictor`] or [`SlavePredictor`]
+//! plus [`Snapshot`](predpkt_sim::Snapshot) (its state rolls back with the
+//! leader). `observe` trains on actual signals; `predict` advances the
+//! predictor along the speculative timeline. Keep both views of the same
+//! timeline consistent: a verified speculation is *not* re-observed.
+//!
+//! ## Adaptive switching and how it is billed
+//!
+//! [`AdaptiveSuite`] races paper/last-value/markov candidates in lockstep and
+//! forwards `predict` to the current scoreboard leader (see
+//! [`AdaptiveConfig`] for the hysteresis/cooldown knobs). Switching is free
+//! for correctness — the lagger verifies the predicted *vector*, not the
+//! strategy — but on real co-emulation hardware the domains must agree on a
+//! strategy epoch, which costs a small control message. The accounting path
+//! keeps reported traffic honest without touching the wire format:
+//!
+//! 1. each switch accrues [`AdaptiveConfig::switch_words`] pending words in
+//!    the predictor,
+//! 2. the session drains them at flush time via
+//!    [`MasterPredictor::take_control_words`] /
+//!    [`SlavePredictor::take_control_words`] (default `0`, so static suites
+//!    are unaffected),
+//! 3. the channel bills them at the per-word rate as *piggybacked* burst
+//!    payload: words and virtual time are recorded, but no extra channel
+//!    access (they ride the burst that is being flushed anyway).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod adaptive;
+mod context;
 mod delta;
 mod lob;
 mod predictors;
 mod suite;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveMasterPredictor, AdaptiveSlavePredictor, AdaptiveSuite,
+};
+pub use context::{ContextMasterPredictor, ContextSlavePredictor, ContextTable, MarkovSuite};
 pub use delta::{decode_block, encode_block, DeltaDecodeError};
 pub use lob::{Lob, LobEntry, LobFullError};
 pub use predictors::{BurstFollower, LastValuePredictor, WaitPredictor};
@@ -40,8 +101,9 @@ pub use suite::{
     PaperMasterPredictor, PaperSlavePredictor, PaperSuite, PredictorSuite, SlavePredictor,
 };
 
-// Re-exported so downstream code can name the paper concepts from one place.
-pub use predpkt_ahb::signals::{MasterSignals, SlaveSignals};
+// Re-exported so downstream code can name the paper concepts from one place
+// (`Htrans` because custom predictors mark speculative issues with it).
+pub use predpkt_ahb::signals::{Htrans, MasterSignals, SlaveSignals};
 
 /// Alias documenting intent: `DeltaDecoder` is the depacketizing half.
 pub use delta::decode_block as delta_decode;

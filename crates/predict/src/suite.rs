@@ -32,6 +32,14 @@ pub trait MasterPredictor: Snapshot + Send {
     /// Predicts the master's signals for the next cycle, advancing the
     /// predictor along the speculative timeline.
     fn predict(&mut self) -> MasterSignals;
+
+    /// Drains control words this predictor owes the channel (e.g. strategy
+    /// epochs an adaptive predictor must agree with the peer). The session
+    /// collects these at flush time and bills them through the cost model as
+    /// piggybacked burst payload. Static strategies owe nothing.
+    fn take_control_words(&mut self) -> u32 {
+        0
+    }
 }
 
 /// Strategy predicting one remote slave's per-cycle signals.
@@ -48,6 +56,12 @@ pub trait SlavePredictor: Snapshot + Send {
     /// Predicts the slave's signals for the next cycle; `in_data_phase` is
     /// `true` when the slave owns the upcoming data phase.
     fn predict(&mut self, in_data_phase: bool) -> SlaveSignals;
+
+    /// Drains control words this predictor owes the channel; see
+    /// [`MasterPredictor::take_control_words`].
+    fn take_control_words(&mut self) -> u32 {
+        0
+    }
 }
 
 /// Factory producing predictor objects for a domain's remote components.

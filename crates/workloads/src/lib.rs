@@ -15,12 +15,18 @@
 //!   leader's last-value prediction is correct with probability exactly `p` —
 //!   while exercising the *identical* protocol engine, LOB, packetizer,
 //!   rollback, and channel accounting as the real system.
+//! * **The workload zoo** ([`zoo`]): scenario-diversity blueprints from the
+//!   wider co-emulation literature — NoC-style hotspot meshes and
+//!   DMA-descriptor-ring pipelines — built to differentiate predictor
+//!   suites rather than protocol mechanisms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod soc;
 pub mod synthetic;
+pub mod zoo;
 
 pub use soc::{dma_offload_soc, figure2_soc, irq_driven_soc, split_heavy_soc, stream_soc};
 pub use synthetic::{SyntheticModel, SyntheticSoc};
+pub use zoo::{descriptor_ring_soc, mesh_hotspot_soc, MeshConfig, RingConfig};

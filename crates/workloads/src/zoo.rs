@@ -1,0 +1,283 @@
+//! The workload zoo: scenario-diversity blueprints beyond the paper's Fig. 2.
+//!
+//! Two shapes drawn from the co-emulation literature, chosen because they
+//! stress the *predictability* axis the suites compete on:
+//!
+//! * [`mesh_hotspot_soc`] — EmuNoC-style mesh traffic with configurable
+//!   hotspots: cross-domain masters walk a fixed route set over node buffers,
+//!   with a weighted fraction of requests funnelled at one hot node. The
+//!   request *sequence* repeats, so context/Markov predictors can learn it
+//!   while last-value prediction misses every address change.
+//! * [`descriptor_ring_soc`] — a DMA-descriptor-ring / streaming-pipeline
+//!   workload (the UVM ISP shape): a DMA engine cycles frame buffers through
+//!   a small ring while a host-side master polls status and drains results.
+//!
+//! Both are **deterministic factories**: generation uses a seeded
+//! [`SplitMix64`] stream at *blueprint-build* time, so the same config always
+//! yields the same script — a precondition for using their traffic numbers
+//! as a CI trend gate.
+
+use predpkt_ahb::engine::BusOp;
+use predpkt_ahb::masters::{DmaDescriptor, DmaMaster, TrafficGenMaster};
+use predpkt_ahb::signals::Hsize;
+use predpkt_core::{Side, SocBlueprint};
+use predpkt_sim::SplitMix64;
+
+/// Configuration for [`mesh_hotspot_soc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Mesh width in nodes.
+    pub width: u32,
+    /// Mesh height in nodes.
+    pub height: u32,
+    /// Percentage (0–100) of requests directed at the hotspot node.
+    pub hotspot_pct: u32,
+    /// Script length (requests per master before the script loops).
+    pub ops_per_master: u32,
+    /// Seed for deterministic route generation.
+    pub seed: u64,
+    /// Idle cycles between requests.
+    pub idle_gap: u32,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            hotspot_pct: 40,
+            ops_per_master: 12,
+            seed: 0x6d65_7368, // "mesh"
+            idle_gap: 6,
+        }
+    }
+}
+
+/// Bytes of buffer space modelled per mesh node.
+const NODE_STRIDE: u32 = 0x40;
+
+/// Generates one master's deterministic route: `(address, is_write)` per
+/// request — a walk over the mesh's node buffers, biased toward the hotspot.
+fn mesh_route(cfg: &MeshConfig, salt: u64) -> Vec<(u32, bool)> {
+    let nodes = (cfg.width * cfg.height).max(1);
+    let hotspot = nodes / 2; // centre-ish node
+    let mut rng = SplitMix64::new(cfg.seed ^ salt);
+    let mut node = rng.below(nodes as u64) as u32;
+    let mut route = Vec::with_capacity(cfg.ops_per_master as usize);
+    for i in 0..cfg.ops_per_master {
+        let target = if rng.below(100) < cfg.hotspot_pct as u64 {
+            hotspot
+        } else {
+            // Walk to a 4-neighbour of the current node (torus wrap).
+            let (x, y) = (node % cfg.width, node / cfg.width);
+            node = match rng.below(4) {
+                0 => (x + 1) % cfg.width + y * cfg.width,
+                1 => (x + cfg.width - 1) % cfg.width + y * cfg.width,
+                2 => x + ((y + 1) % cfg.height) * cfg.width,
+                _ => x + ((y + cfg.height - 1) % cfg.height) * cfg.width,
+            };
+            node
+        };
+        route.push((target * NODE_STRIDE + (i % 8) * 4, rng.flip()));
+    }
+    route
+}
+
+/// Turns a route into a looping request script.
+fn mesh_script(cfg: &MeshConfig, salt: u64, base: u32) -> Vec<BusOp> {
+    mesh_route(cfg, salt)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (offset, write))| {
+            let addr = base + offset;
+            if write {
+                BusOp::write_single(addr, 0x4e0c_0000 | i as u32)
+            } else {
+                BusOp::read_single(addr)
+            }
+        })
+        .collect()
+}
+
+/// NoC-style mesh traffic with a configurable hotspot (the EmuNoC shape).
+///
+/// A simulator-side injector walks the mesh's node buffers along a fixed,
+/// hotspot-biased route; the node-buffer address space is split across the
+/// domain boundary, so injected packets constantly cross it. An
+/// accelerator-side telemetry master drains a congestion counter at a fixed
+/// low cadence (the NoC monitor). Both request streams are strictly
+/// periodic: exactly the shape where sequence-learning suites should beat
+/// last-value prediction outright, because last-value misses every request
+/// edge and every address change while the loop itself never varies.
+pub fn mesh_hotspot_soc(cfg: MeshConfig) -> SocBlueprint {
+    // Node buffers: low half of the mesh on the simulator, high half on the
+    // accelerator (each padded to a whole decode region).
+    let span = ((cfg.width * cfg.height) * NODE_STRIDE)
+        .next_power_of_two()
+        .max(0x1000);
+    let sim_script = mesh_script(&cfg, 0x51, 0x0000_0000);
+    let gap = cfg.idle_gap;
+    SocBlueprint::new()
+        .master(Side::Simulator, move || {
+            Box::new(
+                TrafficGenMaster::from_ops(sim_script.clone())
+                    .looping()
+                    .with_idle_gap(gap),
+            )
+        })
+        .master(Side::Accelerator, move || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::read_single(span / 2),        // congestion counter
+                    BusOp::read_single(span / 2 + 0x20), // hotspot occupancy
+                ])
+                .looping()
+                .with_idle_gap(29),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, span / 2, move || {
+            Box::new(predpkt_ahb::slaves::MemorySlave::new(span / 2, 0))
+        })
+        .slave(Side::Accelerator, span / 2, span / 2, move || {
+            Box::new(predpkt_ahb::slaves::MemorySlave::new(span / 2, 1))
+        })
+}
+
+/// Configuration for [`descriptor_ring_soc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Descriptors in the ring (jobs executed by the DMA engine).
+    pub descriptors: u32,
+    /// Words moved per descriptor (the "frame" size).
+    pub frame_words: u32,
+    /// Ring slots the frames cycle through.
+    pub slots: u32,
+    /// Host poll cadence (idle cycles between status reads).
+    pub poll_gap: u32,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            descriptors: 6,
+            frame_words: 24,
+            slots: 3,
+            poll_gap: 9,
+        }
+    }
+}
+
+/// A DMA-descriptor-ring / streaming-pipeline workload (the UVM ISP shape).
+///
+/// An accelerator-side DMA engine executes a ring of descriptors, streaming
+/// frames from a sensor buffer into per-slot pipeline buffers; a
+/// simulator-side host master polls a status word and reads back results in
+/// a fixed cadence. DMA bursts are long and linear (burst-following
+/// territory) while the host's poll loop is pure repetition (context
+/// territory) — the workload that rewards adaptive, per-component strategy
+/// choice.
+pub fn descriptor_ring_soc(cfg: RingConfig) -> SocBlueprint {
+    let slots = cfg.slots.max(1);
+    let frame_bytes = cfg.frame_words * 4;
+    // Accelerator memory: sensor buffer at 0x1000, ring slots from 0x2000.
+    let jobs: Vec<DmaDescriptor> = (0..cfg.descriptors)
+        .map(|i| {
+            let slot = i % slots;
+            DmaDescriptor::new(
+                0x0000_1000 + (i % 2) * frame_bytes,
+                0x0000_2000 + slot * frame_bytes,
+                cfg.frame_words,
+            )
+        })
+        .collect();
+    let poll_gap = cfg.poll_gap;
+    SocBlueprint::new()
+        .master(Side::Accelerator, move || {
+            Box::new(DmaMaster::new(jobs.clone()))
+        })
+        .master(Side::Simulator, move || {
+            Box::new(
+                TrafficGenMaster::from_ops(vec![
+                    BusOp::read_single(0x0000_0000),               // status word
+                    BusOp::read_incr(0x0000_2000, Hsize::Word, 4), // drain slot 0
+                    BusOp::write_single(0x0000_0004, 1),           // credit return
+                ])
+                .looping()
+                .with_idle_gap(poll_gap),
+            )
+        })
+        .slave(Side::Simulator, 0x0000_0000, 0x1000, || {
+            Box::new(predpkt_ahb::slaves::MemorySlave::new(0x1000, 0))
+        })
+        .slave(Side::Accelerator, 0x0000_1000, 0x1000, || {
+            let mut m = predpkt_ahb::slaves::MemorySlave::new(0x1000, 0);
+            for i in 0..256 {
+                m.poke_word(4 * i, 0x1559_0000 + i);
+            }
+            Box::new(m)
+        })
+        .slave(Side::Accelerator, 0x0000_2000, 0x1000, || {
+            Box::new(predpkt_ahb::slaves::MemorySlave::new(0x1000, 1))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_blueprints_build_and_pair() {
+        for (name, bp) in [
+            ("mesh", mesh_hotspot_soc(MeshConfig::default())),
+            ("ring", descriptor_ring_soc(RingConfig::default())),
+        ] {
+            let golden = bp.build_golden().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(golden.num_masters() >= 2, "{name}");
+            assert!(bp.placement().is_split(), "{name} must span both domains");
+            let (sim, acc) = bp.build_pair().unwrap();
+            drop((sim, acc));
+        }
+    }
+
+    #[test]
+    fn zoo_blueprints_are_deterministic_factories() {
+        for bp in [
+            mesh_hotspot_soc(MeshConfig::default()),
+            descriptor_ring_soc(RingConfig::default()),
+        ] {
+            let mut a = bp.build_golden().unwrap();
+            let mut b = bp.build_golden().unwrap();
+            a.run(300);
+            b.run(300);
+            assert_eq!(a.trace().hash(), b.trace().hash());
+        }
+    }
+
+    #[test]
+    fn mesh_routes_are_deterministic_and_hotspot_biased() {
+        let cfg = MeshConfig::default();
+        let a = mesh_route(&cfg, 0x51);
+        assert_eq!(a, mesh_route(&cfg, 0x51), "same seed, same route");
+        let nodes = cfg.width * cfg.height;
+        let hotspot_base = (nodes / 2) * NODE_STRIDE;
+        let hot = a
+            .iter()
+            .filter(|(addr, _)| (hotspot_base..hotspot_base + NODE_STRIDE).contains(addr))
+            .count();
+        assert!(
+            hot * 100 >= a.len() * (cfg.hotspot_pct as usize) / 2,
+            "hotspot weighting must show up in the route ({hot}/{})",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn ring_blueprint_has_dma_and_host() {
+        let bp = descriptor_ring_soc(RingConfig {
+            descriptors: 4,
+            ..RingConfig::default()
+        });
+        assert_eq!(bp.num_masters(), 2);
+        assert_eq!(bp.num_slaves(), 3);
+    }
+}

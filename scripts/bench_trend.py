@@ -35,12 +35,14 @@ Gated figures: per-backend ``wall_us`` in ``tcp_loopback``/``shm_loopback``
 (matched by backend name — adding or removing a backend never trips the
 gate), the ``session_farm`` throughput row (``sessions_per_sec`` must not
 drop, ``p99_us`` must not blow up), per-mesh-shape ``wall_us`` in
-``fabric_sweep`` (the N-domain fabric runs), and per-backend ``blob_bytes``
+``fabric_sweep`` (the N-domain fabric runs), per-backend ``blob_bytes``
 in ``checkpoint_cost`` (deterministic for a fixed cycle count — the gate
-catches silent checkpoint-format bloat). ``recovery_sweep`` rows are
-virtual-model outputs (bit-stable by construction) and are listed for
-context only. Writes a markdown delta table to ``$GITHUB_STEP_SUMMARY``
-when set.
+catches silent checkpoint-format bloat), and per-cell ``traffic_words`` in
+``accuracy_sweep`` (deterministic per suite/workload/backend cell — a
+predictor regression shows up as extra rollback traffic with no runner
+noise to hide behind). ``recovery_sweep`` rows are virtual-model outputs
+(bit-stable by construction) and are listed for context only. Writes a
+markdown delta table to ``$GITHUB_STEP_SUMMARY`` when set.
 """
 
 import argparse
@@ -57,11 +59,14 @@ HIGHER_IS_BETTER = "higher"
 
 # name -> [(gated metric, allowed fractional regression, direction)].
 # The TCP loopback threshold used to sit above the ~50% bimodal
-# thread-placement swing recorded in ROADMAP.md. Two rounds of taming got it
-# down: CI pins PREDPKT_LOOPBACK_REPS=5 so best-of-N absorbs the slow mode,
-# and the bins now run best-of-3 even under --quick (a single timed sample
-# used to feed the gate whichever mode the scheduler picked). With both in
-# place the gate is tightened from +35% to +25%, matching the shm gate.
+# thread-placement swing recorded in ROADMAP.md. Three rounds of taming got
+# it down: CI pins PREDPKT_LOOPBACK_REPS=5 so best-of-N absorbs the slow
+# mode, the bins run best-of-3 even under --quick (a single timed sample
+# used to feed the gate whichever mode the scheduler picked), and the
+# bench-artifacts job now sets PREDPKT_PIN_CORES so the loopback thread pair
+# stops migrating between cores mid-run. With all three in place the TCP
+# gate is tightened from +25% to +15%; shm stays at +25% pending the same
+# evidence at the tighter bound.
 # session_farm gates scheduling-throughput end to end: sessions/sec must not
 # drop by more than 40%, and tail latency must not grow by more than 60%
 # (p99 under the one-shot submission pattern tracks total batch wall).
@@ -69,7 +74,7 @@ HIGHER_IS_BETTER = "higher"
 # scales with N, so placement noise grows with the row's domain count and
 # the threshold sits at the farm tier rather than the loopback tier.
 GATED = {
-    "BENCH_tcp_loopback.json": [("wall_us", 0.25, LOWER_IS_BETTER)],
+    "BENCH_tcp_loopback.json": [("wall_us", 0.15, LOWER_IS_BETTER)],
     "BENCH_shm_loopback.json": [("wall_us", 0.25, LOWER_IS_BETTER)],
     "BENCH_session_farm.json": [
         ("sessions_per_sec", 0.40, HIGHER_IS_BETTER),
@@ -80,19 +85,39 @@ GATED = {
     # really "the checkpoint format didn't silently bloat"; wall costs stay
     # context-only (microsecond-scale figures are all runner noise).
     "BENCH_checkpoint_cost.json": [("blob_bytes", 0.25, LOWER_IS_BETTER)],
+    # traffic_words is deterministic per cell (suite/workload/backend): it
+    # depends only on the protocol event stream, which conformance pins
+    # across backends. The tight threshold is deliberate — a predictor
+    # regression shows up as more rollbacks and therefore more words, with
+    # no runner noise to hide behind. wall_us/hit_rate stay context-only.
+    "BENCH_accuracy_sweep.json": [("traffic_words", 0.10, LOWER_IS_BETTER)],
 }
 CONTEXT_ONLY = ["BENCH_recovery_sweep.json"]
 HISTORY_KEEP = 5
 
 
+# How an artifact's rows are keyed for baseline matching, in precedence
+# order: accuracy_sweep keys on the full suite/workload/backend cell (its
+# "backend" column alone is not unique), loopback-style artifacts key on
+# backend, recovery_sweep on fault.
+ROW_KEYS = ("cell", "backend", "fault")
+
+
+def row_key(row):
+    """The matching key for one row (first ROW_KEYS field present)."""
+    for key in ROW_KEYS:
+        if key in row:
+            return row[key]
+    return None
+
+
 def load_rows(path: Path):
-    """Returns {backend-or-fault-name: row} for one artifact, or None."""
+    """Returns {cell-or-backend-or-fault-name: row} for one artifact, or None."""
     if not path.is_file():
         return None
     with open(path) as f:
         data = json.load(f)
-    key = "backend" if data["rows"] and "backend" in data["rows"][0] else "fault"
-    return {row[key]: row for row in data["rows"]}
+    return {row_key(row): row for row in data["rows"]}
 
 
 def usable(row, metric):
@@ -217,7 +242,7 @@ def main() -> int:
         with open(args.current / name) as f:
             data = json.load(f)
         for row in data["rows"]:
-            backend = row.get("backend", row.get("fault"))
+            backend = row_key(row)
             for metric, _, direction in gates:
                 values = [v for s in samples if backend in s
                           if (v := usable(s[backend], metric)) is not None]
