@@ -101,10 +101,10 @@ fn main() {
         (
             "mixed",
             FaultSpec {
-                seed: SEED,
                 drop_rate: 0.1,
                 truncate_rate: 0.08,
                 duplicate_rate: 0.1,
+                ..FaultSpec::none(SEED)
             },
         ),
     ] {

@@ -55,10 +55,9 @@
 //!
 //! // One packet in four is dropped, one in ten truncated.
 //! let spec = FaultSpec {
-//!     seed: 42,
 //!     drop_rate: 0.25,
 //!     truncate_rate: 0.1,
-//!     duplicate_rate: 0.0,
+//!     ..FaultSpec::none(42)
 //! };
 //! let lossy = LossyTransport::new(QueueTransport::new(), spec);
 //! let mut link =
@@ -276,26 +275,33 @@
 //! session, which then refuses to step: there is no half-restored state.
 //!
 //! Because the blob is just framed bytes, **live migration is plain socket
-//! I/O** — no bespoke serialization on either end:
+//! I/O** — no bespoke serialization on either end. And because a session
+//! whose transport dies can carry its latest cut out, failover is one call:
+//! `EmuSession::resume_from` (in `predpkt-core`) salvages the dead session's
+//! domain models, rebuilds a *fresh* transport from a `TransportSelect`,
+//! restores the cut, and resumes — bit-identical to an uninterrupted run:
 //!
 //! ```text
-//! // ── Host A: donor halts at a committed boundary and ships the cut ──
-//! let ckpt = session.checkpoint()?;            // one consistent cut
-//! stream.write_all(&ckpt.to_bytes())?;         // any medium works
+//! // A seeded terminal fault (FaultSpec::disconnect_after) kills the link…
+//! let err = sliced.run_slice(steps).unwrap_err();  // Deadlock / RetryBudget…
+//! let cut = sliced.take_latest_checkpoint();       // auto-captured boundary
+//! let dead = sliced.into_session();
 //!
-//! // ── Host B: rebuild the same session shape, rewind onto the cut ────
-//! let blob = read_to_end(&mut stream)?;
-//! let ckpt = SessionCheckpoint::from_bytes(&blob)?;   // magic/version/CRC
-//! let mut twin = EmuSession::from_blueprint(&blueprint)
-//!     .transport(select.clone())               // same backend as the donor
-//!     .build()?;
-//! twin.restore(&ckpt)?;                        // exact committed prefix
-//! twin.run_until_committed(target)?;           // …replays bit-identically
+//! // …and the session heals onto a clean transport, replaying nothing:
+//! let mut healed = dead.resume_from(&cut?, TransportSelect::Tcp(opts))?;
+//! healed.run_until_committed(target)?;             // bit-identical commit
 //! ```
 //!
-//! The session farm uses the same blob for eviction: a parked-past-deadline
-//! session leaves as `SessionOutcome::Evicted { checkpoint }` carrying its
-//! latest auto-captured cut, ready to re-admit on any worker — or any host.
+//! The session farm automates the whole loop: a session admitted through
+//! `SessionFarm::submit_healable` under a `ReadmitPolicy` is, after a
+//! transport death (failure *or* eviction — both outcomes carry the latest
+//! auto-captured cut), rebuilt by its respawn closure on a fresh link after
+//! an exponential-backoff delay and resumed from the cut. Retries are
+//! budgeted and capped; a death the policy declines lands as its real
+//! outcome and is counted in `FarmStats::gave_up`, never dropped silently.
+//! The same blob still migrates across hosts the manual way: ship
+//! `ckpt.to_bytes()` over any medium, `SessionCheckpoint::from_bytes` +
+//! `restore` on the far side.
 //!
 //! # Quickstart: an N-domain fabric
 //!
@@ -424,10 +430,12 @@ pub use poll::{PollReady, PollSet, Readiness};
 pub use pool::{BufferPool, PoolStats, DEFAULT_POOL_RETAIN};
 pub use reliable::{
     crc32, crc32_feed, crc32_parts, RecoveryStats, ReliableConfig, ReliableTransport,
-    RetryExhausted, DATA_HEADER_WORDS,
+    RetryExhausted, TransportDead, DATA_HEADER_WORDS,
 };
 pub use shm::{RingError, ShmEndpoint, ShmRegion, ShmTransport, DEFAULT_RING_WORDS};
 pub use stats::ChannelStats;
-pub use tcp::{FrameError, TcpEndpoint, TcpTransport, MAX_FRAME_WORDS};
+pub use tcp::{
+    ConnectRetryError, FrameError, RetryPolicy, TcpEndpoint, TcpTransport, MAX_FRAME_WORDS,
+};
 pub use threaded::{ThreadedEndpoint, ThreadedTransport};
 pub use transport::{BatchStats, CostedChannel, QueueTransport, Transport, WaitTransport};

@@ -19,6 +19,15 @@
 //!   a conservative-mode run silently. Duplicate injection is therefore a
 //!   robustness probe, not a guaranteed-detection mode.
 //!
+//! Beyond the per-packet rate faults, a plan can arm a deterministic
+//! **terminal** fault: [`FaultSpec::disconnect_after`] kills the link
+//! permanently at a seeded frame index (a socket reset / peer crash — the
+//! wrapper reports [`Dead`](crate::Readiness::Dead)), while
+//! [`FaultSpec::hang_after`] wedges it silently (delivery stops but the link
+//! still looks idle — only a deadlock timeout catches it). Terminal faults
+//! trigger on a frame *counter*, not a random draw, so arming one never
+//! perturbs the seeded rate-fault stream.
+//!
 //! With [`FaultSpec::none`] the transport is bit-for-bit transparent, which
 //! the transport-equivalence suite exploits.
 
@@ -41,6 +50,20 @@ pub struct FaultSpec {
     pub truncate_rate: f64,
     /// Probability a sent packet is delivered twice.
     pub duplicate_rate: f64,
+    /// Terminal fault: the link dies permanently once this many frames have
+    /// been pushed at the send path — the socket-reset / peer-crash failure.
+    /// Further frames are swallowed (counted as `severed`), delivery stops,
+    /// and readiness reports [`Dead`](crate::Readiness::Dead). Frame indices
+    /// are deterministic, not drawn, so a terminal plan never perturbs the
+    /// seeded rate-fault stream.
+    pub disconnect_after: Option<u64>,
+    /// Terminal fault: the link *wedges* once this many frames have been
+    /// pushed at the send path — delivery stops without closing. Unlike a
+    /// disconnect the link still looks merely idle
+    /// ([`Readiness::Idle`](crate::Readiness::Idle)), the pathological hang a
+    /// deadlock timeout exists to catch. When both terminal faults are armed,
+    /// a tripped disconnect takes precedence in readiness reporting.
+    pub hang_after: Option<u64>,
 }
 
 impl FaultSpec {
@@ -51,6 +74,8 @@ impl FaultSpec {
             drop_rate: 0.0,
             truncate_rate: 0.0,
             duplicate_rate: 0.0,
+            disconnect_after: None,
+            hang_after: None,
         }
     }
 
@@ -78,6 +103,26 @@ impl FaultSpec {
         }
     }
 
+    /// Severs the link permanently after `frames` frames have been sent,
+    /// injects nothing else. See [`FaultSpec::disconnect_after`] (the field)
+    /// for the death semantics.
+    pub fn disconnect_after(seed: u64, frames: u64) -> Self {
+        FaultSpec {
+            disconnect_after: Some(frames),
+            ..Self::none(seed)
+        }
+    }
+
+    /// Wedges the link after `frames` frames have been sent, injects nothing
+    /// else. See [`FaultSpec::hang_after`] (the field) for the hang
+    /// semantics.
+    pub fn hang_after(seed: u64, frames: u64) -> Self {
+        FaultSpec {
+            hang_after: Some(frames),
+            ..Self::none(seed)
+        }
+    }
+
     /// Checks that every rate is a probability.
     ///
     /// # Errors
@@ -99,9 +144,14 @@ impl FaultSpec {
         Ok(())
     }
 
-    /// True when any fault can ever fire (some rate is positive).
+    /// True when any fault can ever fire (some rate is positive, or a
+    /// terminal fault is armed).
     pub fn is_active(&self) -> bool {
-        self.drop_rate > 0.0 || self.truncate_rate > 0.0 || self.duplicate_rate > 0.0
+        self.drop_rate > 0.0
+            || self.truncate_rate > 0.0
+            || self.duplicate_rate > 0.0
+            || self.disconnect_after.is_some()
+            || self.hang_after.is_some()
     }
 }
 
@@ -114,12 +164,15 @@ pub struct FaultStats {
     pub truncated: u64,
     /// Packets delivered twice.
     pub duplicated: u64,
+    /// Packets swallowed after a terminal fault (disconnect or hang) killed
+    /// the link.
+    pub severed: u64,
 }
 
 impl FaultStats {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
-        self.dropped + self.truncated + self.duplicated
+        self.dropped + self.truncated + self.duplicated + self.severed
     }
 
     /// Merges another block into this one (per-side instances over socket
@@ -128,6 +181,7 @@ impl FaultStats {
         self.dropped += other.dropped;
         self.truncated += other.truncated;
         self.duplicated += other.duplicated;
+        self.severed += other.severed;
     }
 }
 
@@ -148,6 +202,9 @@ pub struct LossyTransport<T: Transport = QueueTransport> {
     spec: FaultSpec,
     rng: SplitMix64,
     stats: FaultStats,
+    /// Frames pushed at the send path so far — the deterministic cursor
+    /// terminal faults trigger on.
+    sent_frames: u64,
 }
 
 impl LossyTransport<QueueTransport> {
@@ -190,6 +247,7 @@ impl<T: Transport> LossyTransport<T> {
             spec,
             rng: SplitMix64::new(spec.seed),
             stats: FaultStats::default(),
+            sent_frames: 0,
         }
     }
 
@@ -201,6 +259,30 @@ impl<T: Transport> LossyTransport<T> {
     /// The fault plan in force.
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
+    }
+
+    /// Frames pushed at this wrapper's send path so far (the cursor the
+    /// terminal faults trigger on) — for dead-link postmortems.
+    pub fn sent_frames(&self) -> u64 {
+        self.sent_frames
+    }
+
+    /// True once a [`FaultSpec::disconnect_after`] plan has severed the link.
+    pub fn disconnected(&self) -> bool {
+        self.spec
+            .disconnect_after
+            .is_some_and(|n| self.sent_frames >= n)
+    }
+
+    /// True once a [`FaultSpec::hang_after`] plan has wedged the link.
+    pub fn hung(&self) -> bool {
+        self.spec.hang_after.is_some_and(|n| self.sent_frames >= n)
+    }
+
+    /// True once any terminal fault has fired: the link no longer moves
+    /// frames in either direction.
+    pub fn link_down(&self) -> bool {
+        self.disconnected() || self.hung()
     }
 
     /// Consumes the wrapper, returning the inner transport.
@@ -219,6 +301,16 @@ struct FaultDraw {
 }
 
 impl<T: Transport> LossyTransport<T> {
+    /// Advances the frame cursor and reports whether a terminal fault fires
+    /// for this send. Runs **before** the rate draws and consumes no
+    /// randomness, so arming a terminal plan never shifts the seeded fault
+    /// stream of the frames that do get through.
+    fn terminal_fired(&mut self) -> bool {
+        let fired = self.link_down();
+        self.sent_frames += 1;
+        fired
+    }
+
     /// Draws this send's faults. The draw order — drop, truncate, duplicate,
     /// each consumed only when its rate is positive — is the wire format of
     /// the seed and must never change.
@@ -245,6 +337,10 @@ impl<T: Transport> LossyTransport<T> {
 
 impl<T: Transport> Transport for LossyTransport<T> {
     fn send(&mut self, from: Side, mut packet: Packet) {
+        if self.terminal_fired() {
+            self.stats.severed += 1;
+            return;
+        }
         let draw = self.draw_faults(packet.payload().is_empty());
         if draw.dropped {
             self.stats.dropped += 1;
@@ -272,6 +368,10 @@ impl<T: Transport> Transport for LossyTransport<T> {
     fn send_ref(&mut self, from: Side, packet: &Packet) {
         if !self.spec.is_active() {
             return self.inner.send_ref(from, packet);
+        }
+        if self.terminal_fired() {
+            self.stats.severed += 1;
+            return;
         }
         let draw = self.draw_faults(packet.payload().is_empty());
         if draw.dropped {
@@ -317,14 +417,23 @@ impl<T: Transport> Transport for LossyTransport<T> {
     }
 
     fn recv(&mut self, to: Side) -> Option<Packet> {
+        if self.link_down() {
+            return None;
+        }
         self.inner.recv(to)
     }
 
     fn drain(&mut self, to: Side, out: &mut Vec<Packet>) {
+        if self.link_down() {
+            return;
+        }
         self.inner.drain(to, out);
     }
 
     fn pending(&self, to: Side) -> usize {
+        if self.link_down() {
+            return 0;
+        }
         self.inner.pending(to)
     }
 
@@ -341,7 +450,9 @@ impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for LossyTransp
         self.rng.save(w);
         w.word(self.stats.dropped)
             .word(self.stats.truncated)
-            .word(self.stats.duplicated);
+            .word(self.stats.duplicated)
+            .word(self.stats.severed)
+            .word(self.sent_frames);
         self.inner.save(w);
     }
 
@@ -353,6 +464,8 @@ impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for LossyTransp
         self.stats.dropped = r.word()?;
         self.stats.truncated = r.word()?;
         self.stats.duplicated = r.word()?;
+        self.stats.severed = r.word()?;
+        self.sent_frames = r.word()?;
         self.inner.restore(r)
     }
 }
@@ -363,14 +476,30 @@ impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for LossyTransp
 /// [`ReliableTransport`](crate::ReliableTransport).
 impl<T: WaitTransport> WaitTransport for LossyTransport<T> {
     fn wait_for_packet(&mut self, timeout: Duration) -> bool {
+        if self.link_down() {
+            // A severed or hung link never delivers again; pace the caller's
+            // retry loop like a dead socket instead of spinning it.
+            std::thread::sleep(timeout);
+            return false;
+        }
         self.inner.wait_for_packet(timeout)
     }
 }
 
 impl<T: Transport + crate::poll::PollReady> crate::poll::PollReady for LossyTransport<T> {
-    /// Faults fire on the send path only, so readiness is the inner
-    /// transport's verbatim.
+    /// Rate faults fire on the send path only, so readiness is normally the
+    /// inner transport's verbatim. A tripped terminal fault overrides it: a
+    /// disconnect is an observable death ([`Dead`](crate::Readiness::Dead)),
+    /// while a hang is deliberately indistinguishable from a quiet healthy
+    /// peer ([`Idle`](crate::Readiness::Idle)) — only a deadlock timeout
+    /// catches it.
     fn readiness(&mut self) -> crate::poll::Readiness {
+        if self.disconnected() {
+            return crate::poll::Readiness::Dead;
+        }
+        if self.hung() {
+            return crate::poll::Readiness::Idle;
+        }
         self.inner.readiness()
     }
 }
@@ -470,10 +599,10 @@ mod tests {
     fn snapshot_resumes_the_fault_plan_exactly() {
         use predpkt_sim::{restore_from_vec, save_to_vec};
         let spec = FaultSpec {
-            seed: 99,
             drop_rate: 0.3,
             truncate_rate: 0.2,
             duplicate_rate: 0.1,
+            ..FaultSpec::none(99)
         };
         let mut t = LossyTransport::over_queue(spec);
         for _ in 0..50 {
@@ -493,6 +622,76 @@ mod tests {
         }
         assert_eq!(t.fault_stats(), expect_stats.fault_stats());
         assert!(t.fault_stats().total() > 0, "faults really fired");
+    }
+
+    #[test]
+    fn disconnect_after_kills_the_link_at_the_exact_frame() {
+        // A threaded endpoint rather than a queue: the readiness probe at the
+        // end needs a `PollReady` inner medium.
+        let (sim_end, _acc_end) = crate::threaded::ThreadedTransport::pair();
+        let mut t = LossyTransport::new(sim_end, FaultSpec::disconnect_after(5, 3));
+        for _ in 0..6 {
+            t.send(Side::Simulator, pkt(1));
+        }
+        // Frames 0..3 got through; 3.. were severed, and delivery of the
+        // survivors stops with the link.
+        assert_eq!(t.fault_stats().severed, 3);
+        assert!(t.disconnected());
+        assert!(t.link_down());
+        assert_eq!(t.pending(Side::Accelerator), 0);
+        assert!(t.recv(Side::Accelerator).is_none());
+        use crate::poll::{PollReady, Readiness};
+        assert_eq!(t.readiness(), Readiness::Dead);
+    }
+
+    #[test]
+    fn hang_after_wedges_without_closing() {
+        let (sim_end, _acc_end) = crate::threaded::ThreadedTransport::pair();
+        let mut t = LossyTransport::new(sim_end, FaultSpec::hang_after(5, 2));
+        for _ in 0..4 {
+            t.send(Side::Simulator, pkt(1));
+        }
+        assert_eq!(t.fault_stats().severed, 2);
+        assert!(t.hung() && !t.disconnected());
+        use crate::poll::{PollReady, Readiness};
+        assert_eq!(t.readiness(), Readiness::Idle, "a hang looks merely idle");
+    }
+
+    #[test]
+    fn terminal_faults_do_not_shift_the_seeded_rate_stream() {
+        // Same seed + rates, with and without an (unreached) terminal plan:
+        // the rate-fault pattern over the surviving frames must be identical.
+        let run = |terminal: Option<u64>| {
+            let spec = FaultSpec {
+                disconnect_after: terminal,
+                ..FaultSpec::drops(11, 0.5)
+            };
+            let mut t = LossyTransport::over_queue(spec);
+            for _ in 0..64 {
+                t.send(Side::Simulator, pkt(1));
+            }
+            t.fault_stats().dropped
+        };
+        assert_eq!(run(None), run(Some(1_000)));
+    }
+
+    #[test]
+    fn terminal_cursor_survives_a_snapshot_round_trip() {
+        use predpkt_sim::{restore_from_vec, save_to_vec};
+        let spec = FaultSpec::disconnect_after(1, 4);
+        let mut t = LossyTransport::over_queue(spec);
+        for _ in 0..3 {
+            t.send(Side::Simulator, pkt(1));
+        }
+        let state = save_to_vec(&t);
+        let mut twin = LossyTransport::over_queue(spec);
+        restore_from_vec(&mut twin, &state).unwrap();
+        assert_eq!(twin.sent_frames(), 3);
+        assert!(!twin.link_down());
+        twin.send(Side::Simulator, pkt(1));
+        twin.send(Side::Simulator, pkt(1));
+        assert!(twin.disconnected(), "cursor resumed where it left off");
+        assert_eq!(twin.fault_stats().severed, 1);
     }
 
     #[test]
@@ -533,10 +732,10 @@ mod tests {
     #[test]
     fn validate_reports_the_first_bad_rate() {
         let spec = FaultSpec {
-            seed: 0,
             drop_rate: 0.5,
             truncate_rate: f64::NAN,
             duplicate_rate: 2.0,
+            ..FaultSpec::none(0)
         };
         let err = spec.validate().unwrap_err();
         assert_eq!(err.field, "truncate_rate", "{err}");

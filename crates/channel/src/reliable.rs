@@ -89,6 +89,7 @@ use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{BatchStats, Transport, WaitTransport};
 use predpkt_sim::{Snapshot, VirtualTime};
 use std::collections::VecDeque;
+use std::fmt;
 use std::time::Duration;
 
 /// Words a [`PacketTag::RelData`] frame adds on top of the wrapped packet's
@@ -235,6 +236,32 @@ impl RecoveryStats {
     }
 }
 
+/// Why a [`ReliableTransport`] gave up on a frame — the postmortem cause
+/// attached to every [`RetryExhausted`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportDead {
+    /// The medium itself reported death (the inner transport's readiness
+    /// went [`Dead`](crate::poll::Readiness::Dead) — a severed link or
+    /// reset socket) while frames were still outstanding. The layer fails
+    /// fast instead of burning the budget against a link it knows is gone.
+    PeerGone,
+    /// The retransmission budget was exhausted with no death signal from
+    /// the medium: the link may be lossy beyond repair, silently wedged, or
+    /// the peer stalled. Blocking runners land here even when the peer is
+    /// in fact gone — they have no readiness probe, so exhaustion is the
+    /// only evidence they ever see.
+    BudgetExhausted,
+}
+
+impl fmt::Display for TransportDead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportDead::PeerGone => "peer gone",
+            TransportDead::BudgetExhausted => "retry budget exhausted",
+        })
+    }
+}
+
 /// Record of a frame the reliable layer gave up on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryExhausted {
@@ -244,6 +271,13 @@ pub struct RetryExhausted {
     pub seq: u32,
     /// Retransmissions attempted before giving up.
     pub retries: u32,
+    /// Cumulative idle (RTO-clock) time the frame spent unacknowledged —
+    /// from its first transmission to abandonment — so a postmortem can say
+    /// how long the link was dead, not just how often it was retried.
+    pub idle: VirtualTime,
+    /// Why the layer gave up: the medium reported death, or the budget ran
+    /// out without one.
+    pub cause: TransportDead,
 }
 
 /// Feeds the little-endian bytes of `words` into a running CRC-32 state
@@ -282,6 +316,10 @@ struct InFlight {
     /// Clock value at the most recent transmission (meaningless while
     /// backlogged).
     sent_at: VirtualTime,
+    /// Clock value at the *first* transmission — unlike `sent_at` it
+    /// survives retransmissions, so `now - first_sent` at abandonment is
+    /// the frame's cumulative idle RTO time.
+    first_sent: VirtualTime,
     retries: u32,
 }
 
@@ -558,6 +596,7 @@ impl<T: Transport> ReliableTransport<T> {
                     break;
                 };
                 inflight.sent_at = self.now;
+                inflight.first_sent = self.now;
                 Self::refresh_frame_ack(&mut inflight.frame, ack_now);
                 state.unacked.push_back(inflight);
             }
@@ -721,16 +760,7 @@ impl<T: Transport> ReliableTransport<T> {
                 }
             }
             if front_retries >= self.config.retry_budget {
-                if self.failure.is_none() {
-                    self.failure = Some(RetryExhausted {
-                        direction,
-                        seq: front_seq,
-                        retries: front_retries,
-                    });
-                }
-                let state = &mut self.send[direction.index()];
-                state.unacked.clear();
-                state.backlog.clear();
+                self.abandon_direction(direction, TransportDead::BudgetExhausted);
                 continue;
             }
             let from = sender_of(direction);
@@ -794,8 +824,37 @@ impl<T: Transport> ReliableTransport<T> {
             seq,
             frame,
             sent_at: VirtualTime::ZERO,
+            first_sent: VirtualTime::ZERO,
             retries: 0,
         });
+    }
+
+    /// Records a terminal failure for `direction` (first failure wins) and
+    /// drops its outstanding frames so [`Transport::pending`] reaches zero
+    /// and starvation becomes a detectable deadlock upstream.
+    fn abandon_direction(&mut self, direction: Direction, cause: TransportDead) {
+        if self.failure.is_none() {
+            let state = &self.send[direction.index()];
+            let (seq, retries, first_sent) = match state.unacked.front() {
+                Some(front) => (front.seq, front.retries, front.first_sent),
+                // Only backlogged (never-transmitted) frames: the stall
+                // starts now, so the idle span is zero.
+                None => match state.backlog.front() {
+                    Some(front) => (front.seq, front.retries, self.now),
+                    None => (state.next_seq, 0, self.now),
+                },
+            };
+            self.failure = Some(RetryExhausted {
+                direction,
+                seq,
+                retries,
+                idle: self.now.saturating_sub(first_sent),
+                cause,
+            });
+        }
+        let state = &mut self.send[direction.index()];
+        state.unacked.clear();
+        state.backlog.clear();
     }
 }
 
@@ -803,7 +862,9 @@ impl InFlight {
     fn save(&self, w: &mut predpkt_sim::StateWriter<'_>) {
         w.u32(self.seq);
         self.frame.save(w);
-        w.word(self.sent_at.as_picos()).u32(self.retries);
+        w.word(self.sent_at.as_picos())
+            .word(self.first_sent.as_picos())
+            .u32(self.retries);
     }
 
     fn restore(r: &mut predpkt_sim::StateReader<'_>) -> Result<Self, predpkt_sim::SnapshotError> {
@@ -814,6 +875,7 @@ impl InFlight {
             seq,
             frame,
             sent_at: VirtualTime::from_picos(r.word()?),
+            first_sent: VirtualTime::from_picos(r.word()?),
             retries: r.u32()?,
         })
     }
@@ -889,7 +951,12 @@ impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for ReliableTra
                         Direction::AccToSim => 1,
                     })
                     .u32(f.seq)
-                    .u32(f.retries);
+                    .u32(f.retries)
+                    .word(f.idle.as_picos())
+                    .word(match f.cause {
+                        TransportDead::PeerGone => 0,
+                        TransportDead::BudgetExhausted => 1,
+                    });
             }
         }
         w.section("reliable.inner");
@@ -933,10 +1000,20 @@ impl<T: Transport + predpkt_sim::Snapshot> predpkt_sim::Snapshot for ReliableTra
                 1 => Direction::AccToSim,
                 _ => return Err(r.corrupt_at(at)),
             };
+            let (seq, retries) = (r.u32()?, r.u32()?);
+            let idle = VirtualTime::from_picos(r.word()?);
+            let at = r.position();
+            let cause = match r.word()? {
+                0 => TransportDead::PeerGone,
+                1 => TransportDead::BudgetExhausted,
+                _ => return Err(r.corrupt_at(at)),
+            };
             Some(RetryExhausted {
                 direction,
-                seq: r.u32()?,
-                retries: r.u32()?,
+                seq,
+                retries,
+                idle,
+                cause,
             })
         } else {
             None
@@ -1021,13 +1098,33 @@ impl<T: Transport + crate::poll::PollReady> crate::poll::PollReady for ReliableT
     /// retransmission clock only advances when the owner polls. A scheduler
     /// must therefore never park a session that still owes the wire a
     /// repair; parking happens only when the layer is fully drained.
+    ///
+    /// The exception is a medium that reports itself `Dead` while repairs
+    /// are still owed: no retransmission can ever land, so the layer fails
+    /// fast — it records a [`TransportDead::PeerGone`] failure, drops the
+    /// outstanding frames (pending reaches zero, starvation becomes a
+    /// detectable deadlock), and reports `Dead` instead of burning the
+    /// whole retry budget against a link it knows is gone. Deliverable
+    /// frames are still surfaced first: data decoded before the link died
+    /// belongs to the consumer.
     fn readiness(&mut self) -> crate::poll::Readiness {
-        if self.recv.iter().any(|r| !r.deliverable.is_empty())
-            || self
-                .send
-                .iter()
-                .any(|s| !s.unacked.is_empty() || !s.backlog.is_empty())
-        {
+        if self.recv.iter().any(|r| !r.deliverable.is_empty()) {
+            return crate::poll::Readiness::Ready;
+        }
+        let outstanding = self
+            .send
+            .iter()
+            .any(|s| !s.unacked.is_empty() || !s.backlog.is_empty());
+        if outstanding {
+            if self.inner.readiness() == crate::poll::Readiness::Dead {
+                for direction in Direction::BOTH {
+                    let state = &self.send[direction.index()];
+                    if !state.unacked.is_empty() || !state.backlog.is_empty() {
+                        self.abandon_direction(direction, TransportDead::PeerGone);
+                    }
+                }
+                return crate::poll::Readiness::Dead;
+            }
             return crate::poll::Readiness::Ready;
         }
         self.inner.readiness()
@@ -1259,6 +1356,64 @@ mod tests {
         // And re-saving is bit-equal to the state both started from… after
         // identical further traffic, both snapshots still agree.
         assert_eq!(save_to_vec(&t), save_to_vec(&resumed));
+    }
+
+    #[test]
+    fn peer_death_fails_fast_with_a_typed_cause() {
+        use crate::lossy::{FaultSpec, LossyTransport};
+        use crate::poll::{PollReady, Readiness};
+        use crate::threaded::ThreadedTransport;
+        // The link is severed from frame zero: the very first data frame
+        // vanishes and the medium reports itself dead. (A threaded endpoint
+        // rather than a queue: readiness needs a `PollReady` medium.)
+        let (sim_end, _acc_end) = ThreadedTransport::pair();
+        let mut t = ReliableTransport::new(
+            LossyTransport::new(sim_end, FaultSpec::disconnect_after(1, 0)),
+            ReliableConfig::default(),
+            ChannelCostModel::iprove_pci(),
+        )
+        .for_side(Side::Simulator);
+        t.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![9]));
+        assert!(t.pending(Side::Accelerator) > 0, "frame is outstanding");
+        // One readiness probe is enough: no retry budget is burned.
+        assert_eq!(t.readiness(), Readiness::Dead);
+        let failure = t.failure().expect("death must be recorded");
+        assert_eq!(failure.cause, TransportDead::PeerGone);
+        assert_eq!(failure.seq, 0);
+        assert_eq!(failure.retries, 0, "fail-fast, not budget burn");
+        // Outstanding work is dropped so starvation is detectable.
+        assert_eq!(t.pending(Side::Accelerator), 0);
+        assert_eq!(t.readiness(), Readiness::Dead, "death is sticky");
+    }
+
+    #[test]
+    fn enriched_failure_survives_a_snapshot_round_trip() {
+        use crate::lossy::{FaultSpec, LossyTransport};
+        use predpkt_sim::{restore_from_vec, save_to_vec};
+        let lossy = || {
+            ReliableTransport::new(
+                LossyTransport::new(QueueTransport::new(), FaultSpec::drops(3, 1.0)),
+                ReliableConfig::default().retry_budget(2),
+                ChannelCostModel::iprove_pci(),
+            )
+        };
+        let mut t = lossy();
+        t.send(Side::Simulator, Packet::new(PacketTag::Handshake, vec![7]));
+        let mut polls = 0;
+        while t.failure().is_none() {
+            assert!(polls < 100_000, "layer never gave up");
+            assert!(t.recv(Side::Accelerator).is_none());
+            polls += 1;
+        }
+        let failure = t.failure().unwrap();
+        assert_eq!(failure.cause, TransportDead::BudgetExhausted);
+        assert!(failure.idle > VirtualTime::ZERO, "idle time was accrued");
+
+        let state = save_to_vec(&t);
+        let mut resumed = lossy();
+        restore_from_vec(&mut resumed, &state).unwrap();
+        assert_eq!(resumed.failure(), Some(failure), "cause and idle survive");
+        assert_eq!(save_to_vec(&resumed), state);
     }
 
     #[test]

@@ -60,10 +60,10 @@ fn lossy_seeded_batch_matches_sequential_fault_for_fault() {
     // delivered sequence (and the fault counters) are identical.
     let packets = packet_mix();
     let spec = FaultSpec {
-        seed: 0x5eed,
         drop_rate: 0.2,
         truncate_rate: 0.2,
         duplicate_rate: 0.2,
+        ..FaultSpec::none(0x5eed)
     };
     let mut sequential = LossyTransport::over_queue(spec);
     for p in &packets {

@@ -5,7 +5,7 @@
 
 use predpkt_channel::{
     ChannelCostModel, FaultSpec, LossyTransport, Packet, PacketTag, QueueTransport, RecoveryStats,
-    ReliableConfig, ReliableTransport, Side, Transport, DATA_HEADER_WORDS,
+    ReliableConfig, ReliableTransport, Side, Transport, TransportDead, DATA_HEADER_WORDS,
 };
 
 type ReliableLossy = ReliableTransport<LossyTransport<QueueTransport>>;
@@ -194,10 +194,10 @@ fn duplicates_are_suppressed() {
 fn mixed_fault_storm_still_delivers_bit_exact() {
     for seed in [11, 22, 33, 44] {
         let spec = FaultSpec {
-            seed,
             drop_rate: 0.2,
             truncate_rate: 0.15,
             duplicate_rate: 0.2,
+            ..FaultSpec::none(seed)
         };
         let mut t = reliable_over(spec, ReliableConfig::default());
         let got = pump_through(&mut t, 32, 400_000);
@@ -269,6 +269,14 @@ fn exhausted_budget_reports_failure_instead_of_hanging() {
     let failure = t.failure().unwrap();
     assert_eq!(failure.seq, 0);
     assert_eq!(failure.retries, 3);
+    assert_eq!(failure.cause, TransportDead::BudgetExhausted);
+    // The frame idled from first transmission to abandonment: at least the
+    // RTO per retry round, on the layer's own virtual clock.
+    assert!(
+        failure.idle >= ReliableConfig::default().rto * 3,
+        "idle {} too short for 3 retry rounds",
+        failure.idle
+    );
     // After abandonment nothing is pending: the starvation is detectable.
     assert_eq!(t.pending(Side::Accelerator), 0);
     assert_eq!(t.recovery_stats().retransmits, 3);

@@ -384,6 +384,21 @@ impl<M: DomainModel, T: Transport> CoEmulator<M, T> {
         self
     }
 
+    /// Dismantles the co-emulator, salvaging the domain models, the
+    /// configuration, and the observer — everything a fresh session built on
+    /// a *new* transport needs. Used by
+    /// [`EmuSession::resume_from`](crate::EmuSession::resume_from): wrapper,
+    /// channel, and ledger state are deliberately dropped, because a
+    /// checkpoint restore rebuilds all of it.
+    pub fn into_parts(self) -> (M, M, CoEmuConfig, Box<dyn EmuObserver>) {
+        (
+            self.sim.into_model(),
+            self.acc.into_model(),
+            self.config,
+            self.observer,
+        )
+    }
+
     /// Replaces the observer.
     pub fn set_observer(&mut self, observer: Box<dyn EmuObserver>) {
         self.observer = observer;

@@ -104,13 +104,47 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! When the *transport* is what died — socket reset, severed link,
+//! exhausted retry budget — there is no need to rebuild by hand:
+//! [`EmuSession::resume_from`] consumes the dead session, salvages its
+//! domain models and configuration, builds a **fresh** transport from a
+//! [`TransportSelect`], and rewinds it onto the cut. Run to the original
+//! target and the commit is bit-identical to a run that never failed
+//! (asserted across every fault-capable backend by the kill-at-every-
+//! boundary sweeps in `tests/self_healing.rs`):
+//!
+//! ```
+//! # use predpkt_core::{EmuSession, ModePolicy, Side, SocBlueprint, TransportSelect};
+//! # use predpkt_ahb::engine::BusOp;
+//! # use predpkt_ahb::masters::TrafficGenMaster;
+//! # use predpkt_ahb::slaves::MemorySlave;
+//! # let blueprint = SocBlueprint::new()
+//! #     .master(Side::Accelerator, || {
+//! #         Box::new(TrafficGenMaster::from_ops(vec![BusOp::write_single(0x40, 7)]).looping())
+//! #     })
+//! #     .slave(Side::Simulator, 0x0, 0x1000, || Box::new(MemorySlave::new(0x1000, 0)));
+//! let mut session = EmuSession::from_blueprint(&blueprint).policy(ModePolicy::Auto).build()?;
+//! session.run_until_committed(100)?;
+//! let ckpt = session.checkpoint()?; // …the link dies somewhere after this cut
+//!
+//! // Self-healing in one call: fresh transport, same models, rewound cut.
+//! let mut healed = session.resume_from(&ckpt, TransportSelect::Queue)?;
+//! healed.run_until_committed(200)?;
+//! assert!(healed.committed_cycles() >= 200);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! Long-running sliced sessions can capture cuts automatically
-//! ([`SlicedSession::set_auto_checkpoint`]): the farm crate uses this so an
-//! evicted session leaves carrying its latest consistent cut instead of
-//! losing the run. A failed restore — wrong backend, truncated blob, bad
-//! CRC, mismatched section shape — is a typed [`CheckpointError`] and never
-//! a half-restored session: the target is poisoned and refuses to step
-//! until a later restore succeeds.
+//! ([`SlicedSession::set_auto_checkpoint`]): the farm crate uses this so a
+//! failed or evicted session leaves carrying its latest consistent cut
+//! instead of losing the run — and, under a `ReadmitPolicy`, heals it
+//! without caller involvement: `SessionFarm::submit_healable` re-admits the
+//! death onto a fresh transport after exponential backoff, within a bounded
+//! retry budget (declined heals are counted, never silent). A failed
+//! restore — wrong backend, truncated blob, bad CRC, mismatched section
+//! shape — is a typed [`CheckpointError`] and never a half-restored
+//! session: the target is poisoned and refuses to step until a later
+//! restore succeeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -92,6 +92,10 @@ pub enum SessionError {
     /// A socket-backed transport could not be set up (bind, connect, or
     /// accept failed).
     Io(std::io::Error),
+    /// A checkpoint restore failed while resuming a session
+    /// ([`EmuSession::resume_from`]): the rebuilt session rejected the cut —
+    /// wrong backend, missing section, or corrupt words.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SessionError {
@@ -100,6 +104,7 @@ impl fmt::Display for SessionError {
             SessionError::Config(e) => write!(f, "invalid configuration: {e}"),
             SessionError::Bus(e) => write!(f, "invalid blueprint: {e}"),
             SessionError::Io(e) => write!(f, "transport setup failed: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "resume failed: {e}"),
         }
     }
 }
@@ -110,7 +115,14 @@ impl Error for SessionError {
             SessionError::Config(e) => Some(e),
             SessionError::Bus(e) => Some(e),
             SessionError::Io(e) => Some(e),
+            SessionError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
     }
 }
 
@@ -996,6 +1008,50 @@ impl<M: DomainModel + Send + 'static> EmuSession<M> {
         with_inner!(&mut self.inner, |c| c.restore_from(ckpt), |t| t
             .restore_from(ckpt))
     }
+
+    /// Rebuilds this session on a **fresh transport** and rewinds it onto
+    /// `ckpt` — the self-healing path for a session whose transport died
+    /// (socket reset, severed link, exhausted retry budget). The dead
+    /// session is consumed: its domain models, configuration, and observer
+    /// are salvaged (their current state is irrelevant — the restore
+    /// overwrites every bit of it), everything transport-scoped is dropped,
+    /// and the checkpoint's committed prefix is restored into the new
+    /// session exactly as [`restore`](Self::restore) would.
+    ///
+    /// Running the result to the original target then commits results
+    /// bit-identical to a run that never failed — asserted across backends
+    /// by the terminal-fault sweeps in `tests/self_healing.rs`.
+    ///
+    /// `transport` must produce the same [`backend`](Self::backend) name the
+    /// checkpoint was taken on (a *new instance* of the same shape — fresh
+    /// sockets, fresh rings, fresh fault-injector state); a mismatch is
+    /// rejected before any state is touched.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Config`]/[`SessionError::Io`] if the fresh transport
+    /// cannot be built, and [`SessionError::Checkpoint`] if the rebuilt
+    /// session rejects the cut (backend mismatch, missing section, corrupt
+    /// words).
+    pub fn resume_from(
+        self,
+        ckpt: &SessionCheckpoint,
+        transport: TransportSelect,
+    ) -> Result<EmuSession<M>, SessionError> {
+        let (sim, acc, config, observer) = self.into_parts();
+        let mut session = EmuSession::builder(sim, acc)
+            .config(config)
+            .transport(transport)
+            .observer(observer)
+            .build()?;
+        session.restore(ckpt)?;
+        Ok(session)
+    }
+
+    /// Dismantles the session, salvaging the pieces a rebuild needs.
+    fn into_parts(self) -> (M, M, CoEmuConfig, Box<dyn EmuObserver>) {
+        with_inner!(self.inner, |c| c.into_parts(), |t| t.into_parts())
+    }
 }
 
 /// Runs a per-side-reliable threaded session to completion and maps the
@@ -1092,6 +1148,8 @@ pub(crate) fn retry_exhausted(f: RetryExhausted, seed: u64, cycle: u64) -> SimEr
         seq: f.seq as u64,
         retries: f.retries,
         cycle,
+        idle_picos: f.idle.as_picos(),
+        peer_gone: f.cause == predpkt_channel::TransportDead::PeerGone,
     }
 }
 
@@ -1161,6 +1219,22 @@ impl<M: DomainModel + Send + 'static, E: WaitTransport + Send> ThreadedSession<M
 
     fn committed_cycles(&self) -> u64 {
         self.sim.cycle().min(self.acc.cycle())
+    }
+
+    /// Dismantles the session, salvaging models, configuration, and
+    /// observer for a rebuild on a fresh transport (endpoints, channels,
+    /// and ledgers are transport-scoped or restored from the checkpoint).
+    fn into_parts(self) -> (M, M, CoEmuConfig, Box<dyn EmuObserver>) {
+        let observer = match self.observer {
+            Some(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+            None => Box::new(NoopObserver),
+        };
+        (
+            self.sim.into_model(),
+            self.acc.into_model(),
+            self.config,
+            observer,
+        )
     }
 
     fn merged_ledger(&self) -> TimeLedger {

@@ -365,6 +365,14 @@ impl<M: DomainModel> ChannelWrapper<M> {
         &self.model
     }
 
+    /// Consumes the wrapper, returning the model — for salvaging the domain
+    /// models out of a dead session so a fresh one can be rebuilt around
+    /// them (a checkpoint restore overwrites every bit of model state, so
+    /// the models' current values are irrelevant).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &CwStats {
         &self.stats

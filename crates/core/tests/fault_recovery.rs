@@ -172,10 +172,10 @@ fn mixed_fault_storm_commits_bit_identical_results() {
     let baseline = run(TransportSelect::Queue, cycles);
     for seed in SEEDS {
         let spec = FaultSpec {
-            seed,
             drop_rate: 0.1,
             truncate_rate: 0.08,
             duplicate_rate: 0.1,
+            ..FaultSpec::none(seed)
         };
         let faulty = run(reliable_lossy(spec), cycles);
         assert_recovered_bit_identical(&format!("mixed seed {seed:#x}"), &baseline, &faulty);
@@ -192,10 +192,10 @@ fn seeded_fault_sweep_over_localhost_socket_commits_bit_identical_results() {
     let baseline = run(TransportSelect::Queue, cycles);
     for seed in SEEDS {
         let spec = FaultSpec {
-            seed,
             drop_rate: 0.1,
             truncate_rate: 0.08,
             duplicate_rate: 0.1,
+            ..FaultSpec::none(seed)
         };
         let faulty = run(reliable_tcp_lossy(spec), cycles);
         assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);
@@ -213,10 +213,10 @@ fn seeded_fault_sweep_over_shared_memory_ring_commits_bit_identical_results() {
     let baseline = run(TransportSelect::Queue, cycles);
     for seed in SEEDS {
         let spec = FaultSpec {
-            seed,
             drop_rate: 0.1,
             truncate_rate: 0.08,
             duplicate_rate: 0.1,
+            ..FaultSpec::none(seed)
         };
         let faulty = run(reliable_shm_lossy(spec), cycles);
         assert_recovered_bit_identical(&format!("shm mixed seed {seed:#x}"), &baseline, &faulty);
@@ -312,6 +312,8 @@ fn exhausted_retry_budget_surfaces_typed_error_with_seed() {
         seq: 0,
         retries: 2,
         cycle: 0,
+        idle_picos: 0,
+        peer_gone: false,
     };
     assert!(err.to_string().contains(&seed.to_string()), "{err}");
 }
@@ -356,10 +358,10 @@ fn wide_seeded_recovery_sweep() {
             (
                 "mixed",
                 FaultSpec {
-                    seed,
                     drop_rate: 0.15,
                     truncate_rate: 0.12,
                     duplicate_rate: 0.15,
+                    ..FaultSpec::none(seed)
                 },
             ),
         ] {
@@ -367,10 +369,10 @@ fn wide_seeded_recovery_sweep() {
             assert_recovered_bit_identical(&format!("{label} seed {seed:#x}"), &baseline, &faulty);
         }
         let socket_spec = FaultSpec {
-            seed,
             drop_rate: 0.1,
             truncate_rate: 0.08,
             duplicate_rate: 0.1,
+            ..FaultSpec::none(seed)
         };
         let faulty = run(reliable_tcp_lossy(socket_spec), cycles);
         assert_recovered_bit_identical(&format!("tcp mixed seed {seed:#x}"), &baseline, &faulty);

@@ -21,6 +21,7 @@ pub struct FarmConfig {
     pub(crate) keep_sessions: bool,
     pub(crate) start_paused: bool,
     pub(crate) checkpoint_evictions: bool,
+    pub(crate) readmit: Option<ReadmitPolicy>,
 }
 
 impl Default for FarmConfig {
@@ -34,7 +35,111 @@ impl Default for FarmConfig {
             keep_sessions: false,
             start_paused: false,
             checkpoint_evictions: false,
+            readmit: None,
         }
+    }
+}
+
+/// Re-admission knobs for self-healing sessions (see
+/// [`SessionFarm::submit_healable`](crate::SessionFarm::submit_healable)).
+///
+/// When a healable session dies — a transport failure surfaced as
+/// [`SessionOutcome::Failed`](crate::SessionOutcome::Failed), or an eviction
+/// after wedging — the farm schedules a retry instead of recording the
+/// death: after an exponential-backoff delay it rebuilds the session on a
+/// **fresh** transport (the respawn closure), restores the latest boundary
+/// checkpoint the dead incarnation carried out, and runs on. The budget is
+/// bounded twice over: per session by [`max_retries`](Self::max_retries),
+/// and farm-wide by [`max_outstanding`](Self::max_outstanding) deaths
+/// waiting out their backoff at once. A death the policy declines to retry
+/// is **never silent** — it lands as the session's final outcome and counts
+/// in [`FarmStats::gave_up`](crate::FarmStats::gave_up).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadmitPolicy {
+    pub(crate) max_retries: u32,
+    pub(crate) base_delay: Duration,
+    pub(crate) max_delay: Duration,
+    pub(crate) max_outstanding: usize,
+}
+
+impl Default for ReadmitPolicy {
+    fn default() -> Self {
+        ReadmitPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            max_outstanding: 32,
+        }
+    }
+}
+
+impl ReadmitPolicy {
+    /// The default policy (3 retries, 1ms–100ms exponential backoff, 32
+    /// outstanding re-admissions).
+    pub fn new() -> Self {
+        ReadmitPolicy::default()
+    }
+
+    /// Times one session may be re-admitted before the farm gives up on it.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Delay before the first re-admission; each subsequent retry of the
+    /// same session doubles it (capped at [`max_delay`](Self::max_delay)).
+    /// Zero means immediate re-admission.
+    pub fn base_delay(mut self, delay: Duration) -> Self {
+        self.base_delay = delay;
+        self
+    }
+
+    /// Ceiling on the per-retry backoff delay.
+    pub fn max_delay(mut self, delay: Duration) -> Self {
+        self.max_delay = delay;
+        self
+    }
+
+    /// Farm-wide cap on deaths waiting out their backoff at once; a death
+    /// arriving past the cap is given up immediately (and counted).
+    pub fn max_outstanding(mut self, cap: usize) -> Self {
+        self.max_outstanding = cap;
+        self
+    }
+
+    /// The backoff delay before retry number `retries` (0-based):
+    /// `base_delay * 2^retries`, capped at `max_delay`.
+    pub(crate) fn delay_for(&self, retries: u32) -> Duration {
+        let factor = 1u32.checked_shl(retries).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .unwrap_or(self.max_delay)
+            .min(self.max_delay)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), KnobError> {
+        if self.max_retries == 0 {
+            return Err(KnobError::new(
+                "readmit.max_retries",
+                "a zero-retry policy can never re-admit; drop the policy instead",
+            ));
+        }
+        if self.max_outstanding == 0 {
+            return Err(KnobError::new(
+                "readmit.max_outstanding",
+                "a zero-slot re-admission queue gives up on every death",
+            ));
+        }
+        if self.max_delay < self.base_delay {
+            return Err(KnobError::new(
+                "readmit.max_delay",
+                format!(
+                    "backoff ceiling below its base ({:?} < {:?})",
+                    self.max_delay, self.base_delay
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -107,6 +212,18 @@ impl FarmConfig {
         self
     }
 
+    /// Arms self-healing re-admission: sessions admitted through
+    /// [`submit_healable`](crate::SessionFarm::submit_healable) that die of
+    /// a transport failure or eviction are rebuilt on a fresh transport and
+    /// resumed from their latest boundary checkpoint, under `policy`'s
+    /// backoff schedule and budgets. Combine with
+    /// [`checkpoint_evictions`](Self::checkpoint_evictions) — without it the
+    /// dead session carries no cut and healing restarts from cycle zero.
+    pub fn readmit(mut self, policy: ReadmitPolicy) -> Self {
+        self.readmit = Some(policy);
+        self
+    }
+
     /// Start with the scheduler paused: sessions are admitted (and counted
     /// against capacity) but none execute until
     /// [`resume`](crate::SessionFarm::resume). Deterministic
@@ -146,6 +263,9 @@ impl FarmConfig {
                     self.deadlock_timeout, self.park_slice
                 ),
             ));
+        }
+        if let Some(policy) = &self.readmit {
+            policy.validate()?;
         }
         Ok(())
     }
@@ -208,6 +328,40 @@ mod tests {
     fn zero_workers_is_rejected() {
         let err = FarmConfig::new().workers(0).validate().unwrap_err();
         assert!(err.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn readmit_policy_validates_through_the_farm_config() {
+        assert!(FarmConfig::new()
+            .readmit(ReadmitPolicy::new())
+            .validate()
+            .is_ok());
+        let err = FarmConfig::new()
+            .readmit(ReadmitPolicy::new().max_retries(0))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_retries"));
+        let err = FarmConfig::new()
+            .readmit(
+                ReadmitPolicy::new()
+                    .base_delay(Duration::from_millis(50))
+                    .max_delay(Duration::from_millis(1)),
+            )
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_delay"));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = ReadmitPolicy::new()
+            .base_delay(Duration::from_millis(2))
+            .max_delay(Duration::from_millis(12));
+        assert_eq!(policy.delay_for(0), Duration::from_millis(2));
+        assert_eq!(policy.delay_for(1), Duration::from_millis(4));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(8));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(12));
+        assert_eq!(policy.delay_for(60), Duration::from_millis(12));
     }
 
     #[test]

@@ -25,6 +25,17 @@ use crate::stats::{percentile, FarmReport, FarmResult, FarmStats, SessionOutcome
 pub type SessionId = u64;
 
 type BuildFn<M> = Box<dyn FnOnce() -> Result<SlicedSession<M>, SessionError> + Send>;
+type RespawnFn<M> = Box<dyn FnMut() -> Result<SlicedSession<M>, SessionError> + Send>;
+
+/// The self-healing hook a [`submit_healable`](SessionFarm::submit_healable)
+/// job carries for its whole life: a reusable builder producing a fresh
+/// incarnation of the session (fresh sockets, fresh rings, fresh injector
+/// state), plus the count of re-admissions already spent against the
+/// [`ReadmitPolicy`](crate::ReadmitPolicy) budget.
+struct Heal<M: DomainModel + Send + 'static> {
+    respawn: RespawnFn<M>,
+    retries: u32,
+}
 
 /// Sessions are admitted *unbuilt*: the build closure runs on the worker that
 /// first schedules the session, so ten thousand queued sessions do not mean
@@ -32,12 +43,30 @@ type BuildFn<M> = Box<dyn FnOnce() -> Result<SlicedSession<M>, SessionError> + S
 enum JobState<M: DomainModel + Send + 'static> {
     Unbuilt(BuildFn<M>),
     Built(Box<SlicedSession<M>>),
+    /// (Re)build via the job's [`Heal`] closure — the healable twin of
+    /// `Unbuilt`, usable any number of times.
+    Respawn,
 }
 
 struct Job<M: DomainModel + Send + 'static> {
     id: SessionId,
     submitted: Instant,
     state: JobState<M>,
+    /// The self-healing hook, present for `submit_healable` jobs.
+    heal: Option<Heal<M>>,
+    /// A checkpoint to restore right after the next (re)build — the cut the
+    /// previous incarnation died carrying.
+    resume: Option<Box<SessionCheckpoint>>,
+}
+
+/// A death the re-admission policy accepted, waiting out its backoff delay.
+/// Promoted back onto the run queue once `due` passes.
+struct PendingReadmit<M: DomainModel + Send + 'static> {
+    id: SessionId,
+    submitted: Instant,
+    due: Instant,
+    resume: Option<Box<SessionCheckpoint>>,
+    heal: Heal<M>,
 }
 
 /// A parked session: blocked on its medium, costing zero threads.
@@ -51,7 +80,7 @@ impl<M: DomainModel + Send + 'static> PollReady for Parked<M> {
         match &mut self.job.state {
             JobState::Built(s) => s.readiness(),
             // Unreachable: only built sessions ever park.
-            JobState::Unbuilt(_) => Readiness::Ready,
+            JobState::Unbuilt(_) | JobState::Respawn => Readiness::Ready,
         }
     }
 }
@@ -59,12 +88,19 @@ impl<M: DomainModel + Send + 'static> PollReady for Parked<M> {
 struct State<M: DomainModel + Send + 'static> {
     runnable: VecDeque<Job<M>>,
     parked: Vec<Parked<M>>,
+    /// Healable deaths waiting out their backoff; still `outstanding`.
+    pending_readmits: Vec<PendingReadmit<M>>,
     results: Vec<FarmResult<M>>,
     cancelled: HashSet<SessionId>,
-    /// Sessions admitted and not yet resolved (runnable + parked + executing).
+    /// Sessions admitted and not yet resolved (runnable + parked + executing
+    /// + waiting out a re-admission backoff).
     outstanding: usize,
     submitted: u64,
     parked_events: u64,
+    readmitted: u64,
+    gave_up: u64,
+    /// Cumulative scheduled backoff delay across all re-admissions.
+    backoff_ns: u64,
     busy_ns: u64,
     paused: bool,
     closing: bool,
@@ -86,6 +122,8 @@ enum Turn<M: DomainModel + Send + 'static> {
         submitted: Instant,
         outcome: SessionOutcome,
         session: Option<Box<SlicedSession<M>>>,
+        /// Returned so the scheduler can re-admit a healable death.
+        heal: Option<Heal<M>>,
     },
 }
 
@@ -110,11 +148,15 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
             state: Mutex::new(State {
                 runnable: VecDeque::new(),
                 parked: Vec::new(),
+                pending_readmits: Vec::new(),
                 results: Vec::new(),
                 cancelled: HashSet::new(),
                 outstanding: 0,
                 submitted: 0,
                 parked_events: 0,
+                readmitted: 0,
+                gave_up: 0,
+                backoff_ns: 0,
                 busy_ns: 0,
                 paused,
                 closing: false,
@@ -155,17 +197,59 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
     where
         F: FnOnce() -> Result<SlicedSession<M>, SessionError> + Send + 'static,
     {
-        self.admit(JobState::Unbuilt(Box::new(build)))
+        self.admit(JobState::Unbuilt(Box::new(build)), None)
     }
 
     /// Admits an already-built session. Prefer [`submit`](Self::submit) when
     /// queueing many: an unbuilt session holds no transport resources while
     /// it waits.
     pub fn submit_session(&self, session: SlicedSession<M>) -> Result<SessionId, FarmError> {
-        self.admit(JobState::Built(Box::new(session)))
+        self.admit(JobState::Built(Box::new(session)), None)
     }
 
-    fn admit(&self, state: JobState<M>) -> Result<SessionId, FarmError> {
+    /// Admits a **self-healing** session: `respawn` builds a fresh
+    /// incarnation (fresh transport — new sockets, new rings, new injector
+    /// state) every time it is called, and the farm calls it again after
+    /// each death the configured [`ReadmitPolicy`](crate::ReadmitPolicy)
+    /// accepts, restoring the latest boundary checkpoint the dead
+    /// incarnation carried before running on. The session keeps its
+    /// [`SessionId`] across incarnations; its [`FarmResult`] reflects the
+    /// final outcome and its latency spans admission to that outcome,
+    /// healing delays included.
+    ///
+    /// Deaths eligible for healing are transport-shaped: an emulation
+    /// failure ([`SessionOutcome::Failed`]) or an eviction after wedging
+    /// ([`SessionOutcome::Evicted`](crate::SessionOutcome::Evicted)). Build
+    /// failures, panics, and cancellations are final. Combine with
+    /// [`checkpoint_evictions`](FarmConfig::checkpoint_evictions) so the
+    /// dead incarnation carries a cut — without it healing restarts from
+    /// cycle zero.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`submit`](Self::submit), plus [`FarmError::Config`] when
+    /// the farm was built without [`FarmConfig::readmit`] — a healable
+    /// session with no policy to heal it under is a contradiction.
+    pub fn submit_healable<F>(&self, respawn: F) -> Result<SessionId, FarmError>
+    where
+        F: FnMut() -> Result<SlicedSession<M>, SessionError> + Send + 'static,
+    {
+        if self.shared.cfg.readmit.is_none() {
+            return Err(FarmError::Config(predpkt_channel::KnobError::new(
+                "readmit",
+                "submit_healable needs a ReadmitPolicy (FarmConfig::readmit)",
+            )));
+        }
+        self.admit(
+            JobState::Respawn,
+            Some(Heal {
+                respawn: Box::new(respawn),
+                retries: 0,
+            }),
+        )
+    }
+
+    fn admit(&self, state: JobState<M>, heal: Option<Heal<M>>) -> Result<SessionId, FarmError> {
         let mut guard = self.lock();
         if guard.closing {
             return Err(FarmError::Closed);
@@ -182,6 +266,8 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
             id,
             submitted: Instant::now(),
             state,
+            heal,
+            resume: None,
         });
         drop(guard);
         self.shared.work.notify_one();
@@ -231,6 +317,9 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
             panicked: 0,
             evicted: 0,
             cancelled: 0,
+            readmitted: state.readmitted,
+            gave_up: state.gave_up,
+            backoff: std::time::Duration::from_nanos(state.backoff_ns),
             parked_events: state.parked_events,
             workers: self.shared.cfg.workers,
             wall,
@@ -246,7 +335,7 @@ impl<M: DomainModel + Send + 'static> SessionFarm<M> {
                     stats.completed += 1;
                     latencies.push(r.latency);
                 }
-                SessionOutcome::Failed(_) => stats.failed += 1,
+                SessionOutcome::Failed { .. } => stats.failed += 1,
                 SessionOutcome::BuildFailed(_) => stats.build_failed += 1,
                 SessionOutcome::Panicked(_) => stats.panicked += 1,
                 SessionOutcome::Evicted { .. } => stats.evicted += 1,
@@ -282,11 +371,16 @@ fn worker_loop<M: DomainModel + Send + 'static>(shared: &Shared<M>) {
             }
             // `closing` overrides `paused` so join() always drains.
             let active = !state.paused || state.closing;
+            if active {
+                promote_due_readmits(&mut state);
+            }
             let can_run = active && !state.runnable.is_empty();
             let can_poll = active && !state.parked.is_empty() && !state.poller_active;
             if can_run || can_poll {
                 break;
             }
+            // The park-slice timeout doubles as the re-admission clock: a
+            // backoff delay expires within one slice of its due time.
             state = shared
                 .work
                 .wait_timeout(state, shared.cfg.park_slice)
@@ -303,7 +397,7 @@ fn worker_loop<M: DomainModel + Send + 'static>(shared: &Shared<M>) {
                     SessionOutcome::Cancelled,
                     match job.state {
                         JobState::Built(s) => Some(*s),
-                        JobState::Unbuilt(_) => None,
+                        JobState::Unbuilt(_) | JobState::Respawn => None,
                     },
                 );
                 continue;
@@ -335,19 +429,105 @@ fn worker_loop<M: DomainModel + Send + 'static>(shared: &Shared<M>) {
                     submitted,
                     outcome,
                     session,
-                } => finish(
+                    heal,
+                } => settle(
                     shared,
                     &mut state,
                     id,
                     submitted,
                     outcome,
                     session.map(|s| *s),
+                    heal,
                 ),
             }
         } else {
             poll_parked(shared, state, &poll_set);
         }
     }
+}
+
+/// Moves every pending re-admission whose backoff has expired back onto the
+/// run queue (as a respawn job carrying its predecessor's cut). Idempotent
+/// under the lock — every waking worker may call it.
+fn promote_due_readmits<M: DomainModel + Send + 'static>(state: &mut State<M>) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < state.pending_readmits.len() {
+        if state.pending_readmits[i].due <= now {
+            let p = state.pending_readmits.swap_remove(i);
+            state.runnable.push_back(Job {
+                id: p.id,
+                submitted: p.submitted,
+                state: JobState::Respawn,
+                heal: Some(p.heal),
+                resume: p.resume,
+            });
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Routes a finished turn: healable deaths the [`ReadmitPolicy`] accepts are
+/// scheduled for re-admission (no result recorded — the session is still
+/// outstanding); everything else lands as the session's final outcome. A
+/// death the policy declines is counted in `gave_up` and then recorded — a
+/// refused heal is never silent.
+#[allow(clippy::too_many_arguments)]
+fn settle<M: DomainModel + Send + 'static>(
+    shared: &Shared<M>,
+    state: &mut State<M>,
+    id: SessionId,
+    submitted: Instant,
+    outcome: SessionOutcome,
+    session: Option<SlicedSession<M>>,
+    heal: Option<Heal<M>>,
+) {
+    let healable = matches!(
+        outcome,
+        SessionOutcome::Failed { .. } | SessionOutcome::Evicted { .. }
+    );
+    if let (Some(mut heal), Some(policy), true) = (heal, shared.cfg.readmit, healable) {
+        if state.cancelled.remove(&id) {
+            finish(
+                shared,
+                state,
+                id,
+                submitted,
+                SessionOutcome::Cancelled,
+                session,
+            );
+            return;
+        }
+        if heal.retries >= policy.max_retries
+            || state.pending_readmits.len() >= policy.max_outstanding
+        {
+            state.gave_up += 1;
+            finish(shared, state, id, submitted, outcome, session);
+            return;
+        }
+        let resume = match outcome {
+            SessionOutcome::Failed { checkpoint, .. } => checkpoint,
+            SessionOutcome::Evicted { checkpoint } => checkpoint,
+            _ => unreachable!("healable outcomes carry the checkpoint"),
+        };
+        let delay = policy.delay_for(heal.retries);
+        heal.retries += 1;
+        state.readmitted += 1;
+        state.backoff_ns += delay.as_nanos() as u64;
+        // The dead incarnation's transport-scoped remains drop here; the
+        // respawn closure builds the fresh one when the retry comes due.
+        drop(session);
+        state.pending_readmits.push(PendingReadmit {
+            id,
+            submitted,
+            due: Instant::now() + delay,
+            resume,
+            heal,
+        });
+        return;
+    }
+    finish(shared, state, id, submitted, outcome, session);
 }
 
 /// One scheduling turn for one job, run outside the farm lock. Panics in the
@@ -358,6 +538,8 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> T
         id,
         submitted,
         state,
+        mut heal,
+        mut resume,
     } = job;
     let mut session = match state {
         JobState::Built(s) => s,
@@ -369,6 +551,7 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> T
                     submitted,
                     outcome: SessionOutcome::BuildFailed(e),
                     session: None,
+                    heal,
                 }
             }
             Err(panic) => {
@@ -377,10 +560,53 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> T
                     submitted,
                     outcome: SessionOutcome::Panicked(panic_message(panic)),
                     session: None,
+                    heal,
                 }
             }
         },
+        JobState::Respawn => {
+            let respawn = heal
+                .as_mut()
+                .map(|h| &mut h.respawn)
+                .expect("respawn jobs carry their heal hook");
+            match catch_unwind(AssertUnwindSafe(respawn)) {
+                Ok(Ok(s)) => Box::new(s),
+                Ok(Err(e)) => {
+                    return Turn::Finished {
+                        id,
+                        submitted,
+                        outcome: SessionOutcome::BuildFailed(e),
+                        session: None,
+                        heal,
+                    }
+                }
+                Err(panic) => {
+                    return Turn::Finished {
+                        id,
+                        submitted,
+                        outcome: SessionOutcome::Panicked(panic_message(panic)),
+                        session: None,
+                        heal,
+                    }
+                }
+            }
+        }
     };
+    if let Some(ckpt) = resume.take() {
+        // A re-admitted incarnation rewinds onto its predecessor's cut
+        // before its first slice. A rejected cut is a build failure — the
+        // fresh session never ran, and retrying a deterministic rejection
+        // would loop, so it is final.
+        if let Err(e) = session.restore(&ckpt) {
+            return Turn::Finished {
+                id,
+                submitted,
+                outcome: SessionOutcome::BuildFailed(e.into()),
+                session: None,
+                heal,
+            };
+        }
+    }
     if cfg.checkpoint_evictions {
         // Stash a checkpoint at each committed boundary so an eviction can
         // hand the last consistent cut back instead of dropping the work.
@@ -392,22 +618,34 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> T
             submitted,
             outcome: SessionOutcome::Completed,
             session: Some(session),
+            heal,
         },
         Ok(Ok(SliceStatus::Working)) => Turn::Working(Job {
             id,
             submitted,
             state: JobState::Built(session),
+            heal,
+            resume: None,
         }),
         Ok(Ok(SliceStatus::Idle)) => Turn::Idle(Job {
             id,
             submitted,
             state: JobState::Built(session),
+            heal,
+            resume: None,
         }),
         Ok(Err(e)) => Turn::Finished {
             id,
             submitted,
-            outcome: SessionOutcome::Failed(e),
+            // A failed session carries its last cut out exactly like an
+            // evicted one: a transport that died mid-run loses nothing
+            // past the latest boundary checkpoint.
+            outcome: SessionOutcome::Failed {
+                error: e,
+                checkpoint: session.take_latest_checkpoint(),
+            },
             session: Some(session),
+            heal,
         },
         // A session that panicked mid-slice is in an unknown state; drop it.
         Err(panic) => Turn::Finished {
@@ -415,6 +653,7 @@ fn run_turn<M: DomainModel + Send + 'static>(job: Job<M>, cfg: &FarmConfig) -> T
             submitted,
             outcome: SessionOutcome::Panicked(panic_message(panic)),
             session: None,
+            heal,
         },
     }
 }
@@ -491,7 +730,7 @@ fn take_checkpoint<M: DomainModel + Send + 'static>(
 ) -> Option<Box<SessionCheckpoint>> {
     match &mut p.job.state {
         JobState::Built(s) => s.take_latest_checkpoint(),
-        JobState::Unbuilt(_) => None,
+        JobState::Unbuilt(_) | JobState::Respawn => None,
     }
 }
 
@@ -501,17 +740,19 @@ fn resolve_parked<M: DomainModel + Send + 'static>(
     parked: Parked<M>,
     outcome: SessionOutcome,
 ) {
+    let heal = parked.job.heal;
     let session = match parked.job.state {
         JobState::Built(s) => Some(*s),
-        JobState::Unbuilt(_) => None,
+        JobState::Unbuilt(_) | JobState::Respawn => None,
     };
-    finish(
+    settle(
         shared,
         state,
         parked.job.id,
         parked.job.submitted,
         outcome,
         session,
+        heal,
     );
 }
 

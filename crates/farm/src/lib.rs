@@ -31,6 +31,13 @@
 //!   readable) is reported — [`SessionOutcome::Panicked`] /
 //!   [`Failed`](SessionOutcome::Failed) / [`Evicted`](SessionOutcome::Evicted)
 //!   — and its worker moves on. A wedged peer never stalls the pool.
+//! * Sessions can **self-heal**: one admitted through
+//!   [`SessionFarm::submit_healable`] under a [`ReadmitPolicy`] is, after a
+//!   transport death (failure or eviction), rebuilt on a fresh transport
+//!   after an exponential-backoff delay and resumed from the latest boundary
+//!   checkpoint its dead incarnation carried out — open-loop re-admission
+//!   with a bounded retry budget; a death the policy declines is counted in
+//!   [`FarmStats::gave_up`], never dropped silently.
 //!
 //! [`SessionFarm::join`] drains the farm and returns a [`FarmReport`]: one
 //! [`FarmResult`] per session (optionally carrying the finished
@@ -80,7 +87,7 @@ mod config;
 mod farm;
 mod stats;
 
-pub use config::{FarmConfig, FarmError};
+pub use config::{FarmConfig, FarmError, ReadmitPolicy};
 pub use farm::{SessionFarm, SessionId};
 pub use stats::{FarmReport, FarmResult, FarmStats, SessionOutcome};
 

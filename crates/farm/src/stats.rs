@@ -15,7 +15,17 @@ pub enum SessionOutcome {
     Completed,
     /// The session surfaced an emulation error (deadlock on a dead medium,
     /// retry-budget exhaustion, rollback-depth overflow, …).
-    Failed(SimError),
+    Failed {
+        /// The emulation error that killed the session.
+        error: SimError,
+        /// The session's last boundary checkpoint, when the farm was
+        /// configured with
+        /// [`checkpoint_evictions`](crate::FarmConfig::checkpoint_evictions)
+        /// and the session reached at least one committed boundary before
+        /// dying. A failed session is as re-admittable as an evicted one —
+        /// a transport that died mid-run loses nothing past the last cut.
+        checkpoint: Option<Box<predpkt_core::SessionCheckpoint>>,
+    },
     /// The session's build closure returned an error before a single slice
     /// ran — bad blueprint, unroutable address map, transport setup failure.
     BuildFailed(SessionError),
@@ -51,7 +61,14 @@ impl fmt::Display for SessionOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionOutcome::Completed => write!(f, "completed"),
-            SessionOutcome::Failed(e) => write!(f, "failed: {e}"),
+            SessionOutcome::Failed { error, checkpoint } => match checkpoint {
+                Some(c) => write!(
+                    f,
+                    "failed: {error} (checkpoint at cycle {})",
+                    c.committed_cycles()
+                ),
+                None => write!(f, "failed: {error}"),
+            },
             SessionOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
             SessionOutcome::Panicked(msg) => write!(f, "panicked: {msg}"),
             SessionOutcome::Evicted { checkpoint } => match checkpoint {
@@ -101,6 +118,20 @@ pub struct FarmStats {
     pub evicted: u64,
     /// Sessions cancelled before completion.
     pub cancelled: u64,
+    /// Deaths healed by re-admission: a failed or evicted healable session
+    /// rebuilt on a fresh transport and resumed from its last cut (see
+    /// [`ReadmitPolicy`](crate::ReadmitPolicy)). One session retried twice
+    /// counts twice.
+    pub readmitted: u64,
+    /// Deaths the re-admission policy declined to retry — per-session retry
+    /// budget exhausted or the farm-wide outstanding cap hit. Each one also
+    /// landed as a final failed/evicted outcome; this counter exists so
+    /// degraded operation is visible at the roll-up, never silent.
+    pub gave_up: u64,
+    /// Cumulative backoff delay scheduled across all re-admissions — the
+    /// wall-clock price of healing (time sessions spent waiting to retry,
+    /// not counting the rebuild itself).
+    pub backoff: Duration,
     /// Times any session was parked on the readiness poll-set.
     pub parked_events: u64,
     /// Worker threads in the pool.
@@ -126,7 +157,8 @@ impl fmt::Display for FarmStats {
         write!(
             f,
             "{} sessions over {} workers in {:.1?}: {:.0} sessions/sec, \
-             p50 {} / p99 {}, occupancy {:.0}%, {} parked, {} evicted",
+             p50 {} / p99 {}, occupancy {:.0}%, {} parked, {} evicted, \
+             {} readmitted ({} gave up, {:.1?} backoff)",
             self.completed,
             self.workers,
             self.wall,
@@ -136,6 +168,9 @@ impl fmt::Display for FarmStats {
             self.pool_occupancy * 100.0,
             self.parked_events,
             self.evicted,
+            self.readmitted,
+            self.gave_up,
+            self.backoff,
         )
     }
 }

@@ -19,8 +19,8 @@ use predpkt_core::{
     AhbDomainModel, CoEmuConfig, EmuSession, ModePolicy, ShmOptions, TcpOptions, ThreadedOpts,
     TransportSelect,
 };
-use predpkt_farm::{FarmConfig, FarmError, SessionFarm, SessionOutcome};
-use predpkt_sim::VirtualTime;
+use predpkt_farm::{FarmConfig, FarmError, ReadmitPolicy, SessionFarm, SessionOutcome};
+use predpkt_sim::{SimError, VirtualTime};
 use predpkt_workloads::figure2_soc;
 
 const CYCLES: u64 = 120;
@@ -458,6 +458,301 @@ fn churn_keeps_fds_and_threads_bounded() {
         fds_after <= fds_before + 8,
         "descriptor churn leaked: {fds_before} -> {fds_after}"
     );
+}
+
+/// Satellite fix: a session that *fails* (not merely wedges) carries its
+/// last boundary cut out in [`SessionOutcome::Failed`], exactly like an
+/// eviction does — a transport that died mid-run loses nothing past the
+/// latest checkpoint. The cut restores into a clean twin that lands on the
+/// straight-through baseline.
+#[test]
+fn failed_session_carries_its_last_cut() {
+    const SEED: u64 = 5;
+    // Frames before the link severs — far enough in that boundaries have
+    // passed, early enough that the session cannot finish.
+    const CUT: u64 = 8;
+    let farm: SessionFarm<AhbDomainModel> = SessionFarm::new(
+        FarmConfig::new()
+            .workers(1)
+            .slice_steps(64)
+            .checkpoint_evictions(true),
+    )
+    .expect("farm builds");
+    let id = farm
+        .submit(move || {
+            Ok(EmuSession::from_blueprint(&figure2_soc(SEED))
+                .config(config())
+                .transport(TransportSelect::Tcp(
+                    TcpOptions::default()
+                        .threaded(snappy())
+                        .fault(FaultSpec::disconnect_after(9, CUT)),
+                ))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("admitted");
+    let report = farm.join();
+    let result = report.result(id).expect("reported");
+    let SessionOutcome::Failed {
+        error,
+        checkpoint: Some(ckpt),
+    } = &result.outcome
+    else {
+        panic!(
+            "expected a checkpoint-carrying failure, got {}",
+            result.outcome
+        );
+    };
+    assert!(
+        matches!(error, SimError::Deadlock { .. }),
+        "a severed bare link dies of starvation: {error}"
+    );
+    assert!(
+        ckpt.committed_cycles() > 0 && ckpt.committed_cycles() < CYCLES,
+        "the kill must land mid-run for this test to mean anything \
+         (committed {} of {CYCLES}); retune CUT",
+        ckpt.committed_cycles()
+    );
+    assert_eq!(report.stats.failed, 1);
+
+    let mut twin = EmuSession::from_blueprint(&figure2_soc(SEED))
+        .config(config())
+        .transport(TransportSelect::Tcp(
+            TcpOptions::default().threaded(snappy()),
+        ))
+        .build()
+        .expect("twin builds");
+    twin.restore(ckpt.as_ref())
+        .expect("checkpoint restores into the twin");
+    twin.run_until_committed(CYCLES).expect("twin completes");
+    assert_eq!(observe(&twin, SEED), direct_baseline(SEED));
+}
+
+/// The self-healing tentpole, failure path: a healable session whose socket
+/// link severs mid-run is auto-readmitted — rebuilt on a fresh transport
+/// after its backoff, resumed from its last cut — and completes
+/// bit-identically to its direct run, while a dozen live sessions sharing
+/// the pool are untouched. The death never shows in the final outcomes;
+/// only the `readmitted` counter records the heal.
+#[test]
+fn severed_link_session_heals_in_place_without_stalling_live_sessions() {
+    const SEED: u64 = 5;
+    const CUT: u64 = 8;
+    let farm = SessionFarm::new(
+        FarmConfig::new()
+            .workers(2)
+            .slice_steps(64)
+            .park_slice(Duration::from_micros(200))
+            .deadlock_timeout(Duration::from_millis(300))
+            .checkpoint_evictions(true)
+            .keep_sessions(true)
+            .readmit(
+                ReadmitPolicy::new()
+                    .max_retries(3)
+                    .base_delay(Duration::from_millis(1)),
+            ),
+    )
+    .expect("farm builds");
+    let mut incarnation = 0u32;
+    let healable = farm
+        .submit_healable(move || {
+            incarnation += 1;
+            // First incarnation is doomed; every respawn gets a clean link.
+            let opts = TcpOptions::default().threaded(snappy());
+            let opts = if incarnation == 1 {
+                opts.fault(FaultSpec::disconnect_after(9, CUT))
+            } else {
+                opts
+            };
+            Ok(EmuSession::from_blueprint(&figure2_soc(SEED))
+                .config(config())
+                .transport(TransportSelect::Tcp(opts))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("healable admitted");
+    let mut live = Vec::new();
+    for i in 0..12 {
+        let seed = i as u64;
+        let transport = transport_for(i);
+        live.push(
+            farm.submit(move || {
+                Ok(EmuSession::from_blueprint(&figure2_soc(seed))
+                    .config(config())
+                    .transport(transport)
+                    .build()?
+                    .into_sliced(CYCLES))
+            })
+            .expect("live session admitted"),
+        );
+    }
+    let report = farm.join();
+    let healed = report.result(healable).expect("healable reported");
+    assert!(
+        healed.outcome.is_completed(),
+        "the healed session must complete, ended {}",
+        healed.outcome
+    );
+    let session = healed.session.as_ref().expect("keep_sessions retains it");
+    assert_eq!(
+        observe(session, SEED),
+        direct_baseline(SEED),
+        "the healed run diverged from its direct run"
+    );
+    assert_eq!(
+        report.stats.readmitted, 1,
+        "exactly one heal: {}",
+        report.stats
+    );
+    assert_eq!(report.stats.gave_up, 0);
+    assert_eq!(report.stats.failed, 0, "the death was healed, not recorded");
+    assert!(report.stats.backoff >= Duration::from_millis(1));
+    for (i, id) in live.into_iter().enumerate() {
+        let r = report.result(id).expect("live session reported");
+        assert!(
+            r.outcome.is_completed(),
+            "live session {id} was perturbed by the heal: {}",
+            r.outcome
+        );
+        let seed = i as u64;
+        let session = r.session.as_ref().expect("keep_sessions retains it");
+        assert_eq!(
+            observe(session, seed),
+            direct_baseline(seed),
+            "live session {id} (seed {seed}) diverged"
+        );
+    }
+}
+
+/// The self-healing tentpole, eviction path: a link that *hangs* (frames
+/// swallowed, link looks alive) wedges its session into the parked set; the
+/// eviction sweep pulls it with its cut, the re-admission policy heals it on
+/// a fresh link, and the final outcomes show a completed session — zero
+/// evictions — with the heal visible only in the counters.
+#[test]
+fn wedged_link_session_heals_through_the_eviction_path() {
+    const SEED: u64 = 11;
+    const CUT: u64 = 8;
+    let farm = SessionFarm::new(
+        FarmConfig::new()
+            .workers(2)
+            .slice_steps(64)
+            .park_slice(Duration::from_micros(200))
+            .deadlock_timeout(Duration::from_millis(300))
+            .checkpoint_evictions(true)
+            .keep_sessions(true)
+            .readmit(
+                ReadmitPolicy::new()
+                    .max_retries(3)
+                    .base_delay(Duration::from_millis(1)),
+            ),
+    )
+    .expect("farm builds");
+    let mut incarnation = 0u32;
+    let healable = farm
+        .submit_healable(move || {
+            incarnation += 1;
+            let opts = TcpOptions::default().threaded(snappy());
+            let opts = if incarnation == 1 {
+                opts.fault(FaultSpec::hang_after(13, CUT))
+            } else {
+                opts
+            };
+            Ok(EmuSession::from_blueprint(&figure2_soc(SEED))
+                .config(config())
+                .transport(TransportSelect::Tcp(opts))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("healable admitted");
+    let report = farm.join();
+    let healed = report.result(healable).expect("healable reported");
+    assert!(
+        healed.outcome.is_completed(),
+        "the healed session must complete, ended {}",
+        healed.outcome
+    );
+    let session = healed.session.as_ref().expect("keep_sessions retains it");
+    assert_eq!(observe(session, SEED), direct_baseline(SEED));
+    assert_eq!(report.stats.readmitted, 1, "one heal: {}", report.stats);
+    assert_eq!(
+        report.stats.evicted, 0,
+        "the eviction was healed, not recorded"
+    );
+    assert!(
+        report.stats.parked_events > 0,
+        "the hung link must have parked before evicting"
+    );
+}
+
+/// The retry budget is a hard bound and giving up is never silent: a session
+/// whose every incarnation severs immediately burns its budget, lands as a
+/// final `Failed` outcome, and the roll-up counts both the heals attempted
+/// and the surrender.
+#[test]
+fn exhausted_heal_budget_is_counted_never_silent() {
+    let farm: SessionFarm<AhbDomainModel> = SessionFarm::new(
+        FarmConfig::new()
+            .workers(1)
+            .slice_steps(64)
+            .checkpoint_evictions(true)
+            .readmit(
+                ReadmitPolicy::new()
+                    .max_retries(2)
+                    .base_delay(Duration::from_micros(100)),
+            ),
+    )
+    .expect("farm builds");
+    let id = farm
+        .submit_healable(move || {
+            // Doomed every time: the link dies on the first frame.
+            Ok(EmuSession::from_blueprint(&figure2_soc(3))
+                .config(config())
+                .transport(TransportSelect::Tcp(
+                    TcpOptions::default()
+                        .threaded(snappy())
+                        .fault(FaultSpec::disconnect_after(7, 1)),
+                ))
+                .build()?
+                .into_sliced(CYCLES))
+        })
+        .expect("admitted");
+    let report = farm.join();
+    let result = report.result(id).expect("reported");
+    assert!(
+        matches!(result.outcome, SessionOutcome::Failed { .. }),
+        "the surrendered session keeps its real outcome, got {}",
+        result.outcome
+    );
+    assert_eq!(report.stats.readmitted, 2, "budget spent: {}", report.stats);
+    assert_eq!(
+        report.stats.gave_up, 1,
+        "surrender counted: {}",
+        report.stats
+    );
+    assert_eq!(report.stats.failed, 1);
+    assert_eq!(report.stats.completed, 0);
+}
+
+/// A healable session needs a policy to heal under: a farm built without
+/// [`FarmConfig::readmit`] refuses `submit_healable` with a typed error.
+#[test]
+fn submit_healable_without_a_policy_is_refused() {
+    let farm: SessionFarm<AhbDomainModel> =
+        SessionFarm::new(FarmConfig::new().workers(1)).expect("farm builds");
+    let refused = farm.submit_healable(
+        || -> Result<predpkt_farm::SlicedSession<AhbDomainModel>, predpkt_core::SessionError> {
+            unreachable!("never scheduled")
+        },
+    );
+    match refused {
+        Err(FarmError::Config(e)) => assert!(
+            e.to_string().contains("readmit"),
+            "the refusal names the missing knob: {e}"
+        ),
+        other => panic!("expected Config refusal, got {other:?}"),
+    }
+    farm.join();
 }
 
 /// Checkpoint-carrying eviction, end to end: a session that commits a clean

@@ -16,9 +16,10 @@ pub enum SimError {
     },
     /// A configuration value was rejected.
     Config(String),
-    /// The reliable channel layer abandoned a frame after exhausting its
-    /// retransmission budget — the fault rate exceeded what the configured
-    /// `retry_budget` can absorb.
+    /// The reliable channel layer abandoned a frame: either its
+    /// retransmission budget ran out (the fault rate exceeded what the
+    /// configured `retry_budget` can absorb), or the medium itself reported
+    /// death while the frame was outstanding.
     RetryBudgetExhausted {
         /// Fault-injection seed of the run (0 when no fault injector was
         /// installed), so the failing case can be replayed exactly.
@@ -29,6 +30,14 @@ pub enum SimError {
         retries: u32,
         /// Committed cycle at which recovery was abandoned.
         cycle: u64,
+        /// Cumulative idle RTO time (picoseconds on the reliable layer's
+        /// virtual clock) the frame spent unacknowledged, from its first
+        /// transmission to abandonment.
+        idle_picos: u64,
+        /// `true` when the medium reported itself dead (severed link, reset
+        /// socket) and the layer failed fast; `false` when the budget was
+        /// burned with no death signal.
+        peer_gone: bool,
     },
     /// A previous restore failed and left this component's state unusable;
     /// every further step is refused so a half-restored run can never
@@ -47,10 +56,18 @@ impl fmt::Display for SimError {
                 seq,
                 retries,
                 cycle,
+                idle_picos,
+                peer_gone,
             } => write!(
                 f,
                 "reliable channel gave up at cycle {cycle}: frame seq {seq} abandoned \
-                 after {retries} retransmissions (fault seed {seed})"
+                 after {retries} retransmissions and {:.3}us idle ({}; fault seed {seed})",
+                *idle_picos as f64 / 1e6,
+                if *peer_gone {
+                    "peer gone"
+                } else {
+                    "retry budget exhausted"
+                },
             ),
             SimError::StatePoisoned(e) => {
                 write!(f, "state poisoned by an earlier failed restore: {e}")
@@ -96,10 +113,23 @@ mod tests {
             seq: 42,
             retries: 8,
             cycle: 100,
+            idle_picos: 800_000_000,
+            peer_gone: false,
         };
         let text = exhausted.to_string();
         assert!(text.contains("seq 42"), "{text}");
         assert!(text.contains("seed 65261"), "{text}");
+        assert!(text.contains("800.000us"), "{text}");
+        assert!(text.contains("retry budget exhausted"), "{text}");
+        let dead = SimError::RetryBudgetExhausted {
+            seed: 0xfeed,
+            seq: 42,
+            retries: 0,
+            cycle: 100,
+            idle_picos: 0,
+            peer_gone: true,
+        };
+        assert!(dead.to_string().contains("peer gone"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ EXPECTED = {
     "BENCH_fabric_sweep.json": ["bench", "cycles", "trace_identical", "rows"],
     "BENCH_checkpoint_cost.json": ["bench", "cycles", "reps", "trace_identical", "rows"],
     "BENCH_accuracy_sweep.json": ["bench", "cycles", "suites", "workloads", "backends", "rows"],
+    "BENCH_chaos_recovery.json": ["bench", "sessions_per_cell", "cycles", "trace_identical", "rows"],
 }
 
 
